@@ -1,0 +1,8 @@
+//! Regenerates **Figures 2–4**: the example cost-vector tables (T16–T19),
+//! their lossless summaries (T20–T21), and the lossy summaries of Example
+//! 6.2. Run with `cargo bench -p hermes-bench --bench fig_2_3_4_summaries`.
+
+fn main() {
+    println!("\nFigures 2-4: statistics tables and their summarizations\n");
+    println!("{}", hermes_bench::fig234::report());
+}

@@ -1,0 +1,247 @@
+//! Criterion micro-benchmarks of the optimizer machinery itself — the
+//! *real* (wall-clock) costs, including the §8 claim that "the overhead of
+//! checking the cache and the invariants without success … is negligible".
+//! Run with `cargo bench -p hermes-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hermes_cim::{Cim, CimPolicy};
+use hermes_common::{GroundCall, SimInstant, Value};
+use hermes_core::{enumerate_plans, estimate_plan, CostConfig, RewriteConfig};
+use hermes_dcsm::Dcsm;
+use hermes_lang::{parse_invariant, parse_program, parse_query};
+
+fn populated_cim(entries: usize, invariants: bool) -> Cim {
+    let mut cim = Cim::new();
+    if invariants {
+        cim.add_invariant(
+            parse_invariant(
+                "F2 <= F1 & L1 <= L2 =>
+                 video:frames_to_objects(V, F2, L2) >= video:frames_to_objects(V, F1, L1).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cim.add_invariant(
+            parse_invariant(
+                "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    for i in 0..entries {
+        cim.store(
+            GroundCall::new(
+                "video",
+                "frames_to_objects",
+                vec![Value::str("rope"), Value::Int(i as i64), Value::Int(i as i64 + 40)],
+            ),
+            (0..10).map(Value::Int).collect(),
+            true,
+            SimInstant::EPOCH,
+        );
+    }
+    cim
+}
+
+fn bench_cim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cim_lookup");
+    for &n in &[16usize, 256] {
+        let hit_call = GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![Value::str("rope"), Value::Int(3), Value::Int(43)],
+        );
+        let miss_call = GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![Value::str("vertigo"), Value::Int(1), Value::Int(2)],
+        );
+        group.bench_function(format!("exact_hit_{n}_entries"), |b| {
+            b.iter_batched(
+                || populated_cim(n, false),
+                |mut cim| cim.lookup(&hit_call, SimInstant::EPOCH),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("miss_with_invariants_{n}_entries"), |b| {
+            b.iter_batched(
+                || populated_cim(n, true),
+                |mut cim| cim.lookup(&miss_call, SimInstant::EPOCH),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("partial_hit_{n}_entries"), |b| {
+            let wide = GroundCall::new(
+                "video",
+                "frames_to_objects",
+                vec![Value::str("rope"), Value::Int(0), Value::Int(900)],
+            );
+            b.iter_batched(
+                || populated_cim(n, true),
+                |mut cim| cim.lookup(&wide, SimInstant::EPOCH),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn warmed_dcsm(records: usize) -> Dcsm {
+    let mut d = Dcsm::new();
+    for i in 0..records {
+        d.record(
+            &GroundCall::new(
+                "video",
+                "frames_to_objects",
+                vec![
+                    Value::str("rope"),
+                    Value::Int((i % 40) as i64),
+                    Value::Int((i % 40) as i64 + 50),
+                ],
+            ),
+            Some(1.0),
+            Some(10.0 + i as f64),
+            Some(20.0),
+            SimInstant::EPOCH,
+        );
+    }
+    d
+}
+
+fn bench_dcsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcsm_estimate");
+    let detail = warmed_dcsm(1_000);
+    let mut summarized = warmed_dcsm(1_000);
+    summarized.build_lossless("video", "frames_to_objects");
+    summarized.build_lossy("video", "frames_to_objects", vec![false, false, false]);
+    summarized.drop_detail("video", "frames_to_objects");
+
+    let seen = GroundCall::new(
+        "video",
+        "frames_to_objects",
+        vec![Value::str("rope"), Value::Int(3), Value::Int(53)],
+    )
+    .pattern();
+    let unseen = GroundCall::new(
+        "video",
+        "frames_to_objects",
+        vec![Value::str("rope"), Value::Int(999), Value::Int(1_000)],
+    )
+    .pattern();
+
+    group.bench_function("detail_aggregation_seen", |b| {
+        b.iter(|| detail.cost(std::hint::black_box(&seen)))
+    });
+    group.bench_function("detail_aggregation_unseen_relaxes", |b| {
+        b.iter(|| detail.cost(std::hint::black_box(&unseen)))
+    });
+    group.bench_function("summary_lookup_seen", |b| {
+        b.iter(|| summarized.cost(std::hint::black_box(&seen)))
+    });
+    group.bench_function("summary_lookup_unseen_relaxes", |b| {
+        b.iter(|| summarized.cost(std::hint::black_box(&unseen)))
+    });
+    group.finish();
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    let program = parse_program(
+        "
+        p(A, B) :- in(B, d1:p_bf(A)).
+        p(A, B) :- in(A, d1:p_fb(B)).
+        p(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+        q(A, B) :- in(B, d2:q_bf(A)).
+        q(A, B) :- in(A, d2:q_fb(B)).
+        q(A, B) :- in(Ans, d2:q_ff()) & =(Ans.a, A) & =(Ans.b, B).
+        join(X, Y, Z) :- p(X, Y) & q(Z, Y).
+        ",
+    )
+    .unwrap();
+    let query = parse_query("?- join('a', Y, Z).").unwrap();
+    let policy = CimPolicy::cache_everything();
+    c.bench_function("rewriter_enumerate_join_plans", |b| {
+        b.iter(|| {
+            enumerate_plans(
+                std::hint::black_box(&program),
+                std::hint::black_box(&query),
+                &policy,
+                RewriteConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let plans = enumerate_plans(&program, &query, &policy, RewriteConfig::default()).unwrap();
+    let dcsm = warmed_dcsm(100);
+    c.bench_function("cost_estimate_per_plan", |b| {
+        b.iter(|| {
+            for p in &plans {
+                std::hint::black_box(estimate_plan(p, &dcsm, &CostConfig::default()));
+            }
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    use hermes_core::{ExecConfig, Executor, Mediator};
+    use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+    use hermes_net::{profiles, Network};
+    use std::sync::Arc;
+
+    // Wall-clock cost of running a fully-cached query: the real overhead a
+    // mediator adds once the network is out of the picture.
+    let mut m = {
+        let d = SyntheticDomain::generate("d1", 3, &[RelationSpec::uniform("p", 20, 4.0)]);
+        let mut net = Network::new(3);
+        net.place(Arc::new(d), profiles::maryland());
+        Mediator::from_source(
+            "p(A, B) :- in(B, d1:p_bf(A)).
+             p(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).",
+            net,
+        )
+        .unwrap()
+    };
+    let planned = m.plan("?- p('p_3', B).").unwrap();
+    let plan = planned.plan().clone();
+    // Warm the cache.
+    m.query("?- p('p_3', B).").unwrap();
+    let network = m.network();
+    let cim = m.cim();
+    let dcsm = m.dcsm();
+    c.bench_function("executor_cached_query_wall_time", |b| {
+        b.iter(|| {
+            Executor::new(
+                network,
+                &cim,
+                &dcsm,
+                hermes_common::SimClock::new(),
+                ExecConfig {
+                    record_stats: false,
+                    ..ExecConfig::default()
+                },
+            )
+            .run(std::hint::black_box(&plan), None)
+            .unwrap()
+        })
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = "
+        routetosupplies(From, Sup1, To, R) :-
+            in(Tuple, ingres:select_eq('inventory', 'item', Sup1)) &
+            =(Tuple.loc, To) &
+            in(R, terraindb:findrte(From, To)).
+    ";
+    c.bench_function("parse_rule", |b| {
+        b.iter(|| parse_program(std::hint::black_box(src)).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cim, bench_dcsm, bench_rewriter, bench_executor, bench_parser
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! A minimal aligned-column text table, for printing experiment results.
+
+/// A text table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats milliseconds the way the paper's tables do (whole ms).
+pub fn ms(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Formats an optional duration in ms.
+pub fn ms_opt(v: Option<hermes_common::SimDuration>) -> String {
+    v.map(|d| ms(d.as_millis_f64())).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["query", "time"]);
+        t.row(["q1", "100"]);
+        t.row(["a-much-longer-query", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("query"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "time" header position equals "100" position.
+        let pos_header = lines[0].find("time").unwrap();
+        let pos_row = lines[2].find("100").unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn ms_formats_whole_numbers() {
+        assert_eq!(ms(1234.56), "1235");
+        assert_eq!(ms_opt(None), "-");
+    }
+}

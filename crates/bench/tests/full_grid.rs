@@ -1,0 +1,76 @@
+//! Whole-experiment smoke tests: every figure harness runs end-to-end and
+//! renders, so `cargo test` guards the exact code paths `cargo bench`
+//! exercises.
+
+use hermes_bench::{fig234, fig5, fig6, tradeoffs};
+
+#[test]
+fn figure5_full_grid_runs_and_renders() {
+    let rows = fig5::run(77);
+    // 3 queries × 2 sites × 4 configs.
+    assert_eq!(rows.len(), 24);
+    let text = fig5::render(&rows);
+    assert!(text.contains("sites in Italy"));
+    assert!(text.contains("cache + partial inv."));
+    // Within every (query, site) group the answer counts agree across
+    // configurations — caching must never change results.
+    for chunk in rows.chunks(4) {
+        let n = chunk[0].answers;
+        for cell in chunk {
+            assert_eq!(cell.answers, n, "{} / {:?}", cell.query, cell.config);
+        }
+    }
+    // And every cached configuration beats no-cache on all-answers time
+    // for the pure-AVIS queries (the first query includes uncached
+    // relational calls in its invariant configs; partial pays the call).
+    for chunk in rows.chunks(4) {
+        let no_cache = &chunk[0];
+        let cache_only = &chunk[1];
+        assert!(
+            cache_only.t_all_ms < no_cache.t_all_ms,
+            "{} at {:?}",
+            no_cache.query,
+            no_cache.site
+        );
+    }
+}
+
+#[test]
+fn figure6_rows_are_internally_consistent() {
+    let rows = fig6::run(78);
+    assert_eq!(rows.len(), 6);
+    for r in &rows {
+        assert!(r.actual_first_ms <= r.actual_all_ms + 1e-9, "{}", r.query);
+        assert!(r.lossless_first_ms <= r.lossless_all_ms + 1e-9);
+        assert!(r.lossy_first_ms <= r.lossy_all_ms + 1e-9);
+        assert!(r.actual_all_ms > 0.0);
+    }
+    let text = fig6::render(&rows);
+    assert!(text.contains("query2'"));
+}
+
+#[test]
+fn figure234_report_is_complete() {
+    let report = fig234::report();
+    for needle in [
+        "d1:p_bf (detail",
+        "d2:q_ff (detail",
+        "d1:p_bf[C]",
+        "d2:q_ff[]",
+        "d1:p_bb[C,$b]",
+        "d2:q_bf[$b]",
+    ] {
+        assert!(report.contains(needle), "missing section {needle}");
+    }
+}
+
+#[test]
+fn tradeoff_sweep_covers_requested_skews() {
+    let rows = tradeoffs::run(79, &[0.0, 1.5]);
+    assert_eq!(rows.len(), 8); // 2 skews × 4 levels
+    let skews: std::collections::BTreeSet<String> =
+        rows.iter().map(|r| format!("{:.1}", r.skew)).collect();
+    assert_eq!(skews.len(), 2);
+    let text = tradeoffs::render(&rows);
+    assert!(text.contains("blanket"));
+}

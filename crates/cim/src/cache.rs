@@ -1,0 +1,310 @@
+//! The answer cache: ground call → answer set, with LRU eviction under an
+//! optional byte budget.
+
+use hermes_common::{GroundCall, SimInstant, Value};
+use std::collections::HashMap;
+
+/// One cached answer set.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The answers, in source order.
+    pub answers: Vec<Value>,
+    /// Wire size of the answers.
+    pub bytes: usize,
+    /// Virtual time the entry was stored.
+    pub inserted_at: SimInstant,
+    /// True if the full answer set was fetched (an interactive-mode stop
+    /// can cache a prefix; incomplete entries can only serve partial hits).
+    pub complete: bool,
+    /// Number of lookups served by this entry.
+    pub hits: u64,
+    /// LRU clock value of the most recent touch.
+    last_used: u64,
+}
+
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Exact-lookup hits.
+    pub hits: u64,
+    /// Exact-lookup misses.
+    pub misses: u64,
+}
+
+/// The cache proper. All answer sets are owned; the mediator hands out
+/// clones (answers are shared `Arc`-backed values, so clones are cheap).
+#[derive(Clone, Debug, Default)]
+pub struct AnswerCache {
+    entries: HashMap<GroundCall, CacheEntry>,
+    budget_bytes: Option<usize>,
+    current_bytes: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        AnswerCache::default()
+    }
+
+    /// A cache that evicts least-recently-used entries beyond `bytes`.
+    pub fn with_budget(bytes: usize) -> Self {
+        AnswerCache {
+            budget_bytes: Some(bytes),
+            ..AnswerCache::default()
+        }
+    }
+
+    /// Number of cached calls.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of cached answers.
+    pub fn bytes(&self) -> usize {
+        self.current_bytes
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Stores an answer set. Replacing an entry refreshes its LRU position.
+    pub fn insert(
+        &mut self,
+        call: GroundCall,
+        answers: Vec<Value>,
+        complete: bool,
+        now: SimInstant,
+    ) {
+        let bytes: usize = answers.iter().map(Value::size_bytes).sum();
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&call) {
+            self.current_bytes -= old.bytes;
+        }
+        self.current_bytes += bytes;
+        self.entries.insert(
+            call,
+            CacheEntry {
+                answers,
+                bytes,
+                inserted_at: now,
+                complete,
+                hits: 0,
+                last_used: self.clock,
+            },
+        );
+        self.stats.inserts += 1;
+        self.enforce_budget();
+    }
+
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while self.current_bytes > budget && self.entries.len() > 1 {
+            // Evict the least-recently-used entry (but never the one just
+            // inserted, which is the most recent by construction).
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache");
+            if let Some(e) = self.entries.remove(&victim) {
+                self.current_bytes -= e.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Exact lookup; touches the entry's LRU position and hit counter.
+    pub fn get(&mut self, call: &GroundCall) -> Option<&CacheEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(call) {
+            Some(e) => {
+                e.last_used = clock;
+                e.hits += 1;
+                self.stats.hits += 1;
+                Some(&*e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Exact lookup without touching LRU/counters (used by invariant scans
+    /// and diagnostics).
+    pub fn peek(&self, call: &GroundCall) -> Option<&CacheEntry> {
+        self.entries.get(call)
+    }
+
+    /// True if the call is cached with a complete answer set.
+    pub fn contains_complete(&self, call: &GroundCall) -> bool {
+        self.entries.get(call).is_some_and(|e| e.complete)
+    }
+
+    /// Iterates all entries (for invariant scans).
+    pub fn iter(&self) -> impl Iterator<Item = (&GroundCall, &CacheEntry)> {
+        self.entries.iter()
+    }
+
+    /// Drops every entry for a domain (invalidation after source update).
+    pub fn invalidate_domain(&mut self, domain: &str) -> usize {
+        let victims: Vec<GroundCall> = self
+            .entries
+            .keys()
+            .filter(|c| c.domain.as_ref() == domain)
+            .cloned()
+            .collect();
+        for v in &victims {
+            if let Some(e) = self.entries.remove(v) {
+                self.current_bytes -= e.bytes;
+            }
+        }
+        victims.len()
+    }
+
+    /// Drops entries older than `max_age` relative to `now`.
+    pub fn expire(&mut self, now: SimInstant, max_age: hermes_common::SimDuration) -> usize {
+        let victims: Vec<GroundCall> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.inserted_at) > max_age)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for v in &victims {
+            if let Some(e) = self.entries.remove(v) {
+                self.current_bytes -= e.bytes;
+            }
+        }
+        victims.len()
+    }
+
+    /// Empties the cache, keeping the stats.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.current_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::SimDuration;
+
+    fn call(i: i64) -> GroundCall {
+        GroundCall::new("d", "f", vec![Value::Int(i)])
+    }
+
+    fn big_answers(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::str(format!("answer_{i:04}"))).collect()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = AnswerCache::new();
+        c.insert(call(1), vec![Value::Int(10)], true, SimInstant::EPOCH);
+        let e = c.get(&call(1)).unwrap();
+        assert_eq!(e.answers, vec![Value::Int(10)]);
+        assert!(e.complete);
+        assert_eq!(e.hits, 1);
+        assert!(c.get(&call(2)).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_tracks_bytes() {
+        let mut c = AnswerCache::new();
+        c.insert(call(1), big_answers(10), true, SimInstant::EPOCH);
+        let b1 = c.bytes();
+        c.insert(call(1), big_answers(2), true, SimInstant::EPOCH);
+        assert!(c.bytes() < b1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        let entry_bytes = big_answers(5).iter().map(Value::size_bytes).sum::<usize>();
+        let mut c = AnswerCache::with_budget(entry_bytes * 2);
+        c.insert(call(1), big_answers(5), true, SimInstant::EPOCH);
+        c.insert(call(2), big_answers(5), true, SimInstant::EPOCH);
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(&call(1));
+        c.insert(call(3), big_answers(5), true, SimInstant::EPOCH);
+        assert!(c.peek(&call(1)).is_some());
+        assert!(c.peek(&call(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.peek(&call(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.bytes() <= entry_bytes * 2);
+    }
+
+    #[test]
+    fn newest_entry_never_evicted() {
+        // Budget smaller than a single entry: the newest stays anyway.
+        let mut c = AnswerCache::with_budget(1);
+        c.insert(call(1), big_answers(5), true, SimInstant::EPOCH);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn incomplete_entries_flagged() {
+        let mut c = AnswerCache::new();
+        c.insert(call(1), big_answers(3), false, SimInstant::EPOCH);
+        assert!(!c.contains_complete(&call(1)));
+        c.insert(call(1), big_answers(5), true, SimInstant::EPOCH);
+        assert!(c.contains_complete(&call(1)));
+    }
+
+    #[test]
+    fn invalidate_domain_removes_only_that_domain() {
+        let mut c = AnswerCache::new();
+        c.insert(call(1), big_answers(1), true, SimInstant::EPOCH);
+        c.insert(
+            GroundCall::new("other", "f", vec![]),
+            big_answers(1),
+            true,
+            SimInstant::EPOCH,
+        );
+        assert_eq!(c.invalidate_domain("d"), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(&GroundCall::new("other", "f", vec![])).is_some());
+    }
+
+    #[test]
+    fn expiry_by_age() {
+        let mut c = AnswerCache::new();
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_secs(100);
+        c.insert(call(1), big_answers(1), true, t0);
+        c.insert(call(2), big_answers(1), true, t1);
+        let expired = c.expire(t1, SimDuration::from_secs(50));
+        assert_eq!(expired, 1);
+        assert!(c.peek(&call(1)).is_none());
+        assert!(c.peek(&call(2)).is_some());
+    }
+
+    #[test]
+    fn clear_resets_bytes() {
+        let mut c = AnswerCache::new();
+        c.insert(call(1), big_answers(4), true, SimInstant::EPOCH);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Invariant matching against the cache (§4.1, the θ machinery).
+//!
+//! Given a concrete call `C` and an invariant `Cond ⇒ DC1 R DC2`, the
+//! manager can use the invariant in *both* directions:
+//!
+//! * unify `C` with `DC1` (relation read as written), or
+//! * unify `C` with `DC2` (relation flipped).
+//!
+//! After unifying with one side (substitution θ₁), the other side's
+//! template is scanned against the cache: any entry whose call unifies
+//! (extending θ₁ to θ₂) and whose fully-instantiated condition holds is a
+//! hit. The relation then says what the cached answers *are* for `C`:
+//! identical (`=`), a subset (`⊇` toward the cached side), or a superset
+//! (`⊆`, unusable for sound answers and therefore only counted).
+
+use crate::cache::AnswerCache;
+use hermes_lang::{CallTemplate, InvRel, Invariant, Subst};
+use hermes_common::GroundCall;
+
+/// One way the cache can serve a call through an invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvariantHit {
+    /// A cached call with an answer set *equal* to the wanted call's.
+    Equal {
+        /// The cached call to read.
+        cached: GroundCall,
+        /// Index of the invariant that proved it.
+        invariant: usize,
+    },
+    /// A cached call whose answers are a *subset* of the wanted call's —
+    /// a fast partial answer (§4.1 step 3).
+    Partial {
+        /// The cached call to read.
+        cached: GroundCall,
+        /// Index of the invariant that proved it.
+        invariant: usize,
+    },
+}
+
+impl InvariantHit {
+    /// The cached call this hit reads.
+    pub fn cached(&self) -> &GroundCall {
+        match self {
+            InvariantHit::Equal { cached, .. } | InvariantHit::Partial { cached, .. } => cached,
+        }
+    }
+
+    /// True for [`InvariantHit::Equal`].
+    pub fn is_equal(&self) -> bool {
+        matches!(self, InvariantHit::Equal { .. })
+    }
+}
+
+/// The invariant store plus its matching algorithms.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantStore {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        InvariantStore::default()
+    }
+
+    /// Adds a validated invariant and returns its index.
+    pub fn add(&mut self, inv: Invariant) -> hermes_common::Result<usize> {
+        hermes_lang::validate_invariant(&inv)?;
+        self.invariants.push(inv);
+        Ok(self.invariants.len() - 1)
+    }
+
+    /// The stored invariants.
+    pub fn all(&self) -> &[Invariant] {
+        &self.invariants
+    }
+
+    /// Number of stored invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// True if no invariants are stored.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Finds every way the cache can serve `call` through an invariant.
+    /// `Equal` hits sort before `Partial` hits; among equals, more recent
+    /// cache entries first.
+    pub fn find_hits(&self, call: &GroundCall, cache: &AnswerCache) -> Vec<InvariantHit> {
+        let mut hits = Vec::new();
+        for (idx, inv) in self.invariants.iter().enumerate() {
+            // Direction 1: call is DC1, cached candidate is DC2, relation as
+            // written. Direction 2: call is DC2, candidate is DC1, flipped.
+            for (own, other, rel) in [
+                (&inv.lhs, &inv.rhs, inv.rel),
+                (&inv.rhs, &inv.lhs, inv.rel.flipped()),
+            ] {
+                let Some(theta1) = Subst::new().match_call(own, call) else {
+                    continue;
+                };
+                self.scan_cache(inv, idx, other, rel, &theta1, cache, call, &mut hits);
+            }
+        }
+        // Equal hits first; break ties by freshness.
+        hits.sort_by_key(|h| {
+            let fresh = cache
+                .peek(h.cached())
+                .map(|e| u64::MAX - e.inserted_at.as_micros())
+                .unwrap_or(u64::MAX);
+            (!h.is_equal() as u8, fresh)
+        });
+        hits
+    }
+
+    /// Equality invariants whose *other* side becomes fully ground under
+    /// the match — candidate substitute calls that could be executed
+    /// instead of `call` (the paper's range-shrinking example). The
+    /// returned calls are distinct from `call` itself.
+    pub fn substitutes(&self, call: &GroundCall) -> Vec<GroundCall> {
+        let mut out = Vec::new();
+        for inv in &self.invariants {
+            if inv.rel != InvRel::Equal {
+                continue;
+            }
+            for (own, other) in [(&inv.lhs, &inv.rhs), (&inv.rhs, &inv.lhs)] {
+                let Some(theta) = Subst::new().match_call(own, call) else {
+                    continue;
+                };
+                // All conditions must be decidable and true under θ alone.
+                if !inv
+                    .conditions
+                    .iter()
+                    .all(|c| theta.eval_condition(c) == Some(true))
+                {
+                    continue;
+                }
+                if let Some(sub) = theta.ground_call(other) {
+                    if &sub != call && !out.contains(&sub) {
+                        out.push(sub);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_cache(
+        &self,
+        inv: &Invariant,
+        idx: usize,
+        other: &CallTemplate,
+        rel: InvRel,
+        theta1: &Subst,
+        cache: &AnswerCache,
+        call: &GroundCall,
+        hits: &mut Vec<InvariantHit>,
+    ) {
+        // ⊆ toward the cached side means the cached answers are a superset
+        // of the wanted set — not soundly usable, skip entirely.
+        if rel == InvRel::Subset {
+            return;
+        }
+        for (cached_call, entry) in cache.iter() {
+            if cached_call == call {
+                continue; // exact hits are handled before invariants
+            }
+            // Only complete entries can prove Equal; incomplete entries can
+            // still provide partial answers.
+            let Some(theta2) = theta1.match_call(other, cached_call) else {
+                continue;
+            };
+            if !inv
+                .conditions
+                .iter()
+                .all(|c| theta2.eval_condition(c) == Some(true))
+            {
+                continue;
+            }
+            let hit = match rel {
+                InvRel::Equal if entry.complete => InvariantHit::Equal {
+                    cached: cached_call.clone(),
+                    invariant: idx,
+                },
+                // An equality proof over an incomplete entry still gives a
+                // sound subset of the answers.
+                InvRel::Equal => InvariantHit::Partial {
+                    cached: cached_call.clone(),
+                    invariant: idx,
+                },
+                InvRel::Superset => InvariantHit::Partial {
+                    cached: cached_call.clone(),
+                    invariant: idx,
+                },
+                InvRel::Subset => unreachable!("filtered above"),
+            };
+            if !hits.contains(&hit) {
+                hits.push(hit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::{SimInstant, Value};
+    use hermes_lang::parse_invariant;
+
+    fn lt_call(v: i64) -> GroundCall {
+        GroundCall::new(
+            "rel",
+            "select_lt",
+            vec![Value::str("inv"), Value::str("qty"), Value::Int(v)],
+        )
+    }
+
+    fn store_with_monotone_invariant() -> InvariantStore {
+        let mut s = InvariantStore::new();
+        s.add(
+            parse_invariant(
+                "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn superset_invariant_gives_partial_hit_for_wider_call() {
+        let s = store_with_monotone_invariant();
+        let mut cache = AnswerCache::new();
+        cache.insert(lt_call(10), vec![Value::Int(1)], true, SimInstant::EPOCH);
+        // Wanted: select_lt(..., 99). Cached lt(10) ⊆ lt(99): partial.
+        let hits = s.find_hits(&lt_call(99), &cache);
+        assert_eq!(hits.len(), 1);
+        assert!(matches!(&hits[0], InvariantHit::Partial { cached, .. } if *cached == lt_call(10)));
+    }
+
+    #[test]
+    fn narrower_call_cannot_use_wider_cache_entry() {
+        let s = store_with_monotone_invariant();
+        let mut cache = AnswerCache::new();
+        cache.insert(lt_call(99), vec![Value::Int(1)], true, SimInstant::EPOCH);
+        // Wanted lt(10) ⊆ cached lt(99): superset direction, unusable.
+        let hits = s.find_hits(&lt_call(10), &cache);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn condition_violation_blocks_hit() {
+        let s = store_with_monotone_invariant();
+        let mut cache = AnswerCache::new();
+        cache.insert(lt_call(10), vec![Value::Int(1)], true, SimInstant::EPOCH);
+        // Same value: V1 <= V2 holds with equality — hit expected for 10.
+        // But the exact call is skipped by invariant scanning.
+        assert!(s.find_hits(&lt_call(10), &cache).is_empty());
+    }
+
+    #[test]
+    fn equality_invariant_full_hit() {
+        // The paper's §4 range example: huge ranges equal the 142 range.
+        let mut s = InvariantStore::new();
+        s.add(
+            parse_invariant(
+                "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let cached = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(142)],
+        );
+        let mut cache = AnswerCache::new();
+        cache.insert(cached.clone(), vec![Value::Int(1)], true, SimInstant::EPOCH);
+        let wanted = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(500)],
+        );
+        let hits = s.find_hits(&wanted, &cache);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_equal());
+        assert_eq!(hits[0].cached(), &cached);
+    }
+
+    #[test]
+    fn equality_invariant_reverse_direction() {
+        // Cache holds the *wide* call; the 142 call equals it.
+        let mut s = InvariantStore::new();
+        s.add(
+            parse_invariant(
+                "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let wide = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(500)],
+        );
+        let mut cache = AnswerCache::new();
+        cache.insert(wide.clone(), vec![Value::Int(1)], true, SimInstant::EPOCH);
+        let narrow = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(142)],
+        );
+        let hits = s.find_hits(&narrow, &cache);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_equal());
+    }
+
+    #[test]
+    fn incomplete_equal_entry_degrades_to_partial() {
+        let mut s = InvariantStore::new();
+        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap()).unwrap();
+        let mut cache = AnswerCache::new();
+        let g = GroundCall::new("d", "g", vec![Value::Int(5)]);
+        cache.insert(g.clone(), vec![Value::Int(1)], false, SimInstant::EPOCH);
+        let hits = s.find_hits(&GroundCall::new("d", "f", vec![Value::Int(5)]), &cache);
+        assert_eq!(hits.len(), 1);
+        assert!(!hits[0].is_equal());
+    }
+
+    #[test]
+    fn equal_hits_sort_before_partial() {
+        let mut s = InvariantStore::new();
+        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap()).unwrap();
+        s.add(parse_invariant("X <= Y => d:f(Y) >= d:h(X).").unwrap())
+            .unwrap();
+        let mut cache = AnswerCache::new();
+        cache.insert(
+            GroundCall::new("d", "h", vec![Value::Int(1)]),
+            vec![],
+            true,
+            SimInstant::EPOCH,
+        );
+        cache.insert(
+            GroundCall::new("d", "g", vec![Value::Int(5)]),
+            vec![],
+            true,
+            SimInstant::EPOCH,
+        );
+        let hits = s.find_hits(&GroundCall::new("d", "f", vec![Value::Int(5)]), &cache);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].is_equal());
+        assert!(!hits[1].is_equal());
+    }
+
+    #[test]
+    fn substitutes_ground_equality() {
+        let mut s = InvariantStore::new();
+        s.add(
+            parse_invariant(
+                "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let wanted = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(999)],
+        );
+        let subs = s.substitutes(&wanted);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(
+            subs[0],
+            GroundCall::new(
+                "spatial",
+                "range",
+                vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(142)],
+            )
+        );
+        // Below the threshold: no substitute.
+        let small = GroundCall::new(
+            "spatial",
+            "range",
+            vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(100)],
+        );
+        assert!(s.substitutes(&small).is_empty());
+    }
+
+    #[test]
+    fn substitutes_skip_self_and_non_equality() {
+        let mut s = store_with_monotone_invariant(); // superset inv only
+        assert!(s.substitutes(&lt_call(5)).is_empty());
+        s.add(parse_invariant("=> d:f(X) = d:f(X).").unwrap()).unwrap();
+        // Identity equality maps the call to itself: filtered out.
+        assert!(s
+            .substitutes(&GroundCall::new("d", "f", vec![Value::Int(1)]))
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_invariant_rejected_on_add() {
+        let mut s = InvariantStore::new();
+        let bad = parse_invariant("W > 1 => d:f(X) = d:g(X).").unwrap();
+        assert!(s.add(bad).is_err());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # hermes-cim
+//!
+//! The **Cache and Invariant Manager** (CIM) of §4: an answer cache keyed by
+//! ground domain calls, made *intelligent* by invariants — sound rewrite
+//! rules `Condition ⇒ DC1 {=, ⊇, ⊆} DC2` that let the cache serve calls it
+//! never stored explicitly.
+//!
+//! The lookup pipeline follows §4.1 exactly:
+//!
+//! 1. **Exact match** — the call itself is cached: return its answers.
+//! 2. **Equality invariant** — some invariant maps the call to a cached call
+//!    with an *identical* answer set: return the cached answers.
+//! 3. **Subset invariant** — some invariant proves a cached call's answers
+//!    are a subset of the call's: return them as a fast *partial* answer;
+//!    the actual call is still needed for completeness (unless the user,
+//!    in interactive mode, stops early).
+//! 4. **Miss** — optionally with a cheaper *equivalent* ground call to
+//!    execute instead (an equality invariant whose right side became fully
+//!    ground, like the paper's range-shrinking example).
+//!
+//! ```
+//! use hermes_cim::{Cim, CimResolution};
+//! use hermes_lang::parse_invariant;
+//! use hermes_common::{GroundCall, SimInstant, Value};
+//!
+//! let mut cim = Cim::new();
+//! cim.add_invariant(parse_invariant(
+//!     "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
+//! ).unwrap()).unwrap();
+//!
+//! let small = GroundCall::new("rel", "select_lt",
+//!     vec![Value::str("inv"), Value::str("qty"), Value::Int(10)]);
+//! cim.store(small, vec![Value::Int(3)], true, SimInstant::EPOCH);
+//!
+//! // A *wider* select can reuse the cached narrower one as a partial hit.
+//! let big = GroundCall::new("rel", "select_lt",
+//!     vec![Value::str("inv"), Value::str("qty"), Value::Int(99)]);
+//! let (res, _cost) = cim.lookup(&big, SimInstant::EPOCH);
+//! assert!(matches!(res, CimResolution::PartialHit { .. }));
+//! ```
+
+pub mod cache;
+pub mod invariant;
+pub mod manager;
+pub mod persist;
+pub mod policy;
+
+pub use cache::{AnswerCache, CacheEntry, CacheStats};
+pub use invariant::{InvariantHit, InvariantStore};
+pub use manager::{Cim, CimCostModel, CimResolution, CimStats};
+pub use policy::{CimPolicy, RoutingDecision};

@@ -1,0 +1,122 @@
+//! When to route a call through CIM.
+//!
+//! §4.1: "The decision to send all calls for a certain domain or some
+//! specific function calls can be made prior to query execution." The
+//! policy maps `domain` / `domain:function` to a routing decision; the rule
+//! rewriter consults it when deciding whether to emit a CIM-routed plan
+//! variant, and the executor consults it at run time for calls the
+//! rewriter left direct.
+
+use std::collections::BTreeMap;
+
+/// Whether a call should go through CIM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingDecision {
+    /// Look in the cache (and invariants) first; fall back to the source.
+    UseCim,
+    /// Always call the source directly.
+    Direct,
+}
+
+/// A per-domain / per-function routing policy with a default.
+#[derive(Clone, Debug)]
+pub struct CimPolicy {
+    default: RoutingDecision,
+    per_domain: BTreeMap<String, RoutingDecision>,
+    per_function: BTreeMap<(String, String), RoutingDecision>,
+}
+
+impl CimPolicy {
+    /// Routes everything through CIM (the paper's experimental default for
+    /// remote sources).
+    pub fn cache_everything() -> Self {
+        CimPolicy {
+            default: RoutingDecision::UseCim,
+            per_domain: BTreeMap::new(),
+            per_function: BTreeMap::new(),
+        }
+    }
+
+    /// Never uses CIM (the "no cache" baseline of Figure 5).
+    pub fn never() -> Self {
+        CimPolicy {
+            default: RoutingDecision::Direct,
+            per_domain: BTreeMap::new(),
+            per_function: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the decision for a whole domain.
+    pub fn set_domain(&mut self, domain: impl Into<String>, decision: RoutingDecision) {
+        self.per_domain.insert(domain.into(), decision);
+    }
+
+    /// Overrides the decision for one function of a domain (wins over the
+    /// domain-level override).
+    pub fn set_function(
+        &mut self,
+        domain: impl Into<String>,
+        function: impl Into<String>,
+        decision: RoutingDecision,
+    ) {
+        self.per_function
+            .insert((domain.into(), function.into()), decision);
+    }
+
+    /// The decision for `domain:function`.
+    pub fn decide(&self, domain: &str, function: &str) -> RoutingDecision {
+        if let Some(d) = self
+            .per_function
+            .get(&(domain.to_string(), function.to_string()))
+        {
+            return *d;
+        }
+        if let Some(d) = self.per_domain.get(domain) {
+            return *d;
+        }
+        self.default
+    }
+}
+
+impl Default for CimPolicy {
+    fn default() -> Self {
+        CimPolicy::cache_everything()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policies() {
+        assert_eq!(
+            CimPolicy::cache_everything().decide("video", "video_size"),
+            RoutingDecision::UseCim
+        );
+        assert_eq!(
+            CimPolicy::never().decide("video", "video_size"),
+            RoutingDecision::Direct
+        );
+    }
+
+    #[test]
+    fn domain_override() {
+        let mut p = CimPolicy::cache_everything();
+        p.set_domain("localdb", RoutingDecision::Direct);
+        assert_eq!(p.decide("localdb", "all"), RoutingDecision::Direct);
+        assert_eq!(p.decide("video", "all"), RoutingDecision::UseCim);
+    }
+
+    #[test]
+    fn function_override_wins_over_domain() {
+        let mut p = CimPolicy::never();
+        p.set_domain("video", RoutingDecision::Direct);
+        p.set_function("video", "frames_to_objects", RoutingDecision::UseCim);
+        assert_eq!(
+            p.decide("video", "frames_to_objects"),
+            RoutingDecision::UseCim
+        );
+        assert_eq!(p.decide("video", "video_size"), RoutingDecision::Direct);
+    }
+}

@@ -1,0 +1,279 @@
+//! Virtual time.
+//!
+//! The paper's experiments report wall-clock milliseconds measured across
+//! the 1996 Internet ("query initialization + wait for response + display").
+//! We reproduce those experiments on a *simulated* clock: every domain call
+//! returns a simulated cost, and the executor advances a [`SimClock`] by
+//! exactly that cost. Runs are deterministic, independent of the host
+//! machine, and a 49-second call to the Italian site completes instantly.
+//!
+//! Durations are stored as integer **microseconds** so arithmetic is exact;
+//! public accessors speak milliseconds, matching the paper's tables.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A span of simulated time, non-negative, microsecond resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// From whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// From fractional milliseconds (clamped at zero; NaN becomes zero).
+    pub fn from_millis_f64(millis: f64) -> Self {
+        if !millis.is_finite() || millis <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration {
+            micros: (millis * 1_000.0).round() as u64,
+        }
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Whole milliseconds, rounded to nearest.
+    pub fn as_millis(self) -> u64 {
+        (self.micros + 500) / 1_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self.micros.saturating_sub(other.micros),
+        }
+    }
+
+    /// Larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self.micros.saturating_add(rhs.micros),
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.micros = self.micros.saturating_add(rhs.micros);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            micros: self.micros.saturating_mul(rhs),
+        }
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_millis_f64(self.as_millis_f64() * rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A point on the simulated timeline (microseconds since simulation start).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    micros: u64,
+}
+
+impl SimInstant {
+    /// The simulation epoch.
+    pub const EPOCH: SimInstant = SimInstant { micros: 0 };
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Fractional milliseconds since the epoch.
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Elapsed time since an earlier instant (saturating).
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant {
+            micros: self.micros.saturating_add(rhs.as_micros()),
+        }
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// The virtual clock the executor advances as it "waits" for domain calls.
+///
+/// Cloning the clock snapshots the current time; the executor owns the live
+/// clock. The clock is single-threaded by design — concurrency in the paper
+/// (issuing a real call in parallel with a partial cache hit) is modeled
+/// analytically by `max`-combining durations, not by threads.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: SimInstant,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        SimClock {
+            now: SimInstant::EPOCH,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advances by `d` and returns the new now.
+    pub fn advance(&mut self, d: SimDuration) -> SimInstant {
+        self.now = self.now + d;
+        self.now
+    }
+
+    /// Advances to `t` if it is in the future; the clock never goes back.
+    pub fn advance_to(&mut self, t: SimInstant) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 3_500);
+        assert_eq!((a - b).as_micros(), 2_500);
+        assert_eq!((b - a), SimDuration::ZERO); // saturates
+        assert_eq!((a * 4).as_millis(), 12);
+    }
+
+    #[test]
+    fn duration_from_fractional_millis() {
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+        assert_eq!(SimDuration::from_millis_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_rounding_to_millis() {
+        assert_eq!(SimDuration::from_micros(1_499).as_millis(), 1);
+        assert_eq!(SimDuration::from_micros(1_500).as_millis(), 2);
+    }
+
+    #[test]
+    fn float_scaling() {
+        let d = SimDuration::from_millis(10) * 2.5;
+        assert_eq!(d.as_millis(), 25);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        let t1 = c.advance(SimDuration::from_millis(5));
+        assert_eq!(t1.as_millis_f64(), 5.0);
+        c.advance_to(SimInstant::EPOCH); // no-op, never rewinds
+        assert_eq!(c.now(), t1);
+        c.advance_to(t1 + SimDuration::from_millis(1));
+        assert_eq!(c.now().as_millis_f64(), 6.0);
+    }
+
+    #[test]
+    fn instant_duration_since() {
+        let a = SimInstant::EPOCH + SimDuration::from_millis(10);
+        let b = SimInstant::EPOCH + SimDuration::from_millis(4);
+        assert_eq!(a.duration_since(b).as_millis(), 6);
+        assert_eq!(b.duration_since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4u64).map(SimDuration::from_millis).sum();
+        assert_eq!(total.as_millis(), 10);
+    }
+}

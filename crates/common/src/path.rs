@@ -1,0 +1,170 @@
+//! Attribute paths for reaching inside complex values.
+//!
+//! The paper's rule language writes conditions like `=($ans.1, a)` and
+//! `==(P.name, Actor)`: a variable instantiated to a complex value, followed
+//! by a sequence of attribute selectors. [`AttrPath`] is that selector
+//! sequence; resolution walks records (by 1-based position or field name) and
+//! lists (by 1-based position).
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One step in an attribute path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathStep {
+    /// 1-based positional selection, the paper's `$ans.1`.
+    Index(usize),
+    /// Field selection by name, the paper's `Tuple.loc`.
+    Field(Arc<str>),
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathStep::Index(i) => write!(f, "{i}"),
+            PathStep::Field(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A (possibly empty) sequence of attribute selectors.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AttrPath {
+    steps: Vec<PathStep>,
+}
+
+impl AttrPath {
+    /// The empty path (selects the value itself).
+    pub fn empty() -> Self {
+        AttrPath { steps: Vec::new() }
+    }
+
+    /// Builds a path from steps.
+    pub fn new(steps: Vec<PathStep>) -> Self {
+        AttrPath { steps }
+    }
+
+    /// Parses a dotted suffix such as `1.name.2`. Numeric components become
+    /// positional steps; everything else becomes field steps.
+    pub fn parse(dotted: &str) -> Self {
+        if dotted.is_empty() {
+            return AttrPath::empty();
+        }
+        let steps = dotted
+            .split('.')
+            .map(|part| match part.parse::<usize>() {
+                Ok(i) => PathStep::Index(i),
+                Err(_) => PathStep::Field(Arc::from(part)),
+            })
+            .collect();
+        AttrPath { steps }
+    }
+
+    /// True if the path selects the value itself.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps of the path.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Resolves the path against a value. Returns `None` when any step does
+    /// not apply (wrong type, missing field, out-of-range index).
+    pub fn resolve<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        let mut cur = value;
+        for step in &self.steps {
+            cur = match (step, cur) {
+                (PathStep::Index(i), Value::Record(r)) => r.get_pos(*i)?,
+                (PathStep::Index(i), Value::List(vs)) => {
+                    if *i == 0 {
+                        return None;
+                    }
+                    vs.get(*i - 1)?
+                }
+                (PathStep::Field(name), Value::Record(r)) => r.get(name)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+impl fmt::Display for AttrPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            write!(f, ".{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Record;
+
+    fn sample() -> Value {
+        Value::Record(Record::from_fields([
+            ("name", Value::str("stewart")),
+            (
+                "roles",
+                Value::List(vec![Value::str("brandon"), Value::str("rupert")]),
+            ),
+            (
+                "address",
+                Value::Record(Record::from_fields([("city", Value::str("college park"))])),
+            ),
+        ]))
+    }
+
+    #[test]
+    fn resolve_by_field_name() {
+        let v = sample();
+        let p = AttrPath::parse("name");
+        assert_eq!(p.resolve(&v), Some(&Value::str("stewart")));
+    }
+
+    #[test]
+    fn resolve_by_position() {
+        let v = sample();
+        assert_eq!(AttrPath::parse("1").resolve(&v), Some(&Value::str("stewart")));
+        assert_eq!(
+            AttrPath::parse("2.1").resolve(&v),
+            Some(&Value::str("brandon"))
+        );
+    }
+
+    #[test]
+    fn resolve_nested_field() {
+        let v = sample();
+        assert_eq!(
+            AttrPath::parse("address.city").resolve(&v),
+            Some(&Value::str("college park"))
+        );
+    }
+
+    #[test]
+    fn resolve_failures_return_none() {
+        let v = sample();
+        assert_eq!(AttrPath::parse("missing").resolve(&v), None);
+        assert_eq!(AttrPath::parse("0").resolve(&v), None);
+        assert_eq!(AttrPath::parse("9").resolve(&v), None);
+        assert_eq!(AttrPath::parse("name.1").resolve(&v), None);
+    }
+
+    #[test]
+    fn empty_path_selects_self() {
+        let v = Value::Int(5);
+        assert_eq!(AttrPath::empty().resolve(&v), Some(&v));
+        assert!(AttrPath::parse("").is_empty());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let p = AttrPath::parse("1.name");
+        assert_eq!(p.to_string(), ".1.name");
+    }
+}

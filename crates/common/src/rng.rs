@@ -1,0 +1,310 @@
+//! Deterministic random numbers.
+//!
+//! Experiments must be reproducible run-to-run and machine-to-machine, so the
+//! whole workspace draws randomness from this small, self-contained PRNG
+//! (xoshiro256** seeded through SplitMix64) instead of process entropy.
+//! Distribution helpers cover everything the network simulator and workload
+//! generators need: uniforms, Gaussian jitter, exponential inter-arrivals,
+//! and Zipf-skewed argument popularity.
+
+/// A seedable xoshiro256** generator with distribution helpers.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: [u64; 4],
+    /// Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid; the
+    /// state is expanded through SplitMix64 so similar seeds diverge fast.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each site or
+    /// workload its own stream so their draws don't interleave.
+    pub fn fork(&mut self, stream: u64) -> Rng64 {
+        Rng64::new(self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 top bits → [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire-style rejection to avoid modulo bias.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)` as usize.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)` as i64; supports negative bounds.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.range_u64(0, span) as i64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box-Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential with the given mean (> 0).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s` (s=0 is uniform).
+    /// Uses inverse-CDF over precomputable weights; O(n) per draw is fine for
+    /// the small universes our workloads use, but a cached sampler
+    /// ([`ZipfSampler`]) should be preferred in loops.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        ZipfSampler::new(n, s).sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element. Panics on empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+/// Precomputed Zipf sampler over ranks `[0, n)`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `n` must be ≥ 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf over empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+            let y = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_single_element() {
+        let mut r = Rng64::new(3);
+        assert_eq!(r.range_u64(4, 5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::new(1).range_u64(5, 5);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = Rng64::new(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut r = Rng64::new(321);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let mut r = Rng64::new(55);
+        let sampler = ZipfSampler::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut r = Rng64::new(56);
+        let sampler = ZipfSampler::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(77);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng64::new(1);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

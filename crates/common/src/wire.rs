@@ -1,0 +1,363 @@
+//! A compact, line-safe text encoding for values and ground calls.
+//!
+//! The answer cache and the statistics cache outlive a mediator process in
+//! real deployments (that is the point of caching results of *expensive*
+//! calls), so both support saving to and loading from a line-oriented text
+//! format. This module is the codec: length-prefixed, type-tagged segments
+//! that never contain raw newlines, so one cache entry is always exactly
+//! one line.
+//!
+//! Grammar (no whitespace between segments):
+//!
+//! ```text
+//! value  := "N"                          (null)
+//!         | "B" ("0"|"1")                (bool)
+//!         | "I" int ";"                  (i64, decimal)
+//!         | "F" hex16 ";"                (f64 bits, lowercase hex)
+//!         | "S" len ":" bytes            (str, len in bytes; raw UTF-8,
+//!                                          newlines escaped as \n / \\)
+//!         | "L" count ";" value*         (list)
+//!         | "R" count ";" (field)*       (record)
+//! field  := "S" len ":" bytes value      (name, then value)
+//! call   := field field "A" count ";" value*   (domain, function, args)
+//! ```
+
+use crate::call::GroundCall;
+use crate::error::{HermesError, Result};
+use crate::value::{Record, Value};
+use std::fmt::Write as _;
+
+/// Escapes newlines and backslashes so encoded text stays on one line.
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escaped byte length of a string (what the `S` prefix counts).
+fn escaped_len(s: &str) -> usize {
+    s.bytes()
+        .map(|b| match b {
+            b'\\' | b'\n' | b'\r' => 2,
+            _ => 1,
+        })
+        .sum()
+}
+
+fn write_str(s: &str, out: &mut String) {
+    let _ = write!(out, "S{}:", escaped_len(s));
+    escape_into(s, out);
+}
+
+/// Encodes a value onto `out`.
+pub fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('N'),
+        Value::Bool(b) => {
+            out.push('B');
+            out.push(if *b { '1' } else { '0' });
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "I{i};");
+        }
+        Value::Float(f) => {
+            let _ = write!(out, "F{:016x};", f.to_bits());
+        }
+        Value::Str(s) => write_str(s, out),
+        Value::List(vs) => {
+            let _ = write!(out, "L{};", vs.len());
+            for v in vs {
+                encode_value(v, out);
+            }
+        }
+        Value::Record(r) => {
+            let _ = write!(out, "R{};", r.len());
+            for (name, v) in r.iter() {
+                write_str(name, out);
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+/// Encodes a ground call onto `out`.
+pub fn encode_call(c: &GroundCall, out: &mut String) {
+    write_str(&c.domain, out);
+    write_str(&c.function, out);
+    let _ = write!(out, "A{};", c.args.len());
+    for a in &c.args {
+        encode_value(a, out);
+    }
+}
+
+/// A cursor over encoded text.
+pub struct Decoder<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding `text`.
+    pub fn new(text: &'a str) -> Self {
+        Decoder { rest: text }
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> HermesError {
+        HermesError::Io(format!(
+            "decode error: {} (at …{:?})",
+            msg.into(),
+            &self.rest[..self.rest.len().min(24)]
+        ))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a str> {
+        if self.rest.len() < n {
+            return Err(self.err(format!("needed {n} bytes")));
+        }
+        if !self.rest.is_char_boundary(n) {
+            return Err(self.err("length lands inside a UTF-8 sequence"));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn tag(&mut self) -> Result<char> {
+        let c = self.rest.chars().next().ok_or_else(|| self.err("empty"))?;
+        self.rest = &self.rest[c.len_utf8()..];
+        Ok(c)
+    }
+
+    fn number_until(&mut self, stop: char) -> Result<&'a str> {
+        let idx = self
+            .rest
+            .find(stop)
+            .ok_or_else(|| self.err(format!("missing `{stop}`")))?;
+        let (head, tail) = self.rest.split_at(idx);
+        self.rest = &tail[1..];
+        Ok(head)
+    }
+
+    fn usize_until(&mut self, stop: char) -> Result<usize> {
+        let text = self.number_until(stop)?;
+        text.parse::<usize>()
+            .map_err(|e| self.err(format!("bad count `{text}`: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.tag()? {
+            'S' => {}
+            other => return Err(self.err(format!("expected string, got tag `{other}`"))),
+        }
+        let len = self.usize_until(':')?;
+        let raw = self.take(len)?;
+        Ok(unescape(raw))
+    }
+
+    /// Decodes one value.
+    pub fn value(&mut self) -> Result<Value> {
+        match self.tag()? {
+            'N' => Ok(Value::Null),
+            'B' => match self.tag()? {
+                '1' => Ok(Value::Bool(true)),
+                '0' => Ok(Value::Bool(false)),
+                other => Err(self.err(format!("bad bool `{other}`"))),
+            },
+            'I' => {
+                let text = self.number_until(';')?;
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|e| self.err(format!("bad int `{text}`: {e}")))
+            }
+            'F' => {
+                let text = self.number_until(';')?;
+                u64::from_str_radix(text, 16)
+                    .map(|bits| Value::Float(f64::from_bits(bits)))
+                    .map_err(|e| self.err(format!("bad float bits `{text}`: {e}")))
+            }
+            'S' => {
+                let len = self.usize_until(':')?;
+                let raw = self.take(len)?;
+                Ok(Value::str(unescape(raw)))
+            }
+            'L' => {
+                let n = self.usize_until(';')?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::List(items))
+            }
+            'R' => {
+                let n = self.usize_until(';')?;
+                let mut rec = Record::new();
+                for _ in 0..n {
+                    let name = self.string()?;
+                    let v = self.value()?;
+                    rec.push(name, v);
+                }
+                Ok(Value::Record(rec))
+            }
+            other => Err(self.err(format!("unknown tag `{other}`"))),
+        }
+    }
+
+    /// Decodes one ground call.
+    pub fn call(&mut self) -> Result<GroundCall> {
+        let domain = self.string()?;
+        let function = self.string()?;
+        match self.tag()? {
+            'A' => {}
+            other => return Err(self.err(format!("expected args, got tag `{other}`"))),
+        }
+        let n = self.usize_until(';')?;
+        let mut args = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            args.push(self.value()?);
+        }
+        Ok(GroundCall::new(domain, function, args))
+    }
+}
+
+/// Encodes a value to a fresh string.
+pub fn value_to_string(v: &Value) -> String {
+    let mut s = String::new();
+    encode_value(v, &mut s);
+    s
+}
+
+/// Decodes a value from a complete string.
+pub fn value_from_str(text: &str) -> Result<Value> {
+    let mut d = Decoder::new(text);
+    let v = d.value()?;
+    if !d.is_done() {
+        return Err(HermesError::Io("trailing bytes after value".into()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = value_to_string(v);
+        assert!(!text.contains('\n'), "encoded text has a newline: {text:?}");
+        let back = value_from_str(&text).unwrap();
+        assert_eq!(&back, v, "via {text:?}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Int(0));
+        roundtrip(&Value::Int(i64::MIN));
+        roundtrip(&Value::Int(i64::MAX));
+        roundtrip(&Value::Float(0.0));
+        roundtrip(&Value::Float(-13.75));
+        roundtrip(&Value::Float(f64::INFINITY));
+        roundtrip(&Value::str(""));
+        roundtrip(&Value::str("hello world"));
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise_equal_class() {
+        let v = Value::Float(f64::NAN);
+        let back = value_from_str(&value_to_string(&v)).unwrap();
+        assert_eq!(back, v); // Value equality normalizes NaN
+    }
+
+    #[test]
+    fn strings_with_newlines_and_separators() {
+        roundtrip(&Value::str("line1\nline2\r\n"));
+        roundtrip(&Value::str("back\\slash"));
+        roundtrip(&Value::str("tricky;:S5:L2;"));
+        roundtrip(&Value::str("ünïcödé — héllo"));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let rec = Value::Record(Record::from_fields([
+            ("name", Value::str("stewart")),
+            ("frames", Value::List(vec![Value::Int(40), Value::Int(935)])),
+            (
+                "nested",
+                Value::Record(Record::from_fields([("x", Value::Float(1.5))])),
+            ),
+        ]));
+        roundtrip(&rec);
+        roundtrip(&Value::List(vec![rec.clone(), Value::Null, rec]));
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let c = GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![Value::str("rope"), Value::Int(4), Value::Int(47)],
+        );
+        let mut s = String::new();
+        encode_call(&c, &mut s);
+        let mut d = Decoder::new(&s);
+        assert_eq!(d.call().unwrap(), c);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn consecutive_values_decode_in_sequence() {
+        let mut s = String::new();
+        encode_value(&Value::Int(1), &mut s);
+        encode_value(&Value::str("two"), &mut s);
+        encode_value(&Value::Bool(true), &mut s);
+        let mut d = Decoder::new(&s);
+        assert_eq!(d.value().unwrap(), Value::Int(1));
+        assert_eq!(d.value().unwrap(), Value::str("two"));
+        assert_eq!(d.value().unwrap(), Value::Bool(true));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "", "X", "I12", "Fzz;", "S5:ab", "L3;I1;", "R1;I1;", "B7",
+            "S999999:x",
+        ] {
+            assert!(value_from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        // Trailing garbage is rejected.
+        assert!(value_from_str("I1;I2;").is_err());
+    }
+}

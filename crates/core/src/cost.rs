@@ -1,0 +1,353 @@
+//! The rule cost estimator (§7): plan cost from per-call DCSM estimates.
+//!
+//! Under pipelined nested-loops with no duplicate elimination (the paper's
+//! assumptions 3(a) and 3(b)), a plan's cost vector combines per-step
+//! vectors as
+//!
+//! ```text
+//! T_all   = Σ_i (Π_{j<i} Card_j) · T_all,i
+//! T_first = Σ_i T_first,i
+//! Card    = Π_i Card_i
+//! ```
+//!
+//! Each call step's `[T_first, T_all, Card]` comes from
+//! [`Dcsm::cost`] on the step's call *pattern* (constants stay constants,
+//! variables become `$b`). Fact scans are costed exactly; conditions apply
+//! a configurable selectivity.
+
+use crate::plan::{Plan, PlanStep};
+use hermes_common::{CallPattern, PatArg};
+use hermes_dcsm::{CostVector, Dcsm};
+use hermes_lang::{Relop, Term};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Cost-model knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CostConfig {
+    /// Cardinality multiplier for a ground comparison acting as a filter.
+    /// The paper's formulas ignore filters (selectivity 1.0); a mild
+    /// default keeps pushed-down selections from looking free.
+    pub filter_selectivity: f64,
+    /// Simulated milliseconds per fact row scanned.
+    pub fact_row_ms: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            filter_selectivity: 0.4,
+            fact_row_ms: 0.002,
+        }
+    }
+}
+
+/// The §7 estimate for `plan`, as a complete cost vector.
+pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVector {
+    let mut bound: BTreeSet<Arc<str>> = BTreeSet::new();
+    let mut t_first = 0.0f64;
+    let mut t_all = 0.0f64;
+    let mut prefix_card = 1.0f64;
+
+    for step in &plan.steps {
+        match step {
+            PlanStep::Call { target, call, .. } => {
+                let pattern = CallPattern::new(
+                    call.domain.clone(),
+                    call.function.clone(),
+                    call.args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => PatArg::Const(v.clone()),
+                            Term::Var(_) => PatArg::Bound,
+                        })
+                        .collect(),
+                );
+                let est = dcsm.cost(&pattern);
+                t_all += prefix_card * est.t_all_ms();
+                t_first += est.t_first_ms();
+                // Membership probes (ground target) yield at most one
+                // extension per input row.
+                let is_probe = match target {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                };
+                let card = if is_probe {
+                    est.cardinality().min(1.0)
+                } else {
+                    bound.insert(target.as_var().expect("non-probe target is a var").clone());
+                    est.cardinality()
+                };
+                prefix_card *= card.max(0.0);
+            }
+            PlanStep::Facts { args, rows, .. } => {
+                // Exact: count rows compatible with the constant positions.
+                let matching = rows
+                    .iter()
+                    .filter(|row| {
+                        args.iter().zip(row.iter()).all(|(t, v)| match t {
+                            Term::Const(c) => c == v,
+                            Term::Var(_) => true,
+                        })
+                    })
+                    .count() as f64;
+                // Bound-variable positions act as probes: estimate with
+                // the mean duplication factor per distinct value.
+                let mut card = matching;
+                for (i, t) in args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        if bound.contains(v) {
+                            let distinct: BTreeSet<_> =
+                                rows.iter().map(|r| r[i].clone()).collect();
+                            if !distinct.is_empty() {
+                                card /= distinct.len() as f64;
+                            }
+                        } else {
+                            bound.insert(v.clone());
+                        }
+                    }
+                }
+                let scan_ms = rows.len() as f64 * config.fact_row_ms;
+                t_all += prefix_card * scan_ms;
+                t_first += config.fact_row_ms;
+                prefix_card *= card;
+            }
+            PlanStep::Cond(c) => {
+                // An equality with an unbound bare-variable side is an
+                // assignment: binds, no cardinality change.
+                let mut assigned = false;
+                if c.op == Relop::Eq {
+                    for pt in [&c.lhs, &c.rhs] {
+                        if pt.path.is_empty() {
+                            if let Some(v) = pt.var_name() {
+                                if !bound.contains(v) {
+                                    bound.insert(v.clone());
+                                    assigned = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !assigned {
+                    prefix_card *= config.filter_selectivity;
+                }
+            }
+        }
+    }
+    CostVector::full(t_first, t_all, prefix_card)
+}
+
+/// Picks the cheapest plan for the given mode: all-answers mode minimizes
+/// `T_all`, interactive (first-answer) mode minimizes `T_first`. Returns
+/// the winning index and the per-plan estimates.
+pub fn choose_plan(
+    plans: &[Plan],
+    dcsm: &Dcsm,
+    config: &CostConfig,
+    optimize_first_answer: bool,
+) -> (usize, Vec<CostVector>) {
+    let estimates: Vec<CostVector> = plans
+        .iter()
+        .map(|p| estimate_plan(p, dcsm, config))
+        .collect();
+    let key = |v: &CostVector| {
+        if optimize_first_answer {
+            v.t_first_ms.unwrap_or(f64::MAX)
+        } else {
+            v.t_all_ms.unwrap_or(f64::MAX)
+        }
+    };
+    let best = estimates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| key(a.1).total_cmp(&key(b.1)))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (best, estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::{enumerate_plans, RewriteConfig};
+    use hermes_cim::CimPolicy;
+    use hermes_common::{GroundCall, SimInstant, Value};
+    use hermes_lang::{parse_program, parse_query};
+
+    /// DCSM warmed with the Example 6.1 statistics.
+    fn warmed_dcsm() -> Dcsm {
+        let mut d = Dcsm::new();
+        let t = SimInstant::EPOCH;
+        // d1:p_bf('a'): T_a 2.1, card 3.
+        for (ta, card) in [(2.0, 3.0), (2.2, 3.0)] {
+            d.record(
+                &GroundCall::new("d1", "p_bf", vec![Value::str("a")]),
+                Some(1.0),
+                Some(ta),
+                Some(card),
+                t,
+            );
+        }
+        // d2:q_bf($b): T_a ~1.2, card ~2.3.
+        for (b, ta, card) in [(1i64, 1.10, 2.0), (2, 1.30, 3.0), (3, 1.15, 2.0)] {
+            d.record(
+                &GroundCall::new("d2", "q_bf", vec![Value::Int(b)]),
+                Some(0.5),
+                Some(ta),
+                Some(card),
+                t,
+            );
+        }
+        // d2:q_ff(): T_a 5.2, card 7.
+        for ta in [5.0, 5.4] {
+            d.record(
+                &GroundCall::new("d2", "q_ff", vec![]),
+                Some(2.0),
+                Some(ta),
+                Some(7.0),
+                t,
+            );
+        }
+        // d1:p_bb($b,$b): T_a 0.2, card ~0.75.
+        for (ta, card) in [(0.20, 1.0), (0.22, 1.0), (0.21, 1.0), (0.18, 0.0)] {
+            d.record(
+                &GroundCall::new("d1", "p_bb", vec![Value::str("a"), Value::Int(1)]),
+                Some(0.1),
+                Some(ta),
+                Some(card),
+                t,
+            );
+        }
+        d
+    }
+
+    fn paper_plans() -> Vec<Plan> {
+        let program = parse_program(
+            "
+            m(A, C) :- p(A, B) & q(B, C).
+            p(A, B) :- in(B, d1:p_bf(A)).
+            p(A, B) :- in(X, d1:p_bb(A, B)).
+            q(B, C) :- in(Ans, d2:q_ff()) & =(Ans.1, B) & =(Ans.2, C).
+            q(B, C) :- in(C, d2:q_bf(B)).
+            ",
+        )
+        .unwrap();
+        enumerate_plans(
+            &program,
+            &parse_query("?- m('a', C).").unwrap(),
+            &CimPolicy::never(),
+            RewriteConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_7_1_formula_for_p8() {
+        // P8 = p_bf('a') then q_bf($b):
+        // T_all = T_a(p_bf('a')) + Card(p_bf('a')) * T_a(q_bf($b))
+        //       = 2.1 + 3 * (3.55/3) = 2.1 + 3.55 = 5.65
+        let dcsm = warmed_dcsm();
+        let plans = paper_plans();
+        let p8 = plans
+            .iter()
+            .find(|p| {
+                let t = p.to_string();
+                let a = t.find("d1:p_bf('a')");
+                let b = t.find("d2:q_bf(");
+                matches!((a, b), (Some(x), Some(y)) if x < y) && p.call_count() == 2
+            })
+            .expect("P8 plan present");
+        let est = estimate_plan(p8, &dcsm, &CostConfig::default());
+        assert!(
+            (est.t_all_ms.unwrap() - 5.65).abs() < 1e-6,
+            "got {}",
+            est.t_all_ms.unwrap()
+        );
+        // T_first = 1.0 + 0.5.
+        assert!((est.t_first_ms.unwrap() - 1.5).abs() < 1e-6);
+        // Card = 3 * (7/3).
+        assert!((est.cardinality.unwrap() - 7.0 / 3.0 * 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn example_7_1_formula_for_p12() {
+        // P12 = q_ff() then p_bb('a', $b) (probe):
+        // T_all = 5.2 + 7 * 0.2025 = 6.6175
+        let dcsm = warmed_dcsm();
+        let plans = paper_plans();
+        let p12 = plans
+            .iter()
+            .find(|p| {
+                let t = p.to_string();
+                let a = t.find("d2:q_ff()");
+                let b = t.find("d1:p_bb('a'");
+                matches!((a, b), (Some(x), Some(y)) if x < y)
+            })
+            .expect("P12 plan present");
+        let est = estimate_plan(p12, &dcsm, &CostConfig::default());
+        assert!(
+            (est.t_all_ms.unwrap() - (5.2 + 7.0 * 0.2025)).abs() < 1e-6,
+            "got {}",
+            est.t_all_ms.unwrap()
+        );
+    }
+
+    #[test]
+    fn choose_plan_picks_cheaper_for_each_mode() {
+        let dcsm = warmed_dcsm();
+        let plans = paper_plans();
+        let (best_all, ests) = choose_plan(&plans, &dcsm, &CostConfig::default(), false);
+        // P8 (5.65) beats P12 (6.62) for all-answers.
+        let t = plans[best_all].to_string();
+        assert!(t.contains("d1:p_bf('a')"), "chose {t}");
+        // Estimates vector aligns with plans.
+        assert_eq!(ests.len(), plans.len());
+        let (best_first, _) = choose_plan(&plans, &dcsm, &CostConfig::default(), true);
+        // First-answer mode may pick a different plan; it must be valid.
+        assert!(best_first < plans.len());
+    }
+
+    #[test]
+    fn membership_probe_caps_cardinality() {
+        let dcsm = warmed_dcsm();
+        let plans = paper_plans();
+        let p12 = plans
+            .iter()
+            .find(|p| p.to_string().contains("d1:p_bb('a'"))
+            .unwrap();
+        let est = estimate_plan(p12, &dcsm, &CostConfig::default());
+        // p_bb is a probe: overall cardinality ≤ q_ff's 7.
+        assert!(est.cardinality.unwrap() <= 7.0 + 1e-9);
+    }
+
+    #[test]
+    fn filters_reduce_cardinality() {
+        let program = parse_program("r(B) :- in(B, d1:p_bf('a')) & >(B, 100).").unwrap();
+        let plans = enumerate_plans(
+            &program,
+            &parse_query("?- r(B).").unwrap(),
+            &CimPolicy::never(),
+            RewriteConfig::default(),
+        )
+        .unwrap();
+        let dcsm = warmed_dcsm();
+        let cfg = CostConfig::default();
+        let est = estimate_plan(&plans[0], &dcsm, &cfg);
+        assert!((est.cardinality.unwrap() - 3.0 * cfg.filter_selectivity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_calls_fall_back_to_prior() {
+        let program = parse_program("r(B) :- in(B, dx:mystery_bf('z')).").unwrap();
+        let plans = enumerate_plans(
+            &program,
+            &parse_query("?- r(B).").unwrap(),
+            &CimPolicy::never(),
+            RewriteConfig::default(),
+        )
+        .unwrap();
+        let dcsm = Dcsm::new();
+        let est = estimate_plan(&plans[0], &dcsm, &CostConfig::default());
+        assert_eq!(est.t_all_ms.unwrap(), 1_000.0); // the default prior
+    }
+}

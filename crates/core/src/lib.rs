@@ -1,0 +1,53 @@
+//! # hermes-core
+//!
+//! The HERMES mediator: the paper's optimizer architecture (Figure 1)
+//! assembled over the substrate crates.
+//!
+//! * [`rewrite`] — the rule rewriter (§5): adornment-compatible subgoal
+//!   reorderings, access-path rule unfolding, condition pushdown, CIM
+//!   routing.
+//! * [`cost`] — the rule cost estimator (§7): combines per-call DCSM
+//!   estimates through the pipelined nested-loops formulas.
+//! * [`exec`] — the executor: pipelined backtracking evaluation on the
+//!   virtual clock, with the §4.1 cache/invariant pipeline inline and the
+//!   statistics feedback loop into DCSM.
+//! * [`mediator`] — the facade tying program + network + CIM + DCSM
+//!   together: `query`, `query_interactive`, `explain`.
+//!
+//! ```
+//! use hermes_core::Mediator;
+//! use hermes_net::{Network, profiles};
+//! use hermes_domains::video::gen::rope_store;
+//! use std::sync::Arc;
+//!
+//! let mut net = Network::new(7);
+//! net.place(Arc::new(rope_store()), profiles::maryland());
+//! let mut mediator = Mediator::from_source(
+//!     "objects_in(V, F, L, O) :- in(O, video:frames_to_objects(V, F, L)).",
+//!     net,
+//! ).unwrap();
+//!
+//! let result = mediator.query("?- objects_in('rope', 4, 47, O).").unwrap();
+//! assert!(result.rows.len() > 10);
+//! // Ask again: the answer cache makes it much faster.
+//! let again = mediator.query("?- objects_in('rope', 4, 47, O).").unwrap();
+//! assert!(again.t_all < result.t_all);
+//! ```
+
+pub mod cost;
+pub mod cursor;
+pub mod exec;
+pub mod mediator;
+pub mod plan;
+pub mod rewrite;
+pub mod trace;
+
+pub use cost::{choose_plan, estimate_plan, CostConfig};
+pub use cursor::{InteractiveQuery, InteractiveSummary};
+pub use exec::{ExecConfig, ExecOutcome, ExecStats, Executor};
+pub use mediator::{Mediator, MediatorConfig, Planned, QueryResult};
+pub use plan::{Plan, PlanStep, Route};
+pub use trace::{TraceEntry, TraceEvent};
+pub use rewrite::{
+    bind_query, enumerate_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
+};

@@ -1,0 +1,614 @@
+//! The mediator facade: parse → rewrite → cost → choose → execute.
+
+use crate::cost::{choose_plan, estimate_plan, CostConfig};
+use crate::cursor::InteractiveQuery;
+use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor};
+use crate::plan::Plan;
+use crate::rewrite::{enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig};
+use hermes_cim::{Cim, CimPolicy};
+use hermes_common::{HermesError, Result, SimClock, SimDuration, Value};
+use hermes_dcsm::{CostVector, Dcsm};
+use hermes_lang::{parse_program, parse_query, validate_program, Program, Query};
+use hermes_net::Network;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Mediator-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MediatorConfig {
+    /// Rewriter limits.
+    pub rewrite: RewriteConfig,
+    /// Cost-model knobs.
+    pub cost: CostConfig,
+    /// Executor knobs.
+    pub exec: ExecConfig,
+    /// Optimize for time-to-first-answer (interactive mode, §3) instead of
+    /// time-to-all-answers.
+    pub optimize_first_answer: bool,
+}
+
+/// The chosen plan plus the full plan space and estimates — what
+/// `EXPLAIN` shows.
+#[derive(Clone, Debug)]
+pub struct Planned {
+    /// All executable plans found.
+    pub plans: Vec<Plan>,
+    /// The §7 estimate for each plan (aligned with `plans`).
+    pub estimates: Vec<CostVector>,
+    /// Index of the chosen plan.
+    pub chosen: usize,
+}
+
+impl Planned {
+    /// The chosen plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plans[self.chosen]
+    }
+
+    /// The chosen plan's estimate.
+    pub fn estimate(&self) -> &CostVector {
+        &self.estimates[self.chosen]
+    }
+}
+
+/// The result of an all-answers query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Answer-variable names, in output order.
+    pub columns: Vec<Arc<str>>,
+    /// One row per answer, aligned with `columns`. Variables an answer
+    /// leaves unbound (possible only for probe-style queries) are `Null`.
+    pub rows: Vec<Vec<Value>>,
+    /// Simulated time to the first answer.
+    pub t_first: Option<SimDuration>,
+    /// Simulated time to completion.
+    pub t_all: SimDuration,
+    /// The executed plan.
+    pub plan: Plan,
+    /// The optimizer's pre-execution estimate for that plan.
+    pub estimate: CostVector,
+    /// Number of plans the rewriter produced.
+    pub plans_considered: usize,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// True when an unavailable source truncated the answers.
+    pub incomplete: bool,
+    /// The execution trace (empty unless `ExecConfig::collect_trace`).
+    pub trace: Vec<crate::trace::TraceEntry>,
+}
+
+/// The HERMES mediator: a program, a network of domains, the two caches,
+/// and a persistent virtual clock.
+pub struct Mediator {
+    program: Program,
+    network: Arc<Network>,
+    cim: Arc<Mutex<Cim>>,
+    dcsm: Arc<Mutex<Dcsm>>,
+    policy: CimPolicy,
+    config: MediatorConfig,
+    clock: SimClock,
+    pushdowns: Vec<PushdownRule>,
+}
+
+impl Mediator {
+    /// Builds a mediator from a parsed program. The program is validated.
+    pub fn new(program: Program, network: Network) -> Result<Self> {
+        validate_program(&program)?;
+        Ok(Mediator {
+            program,
+            network: Arc::new(network),
+            cim: Arc::new(Mutex::new(Cim::new())),
+            dcsm: Arc::new(Mutex::new(Dcsm::new())),
+            policy: CimPolicy::cache_everything(),
+            config: MediatorConfig::default(),
+            clock: SimClock::new(),
+            pushdowns: Vec::new(),
+        })
+    }
+
+    /// Builds a mediator from program source text.
+    pub fn from_source(src: &str, network: Network) -> Result<Self> {
+        Mediator::new(parse_program(src)?, network)
+    }
+
+    /// Replaces the CIM routing policy.
+    pub fn set_policy(&mut self, policy: CimPolicy) {
+        self.policy = policy;
+    }
+
+    /// Registers a selection-pushdown rule (§5: "push selections to the
+    /// source"). The rewriter will emit fused plan variants for it.
+    pub fn add_pushdown(&mut self, rule: PushdownRule) {
+        self.pushdowns.push(rule);
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut MediatorConfig {
+        &mut self.config
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MediatorConfig {
+        &self.config
+    }
+
+    /// The shared CIM (cache + invariants). Add invariants through this.
+    pub fn cim(&self) -> Arc<Mutex<Cim>> {
+        self.cim.clone()
+    }
+
+    /// The shared DCSM (statistics cache).
+    pub fn dcsm(&self) -> Arc<Mutex<Dcsm>> {
+        self.dcsm.clone()
+    }
+
+    /// The network of placed domains.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The mediator program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current virtual time (advances across queries, so the simulated
+    /// network load drifts like the paper's day-long measurement runs).
+    pub fn now(&self) -> hermes_common::SimInstant {
+        self.clock.now()
+    }
+
+    /// Advances the virtual clock (e.g. to model idle time between
+    /// experiment runs).
+    pub fn advance_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Parses, rewrites, and costs a query without executing it.
+    pub fn plan(&self, query_src: &str) -> Result<Planned> {
+        let query = parse_query(query_src)?;
+        self.plan_query(&query)
+    }
+
+    /// Plans a pre-parsed query.
+    pub fn plan_query(&self, query: &Query) -> Result<Planned> {
+        self.check_mixed_definitions(query)?;
+        let plans = enumerate_plans_with_pushdowns(
+            &self.program,
+            query,
+            &self.policy,
+            self.config.rewrite,
+            &self.pushdowns,
+        )?;
+        let dcsm = self.dcsm.lock();
+        let (chosen, estimates) = choose_plan(
+            &plans,
+            &dcsm,
+            &self.config.cost,
+            self.config.optimize_first_answer,
+        );
+        Ok(Planned {
+            plans,
+            estimates,
+            chosen,
+        })
+    }
+
+    /// Predicates defined by both facts and rules have ambiguous
+    /// access-path semantics — reject them with a clear message instead of
+    /// silently finding no plan.
+    fn check_mixed_definitions(&self, _query: &Query) -> Result<()> {
+        for key in self.program.defined_predicates() {
+            let rules = self.program.rules_for(&key.0, key.1);
+            let facts = rules.iter().filter(|r| r.body.is_empty()).count();
+            if facts > 0 && facts < rules.len() {
+                return Err(HermesError::Plan(format!(
+                    "predicate `{}/{}` mixes facts and rules; define it by \
+                     facts only or by access-path rules only",
+                    key.0, key.1
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a query in all-answers mode (§3).
+    pub fn query(&mut self, query_src: &str) -> Result<QueryResult> {
+        self.query_limited(query_src, None)
+    }
+
+    /// Runs a query, stopping after `limit` answers when given.
+    pub fn query_limited(&mut self, query_src: &str, limit: Option<usize>) -> Result<QueryResult> {
+        let planned = self.plan(query_src)?;
+        self.execute(planned, limit)
+    }
+
+    /// Runs a parameterized query: variables bound in `params` are
+    /// replaced by their constants before planning, so the optimizer sees
+    /// real values (and DCSM can use exact-constant statistics) instead of
+    /// `$b` placeholders.
+    pub fn query_bound(
+        &mut self,
+        query_src: &str,
+        params: &hermes_lang::Subst,
+    ) -> Result<QueryResult> {
+        let query = parse_query(query_src)?;
+        let bound = crate::rewrite::bind_query(&query, params);
+        let planned = self.plan_query(&bound)?;
+        self.execute(planned, None)
+    }
+
+    /// Executes an already-planned query.
+    pub fn execute(&mut self, planned: Planned, limit: Option<usize>) -> Result<QueryResult> {
+        let plan = planned.plans[planned.chosen].clone();
+        let estimate = planned.estimates[planned.chosen];
+        let executor = Executor::new(
+            &self.network,
+            &self.cim,
+            &self.dcsm,
+            self.clock.clone(),
+            self.config.exec,
+        );
+        let outcome = executor.run(&plan, limit)?;
+        self.clock = outcome.clock.clone();
+        Ok(Self::project(plan, estimate, planned.plans.len(), outcome))
+    }
+
+    fn project(
+        plan: Plan,
+        estimate: CostVector,
+        plans_considered: usize,
+        outcome: ExecOutcome,
+    ) -> QueryResult {
+        let columns = plan.answer_vars.clone();
+        let rows = outcome
+            .answers
+            .iter()
+            .map(|theta| {
+                columns
+                    .iter()
+                    .map(|v| theta.get(v).cloned().unwrap_or(Value::Null))
+                    .collect()
+            })
+            .collect();
+        QueryResult {
+            columns,
+            rows,
+            t_first: outcome.t_first,
+            t_all: outcome.t_all,
+            plan,
+            estimate,
+            plans_considered,
+            stats: outcome.stats,
+            incomplete: outcome.incomplete,
+            trace: outcome.trace,
+        }
+    }
+
+    /// Starts a query in interactive mode (§3): answers stream on demand;
+    /// dropping the handle cancels outstanding source calls.
+    ///
+    /// Interactive runs share the caches but do not advance the mediator's
+    /// persistent clock (their virtual timeline is reported per-answer).
+    pub fn query_interactive(&self, query_src: &str) -> Result<InteractiveQuery> {
+        let planned = self.plan(query_src)?;
+        let plan = planned.plans[planned.chosen].clone();
+        Ok(InteractiveQuery::spawn(
+            self.network.clone(),
+            self.cim.clone(),
+            self.dcsm.clone(),
+            self.clock.clone(),
+            self.config.exec,
+            plan,
+        ))
+    }
+
+    /// Persists the answer cache and the statistics cache into `dir`
+    /// (`answers.cache` and `stats.db`). Expensive remote knowledge
+    /// survives a mediator restart.
+    pub fn save_state(&self, dir: &std::path::Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        hermes_cim::persist::save_to_path(self.cim.lock().cache(), &dir.join("answers.cache"))?;
+        hermes_dcsm::persist::save_to_path(self.dcsm.lock().db(), &dir.join("stats.db"))?;
+        Ok(())
+    }
+
+    /// Restores state saved by [`Mediator::save_state`]. Missing files are
+    /// not an error (a fresh deployment); malformed files are.
+    pub fn load_state(&mut self, dir: &std::path::Path) -> Result<()> {
+        let cache_path = dir.join("answers.cache");
+        if cache_path.exists() {
+            let cache = hermes_cim::persist::load_from_path(&cache_path)?;
+            *self.cim.lock().cache_mut() = cache;
+        }
+        let stats_path = dir.join("stats.db");
+        if stats_path.exists() {
+            let db = hermes_dcsm::persist::load_from_path(&stats_path)?;
+            self.dcsm.lock().replay_db(&db);
+        }
+        Ok(())
+    }
+
+    /// A human-readable EXPLAIN: every candidate plan with its estimate,
+    /// the chosen one marked.
+    pub fn explain(&self, query_src: &str) -> Result<String> {
+        let planned = self.plan(query_src)?;
+        let mut s = String::new();
+        for (i, (plan, est)) in planned.plans.iter().zip(&planned.estimates).enumerate() {
+            let marker = if i == planned.chosen { ">>" } else { "  " };
+            s.push_str(&format!("{marker} plan {i}: est {est}\n"));
+            for line in plan.to_string().lines() {
+                s.push_str(&format!("     {line}\n"));
+            }
+        }
+        Ok(s)
+    }
+
+    /// Re-estimates one plan with the current statistics (used by the
+    /// experiment harnesses to ask "what does DCSM predict now?").
+    pub fn estimate_plan(&self, plan: &Plan) -> CostVector {
+        estimate_plan(plan, &self.dcsm.lock(), &self.config.cost)
+    }
+}
+
+impl std::fmt::Debug for Mediator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mediator")
+            .field("rules", &self.program.rules.len())
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+    use hermes_domains::Domain;
+    use hermes_net::profiles;
+
+    fn mediator() -> Mediator {
+        let domain =
+            SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let mut net = Network::new(1);
+        net.place(Arc::new(domain), profiles::cornell());
+        Mediator::from_source(
+            "
+            item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+            item(A, B) :- in(B, d1:p_bf(A)).
+            item(A, B) :- in(A, d1:p_fb(B)).
+            ",
+            net,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn query_all_answers_end_to_end() {
+        let mut m = mediator();
+        let result = m.query("?- item(A, B).").unwrap();
+        let expect = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)])
+            .call("p_ff", &[])
+            .unwrap()
+            .answers
+            .len();
+        assert_eq!(result.rows.len(), expect);
+        assert_eq!(result.columns.len(), 2);
+        assert!(result.t_all > SimDuration::ZERO);
+        assert!(!result.incomplete);
+    }
+
+    #[test]
+    fn bound_query_uses_probe_path_and_matches_ff_path() {
+        let mut m = mediator();
+        let all = m.query("?- item(A, B).").unwrap();
+        let a0 = all.rows[0][0].clone();
+        let expected: Vec<&Vec<Value>> =
+            all.rows.iter().filter(|r| r[0] == a0).collect();
+        let bound = m
+            .query(&format!("?- item({}, B).", a0.to_literal()))
+            .unwrap();
+        // The bound query projects only B (A is a constant in the query).
+        assert_eq!(bound.columns.len(), 1);
+        assert_eq!(bound.rows.len(), expected.len());
+        let mut got: Vec<Value> = bound.rows.iter().map(|r| r[0].clone()).collect();
+        got.sort();
+        let mut want: Vec<Value> = expected.iter().map(|r| r[1].clone()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_plans_compute_the_same_answers() {
+        let m = mediator();
+        let planned = m.plan("?- item('p_3', B).").unwrap();
+        assert!(planned.plans.len() >= 2);
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for i in 0..planned.plans.len() {
+            let mut m2 = mediator();
+            let single = Planned {
+                plans: vec![planned.plans[i].clone()],
+                estimates: vec![planned.estimates[i]],
+                chosen: 0,
+            };
+            let res = m2.execute(single, None).unwrap();
+            let mut rows = res.rows.clone();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "plan {i} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn caching_speeds_up_repeat_queries() {
+        let mut m = mediator();
+        let first = m.query("?- item('p_1', B).").unwrap();
+        let second = m.query("?- item('p_1', B).").unwrap();
+        assert_eq!(first.rows, second.rows);
+        assert!(second.t_all < first.t_all);
+        assert!(second.stats.cim_exact >= 1);
+    }
+
+    #[test]
+    fn statistics_accumulate_across_queries() {
+        let mut m = mediator();
+        assert!(m.dcsm().lock().db().is_empty());
+        m.query("?- item('p_1', B).").unwrap();
+        assert!(!m.dcsm().lock().db().is_empty());
+    }
+
+    #[test]
+    fn limited_query_stops_early() {
+        let mut m = mediator();
+        let result = m.query_limited("?- item(A, B).", Some(2)).unwrap();
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    fn explain_lists_plans_and_choice() {
+        let m = mediator();
+        let text = m.explain("?- item('p_1', B).").unwrap();
+        assert!(text.contains(">> plan"));
+        assert!(text.contains("est [Tf="));
+    }
+
+    #[test]
+    fn interactive_streams_answers() {
+        let m = mediator();
+        let mut iq = m.query_interactive("?- item(A, B).").unwrap();
+        let first = iq.next_answer();
+        assert!(first.is_some());
+        let batch = iq.next_batch(3);
+        assert!(batch.len() <= 3);
+        let final_ = iq.stop();
+        assert!(final_.error.is_none());
+    }
+
+    #[test]
+    fn interactive_drain_matches_all_answers() {
+        let mut m = mediator();
+        let all = m.query("?- item(A, B).").unwrap();
+        let mut iq = m.query_interactive("?- item(A, B).").unwrap();
+        let mut streamed = Vec::new();
+        while let Some((row, _)) = iq.next_answer() {
+            streamed.push(row);
+        }
+        assert_eq!(streamed.len(), all.rows.len());
+        let f = iq.stop();
+        assert!(f.finished);
+    }
+
+    #[test]
+    fn mixed_fact_rule_predicate_rejected() {
+        let domain = SyntheticDomain::generate("d1", 1, &[RelationSpec::uniform("p", 4, 1.0)]);
+        let mut net = Network::new(1);
+        net.place(Arc::new(domain), profiles::maryland());
+        let mut m = Mediator::from_source(
+            "mix('a', 'b').
+             mix(A, B) :- in(B, d1:p_bf(A)).",
+            net,
+        )
+        .unwrap();
+        let err = m.query("?- mix(X, Y).").unwrap_err();
+        assert!(err.to_string().contains("mixes facts and rules"));
+    }
+
+    #[test]
+    fn parameterized_queries_bind_before_planning() {
+        use hermes_lang::Subst;
+        use hermes_common::Value;
+        let mut m = mediator();
+        let direct = m.query("?- item('p_1', B).").unwrap();
+        let params = Subst::from_pairs([("A", Value::str("p_1"))]);
+        let bound = m.query_bound("?- item(A, B).", &params).unwrap();
+        // The bound query projects both A and B; B values must agree.
+        let direct_bs: Vec<Value> = direct.rows.iter().map(|r| r[0].clone()).collect();
+        let bound_bs: Vec<Value> = bound
+            .rows
+            .iter()
+            .map(|r| r[bound.columns.iter().position(|c| c.as_ref() == "B").unwrap()].clone())
+            .collect();
+        assert_eq!(direct_bs, bound_bs);
+        // And the plan saw the constant (no full-scan-only plan space).
+        assert!(bound.plan.to_string().contains("'p_1'"), "{}", bound.plan);
+    }
+
+    #[test]
+    fn traces_tell_the_cache_story() {
+        use crate::trace::TraceEvent;
+        let mut m = mediator();
+        m.config_mut().exec.collect_trace = true;
+        let cold = m.query("?- item('p_1', B).").unwrap();
+        assert!(cold
+            .trace
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::ActualCall { .. })));
+        let warm = m.query("?- item('p_1', B).").unwrap();
+        assert!(warm
+            .trace
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::CacheHit { .. })));
+        assert!(!warm
+            .trace
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::ActualCall { .. })));
+        // Answer ordinals count up.
+        let ordinals: Vec<usize> = warm
+            .trace
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Answer { ordinal } => Some(ordinal),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ordinals, (1..=warm.rows.len()).collect::<Vec<_>>());
+        // Rendering is line-per-event.
+        let text = crate::trace::render(&warm.trace);
+        assert_eq!(text.lines().count(), warm.trace.len());
+        // Off by default: no allocation.
+        m.config_mut().exec.collect_trace = false;
+        let silent = m.query("?- item('p_1', B).").unwrap();
+        assert!(silent.trace.is_empty());
+    }
+
+    #[test]
+    fn state_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "hermes-mediator-state-{}",
+            std::process::id()
+        ));
+        let (rows, cold_ms) = {
+            let mut m = mediator();
+            let r = m.query("?- item('p_1', B).").unwrap();
+            m.save_state(&dir).unwrap();
+            (r.rows.clone(), r.t_all.as_millis_f64())
+        };
+        // A brand-new mediator process loads the saved caches.
+        let mut m2 = mediator();
+        m2.load_state(&dir).unwrap();
+        let warm = m2.query("?- item('p_1', B).").unwrap();
+        assert_eq!(warm.rows, rows);
+        assert_eq!(warm.stats.actual_calls, 0, "served from restored cache");
+        assert!(warm.t_all.as_millis_f64() < cold_ms);
+        // Restored statistics inform estimates too.
+        assert!(!m2.dcsm().lock().db().is_empty());
+        // Loading from an empty directory is a no-op, not an error.
+        let empty = dir.join("nothing-here");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(m2.load_state(&empty).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clock_persists_across_queries() {
+        let mut m = mediator();
+        let t0 = m.now();
+        m.query("?- item('p_1', B).").unwrap();
+        assert!(m.now() > t0);
+        m.advance_clock(SimDuration::from_secs(60));
+        let t1 = m.now();
+        assert!(t1.duration_since(t0) >= SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,149 @@
+//! Execution plans.
+//!
+//! The rule rewriter (§5) compiles a query against a mediator program into
+//! a set of **flat plans**: ordered sequences of steps in which every IDB
+//! predicate has been unfolded into the domain calls and conditions of one
+//! chosen access-path rule (or a fact table). Flatness is what lets the
+//! executor pipeline answers and measure realistic time-to-first-answer.
+
+use hermes_common::Value;
+use hermes_lang::{CallTemplate, Condition, Term};
+use std::fmt;
+use std::sync::Arc;
+
+/// How a call step reaches its source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Straight to the (possibly remote) domain.
+    Direct,
+    /// Through the Cache and Invariant Manager first (§4.1).
+    Cim,
+}
+
+/// One step of a flat plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanStep {
+    /// Execute a domain call and iterate its answers into `target` (or
+    /// test membership if `target` is ground at run time).
+    Call {
+        /// The answer variable or membership probe.
+        target: Term,
+        /// The call template; all argument variables are bound by earlier
+        /// steps (guaranteed by the rewriter).
+        call: CallTemplate,
+        /// Whether the call goes through CIM.
+        route: Route,
+    },
+    /// Evaluate a comparison: a filter when both sides are ground, an
+    /// assignment when one side is an unbound bare variable and the
+    /// operator is equality.
+    Cond(Condition),
+    /// Iterate the rows of a fact-defined predicate, unifying each row
+    /// with `args`.
+    Facts {
+        /// The predicate name (for display).
+        pred: Arc<str>,
+        /// The argument terms the rows unify with.
+        args: Vec<Term>,
+        /// The ground rows.
+        rows: Arc<Vec<Vec<Value>>>,
+    },
+}
+
+impl PlanStep {
+    /// True for [`PlanStep::Call`].
+    pub fn is_call(&self) -> bool {
+        matches!(self, PlanStep::Call { .. })
+    }
+}
+
+impl fmt::Display for PlanStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanStep::Call {
+                target,
+                call,
+                route,
+            } => {
+                let prefix = match route {
+                    Route::Direct => "",
+                    Route::Cim => "CIM·",
+                };
+                write!(f, "in({target}, {prefix}{call})")
+            }
+            PlanStep::Cond(c) => write!(f, "{c}"),
+            PlanStep::Facts { pred, args, rows } => {
+                write!(f, "facts {pred}/{} ({} rows)", args.len(), rows.len())
+            }
+        }
+    }
+}
+
+/// A flat, fully-unfolded execution plan.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Plan {
+    /// The steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// The variables whose bindings form an answer, in output order.
+    pub answer_vars: Vec<Arc<str>>,
+}
+
+impl Plan {
+    /// Number of call steps.
+    pub fn call_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_call()).count()
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PLAN[")?;
+        for (i, v) in self.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        writeln!(f, "]")?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i}: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::{PathTerm, Relop};
+
+    #[test]
+    fn display_is_readable() {
+        let plan = Plan {
+            steps: vec![
+                PlanStep::Call {
+                    target: Term::var("B"),
+                    call: CallTemplate::new("d1", "p_bf", vec![Term::constant("a")]),
+                    route: Route::Cim,
+                },
+                PlanStep::Cond(Condition::new(
+                    Relop::Gt,
+                    PathTerm::bare(Term::var("B")),
+                    PathTerm::bare(Term::constant(3)),
+                )),
+                PlanStep::Facts {
+                    pred: Arc::from("edge"),
+                    args: vec![Term::var("B"), Term::var("C")],
+                    rows: Arc::new(vec![vec![Value::Int(1), Value::Int(2)]]),
+                },
+            ],
+            answer_vars: vec![Arc::from("B"), Arc::from("C")],
+        };
+        let text = plan.to_string();
+        assert!(text.contains("PLAN[B, C]"));
+        assert!(text.contains("CIM·d1:p_bf('a')"));
+        assert!(text.contains(">(B, 3)"));
+        assert!(text.contains("facts edge/2 (1 rows)"));
+        assert_eq!(plan.call_count(), 1);
+    }
+}

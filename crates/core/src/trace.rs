@@ -1,0 +1,167 @@
+//! Execution traces: a structured log of what the executor did, for
+//! debugging plans and understanding cache behaviour.
+//!
+//! Collection is off by default ([`ExecConfig::collect_trace`]); when on,
+//! the executor appends one [`TraceEvent`] per interesting action with its
+//! virtual timestamp. `QueryResult::trace` carries the events; rendering
+//! them gives the "what actually happened" story the Figure 5/6 analyses
+//! are built on.
+//!
+//! [`ExecConfig::collect_trace`]: crate::exec::ExecConfig::collect_trace
+
+use hermes_common::{GroundCall, SimDuration, SimInstant};
+use std::fmt;
+
+/// One executor action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A source call went over the network.
+    ActualCall {
+        /// The call.
+        call: GroundCall,
+        /// Answers returned.
+        answers: usize,
+        /// Source+network time to all answers.
+        t_all: SimDuration,
+        /// Bytes received.
+        bytes: usize,
+    },
+    /// CIM answered completely (exact or equality hit).
+    CacheHit {
+        /// The requested call.
+        call: GroundCall,
+        /// The cached call that served it (differs on equality hits).
+        via: GroundCall,
+        /// Answers served.
+        answers: usize,
+    },
+    /// CIM served a partial prefix; the actual call may follow.
+    PartialHit {
+        /// The requested call.
+        call: GroundCall,
+        /// The cached call that served the prefix.
+        via: GroundCall,
+        /// Prefix answers served.
+        answers: usize,
+    },
+    /// A miss executed an invariant-equivalent substitute call.
+    Substituted {
+        /// The requested call.
+        call: GroundCall,
+        /// What was actually executed.
+        executed: GroundCall,
+    },
+    /// A call was skipped because the consumer stopped early.
+    Cancelled {
+        /// The call that never ran.
+        call: GroundCall,
+    },
+    /// A site was unavailable.
+    Unavailable {
+        /// The failed call.
+        call: GroundCall,
+        /// Whether a retry follows.
+        will_retry: bool,
+    },
+    /// An answer reached the top of the plan.
+    Answer {
+        /// 1-based answer ordinal.
+        ordinal: usize,
+    },
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: SimInstant,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] ", format!("{}", self.at))?;
+        match &self.event {
+            TraceEvent::ActualCall {
+                call,
+                answers,
+                t_all,
+                bytes,
+            } => write!(
+                f,
+                "CALL {call} -> {answers} answers in {t_all} ({bytes} B)"
+            ),
+            TraceEvent::CacheHit { call, via, answers } => {
+                if call == via {
+                    write!(f, "HIT  {call} -> {answers} answers (exact)")
+                } else {
+                    write!(f, "HIT  {call} -> {answers} answers (via {via})")
+                }
+            }
+            TraceEvent::PartialHit { call, via, answers } => {
+                write!(f, "PART {call} -> {answers} cached answers (via {via})")
+            }
+            TraceEvent::Substituted { call, executed } => {
+                write!(f, "SUBST {call} => executing {executed}")
+            }
+            TraceEvent::Cancelled { call } => write!(f, "SKIP {call} (consumer stopped)"),
+            TraceEvent::Unavailable { call, will_retry } => write!(
+                f,
+                "DOWN {call}{}",
+                if *will_retry { " (retrying)" } else { "" }
+            ),
+            TraceEvent::Answer { ordinal } => write!(f, "ANS  #{ordinal}"),
+        }
+    }
+}
+
+/// Renders a whole trace, one event per line.
+pub fn render(trace: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for e in trace {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Value;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let call = GroundCall::new("d", "f", vec![Value::Int(1)]);
+        let at = SimInstant::EPOCH + SimDuration::from_millis(5);
+        let lines = [
+            TraceEntry {
+                at,
+                event: TraceEvent::ActualCall {
+                    call: call.clone(),
+                    answers: 3,
+                    t_all: SimDuration::from_millis(10),
+                    bytes: 24,
+                },
+            },
+            TraceEntry {
+                at,
+                event: TraceEvent::CacheHit {
+                    call: call.clone(),
+                    via: call.clone(),
+                    answers: 3,
+                },
+            },
+            TraceEntry {
+                at,
+                event: TraceEvent::Answer { ordinal: 1 },
+            },
+        ];
+        let text = render(&lines);
+        assert!(text.contains("CALL d:f(1) -> 3 answers"));
+        assert!(text.contains("(exact)"));
+        assert!(text.contains("ANS  #1"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

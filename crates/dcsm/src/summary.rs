@@ -1,0 +1,352 @@
+//! Summary tables: lossless (§6.2.1) and lossy (§6.2.2) summarization.
+//!
+//! A summary table is identified by a [`PatternShape`] — which argument
+//! positions remain *dimensions* (constants). The lossless summary of a
+//! call keeps every position as a dimension and aggregates tuples with
+//! identical dimension values into an average plus the count `l` of
+//! original tuples (Figure 3). Lossy summaries drop dimensions, aggregating
+//! further (Figure 4); the fully-lossy table has a single row.
+
+use crate::cost::{CostVector, MeanAgg};
+use crate::vectordb::CostVectorDb;
+use hermes_common::{CallPattern, GroundCall, PatternShape, Value};
+use std::collections::HashMap;
+
+/// One row of a summary table: averaged metrics plus the tuple count `l`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SummaryRow {
+    /// Mean time-to-first-answer.
+    pub t_first: MeanAgg,
+    /// Mean time-to-all-answers.
+    pub t_all: MeanAgg,
+    /// Mean cardinality.
+    pub card: MeanAgg,
+    /// Number of original detail tuples aggregated (the paper's `l`).
+    pub l: u64,
+}
+
+impl SummaryRow {
+    /// Folds one observation in.
+    pub fn add(&mut self, v: &CostVector) {
+        if let Some(x) = v.t_first_ms {
+            self.t_first.add(x);
+        }
+        if let Some(x) = v.t_all_ms {
+            self.t_all.add(x);
+        }
+        if let Some(x) = v.cardinality {
+            self.card.add(x);
+        }
+        self.l += 1;
+    }
+
+    /// Merges another row (for lossy derivation).
+    pub fn merge(&mut self, other: &SummaryRow) {
+        self.t_first.merge(&other.t_first);
+        self.t_all.merge(&other.t_all);
+        self.card.merge(&other.card);
+        self.l += other.l;
+    }
+
+    /// Applies recency decay to all metrics.
+    pub fn decay(&mut self, factor: f64) {
+        self.t_first.decay(factor);
+        self.t_all.decay(factor);
+        self.card.decay(factor);
+    }
+
+    /// The row's averaged cost vector.
+    pub fn vector(&self) -> CostVector {
+        CostVector {
+            t_first_ms: self.t_first.mean(),
+            t_all_ms: self.t_all.mean(),
+            cardinality: self.card.mean(),
+        }
+    }
+}
+
+/// A summary table of one shape.
+#[derive(Clone, Debug)]
+pub struct SummaryTable {
+    /// The shape (which positions are dimensions).
+    pub shape: PatternShape,
+    rows: HashMap<Vec<Value>, SummaryRow>,
+}
+
+impl SummaryTable {
+    /// An empty table of the given shape.
+    pub fn new(shape: PatternShape) -> Self {
+        SummaryTable {
+            shape,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate storage footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.rows
+            .keys()
+            .map(|k| {
+                k.iter().map(Value::size_bytes).sum::<usize>()
+                    + 3 * 2 * std::mem::size_of::<f64>()
+                    + 8
+            })
+            .sum()
+    }
+
+    /// The dimension key of a ground call under this shape.
+    fn key_of_call(&self, call: &GroundCall) -> Option<Vec<Value>> {
+        if call.domain != self.shape.domain
+            || call.function != self.shape.function
+            || call.args.len() != self.shape.const_mask.len()
+        {
+            return None;
+        }
+        Some(
+            call.args
+                .iter()
+                .zip(&self.shape.const_mask)
+                .filter(|(_, keep)| **keep)
+                .map(|(v, _)| v.clone())
+                .collect(),
+        )
+    }
+
+    /// Folds one observation in (incremental maintenance).
+    pub fn observe(&mut self, call: &GroundCall, v: &CostVector) -> bool {
+        match self.key_of_call(call) {
+            Some(key) => {
+                self.rows.entry(key).or_default().add(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Row lookup for a pattern whose constant positions are exactly this
+    /// shape's dimensions. `None` if the pattern has a different shape or
+    /// the row is absent.
+    pub fn lookup(&self, pattern: &CallPattern) -> Option<&SummaryRow> {
+        if pattern.shape() != self.shape {
+            return None;
+        }
+        self.rows.get(&pattern.const_values())
+    }
+
+    /// Iterates `(dimension key, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &SummaryRow)> {
+        self.rows.iter()
+    }
+
+    /// Applies recency decay to every row.
+    pub fn decay_all(&mut self, factor: f64) {
+        for row in self.rows.values_mut() {
+            row.decay(factor);
+        }
+    }
+
+    /// Builds the **lossless** summary of `domain:function` from detail
+    /// records (§6.2.1): dimensions = all argument positions.
+    pub fn summarize_lossless(db: &CostVectorDb, domain: &str, function: &str) -> SummaryTable {
+        let records = db.records_for(domain, function);
+        let arity = records.first().map(|r| r.call.args.len()).unwrap_or(0);
+        let shape = PatternShape::new(domain, function, vec![true; arity]);
+        let mut table = SummaryTable::new(shape);
+        for r in records {
+            table.observe(&r.call, &r.vector);
+        }
+        table
+    }
+
+    /// Derives a **lossy** table by keeping only the dimensions in
+    /// `new_shape` (§6.2.2). Rows are merged weighted by their aggregate
+    /// weights, so the derived averages equal what a direct summarization
+    /// of the detail would produce. Returns `None` if `new_shape` is not
+    /// derivable from this table's shape.
+    pub fn derive_lossy(&self, new_shape: PatternShape) -> Option<SummaryTable> {
+        if !new_shape.derivable_from(&self.shape) {
+            return None;
+        }
+        // Positions (within this table's dimension key) to keep.
+        let kept: Vec<bool> = self
+            .shape
+            .const_mask
+            .iter()
+            .zip(&new_shape.const_mask)
+            .filter(|(old, _)| **old)
+            .map(|(_, new)| *new)
+            .collect();
+        let mut out = SummaryTable::new(new_shape);
+        for (key, row) in &self.rows {
+            let new_key: Vec<Value> = key
+                .iter()
+                .zip(&kept)
+                .filter(|(_, keep)| **keep)
+                .map(|(v, _)| v.clone())
+                .collect();
+            out.rows.entry(new_key).or_default().merge(row);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectordb::figure2_database;
+    use hermes_common::PatArg;
+
+    #[test]
+    fn paper_figure_3_lossless_summary_of_t16() {
+        // (T20): tuples with A='a' aggregate to Card=3, T_a=2.10, l=2;
+        //        A='b' to Card=4, T_a=2.82, l=2.
+        let db = figure2_database();
+        let t = SummaryTable::summarize_lossless(&db, "d1", "p_bf");
+        assert_eq!(t.len(), 2);
+        let row_a = t
+            .lookup(&CallPattern::new(
+                "d1",
+                "p_bf",
+                vec![PatArg::Const(Value::str("a"))],
+            ))
+            .unwrap();
+        assert_eq!(row_a.l, 2);
+        assert!((row_a.t_all.mean().unwrap() - 2.10).abs() < 1e-9);
+        assert!((row_a.card.mean().unwrap() - 3.0).abs() < 1e-9);
+        let row_b = t
+            .lookup(&CallPattern::new(
+                "d1",
+                "p_bf",
+                vec![PatArg::Const(Value::str("b"))],
+            ))
+            .unwrap();
+        assert!((row_b.t_all.mean().unwrap() - 2.82).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure_3_lossless_summary_of_t19() {
+        // (T21): q_ff has no dimensions; a single row with l=2, T_a=5.20.
+        let db = figure2_database();
+        let t = SummaryTable::summarize_lossless(&db, "d2", "q_ff");
+        assert_eq!(t.len(), 1);
+        let row = t.lookup(&CallPattern::new("d2", "q_ff", vec![])).unwrap();
+        assert_eq!(row.l, 2);
+        assert!((row.t_all.mean().unwrap() - 5.20).abs() < 1e-9);
+        assert!((row.card.mean().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure_4_lossy_drop_b_dimension() {
+        // §6.2.2 / Example 6.2: q_bf's B can never be a known constant, so
+        // drop it: the derived table has one row averaging all of (T18).
+        let db = figure2_database();
+        let lossless = SummaryTable::summarize_lossless(&db, "d2", "q_bf");
+        assert_eq!(lossless.len(), 3);
+        let lossy = lossless
+            .derive_lossy(PatternShape::new("d2", "q_bf", vec![false]))
+            .unwrap();
+        assert_eq!(lossy.len(), 1);
+        let row = lossy
+            .lookup(&CallPattern::new("d2", "q_bf", vec![PatArg::Bound]))
+            .unwrap();
+        assert_eq!(row.l, 3);
+        // (1.10 + 1.30 + 1.15)/3
+        assert!((row.t_all.mean().unwrap() - 3.55 / 3.0).abs() < 1e-9);
+        // (2 + 3 + 2)/3
+        assert!((row.card.mean().unwrap() - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossy_equals_direct_summarization_of_detail() {
+        let db = figure2_database();
+        let lossless = SummaryTable::summarize_lossless(&db, "d1", "p_bb");
+        let lossy = lossless
+            .derive_lossy(PatternShape::new("d1", "p_bb", vec![true, false]))
+            .unwrap();
+        // Compare against aggregating detail directly.
+        let (direct, n) = db.aggregate(&CallPattern::new(
+            "d1",
+            "p_bb",
+            vec![PatArg::Const(Value::str("a")), PatArg::Bound],
+        ));
+        let row = lossy
+            .lookup(&CallPattern::new(
+                "d1",
+                "p_bb",
+                vec![PatArg::Const(Value::str("a")), PatArg::Bound],
+            ))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!((row.t_all.mean().unwrap() - direct.t_all_ms.unwrap()).abs() < 1e-9);
+        assert!((row.card.mean().unwrap() - direct.cardinality.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derive_lossy_rejects_non_derivable_shape() {
+        let db = figure2_database();
+        let lossless = SummaryTable::summarize_lossless(&db, "d2", "q_bf");
+        // Adding a dimension is not derivable.
+        assert!(lossless
+            .derive_lossy(PatternShape::new("d2", "q_bf", vec![true]))
+            .is_some());
+        assert!(lossless
+            .derive_lossy(PatternShape::new("d2", "q_other", vec![false]))
+            .is_none());
+        let fully_lossy = lossless
+            .derive_lossy(PatternShape::new("d2", "q_bf", vec![false]))
+            .unwrap();
+        assert!(fully_lossy
+            .derive_lossy(PatternShape::new("d2", "q_bf", vec![true]))
+            .is_none());
+    }
+
+    #[test]
+    fn summarization_shrinks_storage() {
+        let db = figure2_database();
+        let lossless = SummaryTable::summarize_lossless(&db, "d1", "p_bb");
+        let lossy = lossless
+            .derive_lossy(PatternShape::new("d1", "p_bb", vec![false, false]))
+            .unwrap();
+        assert!(lossy.approx_bytes() < lossless.approx_bytes());
+    }
+
+    #[test]
+    fn observe_rejects_wrong_call_shape() {
+        let mut t = SummaryTable::new(PatternShape::new("d", "f", vec![true]));
+        let ok = t.observe(
+            &GroundCall::new("d", "f", vec![Value::Int(1)]),
+            &CostVector::full(1.0, 2.0, 3.0),
+        );
+        assert!(ok);
+        let wrong_arity = t.observe(
+            &GroundCall::new("d", "f", vec![]),
+            &CostVector::full(1.0, 2.0, 3.0),
+        );
+        assert!(!wrong_arity);
+        let wrong_fn = t.observe(
+            &GroundCall::new("d", "g", vec![Value::Int(1)]),
+            &CostVector::full(1.0, 2.0, 3.0),
+        );
+        assert!(!wrong_fn);
+    }
+
+    #[test]
+    fn lookup_requires_matching_shape() {
+        let db = figure2_database();
+        let t = SummaryTable::summarize_lossless(&db, "d1", "p_bf");
+        // A $b pattern does not match the all-dimensions shape.
+        assert!(t
+            .lookup(&CallPattern::new("d1", "p_bf", vec![PatArg::Bound]))
+            .is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! The cost vector database: full-detail statistics of executed calls
+//! (§6.1, the tables of Figure 2).
+
+use crate::cost::CostVector;
+use hermes_common::{CallPattern, GroundCall, SimInstant, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One recorded observation: `(domain call, cost vector, record_time)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallRecord {
+    /// The executed call.
+    pub call: GroundCall,
+    /// The observed cost vector (possibly partial).
+    pub vector: CostVector,
+    /// Virtual time of the observation.
+    pub recorded_at: SimInstant,
+}
+
+/// Full-detail statistics, one record list per `domain:function`.
+#[derive(Clone, Debug, Default)]
+pub struct CostVectorDb {
+    records: HashMap<(Arc<str>, Arc<str>), Vec<CallRecord>>,
+    total: usize,
+}
+
+impl CostVectorDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        CostVectorDb::default()
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, call: GroundCall, vector: CostVector, recorded_at: SimInstant) {
+        self.records
+            .entry((call.domain.clone(), call.function.clone()))
+            .or_default()
+            .push(CallRecord {
+                call,
+                vector,
+                recorded_at,
+            });
+        self.total += 1;
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Approximate storage footprint in bytes (the §6.2 "heavy burden on
+    /// storage" metric the summarization experiments report).
+    pub fn approx_bytes(&self) -> usize {
+        self.records
+            .values()
+            .flatten()
+            .map(|r| {
+                r.call.request_bytes() + 3 * std::mem::size_of::<f64>() + 8
+            })
+            .sum()
+    }
+
+    /// All records of one `domain:function`.
+    pub fn records_for(&self, domain: &str, function: &str) -> &[CallRecord] {
+        self.records
+            .get(&(Arc::from(domain), Arc::from(function)))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The `(domain, function)` pairs with records, sorted.
+    pub fn functions(&self) -> Vec<(Arc<str>, Arc<str>)> {
+        let mut keys: Vec<_> = self.records.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Aggregates the records matching `pattern` with the plain average the
+    /// paper uses (§6.1, Example 6.1). Returns the averaged vector and the
+    /// number of records aggregated — the "expensive aggregation" work that
+    /// summary tables exist to avoid.
+    pub fn aggregate(&self, pattern: &CallPattern) -> (CostVector, usize) {
+        let mut t_first = (0.0, 0usize);
+        let mut t_all = (0.0, 0usize);
+        let mut card = (0.0, 0usize);
+        let mut matched = 0usize;
+        for r in self.records_for(&pattern.domain, &pattern.function) {
+            if !pattern.matches(&r.call) {
+                continue;
+            }
+            matched += 1;
+            if let Some(v) = r.vector.t_first_ms {
+                t_first.0 += v;
+                t_first.1 += 1;
+            }
+            if let Some(v) = r.vector.t_all_ms {
+                t_all.0 += v;
+                t_all.1 += 1;
+            }
+            if let Some(v) = r.vector.cardinality {
+                card.0 += v;
+                card.1 += 1;
+            }
+        }
+        let avg = |(s, n): (f64, usize)| if n > 0 { Some(s / n as f64) } else { None };
+        (
+            CostVector {
+                t_first_ms: avg(t_first),
+                t_all_ms: avg(t_all),
+                cardinality: avg(card),
+            },
+            matched,
+        )
+    }
+
+    /// The distinct argument vectors observed for `domain:function` —
+    /// the dimension-value combinations a lossless summary will have rows
+    /// for.
+    pub fn distinct_args(&self, domain: &str, function: &str) -> Vec<Vec<Value>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in self.records_for(domain, function) {
+            if seen.insert(r.call.args.clone()) {
+                out.push(r.call.args.clone());
+            }
+        }
+        out
+    }
+
+    /// Drops all records for one function (after summarization, §6.2).
+    pub fn drop_function(&mut self, domain: &str, function: &str) -> usize {
+        match self.records.remove(&(Arc::from(domain), Arc::from(function))) {
+            Some(rs) => {
+                self.total -= rs.len();
+                rs.len()
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Builds the paper's Figure 2 example tables (T16–T19) as a database —
+/// shared by unit tests here and the `fig_2_3_4_summaries` bench.
+pub fn figure2_database() -> CostVectorDb {
+    let mut db = CostVectorDb::new();
+    let t = SimInstant::EPOCH;
+    // (T16) d1:p_bf — dimension {A}, metrics (Card, T_a).
+    for (a, card, ta) in [
+        ("a", 3.0, 2.00),
+        ("a", 3.0, 2.20),
+        ("b", 4.0, 2.80),
+        ("b", 4.0, 2.84),
+    ] {
+        db.record(
+            GroundCall::new("d1", "p_bf", vec![Value::str(a)]),
+            CostVector {
+                t_first_ms: None,
+                t_all_ms: Some(ta),
+                cardinality: Some(card),
+            },
+            t,
+        );
+    }
+    // (T17) d1:p_bb — dimensions {A, B}.
+    for (a, b, card, ta) in [
+        ("a", 1i64, 1.0, 0.20),
+        ("a", 2, 1.0, 0.22),
+        ("b", 1, 1.0, 0.21),
+        ("b", 3, 0.0, 0.18),
+    ] {
+        db.record(
+            GroundCall::new("d1", "p_bb", vec![Value::str(a), Value::Int(b)]),
+            CostVector {
+                t_first_ms: None,
+                t_all_ms: Some(ta),
+                cardinality: Some(card),
+            },
+            t,
+        );
+    }
+    // (T18) d2:q_bf — dimension {B}.
+    for (b, card, ta) in [(1i64, 2.0, 1.10), (2, 3.0, 1.30), (3, 2.0, 1.15)] {
+        db.record(
+            GroundCall::new("d2", "q_bf", vec![Value::Int(b)]),
+            CostVector {
+                t_first_ms: None,
+                t_all_ms: Some(ta),
+                cardinality: Some(card),
+            },
+            t,
+        );
+    }
+    // (T19) d2:q_ff — no dimensions.
+    for (card, ta) in [(7.0, 5.00), (7.0, 5.40)] {
+        db.record(
+            GroundCall::new("d2", "q_ff", vec![]),
+            CostVector {
+                t_first_ms: None,
+                t_all_ms: Some(ta),
+                cardinality: Some(card),
+            },
+            t,
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::PatArg;
+
+    #[test]
+    fn record_and_lookup() {
+        let db = figure2_database();
+        assert_eq!(db.len(), 13);
+        assert_eq!(db.records_for("d1", "p_bf").len(), 4);
+        assert_eq!(db.records_for("d1", "nope").len(), 0);
+        assert_eq!(db.functions().len(), 4);
+    }
+
+    #[test]
+    fn paper_example_6_1_exact_average() {
+        // "estimate the cost of d1:p_bf(a) ... (2.00 + 2.20)/2 = 2.10"
+        let db = figure2_database();
+        let p = GroundCall::new("d1", "p_bf", vec![Value::str("a")]).pattern();
+        let (v, n) = db.aggregate(&p);
+        assert_eq!(n, 2);
+        assert!((v.t_all_ms.unwrap() - 2.10).abs() < 1e-9);
+        assert!((v.cardinality.unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_6_1_blanket_average() {
+        // "d1:p_bf($b) ... (2.00+2.20+2.80+2.84)/4"
+        let db = figure2_database();
+        let p = CallPattern::new("d1", "p_bf", vec![PatArg::Bound]);
+        let (v, n) = db.aggregate(&p);
+        assert_eq!(n, 4);
+        assert!((v.t_all_ms.unwrap() - 9.84 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_ignores_missing_components() {
+        let mut db = CostVectorDb::new();
+        db.record(
+            GroundCall::new("d", "f", vec![]),
+            CostVector {
+                t_first_ms: Some(1.0),
+                t_all_ms: None,
+                cardinality: Some(4.0),
+            },
+            SimInstant::EPOCH,
+        );
+        db.record(
+            GroundCall::new("d", "f", vec![]),
+            CostVector {
+                t_first_ms: Some(3.0),
+                t_all_ms: Some(10.0),
+                cardinality: None,
+            },
+            SimInstant::EPOCH,
+        );
+        let (v, n) = db.aggregate(&GroundCall::new("d", "f", vec![]).pattern());
+        assert_eq!(n, 2);
+        assert_eq!(v.t_first_ms, Some(2.0));
+        assert_eq!(v.t_all_ms, Some(10.0)); // only one observation
+        assert_eq!(v.cardinality, Some(4.0));
+    }
+
+    #[test]
+    fn aggregate_no_match_is_empty() {
+        let db = figure2_database();
+        let p = GroundCall::new("d1", "p_bf", vec![Value::str("zzz")]).pattern();
+        let (v, n) = db.aggregate(&p);
+        assert_eq!(n, 0);
+        assert_eq!(v, CostVector::default());
+    }
+
+    #[test]
+    fn distinct_args_deduplicates() {
+        let db = figure2_database();
+        let args = db.distinct_args("d1", "p_bf");
+        assert_eq!(args.len(), 2); // 'a' and 'b'
+    }
+
+    #[test]
+    fn drop_function_frees_records() {
+        let mut db = figure2_database();
+        let before = db.approx_bytes();
+        assert_eq!(db.drop_function("d1", "p_bf"), 4);
+        assert_eq!(db.len(), 9);
+        assert!(db.approx_bytes() < before);
+        assert_eq!(db.drop_function("d1", "p_bf"), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Domain`] abstraction: what the mediator knows about a source.
+//!
+//! Per §2 and §6 of the paper, the mediator knows only (a) the set of
+//! functions a domain exports, (b) their arities, and (c) how to invoke
+//! them on ground arguments. It does *not* know the source's internals or
+//! cost behaviour — unless the source volunteers a native cost estimator
+//! ([`Domain::native_estimator`]), in which case DCSM defers to it (§6,
+//! "DCSM is built as an extensible module").
+
+use hermes_common::{CallPattern, HermesError, Result, SimDuration, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Signature of one function exported by a domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionSig {
+    /// Function name, e.g. `frames_to_objects`.
+    pub name: Arc<str>,
+    /// Exact number of (always-ground) arguments.
+    pub arity: usize,
+    /// One-line description, surfaced by tooling.
+    pub doc: &'static str,
+}
+
+impl FunctionSig {
+    /// Builds a signature.
+    pub fn new(name: impl Into<Arc<str>>, arity: usize, doc: &'static str) -> Self {
+        FunctionSig {
+            name: name.into(),
+            arity,
+            doc,
+        }
+    }
+}
+
+impl fmt::Display for FunctionSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// Simulated *compute* cost of a call, excluding network effects.
+///
+/// `t_first` is the simulated time until the source can emit its first
+/// answer; `t_all` until the full answer set is produced. The network layer
+/// adds connection and transfer time on top.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComputeCost {
+    /// Time to first answer.
+    pub t_first: SimDuration,
+    /// Time to the complete answer set.
+    pub t_all: SimDuration,
+}
+
+impl ComputeCost {
+    /// Zero cost.
+    pub const ZERO: ComputeCost = ComputeCost {
+        t_first: SimDuration::ZERO,
+        t_all: SimDuration::ZERO,
+    };
+
+    /// Cost with both components given in fractional milliseconds.
+    pub fn from_millis(t_first: f64, t_all: f64) -> Self {
+        ComputeCost {
+            t_first: SimDuration::from_millis_f64(t_first),
+            t_all: SimDuration::from_millis_f64(t_first.max(t_all)),
+        }
+    }
+}
+
+/// The result of executing a domain call: the answer set plus the simulated
+/// compute cost the source spent producing it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallOutcome {
+    /// The answers, in source order. An elementary result is a singleton.
+    pub answers: Vec<Value>,
+    /// Simulated compute cost.
+    pub compute: ComputeCost,
+}
+
+impl CallOutcome {
+    /// An outcome with zero compute cost (used by tests and trivial calls).
+    pub fn free(answers: Vec<Value>) -> Self {
+        CallOutcome {
+            answers,
+            compute: ComputeCost::ZERO,
+        }
+    }
+
+    /// Total wire size of the answers.
+    pub fn answer_bytes(&self) -> usize {
+        self.answers.iter().map(Value::size_bytes).sum()
+    }
+}
+
+/// A (possibly partial) cost prediction from a source's own cost model.
+///
+/// All fields are optional: §6 notes an external estimator "does not
+/// provide some of the parameters" and DCSM fills in the gaps from its
+/// statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostHint {
+    /// Predicted time to first answer, milliseconds.
+    pub t_first_ms: Option<f64>,
+    /// Predicted time to all answers, milliseconds.
+    pub t_all_ms: Option<f64>,
+    /// Predicted answer-set cardinality.
+    pub cardinality: Option<f64>,
+}
+
+/// A cost model volunteered by the source itself (e.g. a relational engine
+/// that knows its table statistics). Estimates are *compute-only*; network
+/// effects are layered on by the caller.
+pub trait NativeEstimator: Send + Sync {
+    /// Estimates the cost of a call pattern; `None` if the pattern is
+    /// outside the model.
+    fn estimate(&self, pattern: &CallPattern) -> Option<CostHint>;
+}
+
+/// An external source integrated by the mediator.
+pub trait Domain: Send + Sync {
+    /// The domain's name as used in rules (`video`, `ingres`, …).
+    fn name(&self) -> &str;
+
+    /// The functions this domain exports.
+    fn functions(&self) -> Vec<FunctionSig>;
+
+    /// Executes `function` on ground `args`.
+    ///
+    /// Implementations may assume the registry has already validated the
+    /// function name and arity, but must still fail cleanly on unknown
+    /// functions (defense in depth).
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome>;
+
+    /// The source's own cost model, if it has one (§6 extensibility).
+    fn native_estimator(&self) -> Option<&dyn NativeEstimator> {
+        None
+    }
+
+    /// Helper: the error for an unknown function.
+    fn unknown_function(&self, function: &str) -> HermesError {
+        HermesError::UnknownFunction {
+            domain: self.name().to_string(),
+            function: function.to_string(),
+        }
+    }
+
+    /// Helper: validates arity for a call.
+    fn check_arity(&self, function: &str, expected: usize, args: &[Value]) -> Result<()> {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(HermesError::BadArity {
+                domain: self.name().to_string(),
+                function: function.to_string(),
+                expected,
+                got: args.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Domain for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn functions(&self) -> Vec<FunctionSig> {
+            vec![FunctionSig::new("id", 1, "returns its argument")]
+        }
+        fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+            match function {
+                "id" => {
+                    self.check_arity("id", 1, args)?;
+                    Ok(CallOutcome::free(vec![args[0].clone()]))
+                }
+                other => Err(self.unknown_function(other)),
+            }
+        }
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let d = Echo;
+        let out = d.call("id", &[Value::Int(7)]).unwrap();
+        assert_eq!(out.answers, vec![Value::Int(7)]);
+        assert_eq!(out.compute, ComputeCost::ZERO);
+    }
+
+    #[test]
+    fn arity_and_function_errors() {
+        let d = Echo;
+        assert!(matches!(
+            d.call("id", &[]),
+            Err(HermesError::BadArity { .. })
+        ));
+        assert!(matches!(
+            d.call("nope", &[]),
+            Err(HermesError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn compute_cost_clamps_t_all() {
+        let c = ComputeCost::from_millis(10.0, 5.0);
+        assert_eq!(c.t_all, c.t_first); // t_all can never precede t_first
+        let c2 = ComputeCost::from_millis(1.0, 5.0);
+        assert!(c2.t_all > c2.t_first);
+    }
+
+    #[test]
+    fn answer_bytes_sums_sizes() {
+        let o = CallOutcome::free(vec![Value::Int(1), Value::str("ab")]);
+        assert_eq!(o.answer_bytes(), 8 + 3);
+    }
+
+    #[test]
+    fn signature_display() {
+        assert_eq!(FunctionSig::new("f", 2, "").to_string(), "f/2");
+    }
+}

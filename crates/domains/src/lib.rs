@@ -1,0 +1,44 @@
+//! # hermes-domains
+//!
+//! The external sources ("domains") the HERMES mediator integrates, built
+//! from scratch as in-process substrates (see DESIGN.md §2 for the mapping
+//! from the paper's testbed):
+//!
+//! * [`relational`] — a small relational engine standing in for INGRES /
+//!   Paradox / DBase: typed tables, hash and ordered indexes, and the
+//!   `select_*` / `all` function surface the paper's rules call.
+//! * [`flatfile`] — line/field-oriented flat-file data.
+//! * [`objectstore`] — an object-oriented DBMS (the testbed's ObjectStore)
+//!   with class extents and reference traversal.
+//! * [`video`] — an AVIS-style content-based video store (`video_size`,
+//!   `frames_to_objects`, `object_to_frames`, …) with a synthetic "The Rope"
+//!   dataset. Its call costs are data-dependent and deliberately hard to
+//!   model analytically — the motivating case for DCSM's statistics cache.
+//! * [`spatial`] — a point database with grid-indexed `range` queries, the
+//!   substrate of the paper's range-shrinking invariant example.
+//! * [`terrain`] — a grid-map path planner (`findrte`) standing in for the
+//!   US Army path-planning package in the `routetosupplies` example.
+//! * [`text`] — a keyword-searchable news-wire corpus (the testbed's
+//!   "USA Today" text database) with an inverted index.
+//! * [`synthetic`] — a fully parameterizable domain for controlled
+//!   optimizer experiments (cardinality and latency profiles per function).
+//!
+//! Every domain implements the [`Domain`] trait: a set of named functions
+//! over ground [`Value`] arguments, returning an answer set plus a simulated
+//! *compute cost*. Network costs are layered on top by `hermes-net`.
+//!
+//! [`Value`]: hermes_common::Value
+
+pub mod domain;
+pub mod flatfile;
+pub mod objectstore;
+pub mod registry;
+pub mod relational;
+pub mod spatial;
+pub mod synthetic;
+pub mod terrain;
+pub mod text;
+pub mod video;
+
+pub use domain::{CallOutcome, ComputeCost, CostHint, Domain, FunctionSig, NativeEstimator};
+pub use registry::DomainRegistry;

@@ -1,0 +1,466 @@
+//! An object-oriented database — the paper's testbed lists "one
+//! object-oriented DBMS (ObjectStore)".
+//!
+//! Objects belong to named classes, carry attribute records, and hold
+//! typed *references* to other objects. The function surface exposes
+//! class extents, object fetches, and reference traversal — the
+//! navigational access pattern that distinguishes an OODB from the
+//! relational engine. Traversal cost is pointer-chasing: proportional to
+//! the number of objects visited.
+
+use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
+use hermes_common::{HermesError, Record, Result, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An object identifier: class-local, dense.
+pub type Oid = u32;
+
+/// One stored object.
+#[derive(Clone, Debug)]
+pub struct StoredObject {
+    /// The object's id within its class.
+    pub oid: Oid,
+    /// Attribute values.
+    pub attrs: Record,
+    /// Named references: field → (class, oid) targets.
+    pub refs: BTreeMap<Arc<str>, Vec<(Arc<str>, Oid)>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Class {
+    objects: Vec<StoredObject>,
+}
+
+/// Cost parameters, microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjectStoreCostParams {
+    /// Fixed per-call startup.
+    pub startup_us: f64,
+    /// Cost per object materialized.
+    pub per_object_us: f64,
+    /// Cost per reference edge traversed.
+    pub per_edge_us: f64,
+}
+
+impl Default for ObjectStoreCostParams {
+    fn default() -> Self {
+        ObjectStoreCostParams {
+            startup_us: 1_000.0,
+            per_object_us: 12.0,
+            per_edge_us: 3.0,
+        }
+    }
+}
+
+/// The object-store domain.
+///
+/// Exported functions:
+///
+/// | function | args | answers |
+/// |---|---|---|
+/// | `extent` | class | every object of the class, as records |
+/// | `get` | class, oid | singleton object record |
+/// | `follow` | class, oid, ref-field | records of the referenced objects |
+/// | `reachable` | class, oid, ref-field, depth | objects reachable in ≤ depth hops along the field |
+/// | `extent_size` | class | singleton count |
+pub struct ObjectStoreDomain {
+    name: Arc<str>,
+    classes: RwLock<BTreeMap<Arc<str>, Class>>,
+    params: ObjectStoreCostParams,
+}
+
+impl ObjectStoreDomain {
+    /// Creates an empty store.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        ObjectStoreDomain {
+            name: name.into(),
+            classes: RwLock::new(BTreeMap::new()),
+            params: ObjectStoreCostParams::default(),
+        }
+    }
+
+    /// Creates an object in `class`; returns its oid. References can be
+    /// added afterwards with [`ObjectStoreDomain::add_ref`].
+    pub fn create(&self, class: impl Into<Arc<str>>, attrs: Record) -> Oid {
+        let mut classes = self.classes.write();
+        let c = classes.entry(class.into()).or_default();
+        let oid = c.objects.len() as Oid;
+        c.objects.push(StoredObject {
+            oid,
+            attrs,
+            refs: BTreeMap::new(),
+        });
+        oid
+    }
+
+    /// Adds a reference edge `class(oid).field → to_class(to_oid)`.
+    /// Returns false if the source object does not exist (the target is
+    /// not checked — dangling references are representable, as in real
+    /// OODBs, and `follow` skips them).
+    pub fn add_ref(
+        &self,
+        class: &str,
+        oid: Oid,
+        field: impl Into<Arc<str>>,
+        to_class: impl Into<Arc<str>>,
+        to_oid: Oid,
+    ) -> bool {
+        let mut classes = self.classes.write();
+        let Some(obj) = classes
+            .get_mut(class)
+            .and_then(|c| c.objects.get_mut(oid as usize))
+        else {
+            return false;
+        };
+        obj.refs
+            .entry(field.into())
+            .or_default()
+            .push((to_class.into(), to_oid));
+        true
+    }
+
+    fn object_record(class: &str, obj: &StoredObject) -> Value {
+        let mut rec = Record::new();
+        rec.push("class", Value::str(class));
+        rec.push("oid", Value::Int(obj.oid as i64));
+        for (name, v) in obj.attrs.iter() {
+            rec.push(name.to_string(), v.clone());
+        }
+        Value::Record(rec)
+    }
+
+    fn cost(&self, objects: usize, edges: usize) -> ComputeCost {
+        let p = &self.params;
+        let t_all_us = p.startup_us
+            + p.per_object_us * objects as f64
+            + p.per_edge_us * edges as f64;
+        let t_first_us = p.startup_us + p.per_object_us;
+        ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
+    }
+}
+
+impl Domain for ObjectStoreDomain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn functions(&self) -> Vec<FunctionSig> {
+        vec![
+            FunctionSig::new("extent", 1, "every object of a class"),
+            FunctionSig::new("get", 2, "one object by oid"),
+            FunctionSig::new("follow", 3, "objects referenced by a field"),
+            FunctionSig::new("reachable", 4, "objects within N hops along a field"),
+            FunctionSig::new("extent_size", 1, "class cardinality"),
+        ]
+    }
+
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+        let arity = match function {
+            "extent" | "extent_size" => 1,
+            "get" => 2,
+            "follow" => 3,
+            "reachable" => 4,
+            other => return Err(self.unknown_function(other)),
+        };
+        self.check_arity(function, arity, args)?;
+        let classes = self.classes.read();
+        let cname = args[0].as_str().ok_or_else(|| {
+            HermesError::Type(format!(
+                "{}:{function}: first argument must be a class name",
+                self.name
+            ))
+        })?;
+        let class = classes.get(cname).ok_or_else(|| {
+            HermesError::Eval(format!("{}: no class `{cname}`", self.name))
+        })?;
+        let oid_arg = |v: &Value| -> Result<Oid> {
+            match v.as_int() {
+                Some(i) if i >= 0 && i <= u32::MAX as i64 => Ok(i as Oid),
+                _ => Err(HermesError::Type(format!(
+                    "{}:{function}: oid must be a non-negative integer, got `{v}`",
+                    self.name
+                ))),
+            }
+        };
+        match function {
+            "extent" => {
+                let answers: Vec<Value> = class
+                    .objects
+                    .iter()
+                    .map(|o| Self::object_record(cname, o))
+                    .collect();
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(n, 0),
+                })
+            }
+            "extent_size" => Ok(CallOutcome {
+                answers: vec![Value::Int(class.objects.len() as i64)],
+                compute: self.cost(1, 0),
+            }),
+            "get" => {
+                let oid = oid_arg(&args[1])?;
+                let answers: Vec<Value> = class
+                    .objects
+                    .get(oid as usize)
+                    .map(|o| Self::object_record(cname, o))
+                    .into_iter()
+                    .collect();
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(n, 0),
+                })
+            }
+            "follow" => {
+                let oid = oid_arg(&args[1])?;
+                let field = args[2].as_str().ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:follow: field must be a string",
+                        self.name
+                    ))
+                })?;
+                let mut answers = Vec::new();
+                let mut edges = 0usize;
+                if let Some(obj) = class.objects.get(oid as usize) {
+                    if let Some(targets) = obj.refs.get(field) {
+                        for (tclass, toid) in targets {
+                            edges += 1;
+                            if let Some(t) = classes
+                                .get(tclass)
+                                .and_then(|c| c.objects.get(*toid as usize))
+                            {
+                                answers.push(Self::object_record(tclass, t));
+                            }
+                        }
+                    }
+                }
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(n, edges),
+                })
+            }
+            "reachable" => {
+                let oid = oid_arg(&args[1])?;
+                let field = args[2].as_str().ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:reachable: field must be a string",
+                        self.name
+                    ))
+                })?;
+                let depth = args[3].as_int().filter(|d| *d >= 0).ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:reachable: depth must be a non-negative integer",
+                        self.name
+                    ))
+                })? as usize;
+                // BFS along `field`, bounded by depth, deduplicated.
+                let mut seen: std::collections::BTreeSet<(Arc<str>, Oid)> =
+                    Default::default();
+                let mut frontier: Vec<(Arc<str>, Oid)> = vec![(Arc::from(cname), oid)];
+                let mut answers = Vec::new();
+                let mut edges = 0usize;
+                for _ in 0..depth {
+                    let mut next = Vec::new();
+                    for (c, o) in frontier.drain(..) {
+                        let Some(obj) =
+                            classes.get(&c).and_then(|cl| cl.objects.get(o as usize))
+                        else {
+                            continue;
+                        };
+                        if let Some(targets) = obj.refs.get(field) {
+                            for (tc, to) in targets {
+                                edges += 1;
+                                if seen.insert((tc.clone(), *to)) {
+                                    if let Some(t) = classes
+                                        .get(tc)
+                                        .and_then(|cl| cl.objects.get(*to as usize))
+                                    {
+                                        answers.push(Self::object_record(tc, t));
+                                        next.push((tc.clone(), *to));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(n, edges),
+                })
+            }
+            _ => unreachable!("arity table covers functions"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small parts catalog: assemblies reference their components.
+    fn store() -> ObjectStoreDomain {
+        let d = ObjectStoreDomain::new("objstore");
+        let engine = d.create(
+            "part",
+            Record::from_fields([("name", Value::str("engine")), ("mass", Value::Int(900))]),
+        );
+        let piston = d.create(
+            "part",
+            Record::from_fields([("name", Value::str("piston")), ("mass", Value::Int(3))]),
+        );
+        let ring = d.create(
+            "part",
+            Record::from_fields([("name", Value::str("ring")), ("mass", Value::Int(1))]),
+        );
+        let heli = d.create(
+            "vehicle",
+            Record::from_fields([("name", Value::str("h-22"))]),
+        );
+        d.add_ref("vehicle", heli, "parts", "part", engine);
+        d.add_ref("part", engine, "parts", "part", piston);
+        d.add_ref("part", piston, "parts", "part", ring);
+        d
+    }
+
+    #[test]
+    fn extent_and_size() {
+        let d = store();
+        let parts = d.call("extent", &[Value::str("part")]).unwrap();
+        assert_eq!(parts.answers.len(), 3);
+        let n = d.call("extent_size", &[Value::str("part")]).unwrap();
+        assert_eq!(n.answers, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn get_returns_attrs_with_identity() {
+        let d = store();
+        let out = d
+            .call("get", &[Value::str("part"), Value::Int(0)])
+            .unwrap();
+        match &out.answers[0] {
+            Value::Record(r) => {
+                assert_eq!(r.get("class"), Some(&Value::str("part")));
+                assert_eq!(r.get("oid"), Some(&Value::Int(0)));
+                assert_eq!(r.get("name"), Some(&Value::str("engine")));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let miss = d
+            .call("get", &[Value::str("part"), Value::Int(99)])
+            .unwrap();
+        assert!(miss.answers.is_empty());
+    }
+
+    #[test]
+    fn follow_traverses_one_hop_across_classes() {
+        let d = store();
+        let out = d
+            .call(
+                "follow",
+                &[Value::str("vehicle"), Value::Int(0), Value::str("parts")],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 1);
+        match &out.answers[0] {
+            Value::Record(r) => assert_eq!(r.get("name"), Some(&Value::str("engine"))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn reachable_bounded_bfs() {
+        let d = store();
+        let hops = |depth: i64| {
+            d.call(
+                "reachable",
+                &[
+                    Value::str("vehicle"),
+                    Value::Int(0),
+                    Value::str("parts"),
+                    Value::Int(depth),
+                ],
+            )
+            .unwrap()
+            .answers
+            .len()
+        };
+        assert_eq!(hops(0), 0);
+        assert_eq!(hops(1), 1); // engine
+        assert_eq!(hops(2), 2); // + piston
+        assert_eq!(hops(3), 3); // + ring
+        assert_eq!(hops(10), 3); // closure
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let d = ObjectStoreDomain::new("objstore");
+        let a = d.create("n", Record::from_fields([("name", Value::str("a"))]));
+        let b = d.create("n", Record::from_fields([("name", Value::str("b"))]));
+        d.add_ref("n", a, "next", "n", b);
+        d.add_ref("n", b, "next", "n", a);
+        let out = d
+            .call(
+                "reachable",
+                &[Value::str("n"), Value::Int(a as i64), Value::str("next"), Value::Int(50)],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 2); // b then a, once each
+    }
+
+    #[test]
+    fn dangling_references_are_skipped() {
+        let d = ObjectStoreDomain::new("objstore");
+        let a = d.create("n", Record::new());
+        d.add_ref("n", a, "next", "n", 999);
+        let out = d
+            .call("follow", &[Value::str("n"), Value::Int(0), Value::str("next")])
+            .unwrap();
+        assert!(out.answers.is_empty());
+        assert!(!d.add_ref("n", 42, "next", "n", 0));
+    }
+
+    #[test]
+    fn deeper_traversals_cost_more() {
+        let d = store();
+        let cost = |depth: i64| {
+            d.call(
+                "reachable",
+                &[
+                    Value::str("vehicle"),
+                    Value::Int(0),
+                    Value::str("parts"),
+                    Value::Int(depth),
+                ],
+            )
+            .unwrap()
+            .compute
+            .t_all
+        };
+        assert!(cost(3) > cost(1));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let d = store();
+        assert!(d.call("extent", &[Value::str("nope")]).is_err());
+        assert!(d
+            .call("get", &[Value::str("part"), Value::Int(-1)])
+            .is_err());
+        assert!(d
+            .call(
+                "reachable",
+                &[Value::str("part"), Value::Int(0), Value::str("parts"), Value::Int(-2)],
+            )
+            .is_err());
+    }
+}

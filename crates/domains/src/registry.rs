@@ -1,0 +1,145 @@
+//! The domain registry: name → domain dispatch with validation.
+
+use crate::domain::{CallOutcome, Domain, FunctionSig};
+use hermes_common::{GroundCall, HermesError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A set of registered domains, the mediator's view of the outside world.
+#[derive(Clone, Default)]
+pub struct DomainRegistry {
+    domains: BTreeMap<Arc<str>, Arc<dyn Domain>>,
+}
+
+impl DomainRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DomainRegistry::default()
+    }
+
+    /// Registers a domain under its own name. Re-registering a name
+    /// replaces the previous domain.
+    pub fn register(&mut self, domain: Arc<dyn Domain>) {
+        self.domains.insert(Arc::from(domain.name()), domain);
+    }
+
+    /// Looks up a domain by name.
+    pub fn get(&self, name: &str) -> Result<&Arc<dyn Domain>> {
+        self.domains
+            .get(name)
+            .ok_or_else(|| HermesError::UnknownDomain(name.to_string()))
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.domains.contains_key(name)
+    }
+
+    /// Names of all registered domains, sorted.
+    pub fn names(&self) -> Vec<Arc<str>> {
+        self.domains.keys().cloned().collect()
+    }
+
+    /// The signature of `domain:function`, if both exist.
+    pub fn signature(&self, domain: &str, function: &str) -> Result<FunctionSig> {
+        let d = self.get(domain)?;
+        d.functions()
+            .into_iter()
+            .find(|f| f.name.as_ref() == function)
+            .ok_or_else(|| HermesError::UnknownFunction {
+                domain: domain.to_string(),
+                function: function.to_string(),
+            })
+    }
+
+    /// Dispatches a ground call after validating the function and arity.
+    pub fn execute(&self, call: &GroundCall) -> Result<CallOutcome> {
+        let sig = self.signature(&call.domain, &call.function)?;
+        if sig.arity != call.args.len() {
+            return Err(HermesError::BadArity {
+                domain: call.domain.to_string(),
+                function: call.function.to_string(),
+                expected: sig.arity,
+                got: call.args.len(),
+            });
+        }
+        self.get(&call.domain)?.call(&call.function, &call.args)
+    }
+}
+
+impl std::fmt::Debug for DomainRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainRegistry")
+            .field("domains", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Value;
+
+    struct Consts;
+    impl Domain for Consts {
+        fn name(&self) -> &str {
+            "consts"
+        }
+        fn functions(&self) -> Vec<FunctionSig> {
+            vec![FunctionSig::new("pi", 0, "3.14...")]
+        }
+        fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+            match function {
+                "pi" => {
+                    self.check_arity("pi", 0, args)?;
+                    Ok(CallOutcome::free(vec![Value::Float(
+                        std::f64::consts::PI,
+                    )]))
+                }
+                other => Err(self.unknown_function(other)),
+            }
+        }
+    }
+
+    #[test]
+    fn register_and_execute() {
+        let mut reg = DomainRegistry::new();
+        reg.register(Arc::new(Consts));
+        assert!(reg.contains("consts"));
+        let out = reg
+            .execute(&GroundCall::new("consts", "pi", vec![]))
+            .unwrap();
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn unknown_domain_and_function() {
+        let mut reg = DomainRegistry::new();
+        reg.register(Arc::new(Consts));
+        assert!(matches!(
+            reg.execute(&GroundCall::new("nope", "pi", vec![])),
+            Err(HermesError::UnknownDomain(_))
+        ));
+        assert!(matches!(
+            reg.execute(&GroundCall::new("consts", "tau", vec![])),
+            Err(HermesError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked_before_dispatch() {
+        let mut reg = DomainRegistry::new();
+        reg.register(Arc::new(Consts));
+        assert!(matches!(
+            reg.execute(&GroundCall::new("consts", "pi", vec![Value::Int(1)])),
+            Err(HermesError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut reg = DomainRegistry::new();
+        reg.register(Arc::new(Consts));
+        assert_eq!(reg.names(), vec![Arc::<str>::from("consts")]);
+    }
+}

@@ -1,0 +1,18 @@
+//! A small in-memory relational engine.
+//!
+//! Stands in for the INGRES / Paradox / DBase sources of the paper's
+//! testbed. The mediator sees only the function surface ([`engine`]); the
+//! storage layer ([`table`]) provides typed tables with optional hash and
+//! ordered indexes, which is what gives `select_eq` its index-vs-scan cost
+//! shape.
+//!
+//! Unlike the video or terrain domains, a relational source *understands its
+//! own cost behaviour*: [`engine::RelationalDomain`] exports a
+//! [`NativeEstimator`](crate::domain::NativeEstimator) built on exact table
+//! statistics, exercising DCSM's §6 extensibility hook.
+
+pub mod engine;
+pub mod table;
+
+pub use engine::{RelationalCostParams, RelationalDomain};
+pub use table::{Column, ColumnType, Schema, Table};

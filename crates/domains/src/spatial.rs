@@ -1,0 +1,401 @@
+//! A spatial point database with grid-indexed range queries.
+//!
+//! The substrate behind the paper's §4 invariant example:
+//!
+//! ```text
+//! Dist > 142 => spatial:range('points', X, Y, Dist)
+//!             = spatial:range('points', X, Y, 142).
+//! ```
+//!
+//! Point sets live in named "files"; `range(file, x, y, dist)` returns every
+//! point within Euclidean distance `dist` of `(x, y)`. A uniform grid index
+//! limits the cells examined, so cost grows with the query radius — which is
+//! exactly why the range-shrinking invariant saves work.
+
+use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
+use hermes_common::{HermesError, Record, Result, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A 2-D point with an identifying label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Point label (unique within its file by convention).
+    pub label: Arc<str>,
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// One named point set plus its grid index.
+#[derive(Clone, Debug)]
+struct PointFile {
+    points: Vec<Point>,
+    cell: f64,
+    /// (cx, cy) → indexes into `points`.
+    grid: BTreeMap<(i64, i64), Vec<usize>>,
+}
+
+impl PointFile {
+    fn new(points: Vec<Point>, cell: f64) -> Self {
+        let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            grid.entry(Self::cell_of(p.x, p.y, cell)).or_default().push(i);
+        }
+        PointFile { points, cell, grid }
+    }
+
+    fn cell_of(x: f64, y: f64, cell: f64) -> (i64, i64) {
+        ((x / cell).floor() as i64, (y / cell).floor() as i64)
+    }
+
+    /// Points within `dist` of `(x, y)`, plus the number of candidate
+    /// points examined (the cost driver).
+    fn range(&self, x: f64, y: f64, dist: f64) -> (Vec<&Point>, usize) {
+        if dist < 0.0 {
+            return (Vec::new(), 0);
+        }
+        let (cx0, cy0) = Self::cell_of(x - dist, y - dist, self.cell);
+        let (cx1, cy1) = Self::cell_of(x + dist, y + dist, self.cell);
+        let mut hits = Vec::new();
+        let mut examined = 0usize;
+        let d2 = dist * dist;
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(ids) = self.grid.get(&(cx, cy)) {
+                    for &i in ids {
+                        examined += 1;
+                        let p = &self.points[i];
+                        let dx = p.x - x;
+                        let dy = p.y - y;
+                        if dx * dx + dy * dy <= d2 {
+                            hits.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        (hits, examined)
+    }
+}
+
+/// Cost parameters, microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct SpatialCostParams {
+    /// Fixed per-call startup.
+    pub startup_us: f64,
+    /// Cost per candidate point examined.
+    pub per_candidate_us: f64,
+    /// Cost per hit returned.
+    pub per_hit_us: f64,
+}
+
+impl Default for SpatialCostParams {
+    fn default() -> Self {
+        SpatialCostParams {
+            startup_us: 900.0,
+            per_candidate_us: 0.8,
+            per_hit_us: 5.0,
+        }
+    }
+}
+
+/// The spatial domain.
+///
+/// Exported functions:
+///
+/// | function | args | answers |
+/// |---|---|---|
+/// | `range` | file, x, y, dist | points within `dist` of `(x, y)`, as `{label, x, y}` records |
+/// | `count_range` | file, x, y, dist | singleton hit count |
+/// | `size` | file | singleton point count |
+pub struct SpatialDomain {
+    name: Arc<str>,
+    files: RwLock<BTreeMap<Arc<str>, PointFile>>,
+    params: SpatialCostParams,
+}
+
+impl SpatialDomain {
+    /// Creates an empty spatial store.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        SpatialDomain {
+            name: name.into(),
+            files: RwLock::new(BTreeMap::new()),
+            params: SpatialCostParams::default(),
+        }
+    }
+
+    /// Loads a point file with the given grid cell size.
+    pub fn load_points(&self, file: impl Into<Arc<str>>, points: Vec<Point>, cell: f64) {
+        assert!(cell > 0.0, "grid cell size must be positive");
+        self.files
+            .write()
+            .insert(file.into(), PointFile::new(points, cell));
+    }
+
+    fn num(&self, function: &str, v: &Value) -> Result<f64> {
+        v.as_f64().ok_or_else(|| {
+            HermesError::Type(format!(
+                "{}:{function}: expected a numeric argument, got `{v}`",
+                self.name
+            ))
+        })
+    }
+
+    fn cost(&self, examined: usize, hits: usize) -> ComputeCost {
+        let p = &self.params;
+        let t_all_us =
+            p.startup_us + p.per_candidate_us * examined as f64 + p.per_hit_us * hits as f64;
+        let t_first_us = p.startup_us + p.per_candidate_us * (examined as f64).sqrt() + p.per_hit_us;
+        ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
+    }
+}
+
+impl Domain for SpatialDomain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn functions(&self) -> Vec<FunctionSig> {
+        vec![
+            FunctionSig::new("range", 4, "points within a distance of (x, y)"),
+            FunctionSig::new("count_range", 4, "number of points within a distance"),
+            FunctionSig::new("size", 1, "number of points in a file"),
+        ]
+    }
+
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+        let arity = match function {
+            "size" => 1,
+            "range" | "count_range" => 4,
+            other => return Err(self.unknown_function(other)),
+        };
+        self.check_arity(function, arity, args)?;
+        let files = self.files.read();
+        let fname = args[0].as_str().ok_or_else(|| {
+            HermesError::Type(format!(
+                "{}:{function}: first argument must be a file name",
+                self.name
+            ))
+        })?;
+        let file = files.get(fname).ok_or_else(|| {
+            HermesError::Eval(format!("{}: no point file `{fname}`", self.name))
+        })?;
+        match function {
+            "size" => Ok(CallOutcome {
+                answers: vec![Value::Int(file.points.len() as i64)],
+                compute: self.cost(0, 1),
+            }),
+            "range" | "count_range" => {
+                let x = self.num(function, &args[1])?;
+                let y = self.num(function, &args[2])?;
+                let dist = self.num(function, &args[3])?;
+                let (hits, examined) = file.range(x, y, dist);
+                let n = hits.len();
+                let answers = if function == "range" {
+                    hits.into_iter()
+                        .map(|p| {
+                            Value::Record(Record::from_fields([
+                                ("label", Value::Str(p.label.clone())),
+                                ("x", Value::Float(p.x)),
+                                ("y", Value::Float(p.y)),
+                            ]))
+                        })
+                        .collect()
+                } else {
+                    vec![Value::Int(n as i64)]
+                };
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(examined, n),
+                })
+            }
+            _ => unreachable!("arity table covers functions"),
+        }
+    }
+}
+
+/// Generates `n` points uniformly over `[0, extent] × [0, extent]`.
+pub fn uniform_points(seed: u64, n: usize, extent: f64) -> Vec<Point> {
+    let mut rng = hermes_common::Rng64::new(seed);
+    (0..n)
+        .map(|i| Point {
+            label: Arc::from(format!("p{i}")),
+            x: rng.range_f64(0.0, extent),
+            y: rng.range_f64(0.0, extent),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SpatialDomain {
+        let d = SpatialDomain::new("spatial");
+        let pts = vec![
+            Point { label: Arc::from("a"), x: 0.0, y: 0.0 },
+            Point { label: Arc::from("b"), x: 3.0, y: 4.0 },  // dist 5 from origin
+            Point { label: Arc::from("c"), x: 50.0, y: 50.0 },
+            Point { label: Arc::from("d"), x: 99.0, y: 99.0 },
+        ];
+        d.load_points("points", pts, 10.0);
+        d
+    }
+
+    #[test]
+    fn range_euclidean_inclusive() {
+        let d = store();
+        let out = d
+            .call(
+                "range",
+                &[Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(5)],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 2); // a at 0, b at exactly 5
+    }
+
+    #[test]
+    fn range_excludes_beyond() {
+        let d = store();
+        let out = d
+            .call(
+                "range",
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Float(4.9),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn whole_square_range_covers_everything() {
+        // The §4 example: a 100x100 square is fully covered by dist 142.
+        let d = store();
+        let out = d
+            .call(
+                "range",
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(142),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 4);
+        // And a bigger radius returns exactly the same set.
+        let out2 = d
+            .call(
+                "range",
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(10_000),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.answers, out2.answers);
+    }
+
+    #[test]
+    fn negative_distance_is_empty() {
+        let d = store();
+        let out = d
+            .call(
+                "range",
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(-1),
+                ],
+            )
+            .unwrap();
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn count_range_and_size() {
+        let d = store();
+        let c = d
+            .call(
+                "count_range",
+                &[Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(5)],
+            )
+            .unwrap();
+        assert_eq!(c.answers, vec![Value::Int(2)]);
+        let s = d.call("size", &[Value::str("points")]).unwrap();
+        assert_eq!(s.answers, vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn larger_radius_costs_more() {
+        let d = SpatialDomain::new("spatial");
+        d.load_points("u", uniform_points(1, 5_000, 1_000.0), 25.0);
+        let small = d
+            .call(
+                "range",
+                &[Value::str("u"), Value::Int(500), Value::Int(500), Value::Int(10)],
+            )
+            .unwrap()
+            .compute
+            .t_all;
+        let large = d
+            .call(
+                "range",
+                &[Value::str("u"), Value::Int(500), Value::Int(500), Value::Int(400)],
+            )
+            .unwrap()
+            .compute
+            .t_all;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn record_answer_shape() {
+        let d = store();
+        let out = d
+            .call(
+                "range",
+                &[Value::str("points"), Value::Int(50), Value::Int(50), Value::Int(1)],
+            )
+            .unwrap();
+        match &out.answers[0] {
+            Value::Record(r) => {
+                assert_eq!(r.get("label"), Some(&Value::str("c")));
+                assert_eq!(r.get("x"), Some(&Value::Float(50.0)));
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let d = store();
+        assert!(d
+            .call(
+                "range",
+                &[Value::str("nope"), Value::Int(0), Value::Int(0), Value::Int(5)]
+            )
+            .is_err());
+        assert!(d
+            .call(
+                "range",
+                &[Value::str("points"), Value::str("x"), Value::Int(0), Value::Int(5)]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn uniform_points_deterministic() {
+        assert_eq!(uniform_points(9, 10, 100.0)[3].x, uniform_points(9, 10, 100.0)[3].x);
+    }
+}

@@ -1,0 +1,415 @@
+//! A keyword-searchable text database — the paper's "text databases (in
+//! particular a USA Today news-wire corpora)" testbed source.
+//!
+//! Documents live in named corpora with an inverted index over normalized
+//! terms. Query cost is driven by posting-list lengths, so common terms
+//! cost more than rare ones — learnable by DCSM, opaque to a generic cost
+//! model.
+
+use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
+use hermes_common::{HermesError, Record, Result, Rng64, Value};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One stored document.
+#[derive(Clone, Debug)]
+pub struct Doc {
+    /// Stable document id within its corpus.
+    pub id: u32,
+    /// Headline (returned by searches).
+    pub headline: Arc<str>,
+    /// Body text (indexed, returned by `fetch`).
+    pub body: Arc<str>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Corpus {
+    docs: Vec<Doc>,
+    /// term → sorted doc indexes.
+    index: BTreeMap<String, Vec<usize>>,
+}
+
+impl Corpus {
+    fn add(&mut self, headline: &str, body: &str) -> u32 {
+        let id = self.docs.len() as u32;
+        let doc = Doc {
+            id,
+            headline: Arc::from(headline),
+            body: Arc::from(body),
+        };
+        for term in tokenize(&format!("{headline} {body}")) {
+            let postings = self.index.entry(term).or_default();
+            if postings.last() != Some(&self.docs.len()) {
+                postings.push(self.docs.len());
+            }
+        }
+        self.docs.push(doc);
+        id
+    }
+}
+
+/// Lowercased alphanumeric terms of length ≥ 2.
+fn tokenize(text: &str) -> BTreeSet<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Cost parameters, microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct TextCostParams {
+    /// Fixed per-query startup.
+    pub startup_us: f64,
+    /// Cost per posting examined.
+    pub per_posting_us: f64,
+    /// Cost per document materialized into an answer.
+    pub per_doc_us: f64,
+}
+
+impl Default for TextCostParams {
+    fn default() -> Self {
+        TextCostParams {
+            startup_us: 1_200.0,
+            per_posting_us: 0.6,
+            per_doc_us: 30.0,
+        }
+    }
+}
+
+/// The text-search domain.
+///
+/// Exported functions:
+///
+/// | function | args | answers |
+/// |---|---|---|
+/// | `search` | corpus, term | matching docs as `{id, headline}` records |
+/// | `search_and` | corpus, term1, term2 | docs containing both terms |
+/// | `fetch` | corpus, doc-id | singleton `{id, headline, body}` |
+/// | `doc_count` | corpus | singleton document count |
+pub struct TextDomain {
+    name: Arc<str>,
+    corpora: RwLock<BTreeMap<Arc<str>, Corpus>>,
+    params: TextCostParams,
+}
+
+impl TextDomain {
+    /// Creates an empty text store.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        TextDomain {
+            name: name.into(),
+            corpora: RwLock::new(BTreeMap::new()),
+            params: TextCostParams::default(),
+        }
+    }
+
+    /// Adds a document to a corpus (created on first use); returns its id.
+    pub fn add_document(
+        &self,
+        corpus: impl Into<Arc<str>>,
+        headline: &str,
+        body: &str,
+    ) -> u32 {
+        self.corpora
+            .write()
+            .entry(corpus.into())
+            .or_default()
+            .add(headline, body)
+    }
+
+    fn cost(&self, postings: usize, docs: usize) -> ComputeCost {
+        let p = &self.params;
+        let t_all_us =
+            p.startup_us + p.per_posting_us * postings as f64 + p.per_doc_us * docs as f64;
+        let t_first_us = p.startup_us + p.per_posting_us * (postings as f64).sqrt() + p.per_doc_us;
+        ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
+    }
+
+    fn doc_record(doc: &Doc, with_body: bool) -> Value {
+        let mut rec = Record::new();
+        rec.push("id", Value::Int(doc.id as i64));
+        rec.push("headline", Value::Str(doc.headline.clone()));
+        if with_body {
+            rec.push("body", Value::Str(doc.body.clone()));
+        }
+        Value::Record(rec)
+    }
+}
+
+impl Domain for TextDomain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn functions(&self) -> Vec<FunctionSig> {
+        vec![
+            FunctionSig::new("search", 2, "docs containing a term"),
+            FunctionSig::new("search_and", 3, "docs containing both terms"),
+            FunctionSig::new("fetch", 2, "one document with body"),
+            FunctionSig::new("doc_count", 1, "corpus size"),
+        ]
+    }
+
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+        let arity = match function {
+            "doc_count" => 1,
+            "search" | "fetch" => 2,
+            "search_and" => 3,
+            other => return Err(self.unknown_function(other)),
+        };
+        self.check_arity(function, arity, args)?;
+        let corpora = self.corpora.read();
+        let cname = args[0].as_str().ok_or_else(|| {
+            HermesError::Type(format!(
+                "{}:{function}: first argument must be a corpus name",
+                self.name
+            ))
+        })?;
+        let corpus = corpora.get(cname).ok_or_else(|| {
+            HermesError::Eval(format!("{}: no corpus `{cname}`", self.name))
+        })?;
+        let term_arg = |i: usize| -> Result<String> {
+            args[i]
+                .as_str()
+                .map(|s| s.to_lowercase())
+                .ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:{function}: search terms must be strings",
+                        self.name
+                    ))
+                })
+        };
+        match function {
+            "doc_count" => Ok(CallOutcome {
+                answers: vec![Value::Int(corpus.docs.len() as i64)],
+                compute: self.cost(0, 1),
+            }),
+            "search" => {
+                let term = term_arg(1)?;
+                let postings = corpus.index.get(&term).cloned().unwrap_or_default();
+                let answers: Vec<Value> = postings
+                    .iter()
+                    .map(|&i| Self::doc_record(&corpus.docs[i], false))
+                    .collect();
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(postings.len(), n),
+                })
+            }
+            "search_and" => {
+                let t1 = term_arg(1)?;
+                let t2 = term_arg(2)?;
+                let empty = Vec::new();
+                let p1 = corpus.index.get(&t1).unwrap_or(&empty);
+                let p2 = corpus.index.get(&t2).unwrap_or(&empty);
+                // Sorted-list intersection.
+                let mut answers = Vec::new();
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < p1.len() && j < p2.len() {
+                    match p1[i].cmp(&p2[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            answers.push(Self::doc_record(&corpus.docs[p1[i]], false));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(p1.len() + p2.len(), n),
+                })
+            }
+            "fetch" => {
+                let id = args[1].as_int().ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:fetch: document id must be an integer",
+                        self.name
+                    ))
+                })?;
+                let answers: Vec<Value> = corpus
+                    .docs
+                    .get(id.max(0) as usize)
+                    .filter(|d| d.id as i64 == id)
+                    .map(|d| Self::doc_record(d, true))
+                    .into_iter()
+                    .collect();
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.cost(1, n),
+                })
+            }
+            _ => unreachable!("arity table covers functions"),
+        }
+    }
+}
+
+/// Generates a synthetic news-wire corpus: `n` articles built from a topic
+/// vocabulary with Zipf-popular terms (common words appear in many
+/// documents, rare ones in few — realistic posting-list skew).
+pub fn newswire(seed: u64, domain_name: &str, corpus: &str, n: usize) -> TextDomain {
+    const TOPICS: &[&str] = &[
+        "election", "budget", "senate", "pentagon", "bosnia", "trade",
+        "internet", "baseball", "hurricane", "medicare", "nasa", "olympics",
+        "whitewater", "stocks", "crime", "unabomber", "education", "taxes",
+    ];
+    const VERBS: &[&str] = &[
+        "debates", "approves", "rejects", "investigates", "announces",
+        "delays", "expands",
+    ];
+    let d = TextDomain::new(domain_name);
+    let mut rng = Rng64::new(seed);
+    let sampler = hermes_common::rng::ZipfSampler::new(TOPICS.len(), 1.1);
+    for i in 0..n {
+        let t1 = TOPICS[sampler.sample(&mut rng)];
+        let t2 = TOPICS[sampler.sample(&mut rng)];
+        let verb = VERBS[rng.range_usize(0, VERBS.len())];
+        let headline = format!("congress {verb} {t1} measure");
+        let body = format!(
+            "article {i}: the {t1} story developed today alongside {t2}; \
+             officials said the {t1} plan {verb} further review"
+        );
+        d.add_document(corpus, &headline, &body);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TextDomain {
+        let d = TextDomain::new("text");
+        d.add_document("usatoday", "Senate debates budget", "The budget measure stalled.");
+        d.add_document("usatoday", "Orioles win again", "Baseball fans cheered in Baltimore.");
+        d.add_document("usatoday", "Budget deal near", "Senate leaders and the baseball strike.");
+        d
+    }
+
+    #[test]
+    fn search_finds_terms_case_insensitively() {
+        let d = store();
+        let out = d
+            .call("search", &[Value::str("usatoday"), Value::str("Budget")])
+            .unwrap();
+        assert_eq!(out.answers.len(), 2);
+        match &out.answers[0] {
+            Value::Record(r) => {
+                assert_eq!(r.get("id"), Some(&Value::Int(0)));
+                assert!(r.get("headline").is_some());
+                assert!(r.get("body").is_none());
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn search_and_intersects() {
+        let d = store();
+        let out = d
+            .call(
+                "search_and",
+                &[Value::str("usatoday"), Value::str("senate"), Value::str("baseball")],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 1);
+        match &out.answers[0] {
+            Value::Record(r) => assert_eq!(r.get("id"), Some(&Value::Int(2))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_term_is_empty_not_error() {
+        let d = store();
+        let out = d
+            .call("search", &[Value::str("usatoday"), Value::str("zebra")])
+            .unwrap();
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn fetch_returns_body_and_misses_cleanly() {
+        let d = store();
+        let hit = d
+            .call("fetch", &[Value::str("usatoday"), Value::Int(1)])
+            .unwrap();
+        assert_eq!(hit.answers.len(), 1);
+        match &hit.answers[0] {
+            Value::Record(r) => assert!(r
+                .get("body")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("Baltimore")),
+            other => panic!("unexpected {other}"),
+        }
+        let miss = d
+            .call("fetch", &[Value::str("usatoday"), Value::Int(99)])
+            .unwrap();
+        assert!(miss.answers.is_empty());
+        let neg = d
+            .call("fetch", &[Value::str("usatoday"), Value::Int(-1)])
+            .unwrap();
+        assert!(neg.answers.is_empty());
+    }
+
+    #[test]
+    fn doc_count_and_missing_corpus() {
+        let d = store();
+        assert_eq!(
+            d.call("doc_count", &[Value::str("usatoday")]).unwrap().answers,
+            vec![Value::Int(3)]
+        );
+        assert!(d.call("doc_count", &[Value::str("nope")]).is_err());
+    }
+
+    #[test]
+    fn common_terms_cost_more_than_rare_ones() {
+        let d = newswire(3, "text", "usatoday", 2_000);
+        // "congress" appears in every headline; a rare topic in few.
+        let common = d
+            .call("search", &[Value::str("usatoday"), Value::str("congress")])
+            .unwrap();
+        let rare = d
+            .call("search", &[Value::str("usatoday"), Value::str("unabomber")])
+            .unwrap();
+        assert!(common.answers.len() > rare.answers.len());
+        assert!(common.compute.t_all > rare.compute.t_all);
+    }
+
+    #[test]
+    fn newswire_is_deterministic_and_skewed() {
+        let a = newswire(9, "text", "c", 500);
+        let b = newswire(9, "text", "c", 500);
+        let q = [Value::str("c"), Value::str("election")];
+        assert_eq!(
+            a.call("search", &q).unwrap().answers.len(),
+            b.call("search", &q).unwrap().answers.len()
+        );
+        // Zipf: the most popular topic dominates the least popular.
+        let hot = a.call("search", &q).unwrap().answers.len();
+        let cold = a
+            .call("search", &[Value::str("c"), Value::str("taxes")])
+            .unwrap()
+            .answers
+            .len();
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let d = store();
+        assert!(d.call("search", &[Value::Int(1), Value::str("x")]).is_err());
+        assert!(d
+            .call("search", &[Value::str("usatoday"), Value::Int(7)])
+            .is_err());
+        assert!(d
+            .call("fetch", &[Value::str("usatoday"), Value::str("one")])
+            .is_err());
+    }
+}

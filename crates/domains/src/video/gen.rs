@@ -1,0 +1,203 @@
+//! Synthetic video datasets, including the paper's "The Rope".
+//!
+//! Figure 5 and the appendix queries run against Hitchcock's *Rope*: cast
+//! roles (brandon, phillip, rupert, …) and props appearing over frame
+//! ranges. [`rope_store`] builds a deterministic reconstruction whose
+//! answer-set sizes are in the same regime as the paper's (6 cast members
+//! on screen across the film; ~19 objects in frames 4–47; ~24 in frames
+//! 4–127). [`random_store`] generates arbitrary-size workloads for the
+//! plan-choice and summarization experiments.
+
+use super::{FrameSpan, VideoContent, VideoDomain};
+use hermes_common::Rng64;
+use std::collections::BTreeMap;
+
+/// The cast of "The Rope" as `(role, actor)` pairs — also the content of
+/// the relational `cast` table the appendix queries join against.
+pub const ROPE_CAST: &[(&str, &str)] = &[
+    ("brandon", "john dall"),
+    ("phillip", "farley granger"),
+    ("rupert", "james stewart"),
+    ("janet", "joan chandler"),
+    ("kenneth", "douglas dick"),
+    ("david", "dick hogan"),
+    ("mr_kentley", "cedric hardwicke"),
+    ("mrs_wilson", "edith evanson"),
+    ("mrs_atwater", "constance collier"),
+];
+
+/// Builds the "rope" video store used by the Figure 5 / Figure 6
+/// experiments and the examples.
+///
+/// Layout (936 frames ≈ 78 minutes at 12 fps digest rate):
+/// * the six principals overlap the opening scene (frames 0–60);
+/// * late-arriving cast (kenneth, mr_kentley, mrs_atwater) enter after
+///   frame 100;
+/// * ~15 props with staggered entry frames fill in the object counts so
+///   `frames_to_objects(4, 47)` ≈ 19–20 and `frames_to_objects(4, 127)`
+///   ≈ 24 objects.
+pub fn rope_store() -> VideoDomain {
+    let d = VideoDomain::new("video");
+    let mut rope = VideoContent {
+        frames: 936,
+        frame_bytes: 3_580,
+        objects: BTreeMap::new(),
+    };
+    // Principals present from the opening.
+    rope.add_appearance("brandon", FrameSpan::new(0, 930));
+    rope.add_appearance("phillip", FrameSpan::new(0, 920));
+    rope.add_appearance("david", FrameSpan::new(0, 8)); // murdered in the opening
+    rope.add_appearance("mrs_wilson", FrameSpan::new(20, 700));
+    rope.add_appearance("janet", FrameSpan::new(30, 800));
+    rope.add_appearance("rupert", FrameSpan::new(40, 936 - 1));
+    // Late arrivals.
+    rope.add_appearance("kenneth", FrameSpan::new(110, 790));
+    rope.add_appearance("mr_kentley", FrameSpan::new(120, 760));
+    rope.add_appearance("mrs_atwater", FrameSpan::new(125, 750));
+    // Props. Entry frames staggered around the two query ranges.
+    let props: &[(&str, u32, u32)] = &[
+        ("chest", 0, 935),
+        ("rope_prop", 0, 14),
+        ("candles", 2, 400),
+        ("books", 3, 500),
+        ("champagne", 5, 300),
+        ("glasses", 6, 640),
+        ("piano", 8, 935),
+        ("metronome", 10, 520),
+        ("first_edition", 12, 470),
+        ("hat", 15, 46),
+        ("canvas", 18, 420),
+        ("pistol", 25, 44),
+        ("cigarette_case", 30, 610),
+        ("dinner_plates", 35, 240),
+        ("lamp", 50, 935),
+        ("curtains", 60, 935),
+        ("painting", 70, 935),
+        ("telephone", 105, 880),
+    ];
+    for (name, first, last) in props {
+        rope.add_appearance(*name, FrameSpan::new(*first, *last));
+    }
+    // rope_prop reappears near the end (pulled from the chest).
+    rope.add_appearance("rope_prop", FrameSpan::new(860, 910));
+    d.add_video("rope", rope);
+
+    // A second, larger film for multi-video workloads.
+    let mut vertigo = VideoContent {
+        frames: 1_536,
+        frame_bytes: 3_580,
+        objects: BTreeMap::new(),
+    };
+    for (name, first, last) in [
+        ("scottie", 0u32, 1_530u32),
+        ("madeleine", 120, 900),
+        ("judy", 910, 1_520),
+        ("midge", 40, 600),
+        ("gavin", 60, 300),
+        ("bell_tower", 800, 1_530),
+        ("bouquet", 150, 860),
+        ("necklace", 1_200, 1_500),
+    ] {
+        vertigo.add_appearance(name, FrameSpan::new(first, last));
+    }
+    d.add_video("vertigo", vertigo);
+    d
+}
+
+/// Generates a store of `videos` random videos, each with `objects_per`
+/// objects appearing in 1–3 random intervals — the workload generator for
+/// the plan-choice and summarization-tradeoff experiments.
+pub fn random_store(seed: u64, videos: usize, objects_per: usize, frames: u32) -> VideoDomain {
+    let d = VideoDomain::new("video");
+    let mut rng = Rng64::new(seed);
+    for vi in 0..videos {
+        let mut content = VideoContent {
+            frames,
+            frame_bytes: 2_000 + rng.range_u64(0, 3_000) as u32,
+            objects: BTreeMap::new(),
+        };
+        for oi in 0..objects_per {
+            let name = format!("obj_{vi}_{oi}");
+            let n_spans = rng.range_usize(1, 4);
+            for _ in 0..n_spans {
+                let first = rng.range_u64(0, frames.max(2) as u64 - 1) as u32;
+                let len = rng.range_u64(1, (frames as u64 / 4).max(2)) as u32;
+                let last = (first + len).min(frames - 1);
+                content.add_appearance(name.clone(), FrameSpan::new(first, last));
+            }
+        }
+        d.add_video(format!("video_{vi}"), content);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use hermes_common::Value;
+
+    #[test]
+    fn rope_query_cardinalities_match_paper_regime() {
+        let d = rope_store();
+        let q = |first: i64, last: i64| {
+            d.call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(first), Value::Int(last)],
+            )
+            .unwrap()
+            .answers
+            .len()
+        };
+        let narrow = q(4, 47);
+        let wide = q(4, 127);
+        assert!(
+            (17..=22).contains(&narrow),
+            "frames 4-47 returned {narrow} objects, expected ~19"
+        );
+        assert!(
+            (22..=27).contains(&wide),
+            "frames 4-127 returned {wide} objects, expected ~24"
+        );
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn rope_cast_present_through_film() {
+        let d = rope_store();
+        let out = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(0), Value::Int(935)],
+            )
+            .unwrap();
+        let names: Vec<&str> = out.answers.iter().map(|v| v.as_str().unwrap()).collect();
+        for (role, _) in ROPE_CAST {
+            assert!(names.contains(role), "{role} missing from full-range query");
+        }
+    }
+
+    #[test]
+    fn random_store_is_deterministic() {
+        let a = random_store(7, 3, 10, 500);
+        let b = random_store(7, 3, 10, 500);
+        let q = [Value::str("video_1"), Value::Int(10), Value::Int(200)];
+        assert_eq!(
+            a.call("frames_to_objects", &q).unwrap().answers,
+            b.call("frames_to_objects", &q).unwrap().answers
+        );
+        assert_eq!(a.video_names().len(), 3);
+    }
+
+    #[test]
+    fn random_store_objects_within_frame_bounds() {
+        let d = random_store(3, 1, 20, 100);
+        let out = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("video_0"), Value::Int(0), Value::Int(99)],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 20);
+    }
+}

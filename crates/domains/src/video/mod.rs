@@ -1,0 +1,468 @@
+//! An AVIS-style content-based video store.
+//!
+//! AVIS (Advanced Video Information System) is the paper's canonical
+//! "unconventional" source: a video-retrieval package whose query costs
+//! nobody can model analytically (§1, §6). This module reproduces its
+//! function surface and — importantly for the experiments — a *data- and
+//! argument-dependent* compute-cost profile that a statistics cache can
+//! learn but a closed-form model cannot easily capture.
+//!
+//! The store maps each video to a set of named *objects* (characters,
+//! props), each present during a list of frame intervals. Queries like
+//! `frames_to_objects('rope', 4, 47)` return the objects visible in a frame
+//! range, exactly the calls in Figure 5 and the appendix queries.
+
+pub mod gen;
+
+use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
+use hermes_common::{HermesError, Record, Result, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A frame interval, inclusive on both ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// First frame of the interval.
+    pub first: u32,
+    /// Last frame of the interval.
+    pub last: u32,
+}
+
+impl FrameSpan {
+    /// Builds a span; `first` must not exceed `last`.
+    pub fn new(first: u32, last: u32) -> Self {
+        assert!(first <= last, "inverted frame span {first}..{last}");
+        FrameSpan { first, last }
+    }
+
+    /// True if the span intersects `[first, last]`.
+    pub fn overlaps(&self, first: u32, last: u32) -> bool {
+        self.first <= last && first <= self.last
+    }
+}
+
+/// One video: frame count, per-frame byte size, and its objects.
+#[derive(Clone, Debug, Default)]
+pub struct VideoContent {
+    /// Total number of frames.
+    pub frames: u32,
+    /// Average encoded bytes per frame.
+    pub frame_bytes: u32,
+    /// Object name → appearance intervals (sorted, non-overlapping).
+    pub objects: BTreeMap<Arc<str>, Vec<FrameSpan>>,
+}
+
+impl VideoContent {
+    /// Adds an appearance interval for an object.
+    pub fn add_appearance(&mut self, object: impl Into<Arc<str>>, span: FrameSpan) {
+        self.objects.entry(object.into()).or_default().push(span);
+    }
+}
+
+/// Cost parameters of the AVIS engine, microseconds.
+///
+/// The total cost of a range query is
+/// `startup + per_frame * range_width + per_hit * hits + analysis`, where
+/// `analysis` is a super-linear term in the number of object-intervals the
+/// range intersects — modeling AVIS's content-analysis pass, the piece that
+/// defeats closed-form cost models.
+#[derive(Clone, Copy, Debug)]
+pub struct VideoCostParams {
+    /// Fixed per-call startup.
+    pub startup_us: f64,
+    /// Cost per frame in the queried range.
+    pub per_frame_us: f64,
+    /// Cost per returned object.
+    pub per_hit_us: f64,
+    /// Scale of the super-linear content-analysis term.
+    pub analysis_us: f64,
+}
+
+impl Default for VideoCostParams {
+    fn default() -> Self {
+        VideoCostParams {
+            startup_us: 1_500.0,
+            per_frame_us: 6.0,
+            per_hit_us: 25.0,
+            analysis_us: 40.0,
+        }
+    }
+}
+
+/// The AVIS-style domain.
+///
+/// Exported functions:
+///
+/// | function | args | answers |
+/// |---|---|---|
+/// | `videos` | — | names of stored videos |
+/// | `video_size` | video | singleton total bytes |
+/// | `video_length` | video | singleton frame count |
+/// | `objects` | video | all object names |
+/// | `frames_to_objects` | video, first, last | objects visible in the range |
+/// | `object_to_frames` | video, object | appearance intervals, as `{first, last}` records |
+pub struct VideoDomain {
+    name: Arc<str>,
+    videos: RwLock<BTreeMap<Arc<str>, VideoContent>>,
+    params: VideoCostParams,
+}
+
+impl VideoDomain {
+    /// Creates an empty store.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        VideoDomain {
+            name: name.into(),
+            videos: RwLock::new(BTreeMap::new()),
+            params: VideoCostParams::default(),
+        }
+    }
+
+    /// Overrides cost parameters.
+    pub fn with_params(mut self, params: VideoCostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Adds (or replaces) a video.
+    pub fn add_video(&self, name: impl Into<Arc<str>>, content: VideoContent) {
+        self.videos.write().insert(name.into(), content);
+    }
+
+    /// Names of stored videos.
+    pub fn video_names(&self) -> Vec<Arc<str>> {
+        self.videos.read().keys().cloned().collect()
+    }
+
+    fn video_arg<'a>(&self, function: &str, args: &'a [Value]) -> Result<&'a str> {
+        args[0].as_str().ok_or_else(|| {
+            HermesError::Type(format!(
+                "{}:{function}: first argument must be a video name",
+                self.name
+            ))
+        })
+    }
+
+    fn frame_arg(&self, function: &str, v: &Value) -> Result<u32> {
+        match v.as_int() {
+            Some(i) if i >= 0 => Ok(i as u32),
+            _ => Err(HermesError::Type(format!(
+                "{}:{function}: frame numbers must be non-negative integers, got `{v}`",
+                self.name
+            ))),
+        }
+    }
+
+    /// The range-query cost model (see [`VideoCostParams`]).
+    fn range_cost(&self, width: u32, intervals_touched: usize, hits: usize) -> ComputeCost {
+        let p = &self.params;
+        let analysis = p.analysis_us * (intervals_touched as f64).powf(1.35);
+        let t_all_us = p.startup_us
+            + p.per_frame_us * width as f64
+            + p.per_hit_us * hits as f64
+            + analysis;
+        // AVIS streams hits as the sweep reaches them: the first hit costs
+        // startup plus a fraction of the frame sweep.
+        let t_first_us = p.startup_us + p.per_frame_us * (width as f64 / (hits.max(1) as f64 + 1.0)) + p.per_hit_us;
+        ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
+    }
+
+    fn flat_cost(&self, items: usize) -> ComputeCost {
+        let p = &self.params;
+        let t_all_us = p.startup_us + p.per_hit_us * items as f64;
+        ComputeCost::from_millis((p.startup_us + p.per_hit_us) / 1000.0, t_all_us / 1000.0)
+    }
+}
+
+impl Domain for VideoDomain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn functions(&self) -> Vec<FunctionSig> {
+        vec![
+            FunctionSig::new("videos", 0, "names of stored videos"),
+            FunctionSig::new("video_size", 1, "total encoded bytes of a video"),
+            FunctionSig::new("video_length", 1, "frame count of a video"),
+            FunctionSig::new("objects", 1, "all objects of a video"),
+            FunctionSig::new(
+                "frames_to_objects",
+                3,
+                "objects visible in a frame range",
+            ),
+            FunctionSig::new(
+                "object_to_frames",
+                2,
+                "appearance intervals of an object",
+            ),
+        ]
+    }
+
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+        let arity = match function {
+            "videos" => 0,
+            "video_size" | "video_length" | "objects" => 1,
+            "object_to_frames" => 2,
+            "frames_to_objects" => 3,
+            other => return Err(self.unknown_function(other)),
+        };
+        self.check_arity(function, arity, args)?;
+        let videos = self.videos.read();
+
+        if function == "videos" {
+            let names: Vec<Value> = videos.keys().map(|k| Value::Str(k.clone())).collect();
+            let n = names.len();
+            return Ok(CallOutcome {
+                answers: names,
+                compute: self.flat_cost(n),
+            });
+        }
+
+        let vname = self.video_arg(function, args)?;
+        let video = videos.get(vname).ok_or_else(|| {
+            HermesError::Eval(format!("{}: no video `{vname}`", self.name))
+        })?;
+
+        match function {
+            "video_size" => Ok(CallOutcome {
+                answers: vec![Value::Int(
+                    video.frames as i64 * video.frame_bytes as i64,
+                )],
+                compute: self.flat_cost(1),
+            }),
+            "video_length" => Ok(CallOutcome {
+                answers: vec![Value::Int(video.frames as i64)],
+                compute: self.flat_cost(1),
+            }),
+            "objects" => {
+                let names: Vec<Value> = video
+                    .objects
+                    .keys()
+                    .map(|k| Value::Str(k.clone()))
+                    .collect();
+                let n = names.len();
+                Ok(CallOutcome {
+                    answers: names,
+                    compute: self.flat_cost(n),
+                })
+            }
+            "frames_to_objects" => {
+                let first = self.frame_arg(function, &args[1])?;
+                let last = self.frame_arg(function, &args[2])?;
+                if first > last {
+                    return Ok(CallOutcome {
+                        answers: vec![],
+                        compute: self.flat_cost(0),
+                    });
+                }
+                let mut hits = Vec::new();
+                let mut intervals_touched = 0usize;
+                for (obj, spans) in &video.objects {
+                    intervals_touched += spans.len();
+                    if spans.iter().any(|s| s.overlaps(first, last)) {
+                        hits.push(Value::Str(obj.clone()));
+                    }
+                }
+                let width = last.min(video.frames.saturating_sub(1)) - first.min(last) + 1;
+                let n = hits.len();
+                Ok(CallOutcome {
+                    answers: hits,
+                    compute: self.range_cost(width, intervals_touched, n),
+                })
+            }
+            "object_to_frames" => {
+                let oname = args[1].as_str().ok_or_else(|| {
+                    HermesError::Type(format!(
+                        "{}:object_to_frames: object must be a string",
+                        self.name
+                    ))
+                })?;
+                let spans = video.objects.get(oname).cloned().unwrap_or_default();
+                let answers: Vec<Value> = spans
+                    .iter()
+                    .map(|s| {
+                        Value::Record(Record::from_fields([
+                            ("first", Value::Int(s.first as i64)),
+                            ("last", Value::Int(s.last as i64)),
+                        ]))
+                    })
+                    .collect();
+                let n = answers.len();
+                Ok(CallOutcome {
+                    answers,
+                    compute: self.flat_cost(n * 3),
+                })
+            }
+            _ => unreachable!("arity table covers functions"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> VideoDomain {
+        let d = VideoDomain::new("video");
+        let mut rope = VideoContent {
+            frames: 300,
+            frame_bytes: 1_024,
+            objects: BTreeMap::new(),
+        };
+        rope.add_appearance("brandon", FrameSpan::new(0, 290));
+        rope.add_appearance("phillip", FrameSpan::new(0, 280));
+        rope.add_appearance("rupert", FrameSpan::new(90, 290));
+        rope.add_appearance("chest", FrameSpan::new(0, 299));
+        rope.add_appearance("rope_prop", FrameSpan::new(0, 30));
+        rope.add_appearance("rope_prop", FrameSpan::new(250, 260));
+        d.add_video("rope", rope);
+        d
+    }
+
+    #[test]
+    fn video_size_and_length() {
+        let d = store();
+        let size = d.call("video_size", &[Value::str("rope")]).unwrap();
+        assert_eq!(size.answers, vec![Value::Int(300 * 1024)]);
+        let len = d.call("video_length", &[Value::str("rope")]).unwrap();
+        assert_eq!(len.answers, vec![Value::Int(300)]);
+    }
+
+    #[test]
+    fn frames_to_objects_range_semantics() {
+        let d = store();
+        let out = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(0), Value::Int(40)],
+            )
+            .unwrap();
+        // rupert enters at frame 90 and must be absent.
+        let names: Vec<&str> = out
+            .answers
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"brandon"));
+        assert!(names.contains(&"rope_prop"));
+        assert!(!names.contains(&"rupert"));
+    }
+
+    #[test]
+    fn frames_to_objects_multi_interval_object() {
+        let d = store();
+        // rope_prop is gone during [100, 200].
+        let out = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(100), Value::Int(200)],
+            )
+            .unwrap();
+        let names: Vec<&str> = out
+            .answers
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert!(!names.contains(&"rope_prop"));
+        assert!(names.contains(&"rupert"));
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let d = store();
+        let out = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(50), Value::Int(10)],
+            )
+            .unwrap();
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn object_to_frames_returns_interval_records() {
+        let d = store();
+        let out = d
+            .call(
+                "object_to_frames",
+                &[Value::str("rope"), Value::str("rope_prop")],
+            )
+            .unwrap();
+        assert_eq!(out.answers.len(), 2);
+        match &out.answers[0] {
+            Value::Record(r) => {
+                assert_eq!(r.get("first"), Some(&Value::Int(0)));
+                assert_eq!(r.get("last"), Some(&Value::Int(30)));
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_object_gives_empty_set() {
+        let d = store();
+        let out = d
+            .call(
+                "object_to_frames",
+                &[Value::str("rope"), Value::str("nobody")],
+            )
+            .unwrap();
+        assert!(out.answers.is_empty());
+    }
+
+    #[test]
+    fn wider_ranges_cost_more() {
+        let d = store();
+        let narrow = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(4), Value::Int(47)],
+            )
+            .unwrap()
+            .compute
+            .t_all;
+        let wide = d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(4), Value::Int(280)],
+            )
+            .unwrap()
+            .compute
+            .t_all;
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn missing_video_and_bad_args() {
+        let d = store();
+        assert!(matches!(
+            d.call("video_size", &[Value::str("vertigo")]),
+            Err(HermesError::Eval(_))
+        ));
+        assert!(matches!(
+            d.call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(-1), Value::Int(5)]
+            ),
+            Err(HermesError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn negative_frame_rejected_even_as_last() {
+        let d = store();
+        assert!(d
+            .call(
+                "frames_to_objects",
+                &[Value::str("rope"), Value::Int(0), Value::Int(-5)]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn videos_lists_store() {
+        let d = store();
+        let out = d.call("videos", &[]).unwrap();
+        assert_eq!(out.answers, vec![Value::str("rope")]);
+    }
+}

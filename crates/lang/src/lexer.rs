@@ -1,0 +1,519 @@
+//! Lexer for the rule language.
+//!
+//! Tokenization is mostly conventional; the one subtlety is the period,
+//! which serves three roles: decimal point (`142.5`), attribute selector
+//! (`Ans.1`, `Tuple.loc`), and clause terminator (`… q(B, C).`). The lexer
+//! resolves this locally: a period tightly surrounded by identifier/digit
+//! characters *and* immediately following an identifier-like token is a path
+//! dot; inside a numeric literal a `digit.digit` sequence is a decimal point
+//! unless the number itself is a path component; everything else terminates
+//! a clause.
+
+use hermes_common::{HermesError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Lowercase-initial identifier (constant symbol, domain, predicate...).
+    Ident(String),
+    /// Uppercase- or `$`-initial identifier (variable).
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `&`
+    Amp,
+    /// `:`
+    Colon,
+    /// `:-`
+    Turnstile,
+    /// `?-`
+    QueryMark,
+    /// `=>`
+    Implies,
+    /// Clause-terminating `.`
+    Period,
+    /// Attribute-path `.`
+    PathDot,
+    /// `=` or `==`
+    OpEq,
+    /// `!=`
+    OpNe,
+    /// `<`
+    OpLt,
+    /// `<=`
+    OpLe,
+    /// `>`
+    OpGt,
+    /// `>=`
+    OpGe,
+}
+
+impl Tok {
+    /// True for the comparison-operator tokens.
+    pub fn is_relop(&self) -> bool {
+        matches!(
+            self,
+            Tok::OpEq | Tok::OpNe | Tok::OpLt | Tok::OpLe | Tok::OpGt | Tok::OpGe
+        )
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Var(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Amp => write!(f, "&"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Turnstile => write!(f, ":-"),
+            Tok::QueryMark => write!(f, "?-"),
+            Tok::Implies => write!(f, "=>"),
+            Tok::Period => write!(f, "."),
+            Tok::PathDot => write!(f, "."),
+            Tok::OpEq => write!(f, "="),
+            Tok::OpNe => write!(f, "!="),
+            Tok::OpLt => write!(f, "<"),
+            Tok::OpLe => write!(f, "<="),
+            Tok::OpGt => write!(f, ">"),
+            Tok::OpGe => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes input text. `%` starts a comment running to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let err = |line: usize, col: usize, msg: String| HermesError::Parse { line, col, msg };
+
+    // True if the previous emitted token can end an attribute-path base:
+    // a variable, identifier, or a path-component integer.
+    fn prev_pathable(out: &[Spanned]) -> bool {
+        matches!(
+            out.last().map(|s| &s.tok),
+            Some(Tok::Var(_)) | Some(Tok::Ident(_)) | Some(Tok::Int(_))
+        )
+    }
+    // True if the previous token was a PathDot (so a following number is a
+    // path component, never a float).
+    fn prev_path_dot(out: &[Spanned]) -> bool {
+        matches!(out.last().map(|s| &s.tok), Some(Tok::PathDot))
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let push = |tok: Tok, out: &mut Vec<Spanned>| {
+            out.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(Tok::LParen, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(Tok::RParen, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(Tok::Comma, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '&' => {
+                push(Tok::Amp, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    push(Tok::Turnstile, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Colon, &mut out);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '?' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    push(Tok::QueryMark, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(err(line, col, "stray `?`".into()));
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    push(Tok::Implies, &mut out);
+                    i += 2;
+                    col += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    push(Tok::OpEq, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::OpEq, &mut out);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push(Tok::OpNe, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(err(line, col, "stray `!`".into()));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push(Tok::OpLe, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::OpLt, &mut out);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push(Tok::OpGe, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::OpGt, &mut out);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        '\'' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        ch => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(err(line, col, "unterminated string literal".into()));
+                }
+                let consumed = j - i;
+                push(Tok::Str(s), &mut out);
+                i = j;
+                col += consumed;
+            }
+            '.' => {
+                let before_ok = prev_pathable(&out);
+                let after_ok = chars
+                    .get(i + 1)
+                    .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_');
+                if before_ok && after_ok {
+                    push(Tok::PathDot, &mut out);
+                } else {
+                    push(Tok::Period, &mut out);
+                }
+                i += 1;
+                col += 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                let mut j = i;
+                if chars[j] == '-' {
+                    j += 1;
+                }
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                // A `digit.digit` continuation is a decimal point — unless we
+                // are lexing a path component (previous token was a PathDot),
+                // in which case the dot belongs to the path.
+                if !prev_path_dot(&out)
+                    && chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text: String = chars[start..j].iter().collect();
+                let consumed = j - i;
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| err(line, col, format!("bad float `{text}`: {e}")))?;
+                    push(Tok::Float(v), &mut out);
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| err(line, col, format!("bad integer `{text}`: {e}")))?;
+                    push(Tok::Int(v), &mut out);
+                }
+                i = j;
+                col += consumed;
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let consumed = j - i;
+                let is_var = c == '$' || c.is_uppercase();
+                if is_var {
+                    let name = text.strip_prefix('$').unwrap_or(&text).to_string();
+                    if name.is_empty() {
+                        return Err(err(line, col, "`$` must be followed by a name".into()));
+                    }
+                    push(Tok::Var(name), &mut out);
+                } else {
+                    push(Tok::Ident(text), &mut out);
+                }
+                i = j;
+                col += consumed;
+            }
+            other => {
+                return Err(err(line, col, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_rule() {
+        let t = toks("p(A, b) :- q(A).");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Var("A".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Var("A".into()),
+                Tok::RParen,
+                Tok::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_path_dots_vs_terminator() {
+        let t = toks("=(Ans.1, A).");
+        assert_eq!(
+            t,
+            vec![
+                Tok::OpEq,
+                Tok::LParen,
+                Tok::Var("Ans".into()),
+                Tok::PathDot,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Var("A".into()),
+                Tok::RParen,
+                Tok::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_multi_step_path() {
+        let t = toks("X.1.name");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Var("X".into()),
+                Tok::PathDot,
+                Tok::Int(1),
+                Tok::PathDot,
+                Tok::Ident("name".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_float_vs_path_component() {
+        assert_eq!(toks("f(1.5)")[2], Tok::Float(1.5));
+        // After a path dot, 1.2 is two path components, not a float.
+        let t = toks("X.1.2");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Var("X".into()),
+                Tok::PathDot,
+                Tok::Int(1),
+                Tok::PathDot,
+                Tok::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_negative_numbers() {
+        assert_eq!(toks("f(-3)")[2], Tok::Int(-3));
+        assert_eq!(toks("f(-3.5)")[2], Tok::Float(-3.5));
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            toks(r"'it\'s'"),
+            vec![Tok::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("= == != < <= > >= => :- ?-"),
+            vec![
+                Tok::OpEq,
+                Tok::OpEq,
+                Tok::OpNe,
+                Tok::OpLt,
+                Tok::OpLe,
+                Tok::OpGt,
+                Tok::OpGe,
+                Tok::Implies,
+                Tok::Turnstile,
+                Tok::QueryMark,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dollar_variables() {
+        assert_eq!(toks("$ans"), vec![Tok::Var("ans".into())]);
+        assert_eq!(toks("Ans"), vec![Tok::Var("Ans".into())]);
+        assert!(lex("$ ").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("p(a). % a comment\nq(b)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::RParen,
+                Tok::Period,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let s = lex("p(A).\nq(B).").unwrap();
+        let q = s.iter().find(|t| t.tok == Tok::Ident("q".into())).unwrap();
+        assert_eq!((q.line, q.col), (2, 1));
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        match lex("p(a) @") {
+            Err(HermesError::Parse { line, col, .. }) => {
+                assert_eq!((line, col), (1, 6));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Static validation of rules, programs, and invariants.
+//!
+//! Two properties matter before planning:
+//!
+//! * **Safety / executability** — a rule must admit *some* subgoal ordering
+//!   in which every domain call's arguments are ground by the time the call
+//!   runs (the paper requires ground calls, §3) and every condition's
+//!   operands are ground. Head variables must be bound by the body (or be
+//!   bound by the query). The check here is a fixpoint over "groundable"
+//!   variables and is ordering-independent; the rewriter later finds the
+//!   actual orderings.
+//! * **Invariant well-formedness** — every condition variable must appear in
+//!   one of the two calls (§4: "no free variables in the invariants").
+
+use crate::ast::{Invariant, Program, Rule};
+use hermes_common::{HermesError, Result};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Validates every rule of a program.
+pub fn validate_program(p: &Program) -> Result<()> {
+    for r in &p.rules {
+        validate_rule(r)?;
+    }
+    Ok(())
+}
+
+/// Validates a single rule (see module docs).
+pub fn validate_rule(rule: &Rule) -> Result<()> {
+    // Variables that evaluation can ever bind: head variables (a query may
+    // bind them top-down) plus everything any body atom binds.
+    let mut groundable: BTreeSet<Arc<str>> = rule.head.variables();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for atom in &rule.body {
+            if atom.can_run(&groundable) {
+                for v in atom.new_bindings(&groundable) {
+                    if groundable.insert(v) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Every variable used anywhere must be groundable.
+    for atom in &rule.body {
+        for v in atom.variables() {
+            if !groundable.contains(&v) {
+                return Err(HermesError::Plan(format!(
+                    "rule `{}`: variable `{v}` can never become ground \
+                     (no subgoal binds it)",
+                    rule.head
+                )));
+            }
+        }
+    }
+
+    // Head variables must be bound by the body when the body is non-empty:
+    // otherwise the rule can produce unbound answers for free head variables.
+    if !rule.body.is_empty() {
+        // Range restriction: every head variable must occur in the body.
+        // (It need not be *bound* by the body alone — sideways information
+        // passing from the query can bind it, as in `q(B,C) :- in(C,
+        // d2:q_bf(B))` where B flows in from the caller.)
+        let body_vars: BTreeSet<Arc<str>> = rule
+            .body
+            .iter()
+            .flat_map(|a| a.variables())
+            .collect();
+        for v in rule.head.variables() {
+            if !body_vars.contains(&v) {
+                return Err(HermesError::Plan(format!(
+                    "rule `{}`: head variable `{v}` does not occur in the body",
+                    rule.head
+                )));
+            }
+        }
+    } else {
+        // Facts must be ground.
+        if !rule.head.variables().is_empty() {
+            return Err(HermesError::Plan(format!(
+                "fact `{}` contains variables",
+                rule.head
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates an invariant: condition variables must appear in a call.
+pub fn validate_invariant(inv: &Invariant) -> Result<()> {
+    let call_vars = inv.call_variables();
+    for c in &inv.conditions {
+        for v in c.variables() {
+            if !call_vars.contains(&v) {
+                return Err(HermesError::Plan(format!(
+                    "invariant `{inv}`: condition variable `{v}` appears in \
+                     neither domain call"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_invariant, parse_program, parse_rule};
+
+    #[test]
+    fn valid_paper_rules_pass() {
+        let p = parse_program(
+            "
+            m(A, C) :- p(A, B) & q(B, C).
+            p(A, B) :- in(Ans, d1:p_ff()) & =(Ans.1, A) & =(Ans.2, B).
+            q(B, C) :- in(C, d2:q_bf(B)).
+            ",
+        )
+        .unwrap();
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn head_var_missing_from_body_fails() {
+        let r = parse_rule("p(A, B) :- in(A, d:f('x')).").unwrap();
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("head variable `B`"));
+    }
+
+    #[test]
+    fn unboundable_call_argument_fails() {
+        // Z is only consumed (as a call argument), never produced.
+        let r = parse_rule("p(A) :- in(A, d:f(Z)).").unwrap();
+        let err = validate_rule(&r).unwrap_err();
+        assert!(err.to_string().contains("`Z`"));
+    }
+
+    #[test]
+    fn condition_var_unbound_fails() {
+        let r = parse_rule("p(A) :- in(A, d:f()) & >(W, 5).").unwrap();
+        assert!(validate_rule(&r).is_err());
+    }
+
+    #[test]
+    fn chained_bindings_are_groundable() {
+        // B is bound by the first call (as target), consumed by the second.
+        let r = parse_rule("p(A) :- in(B, d:f()) & in(A, d:g(B)).").unwrap();
+        assert!(validate_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn binding_order_in_text_does_not_matter() {
+        // The consumer is written before the producer; still valid because
+        // validation is ordering-independent (the rewriter reorders).
+        let r = parse_rule("p(A) :- in(A, d:g(B)) & in(B, d:f()).").unwrap();
+        assert!(validate_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn non_ground_fact_fails() {
+        let r = parse_rule("p(A).").unwrap();
+        assert!(validate_rule(&r).is_err());
+        let ok = parse_rule("p('a').").unwrap();
+        assert!(validate_rule(&ok).is_ok());
+    }
+
+    #[test]
+    fn invariant_free_condition_var_fails() {
+        let inv = parse_invariant("W > 5 => d:f(X) = d:g(X).").unwrap();
+        assert!(validate_invariant(&inv).is_err());
+        let ok = parse_invariant("X > 5 => d:f(X) = d:g(X).").unwrap();
+        assert!(validate_invariant(&ok).is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! # hermes-net
+//!
+//! The simulated wide-area network under the mediator's distributed
+//! experiments.
+//!
+//! The paper measured real Internet paths between Maryland, Cornell,
+//! Bucknell, and a site in Italy in 1996; we reproduce the *shape* of that
+//! environment on a virtual clock (see DESIGN.md §2): each [`Site`] has a
+//! connection overhead, round-trip latency with jitter, bandwidth, a
+//! time-of-day load curve, and optional outages. A [`Network`] places
+//! domains at sites and executes ground calls, composing the domain's
+//! compute cost with the network cost into a [`RemoteOutcome`] whose
+//! simulated `t_first` / `t_all` are what the executor integrates on its
+//! clock — and what DCSM records in its statistics cache.
+//!
+//! ```
+//! use hermes_net::{Network, profiles};
+//! use hermes_domains::video::gen::rope_store;
+//! use hermes_common::{GroundCall, SimInstant, Value};
+//! use std::sync::Arc;
+//!
+//! let mut net = Network::new(7);
+//! net.place(Arc::new(rope_store()), profiles::italy());
+//! let call = GroundCall::new("video", "video_size", vec![Value::str("rope")]);
+//! let out = net.execute(&call, SimInstant::EPOCH).unwrap();
+//! assert!(out.t_all.as_millis() > 500); // transatlantic 1996 is slow
+//! ```
+
+pub mod network;
+pub mod profiles;
+pub mod site;
+
+pub use network::{Network, RemoteOutcome};
+pub use site::{LinkModel, Site};

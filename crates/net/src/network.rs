@@ -1,0 +1,318 @@
+//! The network: domain placement and remote call execution.
+
+use crate::site::Site;
+use hermes_common::{
+    GroundCall, HermesError, Result, Rng64, SimDuration, SimInstant, Value,
+};
+use hermes_domains::{Domain, DomainRegistry};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The result of executing a call across the (simulated) network.
+#[derive(Clone, Debug)]
+pub struct RemoteOutcome {
+    /// The answers.
+    pub answers: Vec<Value>,
+    /// Simulated time until the first answer arrived at the mediator.
+    pub t_first: SimDuration,
+    /// Simulated time until the full answer set arrived.
+    pub t_all: SimDuration,
+    /// Bytes received (answers on the wire).
+    pub bytes: usize,
+    /// The site that served the call.
+    pub site: Arc<str>,
+}
+
+impl RemoteOutcome {
+    /// Number of answers.
+    pub fn cardinality(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+/// Domains placed at sites, plus the shared deterministic jitter stream.
+///
+/// `execute` is the single entry point the mediator uses to reach the
+/// outside world. Figure 5's "sites in USA" / "sites in Italy" variants are
+/// two `Network`s placing the same domain behind different [`Site`]s.
+pub struct Network {
+    registry: DomainRegistry,
+    placement: BTreeMap<Arc<str>, Arc<Site>>,
+    rng: Mutex<Rng64>,
+}
+
+impl Network {
+    /// An empty network with a seeded jitter stream.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            registry: DomainRegistry::new(),
+            placement: BTreeMap::new(),
+            rng: Mutex::new(Rng64::new(seed)),
+        }
+    }
+
+    /// Places a domain at a site.
+    pub fn place(&mut self, domain: Arc<dyn Domain>, site: Site) {
+        let name: Arc<str> = Arc::from(domain.name());
+        self.registry.register(domain);
+        self.placement.insert(name, Arc::new(site));
+    }
+
+    /// Places a domain on the mediator's own machine (zero network cost).
+    pub fn place_local(&mut self, domain: Arc<dyn Domain>) {
+        self.place(domain, Site::local());
+    }
+
+    /// The registry of placed domains.
+    pub fn registry(&self) -> &DomainRegistry {
+        &self.registry
+    }
+
+    /// The site hosting `domain`.
+    pub fn site_of(&self, domain: &str) -> Result<&Arc<Site>> {
+        self.placement
+            .get(domain)
+            .ok_or_else(|| HermesError::UnknownDomain(domain.to_string()))
+    }
+
+    /// Executes a ground call at virtual time `now`.
+    ///
+    /// Fails with [`HermesError::Unavailable`] when the hosting site is in
+    /// a scheduled outage or the link's failure rate fires — the situation
+    /// in which only the answer cache can serve the query (§1, §4).
+    pub fn execute(&self, call: &GroundCall, now: SimInstant) -> Result<RemoteOutcome> {
+        let site = self.site_of(&call.domain)?.clone();
+        if site.is_down(now) {
+            return Err(HermesError::Unavailable {
+                site: site.name.to_string(),
+                reason: "scheduled outage".into(),
+            });
+        }
+        let jitter = {
+            let mut rng = self.rng.lock();
+            if site.link.failure_rate > 0.0 && rng.chance(site.link.failure_rate) {
+                return Err(HermesError::Unavailable {
+                    site: site.name.to_string(),
+                    reason: "connection failed".into(),
+                });
+            }
+            if site.link.jitter_frac > 0.0 {
+                // Lognormal-ish positive factor around 1.
+                (1.0 + site.link.jitter_frac * rng.gaussian()).clamp(0.25, 4.0)
+            } else {
+                1.0
+            }
+        };
+
+        let outcome = self.registry.execute(call)?;
+        let bytes = outcome.answer_bytes();
+        let load = site.link.load_factor(now);
+        let lat = &site.link;
+
+        let request_overhead = SimDuration::from_millis_f64(
+            (lat.connect_ms + lat.rtt_ms) * load * jitter,
+        ) + lat.transfer(call.request_bytes());
+
+        // First answer: overhead + source's time-to-first + first tuple on
+        // the wire (approximated by the mean answer size).
+        let first_bytes = if outcome.answers.is_empty() {
+            0
+        } else {
+            bytes / outcome.answers.len()
+        };
+        let t_first = request_overhead
+            + outcome.compute.t_first
+            + lat.transfer(first_bytes) * (load * jitter);
+        let t_all = request_overhead
+            + outcome.compute.t_all
+            + lat.transfer(bytes) * (load * jitter);
+
+        Ok(RemoteOutcome {
+            answers: outcome.answers,
+            t_first,
+            t_all: t_all.max(t_first),
+            bytes,
+            site: site.name.clone(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let placement: Vec<String> = self
+            .placement
+            .iter()
+            .map(|(d, s)| format!("{d}@{}", s.name))
+            .collect();
+        f.debug_struct("Network").field("placement", &placement).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::site::LinkModel;
+    use hermes_domains::video::gen::rope_store;
+
+    fn call() -> GroundCall {
+        GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![Value::str("rope"), Value::Int(4), Value::Int(47)],
+        )
+    }
+
+    #[test]
+    fn local_placement_charges_only_compute() {
+        let mut net = Network::new(1);
+        net.place_local(Arc::new(rope_store()));
+        let out = net.execute(&call(), SimInstant::EPOCH).unwrap();
+        assert!(!out.answers.is_empty());
+        // The video domain's own compute cost is a few ms; no network cost.
+        assert!(out.t_all.as_millis_f64() < 50.0, "t_all {}", out.t_all);
+    }
+
+    #[test]
+    fn remote_placement_adds_latency() {
+        let mut local = Network::new(1);
+        local.place_local(Arc::new(rope_store()));
+        let mut remote = Network::new(1);
+        remote.place(Arc::new(rope_store()), profiles::italy());
+        let t_local = local.execute(&call(), SimInstant::EPOCH).unwrap().t_all;
+        let t_remote = remote.execute(&call(), SimInstant::EPOCH).unwrap().t_all;
+        assert!(t_remote > t_local * 5, "remote {t_remote} vs local {t_local}");
+    }
+
+    #[test]
+    fn same_seed_same_timings() {
+        let mk = || {
+            let mut n = Network::new(9);
+            n.place(Arc::new(rope_store()), profiles::cornell());
+            n
+        };
+        let a = mk().execute(&call(), SimInstant::EPOCH).unwrap();
+        let b = mk().execute(&call(), SimInstant::EPOCH).unwrap();
+        assert_eq!(a.t_all, b.t_all);
+        assert_eq!(a.answers, b.answers);
+    }
+
+    #[test]
+    fn outage_returns_unavailable() {
+        let site = profiles::cornell().with_outage(
+            SimInstant::EPOCH,
+            SimInstant::EPOCH + SimDuration::from_secs(60),
+        );
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), site);
+        let err = net.execute(&call(), SimInstant::EPOCH).unwrap_err();
+        assert!(matches!(err, HermesError::Unavailable { .. }));
+        // After the outage the call succeeds.
+        let later = SimInstant::EPOCH + SimDuration::from_secs(61);
+        assert!(net.execute(&call(), later).is_ok());
+    }
+
+    #[test]
+    fn failure_rate_one_always_fails() {
+        let site = Site::new(
+            "flaky",
+            "USA",
+            LinkModel {
+                failure_rate: 1.0,
+                ..LinkModel::default()
+            },
+        );
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), site);
+        assert!(matches!(
+            net.execute(&call(), SimInstant::EPOCH),
+            Err(HermesError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn load_curve_slows_peak_hours() {
+        let site = Site::new(
+            "loaded",
+            "USA",
+            LinkModel {
+                connect_ms: 100.0,
+                rtt_ms: 100.0,
+                load_amplitude: 1.0,
+                load_period_ms: 1_000.0,
+                ..LinkModel::default()
+            },
+        );
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), site);
+        // Scan a period for min and max service times.
+        let mut lo = SimDuration::from_secs(1_000_000);
+        let mut hi = SimDuration::ZERO;
+        for i in 0..10 {
+            let t = SimInstant::EPOCH + SimDuration::from_millis(i * 100);
+            let d = net.execute(&call(), t).unwrap().t_all;
+            lo = if d < lo { d } else { lo };
+            hi = hi.max(d);
+        }
+        assert!(hi.as_millis_f64() > lo.as_millis_f64() * 1.3);
+    }
+
+    #[test]
+    fn unknown_domain_is_error() {
+        let net = Network::new(1);
+        assert!(matches!(
+            net.execute(&call(), SimInstant::EPOCH),
+            Err(HermesError::UnknownDomain(_))
+        ));
+    }
+
+    #[test]
+    fn larger_results_transfer_longer_on_thin_pipes() {
+        // Same site, two calls with very different result sizes: the wide
+        // frame sweep ships more bytes and pays proportionally.
+        let mut net = Network::new(4);
+        let mut site = profiles::italy();
+        site.link.jitter_frac = 0.0; // isolate the transfer term
+        net.place(Arc::new(rope_store()), site);
+        let small = net
+            .execute(
+                &GroundCall::new("video", "video_size", vec![Value::str("rope")]),
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        let big = net
+            .execute(
+                &GroundCall::new(
+                    "video",
+                    "frames_to_objects",
+                    vec![Value::str("rope"), Value::Int(0), Value::Int(900)],
+                ),
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        assert!(big.bytes > small.bytes * 5);
+        assert!(big.t_all > small.t_all);
+        assert_eq!(big.cardinality(), big.answers.len());
+    }
+
+    #[test]
+    fn site_of_reports_placement() {
+        let mut net = Network::new(4);
+        net.place(Arc::new(rope_store()), profiles::cornell());
+        assert_eq!(net.site_of("video").unwrap().name.as_ref(), "cornell");
+        assert!(net.site_of("nope").is_err());
+        assert!(format!("{net:?}").contains("video@cornell"));
+    }
+
+    #[test]
+    fn t_first_never_exceeds_t_all() {
+        let mut net = Network::new(3);
+        net.place(Arc::new(rope_store()), profiles::italy());
+        for i in 0..20 {
+            let t = SimInstant::EPOCH + SimDuration::from_millis(i * 137);
+            let out = net.execute(&call(), t).unwrap();
+            assert!(out.t_first <= out.t_all);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Canned site profiles reproducing the paper's testbed.
+//!
+//! Parameters are calibrated so that the Figure 5 experiment lands in the
+//! same regime the paper reports: a small AVIS query answered from a USA
+//! site in ~1.5–2.5 simulated seconds and from the Italian site in tens of
+//! seconds (the paper measured 2.6 s vs 49 s for "actors in The Rope").
+//! 1996 transatlantic IP: multi-second connection setup, ~1 KB/s effective
+//! throughput at peak, heavy congestion swings.
+
+use crate::site::{LinkModel, Site};
+
+/// University of Maryland — the mediator's home site (LAN).
+pub fn maryland() -> Site {
+    Site::new(
+        "umd",
+        "USA",
+        LinkModel {
+            connect_ms: 40.0,
+            rtt_ms: 4.0,
+            jitter_frac: 0.05,
+            bytes_per_ms: 500.0,
+            load_amplitude: 0.1,
+            load_period_ms: 3_600_000.0,
+            failure_rate: 0.0,
+        },
+    )
+}
+
+/// Cornell — a well-connected US site.
+pub fn cornell() -> Site {
+    Site::new(
+        "cornell",
+        "USA",
+        LinkModel {
+            connect_ms: 350.0,
+            rtt_ms: 45.0,
+            jitter_frac: 0.15,
+            bytes_per_ms: 40.0,
+            load_amplitude: 0.3,
+            load_period_ms: 3_600_000.0,
+            failure_rate: 0.0,
+        },
+    )
+}
+
+/// Bucknell — a smaller US site on a thinner pipe.
+pub fn bucknell() -> Site {
+    Site::new(
+        "bucknell",
+        "USA",
+        LinkModel {
+            connect_ms: 500.0,
+            rtt_ms: 70.0,
+            jitter_frac: 0.2,
+            bytes_per_ms: 15.0,
+            load_amplitude: 0.4,
+            load_period_ms: 3_600_000.0,
+            failure_rate: 0.0,
+        },
+    )
+}
+
+/// The Italian site — 1996 transatlantic conditions.
+pub fn italy() -> Site {
+    Site::new(
+        "milan",
+        "Italy",
+        LinkModel {
+            connect_ms: 9_000.0,
+            rtt_ms: 900.0,
+            jitter_frac: 0.35,
+            bytes_per_ms: 1.2,
+            load_amplitude: 1.5,
+            load_period_ms: 3_600_000.0,
+            failure_rate: 0.0,
+        },
+    )
+}
+
+/// An unreliable variant of the Italian site, for availability
+/// experiments (temporary unavailability is a §1 motivation for caching).
+pub fn italy_flaky(failure_rate: f64) -> Site {
+    let mut s = italy();
+    s.link.failure_rate = failure_rate;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::SimInstant;
+
+    #[test]
+    fn profiles_are_ordered_by_distance() {
+        let md = maryland().link;
+        let co = cornell().link;
+        let it = italy().link;
+        assert!(md.connect_ms < co.connect_ms);
+        assert!(co.connect_ms < it.connect_ms);
+        assert!(md.bytes_per_ms > co.bytes_per_ms);
+        assert!(co.bytes_per_ms > it.bytes_per_ms);
+    }
+
+    #[test]
+    fn italy_is_an_order_of_magnitude_slower() {
+        // Base service time for a 3 KB result.
+        let service = |link: &crate::site::LinkModel| {
+            link.connect_ms + link.rtt_ms + 3_000.0 / link.bytes_per_ms
+        };
+        let usa = service(&cornell().link);
+        let it = service(&italy().link);
+        assert!(it > usa * 8.0, "italy {it} usa {usa}");
+    }
+
+    #[test]
+    fn flaky_italy_sets_failure_rate() {
+        assert_eq!(italy_flaky(0.3).link.failure_rate, 0.3);
+        assert!(!italy().is_down(SimInstant::EPOCH));
+    }
+}

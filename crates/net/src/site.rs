@@ -1,0 +1,175 @@
+//! Sites and their link models.
+
+use hermes_common::{SimDuration, SimInstant};
+use std::sync::Arc;
+
+/// The network characteristics of the path from the mediator to a site.
+///
+/// All times in milliseconds. The effective service time of a call is
+///
+/// ```text
+/// connect + rtt * load(t) * jitter + bytes / bandwidth
+/// ```
+///
+/// where `load(t)` is a deterministic diurnal curve over virtual time and
+/// `jitter` is a per-call lognormal-ish factor drawn from the network's
+/// seeded RNG.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    /// Per-call connection setup cost, ms (TCP + application handshake).
+    pub connect_ms: f64,
+    /// Round-trip time, ms.
+    pub rtt_ms: f64,
+    /// Relative standard deviation of per-call jitter (0 disables).
+    pub jitter_frac: f64,
+    /// Usable bandwidth, bytes per millisecond.
+    pub bytes_per_ms: f64,
+    /// Amplitude of the diurnal load curve (0 disables; 1.0 doubles
+    /// latency at peak).
+    pub load_amplitude: f64,
+    /// Period of the load curve, ms of virtual time.
+    pub load_period_ms: f64,
+    /// Probability that a call fails outright (connection refused).
+    pub failure_rate: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            connect_ms: 1.0,
+            rtt_ms: 1.0,
+            jitter_frac: 0.0,
+            bytes_per_ms: 1_000.0,
+            load_amplitude: 0.0,
+            load_period_ms: 3_600_000.0,
+            failure_rate: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// The deterministic load multiplier at virtual time `t` (≥ 1).
+    pub fn load_factor(&self, t: SimInstant) -> f64 {
+        if self.load_amplitude <= 0.0 {
+            return 1.0;
+        }
+        let phase = (t.as_millis_f64() / self.load_period_ms) * std::f64::consts::TAU;
+        1.0 + self.load_amplitude * 0.5 * (1.0 + phase.sin())
+    }
+
+    /// Transfer time for `bytes` at this link's bandwidth.
+    pub fn transfer(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_millis_f64(bytes as f64 / self.bytes_per_ms.max(1e-9))
+    }
+}
+
+/// A named site hosting one or more domains.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Site name, e.g. `umd`, `milan`.
+    pub name: Arc<str>,
+    /// Geographic region label used in experiment tables ("USA", "Italy").
+    pub region: Arc<str>,
+    /// The mediator→site link.
+    pub link: LinkModel,
+    /// Scheduled outages, as closed virtual-time intervals.
+    pub outages: Vec<(SimInstant, SimInstant)>,
+}
+
+impl Site {
+    /// Builds a site.
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        region: impl Into<Arc<str>>,
+        link: LinkModel,
+    ) -> Self {
+        Site {
+            name: name.into(),
+            region: region.into(),
+            link,
+            outages: Vec::new(),
+        }
+    }
+
+    /// A zero-cost local site (the mediator's own machine).
+    pub fn local() -> Self {
+        Site::new(
+            "local",
+            "local",
+            LinkModel {
+                connect_ms: 0.0,
+                rtt_ms: 0.0,
+                ..LinkModel::default()
+            },
+        )
+    }
+
+    /// Adds a scheduled outage.
+    pub fn with_outage(mut self, from: SimInstant, to: SimInstant) -> Self {
+        self.outages.push((from, to));
+        self
+    }
+
+    /// True if the site is down at virtual time `t`.
+    pub fn is_down(&self, t: SimInstant) -> bool {
+        self.outages.iter().any(|(a, b)| t >= *a && t <= *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::SimDuration;
+
+    #[test]
+    fn load_factor_oscillates_at_or_above_one() {
+        let link = LinkModel {
+            load_amplitude: 1.0,
+            load_period_ms: 1_000.0,
+            ..LinkModel::default()
+        };
+        let mut seen_high = false;
+        for i in 0..20 {
+            let t = SimInstant::EPOCH + SimDuration::from_millis(i * 100);
+            let f = link.load_factor(t);
+            assert!((1.0..=2.0 + 1e-9).contains(&f), "factor {f}");
+            if f > 1.5 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+
+    #[test]
+    fn zero_amplitude_is_flat() {
+        let link = LinkModel::default();
+        assert_eq!(link.load_factor(SimInstant::EPOCH), 1.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = LinkModel {
+            bytes_per_ms: 100.0,
+            ..LinkModel::default()
+        };
+        assert_eq!(link.transfer(1_000).as_millis(), 10);
+        assert_eq!(link.transfer(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outages_cover_closed_intervals() {
+        let t = |ms| SimInstant::EPOCH + SimDuration::from_millis(ms);
+        let site = Site::new("s", "USA", LinkModel::default()).with_outage(t(100), t(200));
+        assert!(!site.is_down(t(99)));
+        assert!(site.is_down(t(100)));
+        assert!(site.is_down(t(200)));
+        assert!(!site.is_down(t(201)));
+    }
+
+    #[test]
+    fn local_site_is_free() {
+        let s = Site::local();
+        assert_eq!(s.link.connect_ms, 0.0);
+        assert_eq!(s.link.rtt_ms, 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! `hermes-repl` — an interactive shell over a demo mediator world.
+//!
+//! ```sh
+//! cargo run --bin hermes-repl                # built-in demo world
+//! cargo run --bin hermes-repl program.hm     # your rules over the demo domains
+//! ```
+//!
+//! The demo world hosts four sources on a simulated 1996 network:
+//! `video` (AVIS-style store with "The Rope", in Italy), `relation`
+//! (cast table, Cornell), `spatial` (a point file, local), and
+//! `terraindb` (a path planner, local).
+//!
+//! Commands:
+//!
+//! ```text
+//! ?- <goals>.            run a query (all answers)
+//! :first <k> ?- <...>.   run a query, stop after k answers
+//! :explain ?- <...>.     show candidate plans and estimates
+//! :invariant <inv>.      add an invariant to CIM
+//! :mode all|first        optimization objective
+//! :stats                 cache/statistics counters
+//! :save <dir>  :load <dir>   persist / restore caches
+//! :help  :quit
+//! ```
+
+use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
+use hermes::domains::spatial::{uniform_points, SpatialDomain};
+use hermes::domains::terrain::{demo_map, TerrainDomain};
+use hermes::domains::video::gen::{rope_store, ROPE_CAST};
+use hermes::net::profiles;
+use hermes::{parse_invariant, Mediator, Network, Value};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+const DEMO_PROGRAM: &str = "
+    objs(F, L, O) :- in(O, video:frames_to_objects('rope', F, L)).
+    actors(F, L, O, A) :-
+        in(O, video:frames_to_objects('rope', F, L)) &
+        in(T, relation:select_eq('cast', 'role', O)) &
+        =(T.name, A).
+    near(X, Y, D, P) :- in(P, spatial:range('points', X, Y, D)).
+    route(From, To, R) :- in(R, terraindb:findrte(From, To)).
+";
+
+fn demo_network() -> Network {
+    let relation = RelationalDomain::new("relation");
+    let mut cast = Table::new(
+        "cast",
+        Schema::new(vec![
+            Column::new("name", ColumnType::Str),
+            Column::new("role", ColumnType::Str),
+        ])
+        .expect("schema"),
+    );
+    for (role, actor) in ROPE_CAST {
+        cast.insert(vec![Value::str(*actor), Value::str(*role)])
+            .expect("insert");
+    }
+    relation.add_table(cast);
+    let spatial = SpatialDomain::new("spatial");
+    spatial.load_points("points", uniform_points(7, 500, 100.0), 10.0);
+    let terrain = TerrainDomain::new("terraindb", demo_map());
+
+    let mut net = Network::new(42);
+    net.place(Arc::new(rope_store()), profiles::italy());
+    net.place(relation, profiles::cornell());
+    net.place_local(Arc::new(spatial));
+    net.place_local(Arc::new(terrain));
+    net
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let program = match args.get(1) {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => DEMO_PROGRAM.to_string(),
+    };
+    let mut mediator = match Mediator::from_source(&program, demo_network()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("program error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("hermes mediator shell — :help for commands");
+    let interactive = atty_stdout();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        if interactive {
+            print!("hermes> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        if !interactive {
+            println!("hermes> {line}");
+        }
+        match dispatch(&mut mediator, line) {
+            Ok(Control::Continue) => {}
+            Ok(Control::Quit) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum Control {
+    Continue,
+    Quit,
+}
+
+fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
+    if line == ":quit" || line == ":q" {
+        return Ok(Control::Quit);
+    }
+    if line == ":help" {
+        println!(
+            "  ?- <goals>.           run a query\n  \
+             :first <k> ?- ...     stop after k answers\n  \
+             :explain ?- ...       show plans + estimates\n  \
+             :invariant <inv>.     add an invariant\n  \
+             :mode all|first       optimization objective\n  \
+             :trace on|off         show execution traces\n  \
+             :stats                counters\n  \
+             :save <dir> / :load <dir>\n  \
+             :quit"
+        );
+        return Ok(Control::Continue);
+    }
+    if line == ":stats" {
+        let cim = mediator.cim();
+        let cim = cim.lock();
+        let s = cim.stats();
+        println!(
+            "  CIM: {} exact, {} equality, {} partial hits; {} misses; \
+             cache {} entries / {} bytes",
+            s.exact_hits,
+            s.equal_hits,
+            s.partial_hits,
+            s.misses,
+            cim.cache().len(),
+            cim.cache().bytes()
+        );
+        drop(cim);
+        let dcsm = mediator.dcsm();
+        let dcsm = dcsm.lock();
+        println!(
+            "  DCSM: {} detail records, {} summary tables, ~{} bytes",
+            dcsm.db().len(),
+            dcsm.tables().len(),
+            dcsm.approx_bytes()
+        );
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":trace") {
+        match rest.trim() {
+            "on" => mediator.config_mut().exec.collect_trace = true,
+            "off" => mediator.config_mut().exec.collect_trace = false,
+            other => println!("unknown trace setting `{other}` (use on|off)"),
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":mode") {
+        match rest.trim() {
+            "all" => mediator.config_mut().optimize_first_answer = false,
+            "first" => mediator.config_mut().optimize_first_answer = true,
+            other => println!("unknown mode `{other}` (use all|first)"),
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(dir) = line.strip_prefix(":save") {
+        mediator.save_state(std::path::Path::new(dir.trim()))?;
+        println!("  saved.");
+        return Ok(Control::Continue);
+    }
+    if let Some(dir) = line.strip_prefix(":load") {
+        mediator.load_state(std::path::Path::new(dir.trim()))?;
+        println!("  loaded.");
+        return Ok(Control::Continue);
+    }
+    if let Some(inv) = line.strip_prefix(":invariant") {
+        let parsed = parse_invariant(inv.trim())?;
+        mediator.cim().lock().add_invariant(parsed)?;
+        println!("  invariant added.");
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":explain") {
+        print!("{}", mediator.explain(rest.trim())?);
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":first") {
+        let rest = rest.trim();
+        let (k_text, query) = rest
+            .split_once(' ')
+            .ok_or_else(|| hermes::HermesError::Eval(":first needs `<k> ?- ...`".into()))?;
+        let k: usize = k_text
+            .parse()
+            .map_err(|e| hermes::HermesError::Eval(format!("bad count `{k_text}`: {e}")))?;
+        let result = mediator.query_limited(query.trim(), Some(k))?;
+        print_result(&result);
+        return Ok(Control::Continue);
+    }
+    // Anything else is a query.
+    let result = mediator.query(line)?;
+    if !result.trace.is_empty() {
+        print!("{}", hermes::core::trace::render(&result.trace));
+    }
+    print_result(&result);
+    Ok(Control::Continue)
+}
+
+fn print_result(result: &hermes::QueryResult) {
+    let header: Vec<String> = result.columns.iter().map(|c| c.to_string()).collect();
+    if !header.is_empty() {
+        println!("  {}", header.join(" | "));
+    }
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+    let first = result
+        .t_first
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "  ({} answers; first {first}, all {}; {} source calls, {} cache hits{})",
+        result.rows.len(),
+        result.t_all,
+        result.stats.actual_calls,
+        result.stats.cim_exact + result.stats.cim_equal + result.stats.cim_partial,
+        if result.incomplete { "; INCOMPLETE" } else { "" },
+    );
+}
+
+/// Crude tty check without a dependency: honors `HERMES_REPL_FORCE_TTY`.
+fn atty_stdout() -> bool {
+    if std::env::var_os("HERMES_REPL_FORCE_TTY").is_some() {
+        return true;
+    }
+    // Piped usage (tests, scripts) sets no env; default to non-interactive
+    // echo so transcripts are self-describing.
+    false
+}

@@ -1,0 +1,408 @@
+//! Property-based tests over the workspace's core invariants.
+
+use hermes::common::{CallPattern, GroundCall, PatArg, SimInstant};
+use hermes::dcsm::{Dcsm, SummaryTable};
+use hermes::lang::{parse_rule, BodyAtom, CallTemplate, PredAtom, Rule, Term};
+use hermes::Value;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+// ---------- generators ----------
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    scalar_value().prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::vec(("[a-z]{1,4}", inner), 0..4).prop_map(|fields| {
+                Value::Record(hermes::common::Record::from_fields(
+                    fields,
+                ))
+            }),
+        ]
+    })
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,4}"
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var_name().prop_map(Term::var),
+        any::<i32>().prop_map(|i| Term::constant(i as i64)),
+        "[a-z][a-z0-9 ]{0,6}".prop_map(|s| Term::Const(Value::str(s))),
+    ]
+}
+
+fn ground_call() -> impl Strategy<Value = GroundCall> {
+    (
+        ident(),
+        ident(),
+        prop::collection::vec(scalar_value(), 0..4),
+    )
+        .prop_map(|(d, f, args)| GroundCall::new(d, f, args))
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    let in_atom = (var_name(), ident(), ident(), prop::collection::vec(term(), 0..3))
+        .prop_map(|(v, d, f, args)| BodyAtom::In {
+            target: Term::var(v),
+            call: CallTemplate::new(d, f, args),
+        });
+    (
+        ident(),
+        prop::collection::vec(var_name(), 1..3),
+        prop::collection::vec(in_atom, 1..4),
+    )
+        .prop_map(|(name, head_vars, body)| {
+            // Make the rule trivially range-restricted by reusing the head
+            // vars as in-targets of the first body atoms.
+            let mut body = body;
+            let n = body.len();
+            for (i, hv) in head_vars.iter().enumerate() {
+                if let Some(BodyAtom::In { target, .. }) = body.get_mut(i % n) {
+                    *target = Term::var(hv.as_str());
+                }
+            }
+            let head = PredAtom::new(
+                name,
+                head_vars.iter().map(|v| Term::var(v.as_str())).collect(),
+            );
+            Rule::new(head, body)
+        })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+// ---------- value-model properties ----------
+
+proptest! {
+    #[test]
+    fn value_order_is_total_and_consistent(a in value(), b in value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == Ordering::Equal, a == b);
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn value_order_is_transitive(a in value(), b in value(), c in value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn value_equals_itself_even_with_nan(a in value()) {
+        prop_assert_eq!(a.clone(), a);
+    }
+
+    #[test]
+    fn size_bytes_is_positive_and_stable(a in value()) {
+        prop_assert!(a.size_bytes() >= 1);
+        prop_assert_eq!(a.size_bytes(), a.clone().size_bytes());
+    }
+}
+
+// ---------- parser round-trips ----------
+
+proptest! {
+    #[test]
+    fn rule_display_reparses_identically(r in rule()) {
+        let text = r.to_string();
+        let parsed = parse_rule(&text);
+        prop_assert!(parsed.is_ok(), "failed to reparse `{}`: {:?}", text, parsed.err());
+        prop_assert_eq!(parsed.unwrap(), r);
+    }
+
+    #[test]
+    fn ground_call_display_is_parseable_as_query(c in ground_call()) {
+        let text = format!("?- in(X, {c}).");
+        let q = hermes::parse_query(&text);
+        prop_assert!(q.is_ok(), "failed on `{text}`: {:?}", q.err());
+    }
+}
+
+// ---------- call-pattern lattice ----------
+
+proptest! {
+    #[test]
+    fn blanket_generalizes_everything(c in ground_call()) {
+        let full = c.pattern();
+        let blanket = c.blanket_pattern();
+        prop_assert!(blanket.generalizes(&full));
+        prop_assert!(blanket.matches(&c));
+        prop_assert!(full.matches(&c));
+    }
+
+    #[test]
+    fn relaxation_preserves_matching(c in ground_call()) {
+        let mut frontier = vec![c.pattern()];
+        // Walk the whole relaxation lattice; every pattern must match c.
+        while let Some(p) = frontier.pop() {
+            prop_assert!(p.matches(&c), "{p} should match {c}");
+            prop_assert!(p.generalizes(&c.pattern()));
+            for r in p.relaxations() {
+                prop_assert!(r.generalizes(&p));
+                prop_assert!(!p.generalizes(&r) || p == r);
+                frontier.push(r);
+            }
+        }
+    }
+
+    #[test]
+    fn generalizes_is_antisymmetric(c in ground_call(), mask in prop::collection::vec(any::<bool>(), 0..4)) {
+        let full = c.pattern();
+        let mut p = full.clone();
+        for (i, drop) in mask.iter().enumerate() {
+            if *drop && i < p.args.len() {
+                p.args[i] = PatArg::Bound;
+            }
+        }
+        if p.generalizes(&full) && full.generalizes(&p) {
+            prop_assert_eq!(p, full);
+        }
+    }
+}
+
+// ---------- cache invariants ----------
+
+proptest! {
+    #[test]
+    fn cache_respects_budget_and_returns_stored_answers(
+        ops in prop::collection::vec((0u8..3, 0i64..20, prop::collection::vec(scalar_value(), 0..6)), 1..60),
+        budget in 64usize..2048,
+    ) {
+        let mut cache = hermes::cim::AnswerCache::with_budget(budget);
+        let mut last_inserted: Option<(GroundCall, Vec<Value>)> = None;
+        for (op, key, answers) in ops {
+            let call = GroundCall::new("d", "f", vec![Value::Int(key)]);
+            match op {
+                0 => {
+                    cache.insert(call.clone(), answers.clone(), true, SimInstant::EPOCH);
+                    last_inserted = Some((call, answers));
+                }
+                1 => {
+                    let _ = cache.get(&call);
+                }
+                _ => {
+                    cache.invalidate_domain("other"); // no-op on these keys
+                }
+            }
+            // Budget holds whenever more than one entry exists.
+            if cache.len() > 1 {
+                prop_assert!(cache.bytes() <= budget, "{} > {budget}", cache.bytes());
+            }
+            // The most recent insert is always retrievable.
+            if let Some((c, a)) = &last_inserted {
+                if let Some(e) = cache.peek(c) {
+                    prop_assert_eq!(&e.answers, a);
+                }
+            }
+        }
+    }
+}
+
+// ---------- DCSM summarization invariants ----------
+
+proptest! {
+    #[test]
+    fn lossless_summary_equals_detail_aggregation(
+        observations in prop::collection::vec((0i64..6, 0.1f64..100.0, 0.0f64..40.0), 1..40),
+    ) {
+        let mut dcsm = Dcsm::new();
+        for (arg, t_all, card) in &observations {
+            dcsm.record(
+                &GroundCall::new("d", "f", vec![Value::Int(*arg)]),
+                Some(t_all / 2.0),
+                Some(*t_all),
+                Some(*card),
+                SimInstant::EPOCH,
+            );
+        }
+        let table = SummaryTable::summarize_lossless(dcsm.db(), "d", "f");
+        for arg in observations.iter().map(|(a, _, _)| *a) {
+            let pattern = CallPattern::new("d", "f", vec![PatArg::Const(Value::Int(arg))]);
+            let (detail, n) = dcsm.db().aggregate(&pattern);
+            let row = table.lookup(&pattern).expect("row exists for observed arg");
+            prop_assert!(n > 0);
+            prop_assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
+            prop_assert!((row.card.mean().unwrap() - detail.cardinality.unwrap()).abs() < 1e-6);
+            prop_assert_eq!(row.l as usize, n);
+        }
+    }
+
+    #[test]
+    fn lossy_derivation_equals_direct_blanket_aggregation(
+        observations in prop::collection::vec((0i64..6, 0.1f64..100.0), 2..40),
+    ) {
+        let mut dcsm = Dcsm::new();
+        for (arg, t_all) in &observations {
+            dcsm.record(
+                &GroundCall::new("d", "f", vec![Value::Int(*arg)]),
+                None,
+                Some(*t_all),
+                Some(1.0),
+                SimInstant::EPOCH,
+            );
+        }
+        let lossless = SummaryTable::summarize_lossless(dcsm.db(), "d", "f");
+        let lossy = lossless
+            .derive_lossy(hermes::common::PatternShape::new("d", "f", vec![false]))
+            .unwrap();
+        let blanket = CallPattern::new("d", "f", vec![PatArg::Bound]);
+        let (detail, _) = dcsm.db().aggregate(&blanket);
+        let row = lossy.lookup(&blanket).unwrap();
+        prop_assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
+    }
+}
+
+// ---------- wire codec & persistence round-trips ----------
+
+proptest! {
+    #[test]
+    fn wire_codec_roundtrips_any_value(v in value()) {
+        let text = hermes::common::wire::value_to_string(&v);
+        prop_assert!(!text.contains('\n'));
+        let back = hermes::common::wire::value_from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_any_call(c in ground_call()) {
+        let mut text = String::new();
+        hermes::common::wire::encode_call(&c, &mut text);
+        let mut d = hermes::common::wire::Decoder::new(&text);
+        prop_assert_eq!(d.call().unwrap(), c);
+        prop_assert!(d.is_done());
+    }
+
+    #[test]
+    fn cache_persistence_roundtrips(
+        entries in prop::collection::vec(
+            (ground_call(), prop::collection::vec(value(), 0..5), any::<bool>()),
+            0..12,
+        ),
+    ) {
+        let mut cache = hermes::cim::AnswerCache::new();
+        for (call, answers, complete) in &entries {
+            cache.insert(call.clone(), answers.clone(), *complete, SimInstant::EPOCH);
+        }
+        let mut buf = Vec::new();
+        hermes::cim::persist::save(&cache, &mut buf).unwrap();
+        let loaded = hermes::cim::persist::load(std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(loaded.len(), cache.len());
+        for (call, entry) in cache.iter() {
+            let got = loaded.peek(call).expect("entry survives");
+            prop_assert_eq!(&got.answers, &entry.answers);
+            prop_assert_eq!(got.complete, entry.complete);
+        }
+    }
+
+    #[test]
+    fn stats_persistence_roundtrips(
+        records in prop::collection::vec(
+            (ground_call(), prop::option::of(0.0f64..1e6), prop::option::of(0.0f64..1e6), prop::option::of(0.0f64..1e4)),
+            0..20,
+        ),
+    ) {
+        let mut db = hermes::dcsm::CostVectorDb::new();
+        for (call, tf, ta, card) in &records {
+            db.record(
+                call.clone(),
+                hermes::dcsm::CostVector { t_first_ms: *tf, t_all_ms: *ta, cardinality: *card },
+                SimInstant::EPOCH,
+            );
+        }
+        let mut buf = Vec::new();
+        hermes::dcsm::persist::save(&db, &mut buf).unwrap();
+        let loaded = hermes::dcsm::persist::load(std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(loaded.len(), db.len());
+        for (domain, function) in db.functions() {
+            prop_assert_eq!(
+                loaded.records_for(&domain, &function),
+                db.records_for(&domain, &function)
+            );
+        }
+    }
+}
+
+// ---------- whole-pipeline properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn every_plan_computes_the_same_answers(seed in 0u64..500) {
+        use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
+        use hermes::net::profiles;
+        use hermes::{CimPolicy, Mediator, Network};
+        use std::sync::Arc;
+
+        let build = || {
+            let d = SyntheticDomain::generate(
+                "d1",
+                seed,
+                &[RelationSpec::uniform("p", 6, 2.0), RelationSpec::uniform("q", 6, 2.0)],
+            );
+            let mut net = Network::new(seed);
+            net.place(Arc::new(d), profiles::maryland());
+            let mut m = Mediator::from_source(
+                "
+                p(A, B) :- in(B, d1:p_bf(A)).
+                p(A, B) :- in(A, d1:p_fb(B)).
+                p(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+                q(A, B) :- in(B, d1:q_bf(A)).
+                q(A, B) :- in(A, d1:q_fb(B)).
+                q(A, B) :- in(Ans, d1:q_ff()) & =(Ans.a, A) & =(Ans.b, B).
+                join(X, Y, Z) :- p(X, Y) & q(Z, Y).
+                ",
+                net,
+            ).unwrap();
+            m.set_policy(CimPolicy::never());
+            m
+        };
+        let planner = build();
+        let planned = planner.plan("?- join('p_1', Y, Z).").unwrap();
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for i in 0..planned.plans.len() {
+            let mut m = build();
+            let single = hermes::core::Planned {
+                plans: vec![planned.plans[i].clone()],
+                estimates: vec![planned.estimates[i]],
+                chosen: 0,
+            };
+            let out = m.execute(single, None).unwrap();
+            prop_assert!(out.t_first.map(|f| f <= out.t_all).unwrap_or(true));
+            let mut rows = out.rows;
+            rows.sort();
+            rows.dedup();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => prop_assert_eq!(&rows, r, "plan {} disagrees", i),
+            }
+        }
+    }
+}

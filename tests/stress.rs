@@ -1,0 +1,151 @@
+//! Stress: a wide federation (all seven substrate domains at four sites),
+//! a deep query, and a long query sequence exercising cache eviction,
+//! statistics growth, and clock progression together.
+
+use hermes::domains::objectstore::ObjectStoreDomain;
+use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
+use hermes::domains::spatial::{uniform_points, SpatialDomain};
+use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes::domains::terrain::{demo_map, TerrainDomain};
+use hermes::domains::text::newswire;
+use hermes::domains::video::gen::{rope_store, ROPE_CAST};
+use hermes::common::Record;
+use hermes::net::profiles;
+use hermes::{Mediator, Network, Value};
+use std::sync::Arc;
+
+fn big_world(seed: u64) -> Mediator {
+    let relation = RelationalDomain::new("relation");
+    let mut cast = Table::new(
+        "cast",
+        Schema::new(vec![
+            Column::new("name", ColumnType::Str),
+            Column::new("role", ColumnType::Str),
+        ])
+        .unwrap(),
+    );
+    for (role, actor) in ROPE_CAST {
+        cast.insert(vec![Value::str(*actor), Value::str(*role)])
+            .unwrap();
+    }
+    relation.add_table(cast);
+
+    let spatial = SpatialDomain::new("spatial");
+    spatial.load_points("sites", uniform_points(seed, 1_000, 200.0), 20.0);
+    let terrain = TerrainDomain::new("terraindb", demo_map());
+    let text = newswire(seed, "text", "usatoday", 500);
+    let synth = SyntheticDomain::generate("synth", seed, &[RelationSpec::uniform("r", 30, 2.0)]);
+    let oodb = ObjectStoreDomain::new("design");
+    for i in 0..20 {
+        let oid = oodb.create(
+            "doc",
+            Record::from_fields([("n", Value::Int(i as i64))]),
+        );
+        if oid > 0 {
+            oodb.add_ref("doc", oid - 1, "next", "doc", oid);
+        }
+    }
+
+    let mut net = Network::new(seed);
+    net.place(Arc::new(rope_store()), profiles::italy());
+    net.place(relation, profiles::cornell());
+    net.place(Arc::new(text), profiles::bucknell());
+    net.place(Arc::new(synth), profiles::maryland());
+    net.place_local(Arc::new(spatial));
+    net.place_local(Arc::new(terrain));
+    net.place_local(Arc::new(oodb));
+
+    Mediator::from_source(
+        "
+        scene(F, L, O) :- in(O, video:frames_to_objects('rope', F, L)).
+        played_by(O, A) :-
+            in(T, relation:select_eq('cast', 'role', O)) & =(T.name, A).
+        press(Term, H) :-
+            in(D, text:search('usatoday', Term)) & =(D.headline, H).
+        chainable(A, B) :- in(B, synth:r_bf(A)).
+        near(X, Y, D, P) :- in(P, spatial:count_range('sites', X, Y, D)).
+        rte(F, T, R) :- in(R, terraindb:distance(F, T)).
+        chain_doc(N, M) :- in(D, design:follow('doc', N, 'next')) & =(D.n, M).
+
+        dossier(F, L, Object, Actor, Stories, NearSites, Route) :-
+            scene(F, L, Object) &
+            played_by(Object, Actor) &
+            in(Stories, text:search('usatoday', 'election')) &
+            near(50, 50, 30, NearSites) &
+            rte('place1', 'aberdeen', Route).
+        ",
+        net,
+    )
+    .unwrap()
+}
+
+#[test]
+fn seven_domain_dossier_query_runs() {
+    let mut m = big_world(2);
+    let result = m.query("?- dossier(4, 47, O, A, S, N, R).").unwrap();
+    // Cast members in the opening scene: brandon, phillip, david,
+    // mrs_wilson, janet, rupert (6 of them) × stories cross product.
+    assert!(!result.rows.is_empty());
+    assert!(result.plans_considered >= 1);
+    let distinct_actors: std::collections::BTreeSet<String> =
+        result.rows.iter().map(|r| r[1].to_string()).collect();
+    assert!(distinct_actors.len() >= 5, "{distinct_actors:?}");
+    assert!(!result.incomplete);
+}
+
+#[test]
+fn hundred_query_session_stays_consistent() {
+    let mut m = big_world(3);
+    // A tight cache budget forces continuous eviction.
+    *m.cim().lock() = hermes::Cim::with_cache_budget(1_024);
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    let t0 = m.now();
+    for i in 0..100 {
+        let f = (i % 10) * 30;
+        let result = m
+            .query(&format!("?- scene({f}, {}, O).", f + 40))
+            .unwrap();
+        assert!(!result.rows.is_empty());
+        if f == 0 {
+            let mut rows = result.rows.clone();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "answers drifted at query {i}"),
+            }
+        }
+    }
+    // The virtual clock progressed substantially and the caches did real
+    // work under pressure.
+    assert!(m.now().duration_since(t0).as_secs_f64() > 10.0);
+    let cim = m.cim();
+    let cim = cim.lock();
+    assert!(cim.cache_stats().evictions > 0, "budget never binded");
+    assert!(cim.stats().exact_hits + cim.stats().misses >= 100);
+    drop(cim);
+    let dcsm = m.dcsm();
+    assert!(dcsm.lock().db().len() >= 10);
+}
+
+#[test]
+fn deep_unfolding_chain() {
+    // A chain of IDB predicates ten levels deep still plans and runs.
+    let mut src = String::from("p0(A, B) :- chainable(A, B).\n");
+    for i in 1..10 {
+        src.push_str(&format!("p{i}(A, B) :- p{}(A, C) & chainable(C, B).\n", i - 1));
+    }
+    src.push_str("chainable(A, B) :- in(B, synth:r_bf(A)).\n");
+    let synth =
+        SyntheticDomain::generate("synth", 9, &[RelationSpec::uniform("r", 60, 1.2)]);
+    let a0 = synth.domain_values("r")[0].clone();
+    let mut net = Network::new(9);
+    net.place(Arc::new(synth), profiles::maryland());
+    let mut m = Mediator::from_source(&src, net).unwrap();
+    m.config_mut().rewrite.max_plans = 4;
+    let result = m
+        .query(&format!("?- p9({}, B).", a0.to_literal()))
+        .unwrap();
+    // The chain may die out; what matters is it plans, runs, terminates.
+    assert!(result.plans_considered >= 1);
+    assert!(result.stats.calls_attempted >= 1);
+}

@@ -1,14 +1,68 @@
-//! Criterion micro-benchmarks of the optimizer machinery itself — the
-//! *real* (wall-clock) costs, including the §8 claim that "the overhead of
+//! Micro-benchmarks of the optimizer machinery itself — the *real*
+//! (wall-clock) costs, including the §8 claim that "the overhead of
 //! checking the cache and the invariants without success … is negligible".
 //! Run with `cargo bench -p hermes-bench --bench micro`.
+//!
+//! Dependency-free harness: each case is warmed up, then timed over enough
+//! iterations to fill a fixed measurement window; we report the mean and
+//! the spread across batches.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hermes_cim::{Cim, CimPolicy};
 use hermes_common::{GroundCall, SimInstant, Value};
 use hermes_core::{enumerate_plans, estimate_plan, CostConfig, RewriteConfig};
 use hermes_dcsm::Dcsm;
 use hermes_lang::{parse_invariant, parse_program, parse_query};
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(800);
+const BATCHES: usize = 10;
+
+/// Times `f` (which must consume a fresh input from `setup` per iteration)
+/// and prints a `name: mean ± spread` line.
+fn bench<I, O>(name: &str, mut setup: impl FnMut() -> I, mut f: impl FnMut(I) -> O) {
+    // Warm-up: discover a per-iteration cost and heat caches.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        let input = setup();
+        std::hint::black_box(f(std::hint::black_box(input)));
+        iters += 1;
+    }
+    let per_batch = (iters.max(1) * MEASURE.as_micros() as u64
+        / WARMUP.as_micros() as u64
+        / BATCHES as u64)
+        .max(1);
+
+    let mut means = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        // Build inputs outside the timed region (criterion's iter_batched).
+        let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(f(std::hint::black_box(input)));
+        }
+        means.push(start.elapsed().as_secs_f64() / per_batch as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    let mid = means[BATCHES / 2];
+    let spread = means[BATCHES - 1] - means[0];
+    let scale = |s: f64| {
+        if s >= 1e-3 {
+            format!("{:8.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            format!("{:8.3} us", s * 1e6)
+        } else {
+            format!("{:8.1} ns", s * 1e9)
+        }
+    };
+    println!(
+        "  {name:<44} {}  (spread {}, {} iters/batch)",
+        scale(mid),
+        scale(spread),
+        per_batch
+    );
+}
 
 fn populated_cim(entries: usize, invariants: bool) -> Cim {
     let mut cim = Cim::new();
@@ -34,7 +88,11 @@ fn populated_cim(entries: usize, invariants: bool) -> Cim {
             GroundCall::new(
                 "video",
                 "frames_to_objects",
-                vec![Value::str("rope"), Value::Int(i as i64), Value::Int(i as i64 + 40)],
+                vec![
+                    Value::str("rope"),
+                    Value::Int(i as i64),
+                    Value::Int(i as i64 + 40),
+                ],
             ),
             (0..10).map(Value::Int).collect(),
             true,
@@ -44,8 +102,8 @@ fn populated_cim(entries: usize, invariants: bool) -> Cim {
     cim
 }
 
-fn bench_cim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cim_lookup");
+fn bench_cim() {
+    println!("cim_lookup:");
     for &n in &[16usize, 256] {
         let hit_call = GroundCall::new(
             "video",
@@ -57,34 +115,27 @@ fn bench_cim(c: &mut Criterion) {
             "frames_to_objects",
             vec![Value::str("vertigo"), Value::Int(1), Value::Int(2)],
         );
-        group.bench_function(format!("exact_hit_{n}_entries"), |b| {
-            b.iter_batched(
-                || populated_cim(n, false),
-                |mut cim| cim.lookup(&hit_call, SimInstant::EPOCH),
-                BatchSize::SmallInput,
-            );
-        });
-        group.bench_function(format!("miss_with_invariants_{n}_entries"), |b| {
-            b.iter_batched(
-                || populated_cim(n, true),
-                |mut cim| cim.lookup(&miss_call, SimInstant::EPOCH),
-                BatchSize::SmallInput,
-            );
-        });
-        group.bench_function(format!("partial_hit_{n}_entries"), |b| {
-            let wide = GroundCall::new(
-                "video",
-                "frames_to_objects",
-                vec![Value::str("rope"), Value::Int(0), Value::Int(900)],
-            );
-            b.iter_batched(
-                || populated_cim(n, true),
-                |mut cim| cim.lookup(&wide, SimInstant::EPOCH),
-                BatchSize::SmallInput,
-            );
-        });
+        bench(
+            &format!("exact_hit_{n}_entries"),
+            || populated_cim(n, false),
+            |mut cim| cim.lookup(&hit_call, SimInstant::EPOCH),
+        );
+        bench(
+            &format!("miss_with_invariants_{n}_entries"),
+            || populated_cim(n, true),
+            |mut cim| cim.lookup(&miss_call, SimInstant::EPOCH),
+        );
+        let wide = GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![Value::str("rope"), Value::Int(0), Value::Int(900)],
+        );
+        bench(
+            &format!("partial_hit_{n}_entries"),
+            || populated_cim(n, true),
+            |mut cim| cim.lookup(&wide, SimInstant::EPOCH),
+        );
     }
-    group.finish();
 }
 
 fn warmed_dcsm(records: usize) -> Dcsm {
@@ -109,8 +160,8 @@ fn warmed_dcsm(records: usize) -> Dcsm {
     d
 }
 
-fn bench_dcsm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dcsm_estimate");
+fn bench_dcsm() {
+    println!("dcsm_estimate:");
     let detail = warmed_dcsm(1_000);
     let mut summarized = warmed_dcsm(1_000);
     summarized.build_lossless("video", "frames_to_objects");
@@ -130,22 +181,22 @@ fn bench_dcsm(c: &mut Criterion) {
     )
     .pattern();
 
-    group.bench_function("detail_aggregation_seen", |b| {
-        b.iter(|| detail.cost(std::hint::black_box(&seen)))
-    });
-    group.bench_function("detail_aggregation_unseen_relaxes", |b| {
-        b.iter(|| detail.cost(std::hint::black_box(&unseen)))
-    });
-    group.bench_function("summary_lookup_seen", |b| {
-        b.iter(|| summarized.cost(std::hint::black_box(&seen)))
-    });
-    group.bench_function("summary_lookup_unseen_relaxes", |b| {
-        b.iter(|| summarized.cost(std::hint::black_box(&unseen)))
-    });
-    group.finish();
+    bench("detail_aggregation_seen", || (), |_| detail.cost(&seen));
+    bench(
+        "detail_aggregation_unseen_relaxes",
+        || (),
+        |_| detail.cost(&unseen),
+    );
+    bench("summary_lookup_seen", || (), |_| summarized.cost(&seen));
+    bench(
+        "summary_lookup_unseen_relaxes",
+        || (),
+        |_| summarized.cost(&unseen),
+    );
 }
 
-fn bench_rewriter(c: &mut Criterion) {
+fn bench_rewriter() {
+    println!("rewriter:");
     let program = parse_program(
         "
         p(A, B) :- in(B, d1:p_bf(A)).
@@ -160,35 +211,28 @@ fn bench_rewriter(c: &mut Criterion) {
     .unwrap();
     let query = parse_query("?- join('a', Y, Z).").unwrap();
     let policy = CimPolicy::cache_everything();
-    c.bench_function("rewriter_enumerate_join_plans", |b| {
-        b.iter(|| {
-            enumerate_plans(
-                std::hint::black_box(&program),
-                std::hint::black_box(&query),
-                &policy,
-                RewriteConfig::default(),
-            )
-            .unwrap()
-        })
-    });
+    bench(
+        "enumerate_join_plans",
+        || (),
+        |_| enumerate_plans(&program, &query, &policy, RewriteConfig::default()).unwrap(),
+    );
 
     let plans = enumerate_plans(&program, &query, &policy, RewriteConfig::default()).unwrap();
     let dcsm = warmed_dcsm(100);
-    c.bench_function("cost_estimate_per_plan", |b| {
-        b.iter(|| {
-            for p in &plans {
-                std::hint::black_box(estimate_plan(p, &dcsm, &CostConfig::default()));
-            }
-        })
+    bench("cost_estimate_per_plan", || (), |_| {
+        for p in &plans {
+            std::hint::black_box(estimate_plan(p, &dcsm, &CostConfig::default()));
+        }
     });
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     use hermes_core::{ExecConfig, Executor, Mediator};
     use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
     use hermes_net::{profiles, Network};
     use std::sync::Arc;
 
+    println!("executor:");
     // Wall-clock cost of running a fully-cached query: the real overhead a
     // mediator adds once the network is out of the picture.
     let mut m = {
@@ -209,39 +253,38 @@ fn bench_executor(c: &mut Criterion) {
     let network = m.network();
     let cim = m.cim();
     let dcsm = m.dcsm();
-    c.bench_function("executor_cached_query_wall_time", |b| {
-        b.iter(|| {
-            Executor::new(
-                network,
-                &cim,
-                &dcsm,
-                hermes_common::SimClock::new(),
-                ExecConfig {
-                    record_stats: false,
-                    ..ExecConfig::default()
-                },
-            )
-            .run(std::hint::black_box(&plan), None)
-            .unwrap()
-        })
+    bench("cached_query_wall_time", || (), |_| {
+        Executor::new(
+            network,
+            &cim,
+            &dcsm,
+            hermes_common::SimClock::new(),
+            ExecConfig {
+                record_stats: false,
+                ..ExecConfig::default()
+            },
+        )
+        .run(&plan, None)
+        .unwrap()
     });
 }
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser() {
+    println!("parser:");
     let src = "
         routetosupplies(From, Sup1, To, R) :-
             in(Tuple, ingres:select_eq('inventory', 'item', Sup1)) &
             =(Tuple.loc, To) &
             in(R, terraindb:findrte(From, To)).
     ";
-    c.bench_function("parse_rule", |b| {
-        b.iter(|| parse_program(std::hint::black_box(src)).unwrap())
-    });
+    bench("parse_rule", || (), |_| parse_program(src).unwrap());
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cim, bench_dcsm, bench_rewriter, bench_executor, bench_parser
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks (wall-clock; median of {BATCHES} batches)\n");
+    bench_cim();
+    bench_dcsm();
+    bench_rewriter();
+    bench_executor();
+    bench_parser();
+}

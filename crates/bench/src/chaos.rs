@@ -1,0 +1,207 @@
+//! Resilience under injected faults: what the circuit breakers, failover
+//! replanning, and serve-stale machinery buy, measured.
+//!
+//! Setup: two replicas of one synthetic relation — `d1` on a well-connected
+//! US link that *flaps* (down one second in every ten), `d2` across the
+//! Atlantic on a healthy but slow link — with a seeded [`FaultPlan`]
+//! dropping calls to both sites at increasing rates. A fixed workload of
+//! point queries runs against two mediator configurations:
+//!
+//! * **retries only** — the pre-resilience posture: exponential backoff,
+//!   no breakers (threshold effectively infinite), no failover;
+//! * **resilient** — per-site circuit breakers, failover replanning onto
+//!   the surviving replica, and serve-stale-on-outage.
+//!
+//! The table reports, per drop rate and configuration, how many queries
+//! were answered at all, how many completely, and the mean simulated
+//! latency per query — completeness *and* latency under the same storm.
+
+use crate::table::TextTable;
+use hermes_common::SimDuration;
+use hermes_core::{BreakerConfig, Mediator};
+use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes_net::{profiles, FaultPlan, Network};
+use std::sync::Arc;
+
+/// One measured cell: a (drop rate, configuration) pair over the workload.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Probability that any single call is transiently dropped.
+    pub drop_rate: f64,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Queries that returned answers (possibly incomplete).
+    pub answered: usize,
+    /// Queries that returned their *complete* answer set.
+    pub complete: usize,
+    /// Queries that failed outright.
+    pub failed: usize,
+    /// Mean simulated milliseconds per query (failures included — their
+    /// burned retry time is real).
+    pub mean_ms: f64,
+    /// Failovers onto the surviving replica.
+    pub failovers: u64,
+    /// Calls rejected instantly by an open breaker.
+    pub short_circuits: u64,
+}
+
+fn storm_world(seed: u64, drop_rate: f64, resilient: bool) -> Mediator {
+    let spec = [RelationSpec::uniform("p", 8, 2.0)];
+    let d1 = SyntheticDomain::generate("d1", seed, &spec);
+    let d2 = SyntheticDomain::generate("d2", seed, &spec);
+    let mut net = Network::new(seed);
+    net.place(Arc::new(d1), profiles::cornell());
+    net.place(Arc::new(d2), profiles::italy());
+    net.set_fault_plan(
+        FaultPlan::new(seed ^ 0xC4A0)
+            .flapping(
+                "cornell",
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(2),
+            )
+            .drop_rate("cornell", drop_rate)
+            .drop_rate("milan", drop_rate),
+    );
+    let mut m = Mediator::from_source(
+        "
+        item(A, B) :- in(B, d1:p_bf(A)).
+        item(A, B) :- in(B, d2:p_bf(A)).
+        ",
+        net,
+    )
+    .expect("storm world program compiles");
+    let exec = &mut m.config_mut().exec;
+    exec.retry_attempts = 2;
+    exec.retry_backoff_ms = 500.0;
+    m.config_mut().failover = resilient;
+    // A short cooldown suits a storm of *transient* drops: the breaker
+    // saves the intra-query retry ladder once tripped, but is half-open
+    // again (willing to probe) by the time the next query arrives, so an
+    // open breaker never writes a merely-flaky site off for good.
+    m.breakers().lock().set_config(BreakerConfig {
+        failure_threshold: if resilient { 3 } else { u32::MAX },
+        cooldown: SimDuration::from_millis(2_500),
+    });
+    m.cim().lock().set_serve_stale_on_outage(resilient);
+    m
+}
+
+/// Runs the fixed workload under one (drop rate, configuration) pair.
+fn measure(seed: u64, drop_rate: f64, resilient: bool, queries: usize) -> ChaosRow {
+    let mut m = storm_world(seed, drop_rate, resilient);
+    let mut row = ChaosRow {
+        drop_rate,
+        config: if resilient { "resilient" } else { "retries only" },
+        answered: 0,
+        complete: 0,
+        failed: 0,
+        mean_ms: 0.0,
+        failovers: 0,
+        short_circuits: 0,
+    };
+    let mut total = SimDuration::ZERO;
+    for i in 0..queries {
+        // Eight distinct keys: the second lap onward can hit the cache,
+        // which is part of the story — cached answers ride out faults.
+        let q = format!("?- item('p_{}', B).", i % 8);
+        let before = m.now();
+        match m.query(&q) {
+            Ok(r) => {
+                row.answered += 1;
+                if !r.incomplete {
+                    row.complete += 1;
+                }
+                row.failovers += u64::from(r.failovers);
+                row.short_circuits += r.stats.breaker_short_circuits;
+            }
+            Err(_) => row.failed += 1,
+        }
+        total += m.now().duration_since(before);
+        // Drift across the flap schedule rather than sampling one phase.
+        m.advance_clock(SimDuration::from_millis(2_700));
+    }
+    row.mean_ms = total.as_millis_f64() / queries as f64;
+    row
+}
+
+/// The full sweep: both configurations at each drop rate.
+pub fn run(seed: u64, drop_rates: &[f64], queries: usize) -> Vec<ChaosRow> {
+    let mut rows = Vec::new();
+    for &p in drop_rates {
+        rows.push(measure(seed, p, false, queries));
+        rows.push(measure(seed, p, true, queries));
+    }
+    rows
+}
+
+/// Renders the sweep as a text table.
+pub fn render(rows: &[ChaosRow]) -> String {
+    let mut t = TextTable::new([
+        "drop rate",
+        "config",
+        "answered",
+        "complete",
+        "failed",
+        "mean ms/query",
+        "failovers",
+        "short-circuits",
+    ]);
+    for r in rows {
+        t.row([
+            format!("{:.0}%", r.drop_rate * 100.0),
+            r.config.to_string(),
+            r.answered.to_string(),
+            r.complete.to_string(),
+            r.failed.to_string(),
+            format!("{:.1}", r.mean_ms),
+            r.failovers.to_string(),
+            r.short_circuits.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilient_config_answers_at_least_as_many_queries() {
+        let rows = run(1996, &[0.0, 0.5], 24);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            let (retry, resilient) = (&pair[0], &pair[1]);
+            assert_eq!(retry.drop_rate, resilient.drop_rate);
+            assert!(
+                resilient.answered >= retry.answered,
+                "at {:.0}% drop: resilient answered {} < retry-only {}",
+                retry.drop_rate * 100.0,
+                resilient.answered,
+                retry.answered
+            );
+        }
+        // Under a real storm the resilient stack actually fails over.
+        let stormy = &rows[3];
+        assert_eq!(stormy.config, "resilient");
+        assert!(stormy.failovers > 0, "{stormy:?}");
+    }
+
+    #[test]
+    fn calm_weather_costs_nothing() {
+        // With no drops, both configurations answer everything completely.
+        let rows = run(9, &[0.0], 16);
+        for r in &rows {
+            assert_eq!(r.failed, 0);
+            assert_eq!(r.complete, r.answered);
+        }
+    }
+
+    #[test]
+    fn render_has_a_row_per_cell() {
+        let rows = run(3, &[0.2], 8);
+        let text = render(&rows);
+        assert!(text.contains("retries only"));
+        assert!(text.contains("resilient"));
+    }
+}

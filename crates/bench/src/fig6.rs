@@ -135,7 +135,7 @@ pub fn run(seed: u64) -> Vec<Fig6Row> {
         let lossy_est = estimate_plan(&plan, &lossy, &cost_cfg);
 
         // Execute the written-order plan without contaminating statistics.
-        let scratch_cim = parking_lot::Mutex::new(hermes_cim::Cim::new());
+        let scratch_cim = hermes_common::sync::Mutex::new(hermes_cim::Cim::new());
         let dcsm_arc = m.dcsm();
         let outcome = Executor::new(
             m.network(),

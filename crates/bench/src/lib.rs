@@ -15,7 +15,9 @@
 //! | Figure 6 (DCSM predicted vs actual) | [`fig6`] | `fig6_dcsm_utility` |
 //! | §8 plan-choice claims 1–2 | [`plan_choice`] | `plan_choice` |
 //! | §6.2 summarization tradeoffs | [`tradeoffs`] | `summarization_tradeoffs` |
+//! | resilience layer (beyond the paper) | [`chaos`] | `chaos_resilience` |
 
+pub mod chaos;
 pub mod fig234;
 pub mod drift;
 pub mod fig5;

@@ -110,6 +110,7 @@ pub struct Cim {
     invariants: InvariantStore,
     cost: CimCostModel,
     stats: CimStats,
+    serve_stale: bool,
 }
 
 impl Cim {
@@ -135,6 +136,29 @@ impl Cim {
     /// Adds a validated invariant.
     pub fn add_invariant(&mut self, inv: Invariant) -> Result<usize> {
         self.invariants.add(inv)
+    }
+
+    /// Enables serving stale (incomplete) cached entries when the source
+    /// is unreachable: a possibly-partial old answer beats total failure.
+    /// Off by default — stale answers are only ever served on outage, and
+    /// the caller must flag the result incomplete.
+    pub fn set_serve_stale_on_outage(&mut self, on: bool) {
+        self.serve_stale = on;
+    }
+
+    /// Whether stale entries may be served during an outage.
+    pub fn serve_stale_on_outage(&self) -> bool {
+        self.serve_stale
+    }
+
+    /// The stale fallback: any exact-key cached entry, complete or not,
+    /// without touching LRU order or hit counters. `None` when the knob is
+    /// off or nothing is cached under the call.
+    pub fn stale_answers(&self, call: &GroundCall) -> Option<Vec<Value>> {
+        if !self.serve_stale {
+            return None;
+        }
+        self.cache.peek(call).map(|e| e.answers.clone())
     }
 
     /// Read access to the cache (diagnostics, tests).
@@ -403,6 +427,19 @@ mod tests {
         let (rest, cost) = cim.merge_partial(&cached, actual);
         assert_eq!(rest, vec![Value::Int(3)]);
         assert!(cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stale_answers_gated_by_knob() {
+        let mut cim = Cim::new();
+        cim.store(call(10), vec![Value::Int(1)], false, SimInstant::EPOCH);
+        // Knob off: nothing is served stale.
+        assert_eq!(cim.stale_answers(&call(10)), None);
+        cim.set_serve_stale_on_outage(true);
+        assert!(cim.serve_stale_on_outage());
+        // Incomplete entries qualify; unknown calls still do not.
+        assert_eq!(cim.stale_answers(&call(10)), Some(vec![Value::Int(1)]));
+        assert_eq!(cim.stale_answers(&call(99)), None);
     }
 
     #[test]

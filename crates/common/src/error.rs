@@ -1,5 +1,6 @@
 //! Workspace-wide error type.
 
+use crate::clock::SimDuration;
 use std::fmt;
 
 /// Convenient result alias used across the workspace.
@@ -57,6 +58,15 @@ pub enum HermesError {
         /// Why it was unreachable.
         reason: String,
     },
+    /// A query exceeded its virtual-clock deadline. The executor surfaces
+    /// whatever answers it had produced alongside per-subgoal completeness
+    /// provenance; this error is the strict-mode signal.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: SimDuration,
+        /// Virtual time actually elapsed when the deadline check fired.
+        elapsed: SimDuration,
+    },
     /// Query compilation failed (unsafe rule, no executable ordering, ...).
     Plan(String),
     /// Runtime evaluation failure.
@@ -93,10 +103,24 @@ impl fmt::Display for HermesError {
             HermesError::Unavailable { site, reason } => {
                 write!(f, "site `{site}` unavailable: {reason}")
             }
+            HermesError::DeadlineExceeded { deadline, elapsed } => write!(
+                f,
+                "deadline exceeded: {elapsed} elapsed against a {deadline} deadline"
+            ),
             HermesError::Plan(msg) => write!(f, "planning error: {msg}"),
             HermesError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             HermesError::Io(msg) => write!(f, "io error: {msg}"),
         }
+    }
+}
+
+impl HermesError {
+    /// True for failures that may succeed if simply retried later —
+    /// the class retry loops and circuit breakers act on. Everything else
+    /// (parse, arity, planning, deadline, ...) is deterministic and
+    /// retrying cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HermesError::Unavailable { .. })
     }
 }
 
@@ -130,6 +154,34 @@ mod tests {
             msg: "expected `)`".into(),
         };
         assert_eq!(e.to_string(), "parse error at 3:14: expected `)`");
+    }
+
+    #[test]
+    fn deadline_exceeded_displays_both_times() {
+        let e = HermesError::DeadlineExceeded {
+            deadline: SimDuration::from_millis(1_500),
+            elapsed: SimDuration::from_millis(2_250),
+        };
+        assert_eq!(
+            e.to_string(),
+            "deadline exceeded: 2250.000ms elapsed against a 1500.000ms deadline"
+        );
+    }
+
+    #[test]
+    fn only_unavailability_is_transient() {
+        assert!(HermesError::Unavailable {
+            site: "milan".into(),
+            reason: "flap".into(),
+        }
+        .is_transient());
+        assert!(!HermesError::Plan("no ordering".into()).is_transient());
+        assert!(!HermesError::DeadlineExceeded {
+            deadline: SimDuration::ZERO,
+            elapsed: SimDuration::ZERO,
+        }
+        .is_transient());
+        assert!(!HermesError::Io("disk".into()).is_transient());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod clock;
 pub mod error;
 pub mod path;
 pub mod rng;
+pub mod sync;
 pub mod value;
 pub mod wire;
 

@@ -1,0 +1,301 @@
+//! Per-site circuit breakers.
+//!
+//! A flapping or dead site makes every call pay connect timeouts and retry
+//! backoff before failing. The breaker isolates it: consecutive transient
+//! failures **trip** the breaker (closed → open), an open breaker
+//! **short-circuits** calls instantly — no simulated retry time — so the
+//! executor falls through to the cache or failover replanning, and after a
+//! cooldown the breaker goes **half-open**, admitting a single probe call
+//! that either closes it (recovery) or re-opens it. All timing is on the
+//! virtual clock, so trip/recover sequences are deterministic and testable.
+
+use hermes_common::{SimDuration, SimInstant};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The classic three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are short-circuited without touching the network.
+    Open,
+    /// The cooldown elapsed; the next call is a probe.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Virtual time an open breaker waits before admitting a probe.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// What the breaker says about a call that wants to go out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: call normally.
+    Allow,
+    /// Half-open: call as the recovery probe.
+    Probe,
+    /// Open: do not call; fail over immediately.
+    ShortCircuit,
+}
+
+/// One site's breaker.
+#[derive(Clone, Debug)]
+pub struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<SimInstant>,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+        }
+    }
+}
+
+impl Breaker {
+    /// Current state (open breakers report `HalfOpen` once their cooldown
+    /// has elapsed at `now`).
+    pub fn state_at(&self, config: &BreakerConfig, now: SimInstant) -> BreakerState {
+        match (self.state, self.opened_at) {
+            (BreakerState::Open, Some(at)) if now >= at + config.cooldown => {
+                BreakerState::HalfOpen
+            }
+            (s, _) => s,
+        }
+    }
+
+    /// Asks whether a call may go out at `now`, advancing open → half-open
+    /// when the cooldown has elapsed.
+    pub fn admit(&mut self, config: &BreakerConfig, now: SimInstant) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_some_and(|at| now >= at + config.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::ShortCircuit
+                }
+            }
+        }
+    }
+
+    /// Records a successful call. Returns true when this was a half-open
+    /// probe closing the breaker (a recovery).
+    pub fn record_success(&mut self) -> bool {
+        let recovered = self.state == BreakerState::HalfOpen;
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        recovered
+    }
+
+    /// Records a transient failure at `now`. Returns true when this
+    /// failure tripped (or re-tripped) the breaker open.
+    pub fn record_failure(&mut self, config: &BreakerConfig, now: SimInstant) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open, fresh cooldown.
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= config.failure_threshold.max(1) {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+/// All breakers, keyed by site name. The mediator owns one bank for its
+/// lifetime so breaker state persists across queries.
+#[derive(Debug, Default)]
+pub struct BreakerBank {
+    config: BreakerConfig,
+    breakers: BTreeMap<Arc<str>, Breaker>,
+}
+
+impl BreakerBank {
+    /// A bank with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerBank {
+            config,
+            breakers: BTreeMap::new(),
+        }
+    }
+
+    /// The bank's tuning.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Replaces the tuning (existing breaker states are kept).
+    pub fn set_config(&mut self, config: BreakerConfig) {
+        self.config = config;
+    }
+
+    /// Admission decision for a call to `site` at `now`.
+    pub fn admit(&mut self, site: &str, now: SimInstant) -> Admission {
+        let config = self.config;
+        self.breakers
+            .entry(Arc::from(site))
+            .or_default()
+            .admit(&config, now)
+    }
+
+    /// Records a success; true when the site just recovered.
+    pub fn record_success(&mut self, site: &str) -> bool {
+        self.breakers
+            .get_mut(site)
+            .map(|b| b.record_success())
+            .unwrap_or(false)
+    }
+
+    /// Records a transient failure; true when the breaker just tripped.
+    pub fn record_failure(&mut self, site: &str, now: SimInstant) -> bool {
+        let config = self.config;
+        self.breakers
+            .entry(Arc::from(site))
+            .or_default()
+            .record_failure(&config, now)
+    }
+
+    /// The state of `site`'s breaker at `now` (closed when never used).
+    pub fn state_at(&self, site: &str, now: SimInstant) -> BreakerState {
+        self.breakers
+            .get(site)
+            .map(|b| b.state_at(&self.config, now))
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Sites whose breaker is open (still cooling down) at `now` — the set
+    /// failover replanning routes around.
+    pub fn open_sites(&self, now: SimInstant) -> Vec<Arc<str>> {
+        self.breakers
+            .iter()
+            .filter(|(_, b)| b.state_at(&self.config, now) == BreakerState::Open)
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    /// Forgets all breaker state.
+    pub fn reset(&mut self) {
+        self.breakers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_millis(ms)
+    }
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_millis(1_000),
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_short_circuits() {
+        let mut b = Breaker::default();
+        assert!(!b.record_failure(&cfg(), t(0)));
+        assert!(!b.record_failure(&cfg(), t(1)));
+        assert!(b.record_failure(&cfg(), t(2))); // third failure trips
+        assert_eq!(b.admit(&cfg(), t(3)), Admission::ShortCircuit);
+        assert_eq!(b.state_at(&cfg(), t(3)), BreakerState::Open);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::default();
+        b.record_failure(&cfg(), t(0));
+        b.record_failure(&cfg(), t(1));
+        b.record_success();
+        // Streak broken: two more failures do not trip.
+        assert!(!b.record_failure(&cfg(), t(2)));
+        assert!(!b.record_failure(&cfg(), t(3)));
+        assert!(b.record_failure(&cfg(), t(4)));
+    }
+
+    #[test]
+    fn cooldown_half_opens_then_probe_closes_or_reopens() {
+        let mut b = Breaker::default();
+        for i in 0..3 {
+            b.record_failure(&cfg(), t(i));
+        }
+        // Cooling: short-circuit until t(2) + 1000.
+        assert_eq!(b.admit(&cfg(), t(1_001)), Admission::ShortCircuit);
+        assert_eq!(b.admit(&cfg(), t(1_002)), Admission::Probe);
+        // Failed probe reopens with a fresh cooldown from the failure time.
+        assert!(b.record_failure(&cfg(), t(1_002)));
+        assert_eq!(b.admit(&cfg(), t(1_500)), Admission::ShortCircuit);
+        assert_eq!(b.admit(&cfg(), t(2_002)), Admission::Probe);
+        // Successful probe closes.
+        assert!(b.record_success());
+        assert_eq!(b.admit(&cfg(), t(2_003)), Admission::Allow);
+        assert_eq!(b.state_at(&cfg(), t(2_003)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn bank_keys_by_site_and_lists_open_sites() {
+        let mut bank = BreakerBank::new(cfg());
+        for i in 0..3 {
+            bank.record_failure("milan", t(i));
+        }
+        bank.record_failure("cornell", t(0));
+        assert_eq!(bank.state_at("milan", t(10)), BreakerState::Open);
+        assert_eq!(bank.state_at("cornell", t(10)), BreakerState::Closed);
+        assert_eq!(bank.state_at("never-seen", t(10)), BreakerState::Closed);
+        assert_eq!(bank.open_sites(t(10)), vec![Arc::from("milan") as Arc<str>]);
+        // After the cooldown the site is half-open, no longer listed.
+        assert!(bank.open_sites(t(5_000)).is_empty());
+        bank.reset();
+        assert_eq!(bank.state_at("milan", t(10)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn threshold_of_zero_behaves_like_one() {
+        let mut b = Breaker::default();
+        let cfg = BreakerConfig {
+            failure_threshold: 0,
+            cooldown: SimDuration::from_millis(10),
+        };
+        assert!(b.record_failure(&cfg, t(0)));
+        assert_eq!(b.admit(&cfg, t(1)), Admission::ShortCircuit);
+    }
+}

@@ -8,13 +8,15 @@
 //! (the paper: "the query processor stops the execution of all the running
 //! external programs when they are no longer needed").
 
+use crate::breaker::BreakerBank;
 use crate::exec::{ExecConfig, ExecStats, Executor};
 use crate::plan::Plan;
 use hermes_cim::Cim;
 use hermes_common::{HermesError, SimClock, SimDuration, Value};
 use hermes_dcsm::Dcsm;
 use hermes_net::Network;
-use parking_lot::Mutex;
+use hermes_common::sync::Mutex;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// One streamed answer: the projected row and the virtual time at which it
@@ -48,7 +50,7 @@ enum Event {
 
 /// A running interactive query.
 pub struct InteractiveQuery {
-    rx: crossbeam::channel::Receiver<Event>,
+    rx: Option<mpsc::Receiver<Event>>,
     handle: Option<std::thread::JoinHandle<()>>,
     summary: InteractiveSummary,
     exhausted: bool,
@@ -60,12 +62,13 @@ impl InteractiveQuery {
         network: Arc<Network>,
         cim: Arc<Mutex<Cim>>,
         dcsm: Arc<Mutex<Dcsm>>,
+        breakers: Option<Arc<Mutex<BreakerBank>>>,
         clock: SimClock,
         config: ExecConfig,
         plan: Plan,
     ) -> Self {
         // Rendezvous channel: the executor blocks until the consumer pulls.
-        let (tx, rx) = crossbeam::channel::bounded::<Event>(0);
+        let (tx, rx) = mpsc::sync_channel::<Event>(0);
         let handle = std::thread::spawn(move || {
             let columns = plan.answer_vars.clone();
             let mut sink = |theta: &hermes_lang::Subst, elapsed: SimDuration| {
@@ -75,7 +78,10 @@ impl InteractiveQuery {
                     .collect();
                 tx.send(Event::Answer((row, elapsed))).is_ok()
             };
-            let executor = Executor::new(&network, &cim, &dcsm, clock, config);
+            let mut executor = Executor::new(&network, &cim, &dcsm, clock, config);
+            if let Some(bank) = breakers.as_ref() {
+                executor = executor.with_breakers(bank);
+            }
             match executor.run_with_sink(&plan, None, Some(&mut sink)) {
                 Ok(outcome) => {
                     let _ = tx.send(Event::Done {
@@ -90,7 +96,7 @@ impl InteractiveQuery {
             }
         });
         InteractiveQuery {
-            rx,
+            rx: Some(rx),
             handle: Some(handle),
             summary: InteractiveSummary::default(),
             exhausted: false,
@@ -103,7 +109,8 @@ impl InteractiveQuery {
         if self.exhausted {
             return None;
         }
-        match self.rx.recv() {
+        let rx = self.rx.as_ref().expect("receiver live until exhausted");
+        match rx.recv() {
             Ok(Event::Answer(a)) => Some(a),
             Ok(Event::Done {
                 t_all,
@@ -150,29 +157,24 @@ impl InteractiveQuery {
 
     fn shutdown(&mut self) {
         if !self.exhausted {
-            // Close the channel: the worker's next send fails and it
-            // unwinds. Drain anything in flight first.
-            let rx = self.rx.clone();
-            drop(std::mem::replace(
-                &mut self.rx,
-                crossbeam::channel::never(),
-            ));
-            // Drain without blocking forever: the worker either sends a
-            // final event or exits on send failure.
-            while let Ok(ev) = rx.try_recv() {
-                if let Event::Done {
-                    t_all,
-                    stats,
-                    incomplete,
-                } = ev
-                {
-                    self.summary.finished = true;
-                    self.summary.t_all = Some(t_all);
-                    self.summary.stats = Some(stats);
-                    self.summary.incomplete = incomplete;
+            // Drain anything in flight without blocking (a rendezvous
+            // try_recv picks up a sender mid-handshake), then close the
+            // channel: the worker's next send fails and it unwinds.
+            if let Some(rx) = self.rx.take() {
+                while let Ok(ev) = rx.try_recv() {
+                    if let Event::Done {
+                        t_all,
+                        stats,
+                        incomplete,
+                    } = ev
+                    {
+                        self.summary.finished = true;
+                        self.summary.t_all = Some(t_all);
+                        self.summary.stats = Some(stats);
+                        self.summary.incomplete = incomplete;
+                    }
                 }
             }
-            drop(rx);
             self.exhausted = true;
         }
         if let Some(h) = self.handle.take() {
@@ -225,6 +227,7 @@ mod tests {
             net,
             cim,
             dcsm,
+            None,
             SimClock::new(),
             ExecConfig::default(),
             plan,
@@ -246,6 +249,7 @@ mod tests {
             net.clone(),
             cim,
             dcsm,
+            None,
             SimClock::new(),
             ExecConfig::default(),
             plan,
@@ -268,6 +272,7 @@ mod tests {
             net,
             cim,
             dcsm,
+            None,
             SimClock::new(),
             ExecConfig::default(),
             plan,
@@ -284,6 +289,7 @@ mod tests {
             net,
             cim,
             dcsm,
+            None,
             SimClock::new(),
             ExecConfig::default(),
             plan,

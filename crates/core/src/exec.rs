@@ -17,17 +17,19 @@
 //!   cache can still serve it — then the result is delivered but flagged
 //!   incomplete, the paper's §1 motivation for result caching.
 
+use crate::breaker::{Admission, BreakerBank};
 use crate::plan::{Plan, PlanStep, Route};
 use crate::trace::{TraceEntry, TraceEvent};
 use hermes_cim::{Cim, CimResolution};
 use hermes_common::{
-    GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,
+    GroundCall, HermesError, Result, Rng64, SimClock, SimDuration, SimInstant, Value,
 };
 use hermes_dcsm::Dcsm;
 use hermes_lang::{Relop, Subst, Term};
 use hermes_net::{Network, RemoteOutcome};
-use parking_lot::Mutex;
+use hermes_common::sync::Mutex;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A streaming answer sink: receives each answer binding and the elapsed
 /// virtual time; returning `false` stops the run.
@@ -54,9 +56,28 @@ pub struct ExecConfig {
     pub collect_trace: bool,
     /// Extra attempts after a call finds its site unavailable (covers the
     /// §1 "temporary unavailability" case when the cache cannot help).
+    /// `0` means **no retries**: the first unavailability is final.
     pub retry_attempts: u32,
-    /// Simulated backoff before retry `k` is `k * retry_backoff_ms`.
+    /// Base of the capped exponential backoff: retry `k` waits
+    /// `retry_backoff_ms * 2^(k-1)` simulated ms (plus jitter), capped at
+    /// [`retry_backoff_cap_ms`](Self::retry_backoff_cap_ms).
     pub retry_backoff_ms: f64,
+    /// Ceiling on a single backoff sleep.
+    pub retry_backoff_cap_ms: f64,
+    /// Relative jitter added to each backoff sleep (`0.1` = up to +10%),
+    /// drawn from a seeded stream so runs stay deterministic.
+    pub retry_jitter_frac: f64,
+    /// Seed of the backoff-jitter stream.
+    pub retry_seed: u64,
+    /// Optional virtual-clock deadline, measured from the start of the
+    /// run and checked at every call boundary. When it fires, evaluation
+    /// unwinds cleanly: the answers produced so far are returned with
+    /// per-subgoal completeness provenance (strict mode instead fails
+    /// with [`HermesError::DeadlineExceeded`]).
+    pub deadline: Option<SimDuration>,
+    /// Fail deadline-exceeded runs with an error instead of returning
+    /// partial answers.
+    pub deadline_strict: bool,
 }
 
 impl Default for ExecConfig {
@@ -70,6 +91,11 @@ impl Default for ExecConfig {
             collect_trace: false,
             retry_attempts: 0,
             retry_backoff_ms: 500.0,
+            retry_backoff_cap_ms: 8_000.0,
+            retry_jitter_frac: 0.1,
+            retry_seed: 0x4245_4b45_5321,
+            deadline: None,
+            deadline_strict: false,
         }
     }
 }
@@ -101,6 +127,102 @@ pub struct ExecStats {
     pub retries: u64,
     /// Bytes received from sources.
     pub bytes: u64,
+    /// Breakers tripped open by consecutive failures.
+    pub breaker_trips: u64,
+    /// Calls short-circuited by an open breaker (no network time paid).
+    pub breaker_short_circuits: u64,
+    /// Probe calls admitted by half-open breakers.
+    pub breaker_probes: u64,
+    /// Breakers closed by a successful probe.
+    pub breaker_recoveries: u64,
+    /// Runs aborted by the deadline.
+    pub deadline_aborts: u64,
+    /// Actual calls whose answer set arrived truncated (injected fault).
+    pub truncated_calls: u64,
+}
+
+impl ExecStats {
+    /// Adds `other`'s counters into `self` — used to carry the work a
+    /// failed plan attempt did into the result of the plan that finally
+    /// answered (failover must not make burned calls disappear).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.calls_attempted += other.calls_attempted;
+        self.actual_calls += other.actual_calls;
+        self.cim_exact += other.cim_exact;
+        self.cim_equal += other.cim_equal;
+        self.cim_partial += other.cim_partial;
+        self.cim_miss += other.cim_miss;
+        self.substituted_calls += other.substituted_calls;
+        self.memo_hits += other.memo_hits;
+        self.cancelled_calls += other.cancelled_calls;
+        self.unavailable += other.unavailable;
+        self.retries += other.retries;
+        self.bytes += other.bytes;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_short_circuits += other.breaker_short_circuits;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_recoveries += other.breaker_recoveries;
+        self.deadline_aborts += other.deadline_aborts;
+        self.truncated_calls += other.truncated_calls;
+    }
+}
+
+/// Why part of a subgoal's answer set may be missing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IncompleteReason {
+    /// The subgoal's site was unavailable and the cache could only serve
+    /// a prefix.
+    SiteUnavailable {
+        /// The unreachable site.
+        site: String,
+    },
+    /// An open circuit breaker short-circuited the subgoal's call.
+    BreakerOpen {
+        /// The isolated site.
+        site: String,
+    },
+    /// The query's deadline fired before the subgoal finished.
+    DeadlineExceeded,
+    /// An injected fault truncated the subgoal's answer set in flight.
+    Truncated {
+        /// The site whose answers were cut short.
+        site: String,
+    },
+}
+
+impl fmt::Display for IncompleteReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncompleteReason::SiteUnavailable { site } => {
+                write!(f, "site `{site}` unavailable")
+            }
+            IncompleteReason::BreakerOpen { site } => {
+                write!(f, "breaker open for `{site}`")
+            }
+            IncompleteReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            IncompleteReason::Truncated { site } => {
+                write!(f, "answers truncated by `{site}`")
+            }
+        }
+    }
+}
+
+/// Completeness provenance for one call step of the plan: which subgoal,
+/// and every reason its contribution may be partial. Replaces a single
+/// query-wide boolean with an auditable per-subgoal account.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubgoalProvenance {
+    /// The subgoal (rendered call template) this entry covers.
+    pub subgoal: String,
+    /// Gaps observed while evaluating it; empty means complete.
+    pub gaps: Vec<IncompleteReason>,
+}
+
+impl SubgoalProvenance {
+    /// True when no gaps were recorded for this subgoal.
+    pub fn complete(&self) -> bool {
+        self.gaps.is_empty()
+    }
 }
 
 /// The result of executing a plan.
@@ -114,8 +236,11 @@ pub struct ExecOutcome {
     pub t_all: SimDuration,
     /// Counters.
     pub stats: ExecStats,
-    /// True when an unavailable source truncated the answer set.
+    /// True when any subgoal's answers may be incomplete (derived from
+    /// `provenance`).
     pub incomplete: bool,
+    /// Per-subgoal completeness provenance, one entry per call step.
+    pub provenance: Vec<SubgoalProvenance>,
     /// The execution trace (empty unless `collect_trace` was set).
     pub trace: Vec<TraceEntry>,
     /// The clock at completion (the mediator carries it forward).
@@ -128,10 +253,28 @@ struct RunState<'s> {
     t_first: Option<SimDuration>,
     start: SimInstant,
     incomplete: bool,
+    /// One entry per call step of the plan, in step order.
+    provenance: Vec<SubgoalProvenance>,
+    /// Plan step index → slot in `provenance`.
+    prov_slot: HashMap<usize, usize>,
     /// Optional streaming sink: called with each answer and the elapsed
     /// virtual time; returning `false` stops the run (the §3 interactive
     /// mode's "user doesn't want more answers").
     sink: Option<AnswerSink<'s>>,
+}
+
+impl RunState<'_> {
+    /// Records a completeness gap against the call step at `idx`
+    /// (deduplicated).
+    fn mark_gap(&mut self, idx: usize, reason: IncompleteReason) {
+        self.incomplete = true;
+        if let Some(&slot) = self.prov_slot.get(&idx) {
+            let gaps = &mut self.provenance[slot].gaps;
+            if !gaps.contains(&reason) {
+                gaps.push(reason);
+            }
+        }
+    }
 }
 
 /// The executor. Borrow the mediator's shared CIM/DCSM and network, hand
@@ -145,6 +288,13 @@ pub struct Executor<'w> {
     stats: ExecStats,
     memo: HashMap<GroundCall, Vec<Value>>,
     trace: Vec<TraceEntry>,
+    /// Shared per-site circuit breakers (the mediator's bank, so breaker
+    /// state persists across queries). `None` disables breaking.
+    breakers: Option<&'w Mutex<BreakerBank>>,
+    /// Seeded stream for backoff jitter — runs replay deterministically.
+    retry_rng: Rng64,
+    /// Absolute deadline instant, fixed when the run starts.
+    deadline_at: Option<SimInstant>,
 }
 
 impl<'w> Executor<'w> {
@@ -165,7 +315,17 @@ impl<'w> Executor<'w> {
             stats: ExecStats::default(),
             memo: HashMap::new(),
             trace: Vec::new(),
+            breakers: None,
+            retry_rng: Rng64::new(config.retry_seed),
+            deadline_at: None,
         }
+    }
+
+    /// Attaches a shared circuit-breaker bank: calls consult it before
+    /// going out, and trip/recover transitions are recorded into it.
+    pub fn with_breakers(mut self, bank: &'w Mutex<BreakerBank>) -> Self {
+        self.breakers = Some(bank);
+        self
     }
 
     /// Appends a trace event when collection is enabled.
@@ -179,37 +339,66 @@ impl<'w> Executor<'w> {
     }
 
     /// Runs a plan, producing up to `limit` answers (all when `None`).
-    pub fn run(self, plan: &Plan, limit: Option<usize>) -> Result<ExecOutcome> {
+    pub fn run(&mut self, plan: &Plan, limit: Option<usize>) -> Result<ExecOutcome> {
         self.run_with_sink(plan, limit, None)
+    }
+
+    /// The executor's current virtual time. Meaningful after a failed run
+    /// too: a caller that retries elsewhere still owes the time this
+    /// attempt burned.
+    pub fn now(&self) -> hermes_common::SimInstant {
+        self.clock.now()
+    }
+
+    /// Counters so far — like [`Executor::now`], available after a failed
+    /// run, whose work would otherwise be unaccounted for.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// Runs a plan, streaming each answer into `sink` as it is produced.
     /// The sink returning `false` stops evaluation — pending source calls
     /// are cancelled, like the paper's interactive mode.
     pub fn run_with_sink(
-        mut self,
+        &mut self,
         plan: &Plan,
         limit: Option<usize>,
         sink: Option<AnswerSink<'_>>,
     ) -> Result<ExecOutcome> {
+        let mut provenance = Vec::new();
+        let mut prov_slot = HashMap::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            if let PlanStep::Call { call, .. } = step {
+                prov_slot.insert(i, provenance.len());
+                provenance.push(SubgoalProvenance {
+                    subgoal: call.to_string(),
+                    gaps: Vec::new(),
+                });
+            }
+        }
         let mut out = RunState {
             answers: Vec::new(),
             limit,
             t_first: None,
             start: self.clock.now(),
             incomplete: false,
+            provenance,
+            prov_slot,
             sink,
         };
+        self.deadline_at = self.config.deadline.map(|d| out.start + d);
         self.exec(&plan.steps, 0, &Subst::new(), &mut out)?;
         let t_all = self.clock.now().duration_since(out.start);
+        let incomplete = out.incomplete || out.provenance.iter().any(|p| !p.complete());
         Ok(ExecOutcome {
             answers: out.answers,
             t_first: out.t_first,
             t_all,
             stats: self.stats,
-            incomplete: out.incomplete,
-            trace: self.trace,
-            clock: self.clock,
+            incomplete,
+            provenance: out.provenance,
+            trace: std::mem::take(&mut self.trace),
+            clock: self.clock.clone(),
         })
     }
 
@@ -335,6 +524,12 @@ impl<'w> Executor<'w> {
         probe: Option<&Value>,
         target: &Term,
     ) -> Result<bool> {
+        // Deadline check at the call boundary: the cheapest safe point to
+        // abort, because no partial per-call state exists here.
+        if self.deadline_at.is_some_and(|d| self.clock.now() > d) {
+            return self.deadline_abort(idx, out);
+        }
+
         // Per-query memo (§7 footnote duplicate elimination).
         if self.config.memoize_calls {
             if let Some(answers) = self.memo.get(ground).cloned() {
@@ -349,12 +544,13 @@ impl<'w> Executor<'w> {
         let result = match route {
             Route::Direct => {
                 let outcome = self.actual_call(ground)?;
+                self.note_truncation(out, idx, ground, &outcome);
                 let (first, per) = charge_schedule(&outcome);
                 if outcome.answers.is_empty() {
                     self.clock.advance(outcome.t_all);
                 }
                 let answers = outcome.answers;
-                if self.config.memoize_calls {
+                if self.config.memoize_calls && !outcome.truncated {
                     self.memo.insert(ground.clone(), answers.clone());
                 }
                 self.iterate(steps, idx, theta, out, &answers, first, per, probe, target)
@@ -362,6 +558,54 @@ impl<'w> Executor<'w> {
             Route::Cim => self.run_cim_call(steps, idx, theta, out, ground, probe, target),
         }?;
         Ok(result)
+    }
+
+    /// Deadline fired: account for it, then either unwind cleanly (answers
+    /// so far are returned with provenance) or fail in strict mode.
+    fn deadline_abort(&mut self, idx: usize, out: &mut RunState) -> Result<bool> {
+        let elapsed = self.clock.now().duration_since(out.start);
+        let deadline = self
+            .config
+            .deadline
+            .expect("deadline_at is only set from config.deadline");
+        self.stats.deadline_aborts += 1;
+        self.note(TraceEvent::DeadlineExceeded { elapsed, deadline });
+        out.mark_gap(idx, IncompleteReason::DeadlineExceeded);
+        // Disarm so the unwind does not re-fire at every remaining call.
+        self.deadline_at = None;
+        if self.config.deadline_strict {
+            Err(HermesError::DeadlineExceeded { deadline, elapsed })
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Records a truncated answer set (injected fault) against the call
+    /// step's provenance.
+    fn note_truncation(
+        &mut self,
+        out: &mut RunState,
+        idx: usize,
+        ground: &GroundCall,
+        outcome: &RemoteOutcome,
+    ) {
+        if outcome.truncated {
+            self.stats.truncated_calls += 1;
+            self.note(TraceEvent::Truncated {
+                call: ground.clone(),
+                kept: outcome.answers.len(),
+            });
+            let site = self.site_name(ground).unwrap_or_default();
+            out.mark_gap(idx, IncompleteReason::Truncated { site });
+        }
+    }
+
+    /// The name of the site serving `ground`'s domain, when placed.
+    fn site_name(&self, ground: &GroundCall) -> Option<String> {
+        self.network
+            .site_of(&ground.domain)
+            .ok()
+            .map(|s| s.name.to_string())
     }
 
     /// The §4.1 pipeline for a CIM-routed call.
@@ -437,23 +681,61 @@ impl<'w> Executor<'w> {
                     }
                     None => ground.clone(),
                 };
-                let outcome = self.actual_call(&exec_call)?;
+                let outcome = match self.actual_call(&exec_call) {
+                    Ok(o) => o,
+                    Err(HermesError::Unavailable { site, reason }) => {
+                        // Serve-stale fallback: a possibly-incomplete old
+                        // entry beats failing the whole query.
+                        let stale = self.cim.lock().stale_answers(ground);
+                        match stale {
+                            Some(answers) => {
+                                self.note(TraceEvent::ServedStale {
+                                    call: ground.clone(),
+                                    answers: answers.len(),
+                                });
+                                let gap = if reason.contains("circuit breaker") {
+                                    IncompleteReason::BreakerOpen { site }
+                                } else {
+                                    IncompleteReason::SiteUnavailable { site }
+                                };
+                                out.mark_gap(idx, gap);
+                                return self.iterate(
+                                    steps,
+                                    idx,
+                                    theta,
+                                    out,
+                                    &answers,
+                                    SimDuration::ZERO,
+                                    SimDuration::ZERO,
+                                    probe,
+                                    target,
+                                );
+                            }
+                            None => {
+                                return Err(HermesError::Unavailable { site, reason })
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
+                self.note_truncation(out, idx, &exec_call, &outcome);
                 let (first, per) = charge_schedule(&outcome);
                 if outcome.answers.is_empty() {
                     self.clock.advance(outcome.t_all);
                 }
+                let complete = !outcome.truncated;
                 let answers = outcome.answers;
                 if self.config.store_results {
                     let now = self.clock.now();
                     let mut cim = self.cim.lock();
-                    cim.store(exec_call.clone(), answers.clone(), true, now);
+                    cim.store(exec_call.clone(), answers.clone(), complete, now);
                     if exec_call != *ground {
                         // Equality invariant: the original call has the
                         // same answers — cache it under its own key too.
-                        cim.store(ground.clone(), answers.clone(), true, now);
+                        cim.store(ground.clone(), answers.clone(), complete, now);
                     }
                 }
-                if self.config.memoize_calls {
+                if self.config.memoize_calls && complete {
                     self.memo.insert(ground.clone(), answers.clone());
                 }
                 self.iterate(steps, idx, theta, out, &answers, first, per, probe, target)
@@ -507,6 +789,7 @@ impl<'w> Executor<'w> {
         // Need the remainder: issue (or join) the actual call.
         match self.actual_call(ground) {
             Ok(outcome) => {
+                self.note_truncation(out, idx, ground, &outcome);
                 if self.config.partial_parallel {
                     // The call ran concurrently since `started`.
                     self.clock.advance_to(started + outcome.t_all);
@@ -520,11 +803,11 @@ impl<'w> Executor<'w> {
                     self.cim.lock().store(
                         ground.clone(),
                         outcome.answers.clone(),
-                        true,
+                        !outcome.truncated,
                         self.clock.now(),
                     );
                 }
-                if self.config.memoize_calls {
+                if self.config.memoize_calls && !outcome.truncated {
                     self.memo.insert(ground.clone(), outcome.answers.clone());
                 }
                 if let Some(v) = probe {
@@ -545,11 +828,16 @@ impl<'w> Executor<'w> {
                     target,
                 )
             }
-            Err(HermesError::Unavailable { .. }) => {
+            Err(HermesError::Unavailable { site, reason }) => {
                 // The cache already served what it could (§1: use prior
                 // results when the source is not readily available).
                 // `actual_call` already counted the unavailability.
-                out.incomplete = true;
+                let gap = if reason.contains("circuit breaker") {
+                    IncompleteReason::BreakerOpen { site }
+                } else {
+                    IncompleteReason::SiteUnavailable { site }
+                };
+                out.mark_gap(idx, gap);
                 Ok(true)
             }
             Err(e) => Err(e),
@@ -602,15 +890,68 @@ impl<'w> Executor<'w> {
     }
 
     /// Reaches the source over the network and records statistics,
-    /// retrying transient unavailability with simulated backoff.
+    /// retrying transient unavailability with capped exponential backoff.
+    /// When a breaker bank is attached, the site's breaker is consulted
+    /// first — open means fail instantly, paying no simulated retry time.
     fn actual_call(&mut self, ground: &GroundCall) -> Result<RemoteOutcome> {
+        let site = match self.breakers {
+            Some(_) => self.site_name(ground),
+            None => None,
+        };
+        if let (Some(bank), Some(site)) = (self.breakers, site.as_deref()) {
+            match bank.lock().admit(site, self.clock.now()) {
+                Admission::ShortCircuit => {
+                    self.stats.breaker_short_circuits += 1;
+                    self.note(TraceEvent::BreakerShortCircuit {
+                        call: ground.clone(),
+                        site: site.to_string(),
+                    });
+                    return Err(HermesError::Unavailable {
+                        site: site.to_string(),
+                        reason: "circuit breaker open".into(),
+                    });
+                }
+                Admission::Probe => {
+                    self.stats.breaker_probes += 1;
+                    self.note(TraceEvent::BreakerProbe {
+                        site: site.to_string(),
+                    });
+                }
+                Admission::Allow => {}
+            }
+        }
         let mut attempt = 0u32;
         let outcome = loop {
             match self.network.execute(ground, self.clock.now()) {
-                Ok(out) => break out,
+                Ok(out) => {
+                    if let (Some(bank), Some(site)) = (self.breakers, site.as_deref()) {
+                        if bank.lock().record_success(site) {
+                            self.stats.breaker_recoveries += 1;
+                            self.note(TraceEvent::BreakerRecovered {
+                                site: site.to_string(),
+                            });
+                        }
+                    }
+                    break out;
+                }
                 Err(e @ HermesError::Unavailable { .. }) => {
                     self.stats.unavailable += 1;
-                    let will_retry = attempt < self.config.retry_attempts;
+                    let mut tripped = false;
+                    if let (Some(bank), Some(site)) = (self.breakers, site.as_deref()) {
+                        if bank.lock().record_failure(site, self.clock.now()) {
+                            tripped = true;
+                            self.stats.breaker_trips += 1;
+                            self.note(TraceEvent::BreakerTripped {
+                                site: site.to_string(),
+                            });
+                        }
+                    }
+                    // A tripped breaker ends the retry loop — isolation
+                    // beats persistence — and so does a spent deadline.
+                    let past_deadline =
+                        self.deadline_at.is_some_and(|d| self.clock.now() > d);
+                    let will_retry =
+                        !tripped && !past_deadline && attempt < self.config.retry_attempts;
                     self.note(TraceEvent::Unavailable {
                         call: ground.clone(),
                         will_retry,
@@ -620,9 +961,8 @@ impl<'w> Executor<'w> {
                     }
                     attempt += 1;
                     self.stats.retries += 1;
-                    self.clock.advance(SimDuration::from_millis_f64(
-                        attempt as f64 * self.config.retry_backoff_ms,
-                    ));
+                    let backoff = self.retry_backoff(attempt);
+                    self.clock.advance(backoff);
                 }
                 Err(e) => return Err(e),
             }
@@ -645,6 +985,16 @@ impl<'w> Executor<'w> {
             );
         }
         Ok(outcome)
+    }
+
+    /// Backoff before retry `attempt` (1-based): capped exponential with
+    /// deterministic jitter. Retry 1 waits at least `retry_backoff_ms`.
+    fn retry_backoff(&mut self, attempt: u32) -> SimDuration {
+        let base = self.config.retry_backoff_ms.max(0.0);
+        let exp = base * 2f64.powi(attempt.saturating_sub(1).min(20) as i32);
+        let capped = exp.min(self.config.retry_backoff_cap_ms.max(base));
+        let jitter = 1.0 + self.config.retry_jitter_frac.max(0.0) * self.retry_rng.f64();
+        SimDuration::from_millis_f64(capped * jitter)
     }
 }
 
@@ -701,7 +1051,7 @@ mod tests {
     fn direct_call_produces_answers_and_time() {
         let (net, cim, dcsm) = world();
         let (plan, _) = call_plan(Route::Direct);
-        let ex = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default());
+        let mut ex = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default());
         let out = ex.run(&plan, None).unwrap();
         assert!(!out.answers.is_empty());
         assert!(out.t_first.unwrap() <= out.t_all);
@@ -1070,5 +1420,322 @@ mod tests {
         assert_eq!(out.answers.len(), answers.len());
         assert!(!out.incomplete);
         assert_eq!(out.stats.actual_calls, 0);
+        // Provenance agrees: the one call step is complete.
+        assert_eq!(out.provenance.len(), 1);
+        assert!(out.provenance[0].complete());
+    }
+
+    /// A world whose only site is hard-down for an hour, with a cached
+    /// partial prefix so queries degrade instead of failing.
+    fn outage_world_with_prefix() -> (Network, Mutex<Cim>, Mutex<Dcsm>, Plan, usize) {
+        let mut net = Network::new(3);
+        let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
+        use hermes_domains::Domain;
+        let a = d.domain_values("p").into_iter().max().unwrap();
+        let full = d.call("p_bf", std::slice::from_ref(&a)).unwrap().answers;
+        net.place(
+            Arc::new(d),
+            profiles::cornell().with_outage(
+                SimInstant::EPOCH,
+                SimInstant::EPOCH + SimDuration::from_secs(3600),
+            ),
+        );
+        let cim = Mutex::new(Cim::new());
+        cim.lock()
+            .add_invariant(
+                parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap(),
+            )
+            .unwrap();
+        let prefix: Vec<Value> = full.iter().take(1).cloned().collect();
+        cim.lock().store(
+            GroundCall::new("d1", "p_bf", vec![Value::str("")]),
+            prefix.clone(),
+            true,
+            SimInstant::EPOCH,
+        );
+        let plan = Plan {
+            steps: vec![PlanStep::Call {
+                target: Term::var("B"),
+                call: CallTemplate::new("d1", "p_bf", vec![Term::Const(a)]),
+                route: Route::Cim,
+            }],
+            answer_vars: vec![Arc::from("B")],
+        };
+        (net, cim, dcsm_new(), plan, prefix.len())
+    }
+
+    fn dcsm_new() -> Mutex<Dcsm> {
+        Mutex::new(Dcsm::new())
+    }
+
+    #[test]
+    fn breaker_short_circuit_saves_simulated_time_over_retries() {
+        use crate::breaker::{BreakerBank, BreakerConfig, BreakerState};
+        let cfg = ExecConfig {
+            retry_attempts: 2,
+            retry_backoff_ms: 500.0,
+            retry_jitter_frac: 0.0,
+            ..ExecConfig::default()
+        };
+        // Retry-only baseline: every run pays the full backoff ladder.
+        let (net, cim, dcsm, plan, _) = outage_world_with_prefix();
+        let without = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert!(without.t_all >= SimDuration::from_millis(1500)); // 500 + 1000
+        assert_eq!(without.stats.retries, 2);
+
+        // With a breaker: the first failure trips it (threshold 1), ending
+        // the retry ladder; the next run short-circuits entirely.
+        let (net, cim, dcsm, plan, prefix_len) = outage_world_with_prefix();
+        let bank = Mutex::new(BreakerBank::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(300),
+        }));
+        let first = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .with_breakers(&bank)
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(first.stats.breaker_trips, 1);
+        assert_eq!(first.stats.retries, 0, "trip ends the retry ladder");
+        assert!(first.t_all < without.t_all);
+        let second = Executor::new(&net, &cim, &dcsm, first.clock.clone(), cfg)
+            .with_breakers(&bank)
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(second.stats.breaker_short_circuits, 1);
+        assert_eq!(second.stats.unavailable, 0, "no network attempt at all");
+        assert_eq!(second.answers.len(), prefix_len);
+        assert!(second.incomplete);
+        assert_eq!(second.provenance.len(), 1);
+        assert!(matches!(
+            second.provenance[0].gaps[0],
+            IncompleteReason::BreakerOpen { .. }
+        ));
+        assert_eq!(
+            bank.lock().state_at("cornell", second.clock.now()),
+            BreakerState::Open
+        );
+    }
+
+    #[test]
+    fn half_open_probe_recovers_after_cooldown_on_virtual_clock() {
+        use crate::breaker::{BreakerBank, BreakerConfig, BreakerState};
+        // Outage covers only the first 10 virtual seconds.
+        let mut net = Network::new(3);
+        let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
+        net.place(
+            Arc::new(d),
+            profiles::cornell().with_outage(
+                SimInstant::EPOCH,
+                SimInstant::EPOCH + SimDuration::from_secs(10),
+            ),
+        );
+        let cim = Mutex::new(Cim::new());
+        let dcsm = dcsm_new();
+        let (plan, _) = call_plan(Route::Direct);
+        let bank = Mutex::new(BreakerBank::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(30),
+        }));
+        let cfg = ExecConfig::default();
+        // Trip during the outage.
+        let err = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .with_breakers(&bank)
+            .run(&plan, None)
+            .unwrap_err();
+        assert!(matches!(err, HermesError::Unavailable { .. }));
+        // Still cooling at t=20s: short-circuited.
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(20));
+        let err = Executor::new(&net, &cim, &dcsm, clock, cfg)
+            .with_breakers(&bank)
+            .run(&plan, None)
+            .unwrap_err();
+        assert!(
+            matches!(&err, HermesError::Unavailable { reason, .. } if reason.contains("circuit breaker")),
+            "{err}"
+        );
+        // Past the cooldown (and the outage): the probe succeeds and the
+        // breaker closes.
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(40));
+        let out = Executor::new(&net, &cim, &dcsm, clock, cfg)
+            .with_breakers(&bank)
+            .run(&plan, None)
+            .unwrap();
+        assert!(!out.answers.is_empty());
+        assert_eq!(out.stats.breaker_probes, 1);
+        assert_eq!(out.stats.breaker_recoveries, 1);
+        assert_eq!(
+            bank.lock().state_at("cornell", out.clock.now()),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_with_a_cap() {
+        let cfg = ExecConfig {
+            retry_attempts: 3,
+            retry_backoff_ms: 100.0,
+            retry_backoff_cap_ms: 150.0,
+            retry_jitter_frac: 0.0,
+            ..ExecConfig::default()
+        };
+        let (net, cim, dcsm, plan, _) = outage_world_with_prefix();
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        // Sleeps: 100 (base), then 200→capped 150, then 150. CIM probe
+        // costs add a few more milliseconds.
+        assert!(out.t_all >= SimDuration::from_millis(400), "{}", out.t_all);
+        assert!(out.t_all <= SimDuration::from_millis(460), "{}", out.t_all);
+        assert_eq!(out.stats.retries, 3);
+    }
+
+    #[test]
+    fn retry_attempts_zero_means_first_failure_is_final() {
+        let (net, cim, dcsm, plan, _) = outage_world_with_prefix();
+        let cfg = ExecConfig {
+            retry_attempts: 0,
+            ..ExecConfig::default()
+        };
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(out.stats.unavailable, 1);
+        assert_eq!(out.stats.retries, 0);
+        // And no backoff time was charged: only CIM processing cost.
+        assert!(out.t_all < SimDuration::from_millis(100), "{}", out.t_all);
+    }
+
+    #[test]
+    fn deadline_returns_partial_answers_with_provenance() {
+        // Two-step cross product: the deadline fires between inner calls,
+        // so some answers exist when evaluation unwinds.
+        fn cross_world() -> (Network, Mutex<Cim>, Mutex<Dcsm>, Plan) {
+            let (net, cim, dcsm) = world();
+            let d =
+                SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
+            let a = d.domain_values("p").into_iter().next().unwrap();
+            let plan = Plan {
+                steps: vec![
+                    PlanStep::Call {
+                        target: Term::var("B"),
+                        call: CallTemplate::new("d1", "p_bf", vec![Term::Const(a.clone())]),
+                        route: Route::Direct,
+                    },
+                    PlanStep::Call {
+                        target: Term::var("C"),
+                        call: CallTemplate::new("d1", "p_bf", vec![Term::Const(a)]),
+                        route: Route::Direct,
+                    },
+                ],
+                answer_vars: vec![Arc::from("B"), Arc::from("C")],
+            };
+            (net, cim, dcsm, plan)
+        }
+        let (net, cim, dcsm, plan) = cross_world();
+        let full = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default())
+            .run(&plan, None)
+            .unwrap();
+        assert!(full.answers.len() > 1);
+        // Halfway between first answer and completion: some answers make
+        // it, the rest are cut off. Identical world seed → identical
+        // timings, so the midpoint is deterministic.
+        let deadline = SimDuration::from_micros(
+            (full.t_first.unwrap().as_micros() + full.t_all.as_micros()) / 2,
+        );
+        let (net, cim, dcsm, plan) = cross_world();
+        let cfg = ExecConfig {
+            deadline: Some(deadline),
+            ..ExecConfig::default()
+        };
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert!(!out.answers.is_empty(), "deadline after first answer");
+        assert!(out.answers.len() < full.answers.len());
+        assert!(out.incomplete);
+        assert_eq!(out.stats.deadline_aborts, 1);
+        let gapped: Vec<_> = out.provenance.iter().filter(|p| !p.complete()).collect();
+        assert!(!gapped.is_empty());
+        assert!(gapped
+            .iter()
+            .all(|p| p.gaps.contains(&IncompleteReason::DeadlineExceeded)));
+        // Answers the run did produce agree with a prefix of the full run.
+        assert_eq!(out.answers[..], full.answers[..out.answers.len()]);
+    }
+
+    #[test]
+    fn strict_deadline_fails_with_typed_error() {
+        let (net, cim, dcsm) = world();
+        let (plan, _) = call_plan(Route::Direct);
+        // Zero-length virtual deadline with a two-call plan: the second
+        // boundary is necessarily past it.
+        let plan2 = Plan {
+            steps: vec![plan.steps[0].clone(), plan.steps[0].clone()],
+            answer_vars: plan.answer_vars.clone(),
+        };
+        let cfg = ExecConfig {
+            deadline: Some(SimDuration::ZERO),
+            deadline_strict: true,
+            ..ExecConfig::default()
+        };
+        let err = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan2, None)
+            .unwrap_err();
+        assert!(matches!(err, HermesError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn serve_stale_answers_outage_from_incomplete_entry() {
+        let mut net = Network::new(3);
+        let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
+        use hermes_domains::Domain;
+        let a = d.domain_values("p").into_iter().next().unwrap();
+        let full = d.call("p_bf", std::slice::from_ref(&a)).unwrap().answers;
+        net.place(
+            Arc::new(d),
+            profiles::cornell().with_outage(
+                SimInstant::EPOCH,
+                SimInstant::EPOCH + SimDuration::from_secs(3600),
+            ),
+        );
+        let cim = Mutex::new(Cim::new());
+        // An *incomplete* entry (e.g. from an earlier truncated call):
+        // normally not a hit, but good enough during an outage.
+        let stale: Vec<Value> = full.iter().take(2).cloned().collect();
+        cim.lock().store(
+            GroundCall::new("d1", "p_bf", vec![a.clone()]),
+            stale.clone(),
+            false,
+            SimInstant::EPOCH,
+        );
+        let dcsm = dcsm_new();
+        let plan = Plan {
+            steps: vec![PlanStep::Call {
+                target: Term::var("B"),
+                call: CallTemplate::new("d1", "p_bf", vec![Term::Const(a)]),
+                route: Route::Cim,
+            }],
+            answer_vars: vec![Arc::from("B")],
+        };
+        // Knob off: the outage is fatal.
+        let err = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default())
+            .run(&plan, None)
+            .unwrap_err();
+        assert!(matches!(err, HermesError::Unavailable { .. }));
+        // Knob on: stale answers, flagged incomplete with provenance.
+        cim.lock().set_serve_stale_on_outage(true);
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default())
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(out.answers.len(), stale.len());
+        assert!(out.incomplete);
+        assert!(matches!(
+            out.provenance[0].gaps[0],
+            IncompleteReason::SiteUnavailable { .. }
+        ));
     }
 }

@@ -34,6 +34,7 @@
 //! assert!(again.t_all < result.t_all);
 //! ```
 
+pub mod breaker;
 pub mod cost;
 pub mod cursor;
 pub mod exec;
@@ -42,9 +43,12 @@ pub mod plan;
 pub mod rewrite;
 pub mod trace;
 
+pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
 pub use cost::{choose_plan, estimate_plan, CostConfig};
 pub use cursor::{InteractiveQuery, InteractiveSummary};
-pub use exec::{ExecConfig, ExecOutcome, ExecStats, Executor};
+pub use exec::{
+    ExecConfig, ExecOutcome, ExecStats, Executor, IncompleteReason, SubgoalProvenance,
+};
 pub use mediator::{Mediator, MediatorConfig, Planned, QueryResult};
 pub use plan::{Plan, PlanStep, Route};
 pub use trace::{TraceEntry, TraceEvent};

@@ -1,20 +1,22 @@
 //! The mediator facade: parse → rewrite → cost → choose → execute.
 
+use crate::breaker::BreakerBank;
 use crate::cost::{choose_plan, estimate_plan, CostConfig};
 use crate::cursor::InteractiveQuery;
-use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor};
-use crate::plan::Plan;
+use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor, SubgoalProvenance};
+use crate::plan::{Plan, PlanStep};
 use crate::rewrite::{enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig};
 use hermes_cim::{Cim, CimPolicy};
 use hermes_common::{HermesError, Result, SimClock, SimDuration, Value};
 use hermes_dcsm::{CostVector, Dcsm};
 use hermes_lang::{parse_program, parse_query, validate_program, Program, Query};
 use hermes_net::Network;
-use parking_lot::Mutex;
+use hermes_common::sync::Mutex;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Mediator-wide configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct MediatorConfig {
     /// Rewriter limits.
     pub rewrite: RewriteConfig,
@@ -25,6 +27,23 @@ pub struct MediatorConfig {
     /// Optimize for time-to-first-answer (interactive mode, §3) instead of
     /// time-to-all-answers.
     pub optimize_first_answer: bool,
+    /// When a hard outage (or open breaker) kills the chosen plan, re-enter
+    /// the plan space and run the cheapest alternative that avoids the dead
+    /// site. Work the failed attempt completed survives in the answer
+    /// cache, so the replanned run resumes rather than restarts.
+    pub failover: bool,
+}
+
+impl Default for MediatorConfig {
+    fn default() -> Self {
+        MediatorConfig {
+            rewrite: RewriteConfig::default(),
+            cost: CostConfig::default(),
+            exec: ExecConfig::default(),
+            optimize_first_answer: false,
+            failover: true,
+        }
+    }
 }
 
 /// The chosen plan plus the full plan space and estimates — what
@@ -71,8 +90,12 @@ pub struct QueryResult {
     pub plans_considered: usize,
     /// Execution counters.
     pub stats: ExecStats,
-    /// True when an unavailable source truncated the answers.
+    /// True when any subgoal's answers may be incomplete.
     pub incomplete: bool,
+    /// Per-subgoal completeness provenance for the executed plan.
+    pub provenance: Vec<SubgoalProvenance>,
+    /// Alternative plans executed after outages killed earlier ones.
+    pub failovers: u32,
     /// The execution trace (empty unless `ExecConfig::collect_trace`).
     pub trace: Vec<crate::trace::TraceEntry>,
 }
@@ -84,6 +107,7 @@ pub struct Mediator {
     network: Arc<Network>,
     cim: Arc<Mutex<Cim>>,
     dcsm: Arc<Mutex<Dcsm>>,
+    breakers: Arc<Mutex<BreakerBank>>,
     policy: CimPolicy,
     config: MediatorConfig,
     clock: SimClock,
@@ -99,6 +123,7 @@ impl Mediator {
             network: Arc::new(network),
             cim: Arc::new(Mutex::new(Cim::new())),
             dcsm: Arc::new(Mutex::new(Dcsm::new())),
+            breakers: Arc::new(Mutex::new(BreakerBank::default())),
             policy: CimPolicy::cache_everything(),
             config: MediatorConfig::default(),
             clock: SimClock::new(),
@@ -140,6 +165,13 @@ impl Mediator {
     /// The shared DCSM (statistics cache).
     pub fn dcsm(&self) -> Arc<Mutex<Dcsm>> {
         self.dcsm.clone()
+    }
+
+    /// The per-site circuit breakers. The bank lives as long as the
+    /// mediator, so a site isolated during one query stays isolated for the
+    /// next until its cooldown elapses.
+    pub fn breakers(&self) -> Arc<Mutex<BreakerBank>> {
+        self.breakers.clone()
     }
 
     /// The network of placed domains.
@@ -238,20 +270,97 @@ impl Mediator {
         self.execute(planned, None)
     }
 
-    /// Executes an already-planned query.
+    /// Executes an already-planned query. When [`MediatorConfig::failover`]
+    /// is on and a hard outage (or open breaker) kills the running plan,
+    /// the cheapest alternative plan avoiding every dead site seen so far
+    /// is executed instead; answers the failed attempt already cached are
+    /// reused, so replanning resumes rather than restarts.
     pub fn execute(&mut self, planned: Planned, limit: Option<usize>) -> Result<QueryResult> {
-        let plan = planned.plans[planned.chosen].clone();
-        let estimate = planned.estimates[planned.chosen];
-        let executor = Executor::new(
-            &self.network,
-            &self.cim,
-            &self.dcsm,
-            self.clock.clone(),
-            self.config.exec,
+        let mut idx = planned.chosen;
+        let mut avoid: BTreeSet<String> = BTreeSet::new();
+        let mut failovers = 0u32;
+        // Counters from plan attempts that died mid-run; folded into the
+        // final result so the query's cost accounting stays honest.
+        let mut carried = ExecStats::default();
+        loop {
+            let plan = planned.plans[idx].clone();
+            let estimate = planned.estimates[idx];
+            let mut executor = Executor::new(
+                &self.network,
+                &self.cim,
+                &self.dcsm,
+                self.clock.clone(),
+                self.config.exec,
+            )
+            .with_breakers(&self.breakers);
+            let attempt = executor.run(&plan, limit);
+            // The attempt's virtual time is real whether it succeeded or
+            // not: a failover resumes *after* the retries the dead plan
+            // burned, it does not rewind them.
+            self.clock.advance_to(executor.now());
+            match attempt {
+                Ok(outcome) => {
+                    self.clock = outcome.clock.clone();
+                    let mut result =
+                        Self::project(plan, estimate, planned.plans.len(), outcome);
+                    result.failovers = failovers;
+                    result.stats.absorb(&carried);
+                    return Ok(result);
+                }
+                Err(HermesError::Unavailable { site, reason }) if self.config.failover => {
+                    carried.absorb(&executor.stats());
+                    // A site can only fail over once; seeing it again means
+                    // no alternative exists and the outage is final.
+                    if !avoid.insert(site.clone()) {
+                        return Err(HermesError::Unavailable { site, reason });
+                    }
+                    match self.failover_choice(&planned, &avoid) {
+                        Some(next) => {
+                            failovers += 1;
+                            idx = next;
+                        }
+                        None => return Err(HermesError::Unavailable { site, reason }),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The sites a plan's call steps touch.
+    fn plan_sites(&self, plan: &Plan) -> BTreeSet<String> {
+        let mut sites = BTreeSet::new();
+        for step in &plan.steps {
+            if let PlanStep::Call { call, .. } = step {
+                if let Ok(site) = self.network.site_of(&call.domain) {
+                    sites.insert(site.name.to_string());
+                }
+            }
+        }
+        sites
+    }
+
+    /// The cheapest plan (under current statistics) touching none of the
+    /// sites in `avoid`, if any.
+    fn failover_choice(&self, planned: &Planned, avoid: &BTreeSet<String>) -> Option<usize> {
+        let eligible: Vec<usize> = (0..planned.plans.len())
+            .filter(|&i| self.plan_sites(&planned.plans[i]).is_disjoint(avoid))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let candidates: Vec<Plan> = eligible
+            .iter()
+            .map(|&i| planned.plans[i].clone())
+            .collect();
+        let dcsm = self.dcsm.lock();
+        let (chosen, _) = choose_plan(
+            &candidates,
+            &dcsm,
+            &self.config.cost,
+            self.config.optimize_first_answer,
         );
-        let outcome = executor.run(&plan, limit)?;
-        self.clock = outcome.clock.clone();
-        Ok(Self::project(plan, estimate, planned.plans.len(), outcome))
+        Some(eligible[chosen])
     }
 
     fn project(
@@ -281,6 +390,8 @@ impl Mediator {
             plans_considered,
             stats: outcome.stats,
             incomplete: outcome.incomplete,
+            provenance: outcome.provenance,
+            failovers: 0,
             trace: outcome.trace,
         }
     }
@@ -297,6 +408,7 @@ impl Mediator {
             self.network.clone(),
             self.cim.clone(),
             self.dcsm.clone(),
+            Some(self.breakers.clone()),
             self.clock.clone(),
             self.config.exec,
             plan,
@@ -599,6 +711,126 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         assert!(m2.load_state(&empty).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two replica domains with identical data (same generator seed):
+    /// `d1` on a healthy site, `d2` on a permanently dark one.
+    fn replicated_mediator() -> Mediator {
+        let spec = [RelationSpec::uniform("p", 8, 2.0)];
+        let d1 = SyntheticDomain::generate("d1", 42, &spec);
+        let d2 = SyntheticDomain::generate("d2", 42, &spec);
+        let mut net = Network::new(1);
+        net.place(Arc::new(d1), profiles::cornell());
+        net.place(
+            Arc::new(d2),
+            profiles::italy().with_outage(
+                hermes_common::SimInstant::EPOCH,
+                hermes_common::SimInstant::EPOCH + SimDuration::from_secs(86_400),
+            ),
+        );
+        Mediator::from_source(
+            "
+            item(A, B) :- in(B, d2:p_bf(A)).
+            item(A, B) :- in(B, d1:p_bf(A)).
+            ",
+            net,
+        )
+        .unwrap()
+    }
+
+    /// Forces the chosen plan to one that calls the dead `d2` replica.
+    fn choose_dead_plan(planned: &mut Planned) {
+        let dead = planned
+            .plans
+            .iter()
+            .position(|p| p.to_string().contains("d2:"))
+            .expect("a plan uses the d2 replica");
+        planned.chosen = dead;
+    }
+
+    #[test]
+    fn failover_replans_around_a_dead_site() {
+        let mut m = replicated_mediator();
+        let mut planned = m.plan("?- item('p_1', B).").unwrap();
+        assert!(planned.plans.len() >= 2);
+        choose_dead_plan(&mut planned);
+        let result = m.execute(planned, None).unwrap();
+        assert_eq!(result.failovers, 1);
+        assert!(!result.incomplete);
+        assert!(
+            result.plan.to_string().contains("d1:"),
+            "replanned onto the live replica: {}",
+            result.plan
+        );
+        // Same answers as asking the live replica directly.
+        let direct = m.query("?- item('p_1', B).").unwrap();
+        let mut a: Vec<_> = result.rows.clone();
+        let mut b: Vec<_> = direct.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failover_can_be_disabled() {
+        let mut m = replicated_mediator();
+        m.config_mut().failover = false;
+        let mut planned = m.plan("?- item('p_1', B).").unwrap();
+        choose_dead_plan(&mut planned);
+        let err = m.execute(planned, None).unwrap_err();
+        assert!(matches!(err, HermesError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn breaker_bank_persists_across_queries() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let mut m = replicated_mediator();
+        m.breakers().lock().set_config(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(3600),
+        });
+        let mut planned = m.plan("?- item('p_1', B).").unwrap();
+        choose_dead_plan(&mut planned);
+        m.execute(planned, None).unwrap();
+        // The failed attempt tripped milan's breaker, and the bank outlives
+        // the query.
+        assert_eq!(
+            m.breakers().lock().state_at("milan", m.now()),
+            BreakerState::Open
+        );
+        assert_eq!(m.breakers().lock().open_sites(m.now()).len(), 1);
+        // A later query forced onto the dead replica now short-circuits
+        // (no retry time) before failing over.
+        let mut planned = m.plan("?- item('p_2', B).").unwrap();
+        choose_dead_plan(&mut planned);
+        let result = m.execute(planned, None).unwrap();
+        assert_eq!(result.failovers, 1);
+    }
+
+    #[test]
+    fn cached_answers_survive_a_later_outage() {
+        // The site goes dark one hour in; a query warmed before then is
+        // still answerable from the cache during the outage.
+        let domain =
+            SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let mut net = Network::new(1);
+        let epoch = hermes_common::SimInstant::EPOCH;
+        net.place(
+            Arc::new(domain),
+            profiles::cornell().with_outage(
+                epoch + SimDuration::from_secs(3600),
+                epoch + SimDuration::from_secs(7200),
+            ),
+        );
+        let mut m = Mediator::from_source("item(A, B) :- in(B, d1:p_bf(A)).", net).unwrap();
+        let warm = m.query("?- item('p_1', B).").unwrap();
+        assert!(!warm.rows.is_empty());
+        m.advance_clock(SimDuration::from_secs(3600));
+        let during = m.query("?- item('p_1', B).").unwrap();
+        assert_eq!(during.rows, warm.rows);
+        assert!(!during.incomplete);
+        assert_eq!(during.stats.actual_calls, 0);
+        assert!(during.provenance.iter().all(|p| p.complete()));
     }
 
     #[test]

@@ -68,6 +68,49 @@ pub enum TraceEvent {
         /// 1-based answer ordinal.
         ordinal: usize,
     },
+    /// Consecutive failures tripped a site's circuit breaker open.
+    BreakerTripped {
+        /// The isolated site.
+        site: String,
+    },
+    /// An open breaker short-circuited a call without touching the network.
+    BreakerShortCircuit {
+        /// The call that never went out.
+        call: GroundCall,
+        /// The isolated site.
+        site: String,
+    },
+    /// A half-open breaker admitted a recovery probe.
+    BreakerProbe {
+        /// The probed site.
+        site: String,
+    },
+    /// A successful probe closed the breaker.
+    BreakerRecovered {
+        /// The recovered site.
+        site: String,
+    },
+    /// The query's deadline fired; evaluation unwound cleanly.
+    DeadlineExceeded {
+        /// Virtual time elapsed when the check fired.
+        elapsed: SimDuration,
+        /// The configured deadline.
+        deadline: SimDuration,
+    },
+    /// An injected fault truncated a call's answer set.
+    Truncated {
+        /// The affected call.
+        call: GroundCall,
+        /// Answers that did arrive.
+        kept: usize,
+    },
+    /// An unreachable source was answered from a stale cached entry.
+    ServedStale {
+        /// The call served stale.
+        call: GroundCall,
+        /// Stale answers served.
+        answers: usize,
+    },
 }
 
 /// A timestamped event.
@@ -112,6 +155,27 @@ impl fmt::Display for TraceEntry {
                 if *will_retry { " (retrying)" } else { "" }
             ),
             TraceEvent::Answer { ordinal } => write!(f, "ANS  #{ordinal}"),
+            TraceEvent::BreakerTripped { site } => {
+                write!(f, "TRIP breaker open for `{site}`")
+            }
+            TraceEvent::BreakerShortCircuit { call, site } => {
+                write!(f, "OPEN {call} short-circuited (`{site}` breaker open)")
+            }
+            TraceEvent::BreakerProbe { site } => {
+                write!(f, "PROBE half-open breaker probing `{site}`")
+            }
+            TraceEvent::BreakerRecovered { site } => {
+                write!(f, "HEAL breaker closed for `{site}`")
+            }
+            TraceEvent::DeadlineExceeded { elapsed, deadline } => {
+                write!(f, "DEAD deadline exceeded ({elapsed} > {deadline})")
+            }
+            TraceEvent::Truncated { call, kept } => {
+                write!(f, "TRUNC {call} answer set truncated to {kept}")
+            }
+            TraceEvent::ServedStale { call, answers } => {
+                write!(f, "STALE {call} -> {answers} stale answers (source down)")
+            }
         }
     }
 }

@@ -97,7 +97,7 @@ pub struct Dcsm {
     /// Lookup-shape counters driving table maintenance (§6.2: "watch the
     /// access patterns for the tables"). Interior mutability because
     /// `cost` takes `&self`.
-    tracker: parking_lot::Mutex<crate::maintenance::AccessTracker>,
+    tracker: hermes_common::sync::Mutex<crate::maintenance::AccessTracker>,
 }
 
 impl Default for Dcsm {
@@ -119,7 +119,7 @@ impl Dcsm {
             db: CostVectorDb::new(),
             tables: HashMap::new(),
             external: HashMap::new(),
-            tracker: parking_lot::Mutex::new(crate::maintenance::AccessTracker::new()),
+            tracker: hermes_common::sync::Mutex::new(crate::maintenance::AccessTracker::new()),
         }
     }
 

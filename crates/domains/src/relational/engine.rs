@@ -3,7 +3,7 @@
 use crate::domain::{CallOutcome, ComputeCost, CostHint, Domain, FunctionSig, NativeEstimator};
 use crate::relational::table::Table;
 use hermes_common::{CallPattern, HermesError, PatArg, Result, Value};
-use parking_lot::RwLock;
+use hermes_common::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

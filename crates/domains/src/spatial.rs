@@ -14,7 +14,7 @@
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
 use hermes_common::{HermesError, Record, Result, Value};
-use parking_lot::RwLock;
+use hermes_common::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -8,7 +8,7 @@
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
 use hermes_common::{HermesError, Record, Result, Rng64, Value};
-use parking_lot::RwLock;
+use hermes_common::sync::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 

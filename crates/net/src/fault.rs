@@ -1,0 +1,298 @@
+//! Deterministic fault injection — the chaos half of the resilience layer.
+//!
+//! A [`FaultPlan`] describes *injected* failures on top of a network's
+//! organic behavior (scheduled outages, link failure rates, jitter): sites
+//! that flap up and down on a square wave, links that transiently drop
+//! calls, windows of spiked latency or degraded bandwidth, and answer sets
+//! that arrive truncated. The plan draws from its **own** seeded
+//! [`Rng64`] stream, separate from the network's jitter stream, so
+//! installing or tweaking a plan never perturbs the timings of calls the
+//! plan does not touch — and the same seed replays the same faults
+//! bit-identically, which is what makes chaos runs assertable in tests.
+
+use hermes_common::sync::Mutex;
+use hermes_common::{Rng64, SimDuration, SimInstant};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A site that alternates up/down on a deterministic square wave.
+#[derive(Clone, Copy, Debug)]
+pub struct Flapping {
+    /// Full period of the wave.
+    pub period: SimDuration,
+    /// How long the site is down at the start of each period.
+    pub down_for: SimDuration,
+    /// Offset of the wave relative to the epoch.
+    pub phase: SimDuration,
+}
+
+impl Flapping {
+    /// True when the wave has the site down at `t`.
+    pub fn is_down(&self, t: SimInstant) -> bool {
+        let period = self.period.as_micros().max(1);
+        let pos = (t.as_micros() + self.phase.as_micros()) % period;
+        pos < self.down_for.as_micros()
+    }
+}
+
+/// A closed virtual-time window in which a multiplicative factor applies.
+#[derive(Clone, Copy, Debug)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub from: SimInstant,
+    /// Window end (inclusive).
+    pub to: SimInstant,
+    /// The factor (latency multiplier, or bandwidth divisor).
+    pub factor: f64,
+}
+
+impl Window {
+    fn covers(&self, t: SimInstant) -> bool {
+        t >= self.from && t <= self.to
+    }
+}
+
+/// Injected faults for one site.
+#[derive(Clone, Debug, Default)]
+pub struct SiteFaults {
+    /// Square-wave up/down schedule.
+    pub flapping: Option<Flapping>,
+    /// Probability that any single call is dropped (transient).
+    pub drop_rate: f64,
+    /// Probability that a successful call's answer set arrives truncated.
+    pub truncate_rate: f64,
+    /// Fraction of answers kept when truncation fires.
+    pub truncate_keep_frac: f64,
+    /// Windows multiplying connect/RTT latency.
+    pub latency_spikes: Vec<Window>,
+    /// Windows dividing usable bandwidth.
+    pub bandwidth_degradations: Vec<Window>,
+}
+
+/// A seeded, per-site fault schedule installed on a
+/// [`Network`](crate::Network).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: BTreeMap<Arc<str>, SiteFaults>,
+    rng: Mutex<Rng64>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from its own stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sites: BTreeMap::new(),
+            rng: Mutex::new(Rng64::new(seed)),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn entry(&mut self, site: &str) -> &mut SiteFaults {
+        self.sites.entry(Arc::from(site)).or_default()
+    }
+
+    /// Site `site` flaps: down for `down_for` at the start of every
+    /// `period`, offset by `phase`.
+    pub fn flapping(
+        mut self,
+        site: &str,
+        period: SimDuration,
+        down_for: SimDuration,
+        phase: SimDuration,
+    ) -> Self {
+        self.entry(site).flapping = Some(Flapping {
+            period,
+            down_for,
+            phase,
+        });
+        self
+    }
+
+    /// Calls to `site` are transiently dropped with probability `p`.
+    pub fn drop_rate(mut self, site: &str, p: f64) -> Self {
+        self.entry(site).drop_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Answer sets from `site` arrive truncated with probability `p`,
+    /// keeping `keep_frac` of the answers.
+    pub fn truncation(mut self, site: &str, p: f64, keep_frac: f64) -> Self {
+        let faults = self.entry(site);
+        faults.truncate_rate = p.clamp(0.0, 1.0);
+        faults.truncate_keep_frac = keep_frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Latency to `site` is multiplied by `factor` inside `[from, to]`.
+    pub fn latency_spike(
+        mut self,
+        site: &str,
+        from: SimInstant,
+        to: SimInstant,
+        factor: f64,
+    ) -> Self {
+        self.entry(site)
+            .latency_spikes
+            .push(Window { from, to, factor });
+        self
+    }
+
+    /// Bandwidth to `site` is divided by `factor` inside `[from, to]`.
+    pub fn degrade_bandwidth(
+        mut self,
+        site: &str,
+        from: SimInstant,
+        to: SimInstant,
+        factor: f64,
+    ) -> Self {
+        self.entry(site)
+            .bandwidth_degradations
+            .push(Window { from, to, factor });
+        self
+    }
+
+    fn faults(&self, site: &str) -> Option<&SiteFaults> {
+        self.sites.get(site)
+    }
+
+    /// True when the flapping schedule has `site` down at `now`.
+    pub fn flapping_down(&self, site: &str, now: SimInstant) -> bool {
+        self.faults(site)
+            .and_then(|f| f.flapping)
+            .is_some_and(|f| f.is_down(now))
+    }
+
+    /// Draws whether this call to `site` is transiently dropped.
+    pub fn draw_drop(&self, site: &str) -> bool {
+        let p = match self.faults(site) {
+            Some(f) if f.drop_rate > 0.0 => f.drop_rate,
+            _ => return false,
+        };
+        self.rng.lock().chance(p)
+    }
+
+    /// The latency multiplier for `site` at `now` (product of covering
+    /// spike windows; 1.0 outside all windows).
+    pub fn latency_factor(&self, site: &str, now: SimInstant) -> f64 {
+        self.faults(site)
+            .map(|f| {
+                f.latency_spikes
+                    .iter()
+                    .filter(|w| w.covers(now))
+                    .map(|w| w.factor.max(0.0))
+                    .product()
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// The bandwidth divisor for `site` at `now` (≥ 1 when degraded).
+    pub fn bandwidth_divisor(&self, site: &str, now: SimInstant) -> f64 {
+        self.faults(site)
+            .map(|f| {
+                f.bandwidth_degradations
+                    .iter()
+                    .filter(|w| w.covers(now))
+                    .map(|w| w.factor.max(1.0))
+                    .product()
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Draws whether this answer set from `site` is truncated; returns the
+    /// fraction of answers to keep when it is.
+    pub fn draw_truncation(&self, site: &str) -> Option<f64> {
+        let (p, keep) = match self.faults(site) {
+            Some(f) if f.truncate_rate > 0.0 => (f.truncate_rate, f.truncate_keep_frac),
+            _ => return None,
+        };
+        if self.rng.lock().chance(p) {
+            Some(keep)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn flapping_is_a_square_wave() {
+        let f = Flapping {
+            period: SimDuration::from_millis(100),
+            down_for: SimDuration::from_millis(30),
+            phase: SimDuration::ZERO,
+        };
+        assert!(f.is_down(t(0)));
+        assert!(f.is_down(t(29)));
+        assert!(!f.is_down(t(30)));
+        assert!(!f.is_down(t(99)));
+        assert!(f.is_down(t(100)));
+        assert!(f.is_down(t(129)));
+        assert!(!f.is_down(t(130)));
+    }
+
+    #[test]
+    fn flapping_phase_shifts_the_wave() {
+        let f = Flapping {
+            period: SimDuration::from_millis(100),
+            down_for: SimDuration::from_millis(30),
+            phase: SimDuration::from_millis(90),
+        };
+        // phase 90 puts t=10..=39 inside the down window.
+        assert!(!f.is_down(t(9)));
+        assert!(f.is_down(t(10)));
+        assert!(f.is_down(t(39)));
+        assert!(!f.is_down(t(40)));
+    }
+
+    #[test]
+    fn windows_cover_closed_intervals_and_compose() {
+        let plan = FaultPlan::new(1)
+            .latency_spike("s", t(100), t(200), 4.0)
+            .latency_spike("s", t(150), t(250), 2.0);
+        assert_eq!(plan.latency_factor("s", t(99)), 1.0);
+        assert_eq!(plan.latency_factor("s", t(100)), 4.0);
+        assert_eq!(plan.latency_factor("s", t(150)), 8.0); // both windows
+        assert_eq!(plan.latency_factor("s", t(201)), 2.0);
+        assert_eq!(plan.latency_factor("s", t(251)), 1.0);
+        assert_eq!(plan.latency_factor("other", t(150)), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_divisor_never_amplifies() {
+        let plan = FaultPlan::new(1).degrade_bandwidth("s", t(0), t(10), 0.5);
+        // A degradation factor below 1 would *increase* bandwidth; clamp.
+        assert_eq!(plan.bandwidth_divisor("s", t(5)), 1.0);
+    }
+
+    #[test]
+    fn draws_replay_bit_identically_for_the_same_seed() {
+        let mk = || FaultPlan::new(77).drop_rate("s", 0.5).truncation("s", 0.5, 0.25);
+        let a = mk();
+        let b = mk();
+        for _ in 0..200 {
+            assert_eq!(a.draw_drop("s"), b.draw_drop("s"));
+            assert_eq!(a.draw_truncation("s"), b.draw_truncation("s"));
+        }
+    }
+
+    #[test]
+    fn unconfigured_site_never_faults() {
+        let plan = FaultPlan::new(3).drop_rate("s", 1.0);
+        assert!(!plan.draw_drop("other"));
+        assert!(plan.draw_truncation("other").is_none());
+        assert!(!plan.flapping_down("other", t(0)));
+    }
+}

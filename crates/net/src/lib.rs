@@ -26,9 +26,16 @@
 //! assert!(out.t_all.as_millis() > 500); // transatlantic 1996 is slow
 //! ```
 
+//! For chaos testing, a seeded [`FaultPlan`] can be installed on the
+//! network to inject flapping sites, transient call drops, latency/
+//! bandwidth windows, and truncated answer sets — deterministically, so a
+//! chaos run replays bit-identically (see DESIGN.md "Resilience").
+
+pub mod fault;
 pub mod network;
 pub mod profiles;
 pub mod site;
 
+pub use fault::{FaultPlan, Flapping, SiteFaults, Window};
 pub use network::{Network, RemoteOutcome};
 pub use site::{LinkModel, Site};

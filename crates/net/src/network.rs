@@ -1,11 +1,12 @@
 //! The network: domain placement and remote call execution.
 
+use crate::fault::FaultPlan;
 use crate::site::Site;
 use hermes_common::{
     GroundCall, HermesError, Result, Rng64, SimDuration, SimInstant, Value,
 };
 use hermes_domains::{Domain, DomainRegistry};
-use parking_lot::Mutex;
+use hermes_common::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -22,6 +23,10 @@ pub struct RemoteOutcome {
     pub bytes: usize,
     /// The site that served the call.
     pub site: Arc<str>,
+    /// True when an injected fault cut the answer set short: the answers
+    /// present are genuine, but the set is incomplete and must not be
+    /// cached as complete.
+    pub truncated: bool,
 }
 
 impl RemoteOutcome {
@@ -40,6 +45,7 @@ pub struct Network {
     registry: DomainRegistry,
     placement: BTreeMap<Arc<str>, Arc<Site>>,
     rng: Mutex<Rng64>,
+    faults: Option<FaultPlan>,
 }
 
 impl Network {
@@ -49,7 +55,25 @@ impl Network {
             registry: DomainRegistry::new(),
             placement: BTreeMap::new(),
             rng: Mutex::new(Rng64::new(seed)),
+            faults: None,
         }
+    }
+
+    /// Installs a fault-injection plan (chaos harness). The plan draws from
+    /// its own seeded stream, so the network's organic jitter for calls the
+    /// plan does not fault is unchanged.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Places a domain at a site.
@@ -89,6 +113,28 @@ impl Network {
                 reason: "scheduled outage".into(),
             });
         }
+        // Injected faults, drawn from the plan's own stream *before* the
+        // network's jitter stream so untouched calls keep their timings.
+        let mut latency_factor = 1.0;
+        let mut bandwidth_divisor = 1.0;
+        let mut truncation: Option<f64> = None;
+        if let Some(plan) = &self.faults {
+            if plan.flapping_down(&site.name, now) {
+                return Err(HermesError::Unavailable {
+                    site: site.name.to_string(),
+                    reason: "site flapping (injected)".into(),
+                });
+            }
+            if plan.draw_drop(&site.name) {
+                return Err(HermesError::Unavailable {
+                    site: site.name.to_string(),
+                    reason: "transient drop (injected)".into(),
+                });
+            }
+            latency_factor = plan.latency_factor(&site.name, now);
+            bandwidth_divisor = plan.bandwidth_divisor(&site.name, now);
+            truncation = plan.draw_truncation(&site.name);
+        }
         let jitter = {
             let mut rng = self.rng.lock();
             if site.link.failure_rate > 0.0 && rng.chance(site.link.failure_rate) {
@@ -105,14 +151,27 @@ impl Network {
             }
         };
 
-        let outcome = self.registry.execute(call)?;
+        let mut outcome = self.registry.execute(call)?;
+        let truncated = match truncation {
+            Some(keep_frac) if !outcome.answers.is_empty() => {
+                // Keep a prefix (at least one answer): the source cut the
+                // stream short mid-transfer.
+                let keep = ((outcome.answers.len() as f64 * keep_frac).ceil() as usize)
+                    .clamp(1, outcome.answers.len());
+                let cut = keep < outcome.answers.len();
+                outcome.answers.truncate(keep);
+                cut
+            }
+            _ => false,
+        };
         let bytes = outcome.answer_bytes();
         let load = site.link.load_factor(now);
         let lat = &site.link;
+        let slow = load * jitter * latency_factor;
 
-        let request_overhead = SimDuration::from_millis_f64(
-            (lat.connect_ms + lat.rtt_ms) * load * jitter,
-        ) + lat.transfer(call.request_bytes());
+        let request_overhead =
+            SimDuration::from_millis_f64((lat.connect_ms + lat.rtt_ms) * slow)
+                + lat.transfer(call.request_bytes()) * bandwidth_divisor;
 
         // First answer: overhead + source's time-to-first + first tuple on
         // the wire (approximated by the mean answer size).
@@ -123,10 +182,10 @@ impl Network {
         };
         let t_first = request_overhead
             + outcome.compute.t_first
-            + lat.transfer(first_bytes) * (load * jitter);
+            + lat.transfer(first_bytes) * (load * jitter * bandwidth_divisor);
         let t_all = request_overhead
             + outcome.compute.t_all
-            + lat.transfer(bytes) * (load * jitter);
+            + lat.transfer(bytes) * (load * jitter * bandwidth_divisor);
 
         Ok(RemoteOutcome {
             answers: outcome.answers,
@@ -134,6 +193,7 @@ impl Network {
             t_all: t_all.max(t_first),
             bytes,
             site: site.name.clone(),
+            truncated,
         })
     }
 }
@@ -303,6 +363,141 @@ mod tests {
         assert_eq!(net.site_of("video").unwrap().name.as_ref(), "cornell");
         assert!(net.site_of("nope").is_err());
         assert!(format!("{net:?}").contains("video@cornell"));
+    }
+
+    #[test]
+    fn outage_endpoints_are_inclusive() {
+        // Calls exactly at either end of a closed outage interval fail;
+        // one microsecond outside either end succeeds.
+        let from = SimInstant::EPOCH + SimDuration::from_millis(100);
+        let to = SimInstant::EPOCH + SimDuration::from_millis(200);
+        let mut net = Network::new(1);
+        net.place(
+            Arc::new(rope_store()),
+            profiles::cornell().with_outage(from, to),
+        );
+        let us = SimDuration::from_micros(1);
+        assert!(net.execute(&call(), from).is_err());
+        assert!(net.execute(&call(), to).is_err());
+        assert!(net.execute(&call(), SimInstant::EPOCH + (from.duration_since(SimInstant::EPOCH) - us)).is_ok());
+        assert!(net.execute(&call(), to + us).is_ok());
+    }
+
+    #[test]
+    fn injected_drop_fails_with_unavailable() {
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), profiles::cornell());
+        net.set_fault_plan(crate::FaultPlan::new(5).drop_rate("cornell", 1.0));
+        match net.execute(&call(), SimInstant::EPOCH) {
+            Err(HermesError::Unavailable { site, reason }) => {
+                assert_eq!(site, "cornell");
+                assert!(reason.contains("injected"), "{reason}");
+            }
+            other => panic!("expected injected drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flapping_site_alternates_up_and_down() {
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), profiles::cornell());
+        net.set_fault_plan(crate::FaultPlan::new(5).flapping(
+            "cornell",
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(400),
+            SimDuration::ZERO,
+        ));
+        let at = |ms| SimInstant::EPOCH + SimDuration::from_millis(ms);
+        assert!(net.execute(&call(), at(0)).is_err());
+        assert!(net.execute(&call(), at(399)).is_err());
+        assert!(net.execute(&call(), at(400)).is_ok());
+        assert!(net.execute(&call(), at(1_050)).is_err());
+        assert!(net.execute(&call(), at(1_500)).is_ok());
+    }
+
+    #[test]
+    fn latency_spike_and_degraded_bandwidth_slow_the_window() {
+        let mk = |plan: Option<crate::FaultPlan>| {
+            let mut site = profiles::italy();
+            site.link.jitter_frac = 0.0;
+            let mut net = Network::new(2);
+            net.place(Arc::new(rope_store()), site);
+            if let Some(p) = plan {
+                net.set_fault_plan(p);
+            }
+            net
+        };
+        let inside = SimInstant::EPOCH + SimDuration::from_millis(500);
+        let outside = SimInstant::EPOCH + SimDuration::from_secs(100);
+        let healthy = mk(None);
+        let spiked = mk(Some(
+            crate::FaultPlan::new(9)
+                .latency_spike(
+                    "milan",
+                    SimInstant::EPOCH,
+                    SimInstant::EPOCH + SimDuration::from_secs(1),
+                    6.0,
+                )
+                .degrade_bandwidth(
+                    "milan",
+                    SimInstant::EPOCH,
+                    SimInstant::EPOCH + SimDuration::from_secs(1),
+                    10.0,
+                ),
+        ));
+        let t_healthy = healthy.execute(&call(), inside).unwrap().t_all;
+        let t_spiked = spiked.execute(&call(), inside).unwrap().t_all;
+        assert!(
+            t_spiked > t_healthy * 2,
+            "spiked {t_spiked} vs healthy {t_healthy}"
+        );
+        // Outside the window the plan is inert.
+        let h = healthy.execute(&call(), outside).unwrap().t_all;
+        let s = spiked.execute(&call(), outside).unwrap().t_all;
+        assert_eq!(h, s);
+    }
+
+    #[test]
+    fn truncation_shortens_answers_and_flags_outcome() {
+        let mut net = Network::new(1);
+        net.place(Arc::new(rope_store()), profiles::cornell());
+        let full = net.execute(&call(), SimInstant::EPOCH).unwrap();
+        assert!(!full.truncated);
+        net.set_fault_plan(crate::FaultPlan::new(5).truncation("cornell", 1.0, 0.5));
+        let cut = net.execute(&call(), SimInstant::EPOCH).unwrap();
+        assert!(cut.truncated);
+        assert!(!cut.answers.is_empty());
+        assert!(cut.answers.len() < full.answers.len());
+        assert_eq!(cut.answers[..], full.answers[..cut.answers.len()]);
+        assert!(cut.bytes < full.bytes);
+    }
+
+    #[test]
+    fn fault_plan_replays_bit_identically() {
+        let mk = || {
+            let mut net = Network::new(11);
+            net.place(Arc::new(rope_store()), profiles::cornell());
+            net.set_fault_plan(
+                crate::FaultPlan::new(23)
+                    .drop_rate("cornell", 0.4)
+                    .truncation("cornell", 0.4, 0.3),
+            );
+            net
+        };
+        let a = mk();
+        let b = mk();
+        for i in 0..40 {
+            let t = SimInstant::EPOCH + SimDuration::from_millis(i * 97);
+            match (a.execute(&call(), t), b.execute(&call(), t)) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.answers, y.answers);
+                    assert_eq!(x.t_all, y.t_all);
+                    assert_eq!(x.truncated, y.truncated);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                (x, y) => panic!("runs diverged: {x:?} vs {y:?}"),
+            }
+        }
     }
 
     #[test]

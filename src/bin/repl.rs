@@ -18,6 +18,9 @@
 //! :explain ?- <...>.     show candidate plans and estimates
 //! :invariant <inv>.      add an invariant to CIM
 //! :mode all|first        optimization objective
+//! :retry <n> [ms]        retries per call (0 = none) + backoff base
+//! :deadline <ms>|off     per-query virtual-clock deadline
+//! :breaker <n> <ms>|off|status   circuit-breaker threshold/cooldown
 //! :stats                 cache/statistics counters
 //! :save <dir>  :load <dir>   persist / restore caches
 //! :help  :quit
@@ -139,6 +142,9 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
              :invariant <inv>.     add an invariant\n  \
              :mode all|first       optimization objective\n  \
              :trace on|off         show execution traces\n  \
+             :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
+             :deadline <ms>|off    per-query deadline on the virtual clock\n  \
+             :breaker <n> <ms>     trip threshold + cooldown (off|status)\n  \
              :stats                counters\n  \
              :save <dir> / :load <dir>\n  \
              :quit"
@@ -175,6 +181,88 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
             "on" => mediator.config_mut().exec.collect_trace = true,
             "off" => mediator.config_mut().exec.collect_trace = false,
             other => println!("unknown trace setting `{other}` (use on|off)"),
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":retry") {
+        let mut parts = rest.split_whitespace();
+        match parts.next().map(str::parse::<u32>) {
+            Some(Ok(n)) => {
+                mediator.config_mut().exec.retry_attempts = n;
+                if let Some(ms) = parts.next() {
+                    match ms.parse::<f64>() {
+                        Ok(ms) => mediator.config_mut().exec.retry_backoff_ms = ms,
+                        Err(e) => println!("bad backoff `{ms}`: {e}"),
+                    }
+                }
+                let c = mediator.config().exec;
+                println!(
+                    "  retries: {} ({}), backoff base {:.0}ms (cap {:.0}ms)",
+                    c.retry_attempts,
+                    if c.retry_attempts == 0 {
+                        "first failure is final"
+                    } else {
+                        "exponential backoff"
+                    },
+                    c.retry_backoff_ms,
+                    c.retry_backoff_cap_ms,
+                );
+            }
+            _ => println!("usage: :retry <n> [backoff_ms]"),
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":deadline") {
+        match rest.trim() {
+            "off" => {
+                mediator.config_mut().exec.deadline = None;
+                println!("  deadline off");
+            }
+            ms => match ms.parse::<f64>() {
+                Ok(ms) if ms > 0.0 => {
+                    mediator.config_mut().exec.deadline =
+                        Some(hermes::SimDuration::from_millis_f64(ms));
+                    println!("  deadline {ms:.0}ms (partial answers past it)");
+                }
+                _ => println!("usage: :deadline <ms>|off"),
+            },
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":breaker") {
+        use hermes::core::breaker::BreakerConfig;
+        let rest = rest.trim();
+        if rest == "status" {
+            let bank = mediator.breakers();
+            let bank = bank.lock();
+            let open = bank.open_sites(mediator.now());
+            if open.is_empty() {
+                println!("  all breakers closed");
+            } else {
+                for site in open {
+                    println!("  OPEN: {site}");
+                }
+            }
+        } else if rest == "off" {
+            mediator.breakers().lock().reset();
+            println!("  breaker state cleared");
+        } else {
+            let mut parts = rest.split_whitespace();
+            match (
+                parts.next().map(str::parse::<u32>),
+                parts.next().map(str::parse::<f64>),
+            ) {
+                (Some(Ok(threshold)), Some(Ok(cooldown_ms))) => {
+                    mediator.breakers().lock().set_config(BreakerConfig {
+                        failure_threshold: threshold,
+                        cooldown: hermes::SimDuration::from_millis_f64(cooldown_ms),
+                    });
+                    println!(
+                        "  breakers trip after {threshold} failures, cool down {cooldown_ms:.0}ms"
+                    );
+                }
+                _ => println!("usage: :breaker <threshold> <cooldown_ms> | off | status"),
+            }
         }
         return Ok(Control::Continue);
     }
@@ -241,13 +329,24 @@ fn print_result(result: &hermes::QueryResult) {
         .map(|d| d.to_string())
         .unwrap_or_else(|| "-".into());
     println!(
-        "  ({} answers; first {first}, all {}; {} source calls, {} cache hits{})",
+        "  ({} answers; first {first}, all {}; {} source calls, {} cache hits{}{})",
         result.rows.len(),
         result.t_all,
         result.stats.actual_calls,
         result.stats.cim_exact + result.stats.cim_equal + result.stats.cim_partial,
+        if result.failovers > 0 {
+            format!("; {} failover(s)", result.failovers)
+        } else {
+            String::new()
+        },
         if result.incomplete { "; INCOMPLETE" } else { "" },
     );
+    if result.incomplete {
+        for p in result.provenance.iter().filter(|p| !p.complete()) {
+            let gaps: Vec<String> = p.gaps.iter().map(|g| g.to_string()).collect();
+            println!("    incomplete: {} ({})", p.subgoal, gaps.join(", "));
+        }
+    }
 }
 
 /// Crude tty check without a dependency: honors `HERMES_REPL_FORCE_TTY`.

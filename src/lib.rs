@@ -51,8 +51,9 @@ pub use hermes_common::{
     GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,
 };
 pub use hermes_core::{
-    ExecConfig, ExecStats, InteractiveQuery, Mediator, MediatorConfig, Plan, QueryResult,
+    BreakerBank, BreakerConfig, BreakerState, ExecConfig, ExecStats, IncompleteReason,
+    InteractiveQuery, Mediator, MediatorConfig, Plan, QueryResult, SubgoalProvenance,
 };
 pub use hermes_dcsm::{Dcsm, DcsmConfig};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};
-pub use hermes_net::{profiles, LinkModel, Network, Site};
+pub use hermes_net::{profiles, FaultPlan, LinkModel, Network, Site};

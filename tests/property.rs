@@ -1,91 +1,171 @@
-//! Property-based tests over the workspace's core invariants.
+//! Property-style tests over the workspace's core invariants.
+//!
+//! The workspace is dependency-free, so instead of proptest these use
+//! hand-rolled generators over the in-tree deterministic [`Rng64`]: every
+//! property runs a fixed number of seeded cases and failures print the case
+//! seed, which reproduces the input exactly.
 
-use hermes::common::{CallPattern, GroundCall, PatArg, SimInstant};
+use hermes::common::{CallPattern, GroundCall, PatArg, Rng64, SimInstant};
 use hermes::dcsm::{Dcsm, SummaryTable};
 use hermes::lang::{parse_rule, BodyAtom, CallTemplate, PredAtom, Rule, Term};
 use hermes::Value;
-use proptest::prelude::*;
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+const CASES: u64 = 128;
+
+/// Runs `body` once per case with an independent, reproducible generator.
+fn cases(test_name: &str, n: u64, mut body: impl FnMut(&mut Rng64)) {
+    for case in 0..n {
+        // Seed from the test name so adding cases to one test never shifts
+        // the inputs of another.
+        let mut name_hash = DefaultHasher::new();
+        test_name.hash(&mut name_hash);
+        let mut rng = Rng64::new(name_hash.finish() ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+        body(&mut rng);
+    }
+}
+
 // ---------- generators ----------
 
-fn scalar_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        "[a-z]{0,8}".prop_map(Value::str),
-    ]
+fn lower_string(r: &mut Rng64, min_len: usize, max_len: usize) -> String {
+    let len = r.range_usize(min_len, max_len + 1);
+    (0..len)
+        .map(|_| (b'a' + r.range_u64(0, 26) as u8) as char)
+        .collect()
 }
 
-fn value() -> impl Strategy<Value = Value> {
-    scalar_value().prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            prop::collection::vec(("[a-z]{1,4}", inner), 0..4).prop_map(|fields| {
-                Value::Record(hermes::common::Record::from_fields(
-                    fields,
-                ))
-            }),
-        ]
-    })
+fn finite_float(r: &mut Rng64) -> f64 {
+    match r.range_usize(0, 6) {
+        0 => 0.0,
+        1 => -1.0,
+        _ => r.range_f64(-1e6, 1e6),
+    }
 }
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}"
+fn scalar_value(r: &mut Rng64) -> Value {
+    match r.range_usize(0, 5) {
+        0 => Value::Null,
+        1 => Value::Bool(r.chance(0.5)),
+        2 => Value::Int(r.next_u64() as i64),
+        3 => Value::Float(finite_float(r)),
+        _ => Value::str(lower_string(r, 0, 8)),
+    }
 }
 
-fn var_name() -> impl Strategy<Value = String> {
-    "[A-Z][a-z0-9]{0,4}"
+/// Any value, including non-finite floats (the value model canonicalizes
+/// NaN and signed zero) and nested lists/records up to depth 3.
+fn value(r: &mut Rng64) -> Value {
+    fn go(r: &mut Rng64, depth: usize) -> Value {
+        if depth == 0 || r.chance(0.55) {
+            return match r.range_usize(0, 8) {
+                0 => Value::Float(f64::NAN),
+                1 => Value::Float(f64::INFINITY),
+                2 => Value::Float(f64::NEG_INFINITY),
+                3 => Value::Float(-0.0),
+                _ => scalar_value(r),
+            };
+        }
+        if r.chance(0.5) {
+            let n = r.range_usize(0, 4);
+            Value::List((0..n).map(|_| go(r, depth - 1)).collect())
+        } else {
+            let n = r.range_usize(0, 4);
+            let fields: Vec<(String, Value)> = (0..n)
+                .map(|_| (lower_string(r, 1, 4), go(r, depth - 1)))
+                .collect();
+            Value::Record(hermes::common::Record::from_fields(fields))
+        }
+    }
+    go(r, 3)
 }
 
-fn term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        var_name().prop_map(Term::var),
-        any::<i32>().prop_map(|i| Term::constant(i as i64)),
-        "[a-z][a-z0-9 ]{0,6}".prop_map(|s| Term::Const(Value::str(s))),
-    ]
+fn ident(r: &mut Rng64) -> String {
+    let mut s = lower_string(r, 1, 1);
+    let extra = r.range_usize(0, 7);
+    for _ in 0..extra {
+        let c = match r.range_usize(0, 12) {
+            0 => '_',
+            1..=2 => (b'0' + r.range_u64(0, 10) as u8) as char,
+            _ => (b'a' + r.range_u64(0, 26) as u8) as char,
+        };
+        s.push(c);
+    }
+    s
 }
 
-fn ground_call() -> impl Strategy<Value = GroundCall> {
-    (
-        ident(),
-        ident(),
-        prop::collection::vec(scalar_value(), 0..4),
-    )
-        .prop_map(|(d, f, args)| GroundCall::new(d, f, args))
+fn var_name(r: &mut Rng64) -> String {
+    let mut s = String::new();
+    s.push((b'A' + r.range_u64(0, 26) as u8) as char);
+    let extra = r.range_usize(0, 5);
+    for _ in 0..extra {
+        let c = if r.chance(0.3) {
+            (b'0' + r.range_u64(0, 10) as u8) as char
+        } else {
+            (b'a' + r.range_u64(0, 26) as u8) as char
+        };
+        s.push(c);
+    }
+    s
 }
 
-fn rule() -> impl Strategy<Value = Rule> {
-    let in_atom = (var_name(), ident(), ident(), prop::collection::vec(term(), 0..3))
-        .prop_map(|(v, d, f, args)| BodyAtom::In {
-            target: Term::var(v),
-            call: CallTemplate::new(d, f, args),
-        });
-    (
-        ident(),
-        prop::collection::vec(var_name(), 1..3),
-        prop::collection::vec(in_atom, 1..4),
-    )
-        .prop_map(|(name, head_vars, body)| {
-            // Make the rule trivially range-restricted by reusing the head
-            // vars as in-targets of the first body atoms.
-            let mut body = body;
-            let n = body.len();
-            for (i, hv) in head_vars.iter().enumerate() {
-                if let Some(BodyAtom::In { target, .. }) = body.get_mut(i % n) {
-                    *target = Term::var(hv.as_str());
-                }
+fn term(r: &mut Rng64) -> Term {
+    match r.range_usize(0, 3) {
+        0 => Term::var(var_name(r)),
+        1 => Term::constant(r.range_i64(i32::MIN as i64, i32::MAX as i64 + 1)),
+        _ => {
+            let mut s = lower_string(r, 1, 1);
+            let extra = r.range_usize(0, 7);
+            for _ in 0..extra {
+                s.push(if r.chance(0.2) {
+                    ' '
+                } else {
+                    (b'a' + r.range_u64(0, 26) as u8) as char
+                });
             }
-            let head = PredAtom::new(
-                name,
-                head_vars.iter().map(|v| Term::var(v.as_str())).collect(),
-            );
-            Rule::new(head, body)
+            Term::Const(Value::str(s))
+        }
+    }
+}
+
+fn ground_call(r: &mut Rng64) -> GroundCall {
+    let d = ident(r);
+    let f = ident(r);
+    let n = r.range_usize(0, 4);
+    let args = (0..n).map(|_| scalar_value(r)).collect();
+    GroundCall::new(d, f, args)
+}
+
+fn rule(r: &mut Rng64) -> Rule {
+    let name = ident(r);
+    let head_vars: Vec<String> = (0..r.range_usize(1, 3)).map(|_| var_name(r)).collect();
+    let mut body: Vec<BodyAtom> = (0..r.range_usize(1, 4))
+        .map(|_| {
+            let v = var_name(r);
+            let d = ident(r);
+            let f = ident(r);
+            let n = r.range_usize(0, 3);
+            let args = (0..n).map(|_| term(r)).collect();
+            BodyAtom::In {
+                target: Term::var(v),
+                call: CallTemplate::new(d, f, args),
+            }
         })
+        .collect();
+    // Make the rule trivially range-restricted by reusing the head vars as
+    // in-targets of the first body atoms.
+    let n = body.len();
+    for (i, hv) in head_vars.iter().enumerate() {
+        if let Some(BodyAtom::In { target, .. }) = body.get_mut(i % n) {
+            *target = Term::var(hv.as_str());
+        }
+    }
+    let head = PredAtom::new(
+        name,
+        head_vars.iter().map(|v| Term::var(v.as_str())).collect(),
+    );
+    Rule::new(head, body)
 }
 
 fn hash_of(v: &Value) -> u64 {
@@ -96,109 +176,138 @@ fn hash_of(v: &Value) -> u64 {
 
 // ---------- value-model properties ----------
 
-proptest! {
-    #[test]
-    fn value_order_is_total_and_consistent(a in value(), b in value()) {
+#[test]
+fn value_order_is_total_and_consistent() {
+    cases("value_order_is_total_and_consistent", CASES, |r| {
+        let a = value(r);
+        let b = value(r);
         let ab = a.cmp(&b);
         let ba = b.cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
-        prop_assert_eq!(ab == Ordering::Equal, a == b);
+        assert_eq!(ab, ba.reverse(), "{a:?} vs {b:?}");
+        assert_eq!(ab == Ordering::Equal, a == b, "{a:?} vs {b:?}");
         if a == b {
-            prop_assert_eq!(hash_of(&a), hash_of(&b));
+            assert_eq!(hash_of(&a), hash_of(&b), "{a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn value_order_is_transitive(a in value(), b in value(), c in value()) {
-        let mut v = [a, b, c];
+#[test]
+fn value_order_is_transitive() {
+    cases("value_order_is_transitive", CASES, |r| {
+        let mut v = [value(r), value(r), value(r)];
         v.sort();
-        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
-    }
+        assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2], "{v:?}");
+    });
+}
 
-    #[test]
-    fn value_equals_itself_even_with_nan(a in value()) {
-        prop_assert_eq!(a.clone(), a);
-    }
+#[test]
+fn value_equals_itself_even_with_nan() {
+    cases("value_equals_itself_even_with_nan", CASES, |r| {
+        let a = value(r);
+        assert_eq!(a.clone(), a);
+    });
+}
 
-    #[test]
-    fn size_bytes_is_positive_and_stable(a in value()) {
-        prop_assert!(a.size_bytes() >= 1);
-        prop_assert_eq!(a.size_bytes(), a.clone().size_bytes());
-    }
+#[test]
+fn size_bytes_is_positive_and_stable() {
+    cases("size_bytes_is_positive_and_stable", CASES, |r| {
+        let a = value(r);
+        assert!(a.size_bytes() >= 1);
+        assert_eq!(a.size_bytes(), a.clone().size_bytes());
+    });
 }
 
 // ---------- parser round-trips ----------
 
-proptest! {
-    #[test]
-    fn rule_display_reparses_identically(r in rule()) {
-        let text = r.to_string();
+#[test]
+fn rule_display_reparses_identically() {
+    cases("rule_display_reparses_identically", CASES, |r| {
+        let rule = rule(r);
+        let text = rule.to_string();
         let parsed = parse_rule(&text);
-        prop_assert!(parsed.is_ok(), "failed to reparse `{}`: {:?}", text, parsed.err());
-        prop_assert_eq!(parsed.unwrap(), r);
-    }
+        assert!(
+            parsed.is_ok(),
+            "failed to reparse `{}`: {:?}",
+            text,
+            parsed.err()
+        );
+        assert_eq!(parsed.unwrap(), rule);
+    });
+}
 
-    #[test]
-    fn ground_call_display_is_parseable_as_query(c in ground_call()) {
+#[test]
+fn ground_call_display_is_parseable_as_query() {
+    cases("ground_call_display_is_parseable_as_query", CASES, |r| {
+        let c = ground_call(r);
         let text = format!("?- in(X, {c}).");
         let q = hermes::parse_query(&text);
-        prop_assert!(q.is_ok(), "failed on `{text}`: {:?}", q.err());
-    }
+        assert!(q.is_ok(), "failed on `{text}`: {:?}", q.err());
+    });
 }
 
 // ---------- call-pattern lattice ----------
 
-proptest! {
-    #[test]
-    fn blanket_generalizes_everything(c in ground_call()) {
+#[test]
+fn blanket_generalizes_everything() {
+    cases("blanket_generalizes_everything", CASES, |r| {
+        let c = ground_call(r);
         let full = c.pattern();
         let blanket = c.blanket_pattern();
-        prop_assert!(blanket.generalizes(&full));
-        prop_assert!(blanket.matches(&c));
-        prop_assert!(full.matches(&c));
-    }
+        assert!(blanket.generalizes(&full));
+        assert!(blanket.matches(&c));
+        assert!(full.matches(&c));
+    });
+}
 
-    #[test]
-    fn relaxation_preserves_matching(c in ground_call()) {
+#[test]
+fn relaxation_preserves_matching() {
+    cases("relaxation_preserves_matching", CASES, |r| {
+        let c = ground_call(r);
         let mut frontier = vec![c.pattern()];
         // Walk the whole relaxation lattice; every pattern must match c.
         while let Some(p) = frontier.pop() {
-            prop_assert!(p.matches(&c), "{p} should match {c}");
-            prop_assert!(p.generalizes(&c.pattern()));
-            for r in p.relaxations() {
-                prop_assert!(r.generalizes(&p));
-                prop_assert!(!p.generalizes(&r) || p == r);
-                frontier.push(r);
+            assert!(p.matches(&c), "{p} should match {c}");
+            assert!(p.generalizes(&c.pattern()));
+            for relaxed in p.relaxations() {
+                assert!(relaxed.generalizes(&p));
+                assert!(!p.generalizes(&relaxed) || p == relaxed);
+                frontier.push(relaxed);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn generalizes_is_antisymmetric(c in ground_call(), mask in prop::collection::vec(any::<bool>(), 0..4)) {
+#[test]
+fn generalizes_is_antisymmetric() {
+    cases("generalizes_is_antisymmetric", CASES, |r| {
+        let c = ground_call(r);
         let full = c.pattern();
         let mut p = full.clone();
-        for (i, drop) in mask.iter().enumerate() {
-            if *drop && i < p.args.len() {
+        for i in 0..p.args.len() {
+            if r.chance(0.5) {
                 p.args[i] = PatArg::Bound;
             }
         }
         if p.generalizes(&full) && full.generalizes(&p) {
-            prop_assert_eq!(p, full);
+            assert_eq!(p, full);
         }
-    }
+    });
 }
 
 // ---------- cache invariants ----------
 
-proptest! {
-    #[test]
-    fn cache_respects_budget_and_returns_stored_answers(
-        ops in prop::collection::vec((0u8..3, 0i64..20, prop::collection::vec(scalar_value(), 0..6)), 1..60),
-        budget in 64usize..2048,
-    ) {
+#[test]
+fn cache_respects_budget_and_returns_stored_answers() {
+    cases("cache_respects_budget", CASES, |r| {
+        let budget = r.range_usize(64, 2048);
         let mut cache = hermes::cim::AnswerCache::with_budget(budget);
         let mut last_inserted: Option<(GroundCall, Vec<Value>)> = None;
-        for (op, key, answers) in ops {
+        let ops = r.range_usize(1, 60);
+        for _ in 0..ops {
+            let op = r.range_usize(0, 3);
+            let key = r.range_i64(0, 20);
+            let n = r.range_usize(0, 6);
+            let answers: Vec<Value> = (0..n).map(|_| scalar_value(r)).collect();
             let call = GroundCall::new("d", "f", vec![Value::Int(key)]);
             match op {
                 0 => {
@@ -214,25 +323,33 @@ proptest! {
             }
             // Budget holds whenever more than one entry exists.
             if cache.len() > 1 {
-                prop_assert!(cache.bytes() <= budget, "{} > {budget}", cache.bytes());
+                assert!(cache.bytes() <= budget, "{} > {budget}", cache.bytes());
             }
             // The most recent insert is always retrievable.
             if let Some((c, a)) = &last_inserted {
                 if let Some(e) = cache.peek(c) {
-                    prop_assert_eq!(&e.answers, a);
+                    assert_eq!(&e.answers, a);
                 }
             }
         }
-    }
+    });
 }
 
 // ---------- DCSM summarization invariants ----------
 
-proptest! {
-    #[test]
-    fn lossless_summary_equals_detail_aggregation(
-        observations in prop::collection::vec((0i64..6, 0.1f64..100.0, 0.0f64..40.0), 1..40),
-    ) {
+#[test]
+fn lossless_summary_equals_detail_aggregation() {
+    cases("lossless_summary_equals_detail", CASES, |r| {
+        let n = r.range_usize(1, 40);
+        let observations: Vec<(i64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    r.range_i64(0, 6),
+                    r.range_f64(0.1, 100.0),
+                    r.range_f64(0.0, 40.0),
+                )
+            })
+            .collect();
         let mut dcsm = Dcsm::new();
         for (arg, t_all, card) in &observations {
             dcsm.record(
@@ -248,17 +365,21 @@ proptest! {
             let pattern = CallPattern::new("d", "f", vec![PatArg::Const(Value::Int(arg))]);
             let (detail, n) = dcsm.db().aggregate(&pattern);
             let row = table.lookup(&pattern).expect("row exists for observed arg");
-            prop_assert!(n > 0);
-            prop_assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
-            prop_assert!((row.card.mean().unwrap() - detail.cardinality.unwrap()).abs() < 1e-6);
-            prop_assert_eq!(row.l as usize, n);
+            assert!(n > 0);
+            assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
+            assert!((row.card.mean().unwrap() - detail.cardinality.unwrap()).abs() < 1e-6);
+            assert_eq!(row.l as usize, n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lossy_derivation_equals_direct_blanket_aggregation(
-        observations in prop::collection::vec((0i64..6, 0.1f64..100.0), 2..40),
-    ) {
+#[test]
+fn lossy_derivation_equals_direct_blanket_aggregation() {
+    cases("lossy_derivation_equals_blanket", CASES, |r| {
+        let n = r.range_usize(2, 40);
+        let observations: Vec<(i64, f64)> = (0..n)
+            .map(|_| (r.range_i64(0, 6), r.range_f64(0.1, 100.0)))
+            .collect();
         let mut dcsm = Dcsm::new();
         for (arg, t_all) in &observations {
             dcsm.record(
@@ -276,96 +397,110 @@ proptest! {
         let blanket = CallPattern::new("d", "f", vec![PatArg::Bound]);
         let (detail, _) = dcsm.db().aggregate(&blanket);
         let row = lossy.lookup(&blanket).unwrap();
-        prop_assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
-    }
+        assert!((row.t_all.mean().unwrap() - detail.t_all_ms.unwrap()).abs() < 1e-6);
+    });
 }
 
 // ---------- wire codec & persistence round-trips ----------
 
-proptest! {
-    #[test]
-    fn wire_codec_roundtrips_any_value(v in value()) {
+#[test]
+fn wire_codec_roundtrips_any_value() {
+    cases("wire_codec_roundtrips_any_value", CASES, |r| {
+        let v = value(r);
         let text = hermes::common::wire::value_to_string(&v);
-        prop_assert!(!text.contains('\n'));
+        assert!(!text.contains('\n'));
         let back = hermes::common::wire::value_from_str(&text).unwrap();
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn wire_codec_roundtrips_any_call(c in ground_call()) {
+#[test]
+fn wire_codec_roundtrips_any_call() {
+    cases("wire_codec_roundtrips_any_call", CASES, |r| {
+        let c = ground_call(r);
         let mut text = String::new();
         hermes::common::wire::encode_call(&c, &mut text);
         let mut d = hermes::common::wire::Decoder::new(&text);
-        prop_assert_eq!(d.call().unwrap(), c);
-        prop_assert!(d.is_done());
-    }
+        assert_eq!(d.call().unwrap(), c);
+        assert!(d.is_done());
+    });
+}
 
-    #[test]
-    fn cache_persistence_roundtrips(
-        entries in prop::collection::vec(
-            (ground_call(), prop::collection::vec(value(), 0..5), any::<bool>()),
-            0..12,
-        ),
-    ) {
+#[test]
+fn cache_persistence_roundtrips() {
+    cases("cache_persistence_roundtrips", CASES, |r| {
+        let n = r.range_usize(0, 12);
         let mut cache = hermes::cim::AnswerCache::new();
-        for (call, answers, complete) in &entries {
-            cache.insert(call.clone(), answers.clone(), *complete, SimInstant::EPOCH);
+        for _ in 0..n {
+            let call = ground_call(r);
+            let answers: Vec<Value> = (0..r.range_usize(0, 5)).map(|_| value(r)).collect();
+            cache.insert(call, answers, r.chance(0.5), SimInstant::EPOCH);
         }
         let mut buf = Vec::new();
         hermes::cim::persist::save(&cache, &mut buf).unwrap();
         let loaded = hermes::cim::persist::load(std::io::Cursor::new(&buf)).unwrap();
-        prop_assert_eq!(loaded.len(), cache.len());
+        assert_eq!(loaded.len(), cache.len());
         for (call, entry) in cache.iter() {
             let got = loaded.peek(call).expect("entry survives");
-            prop_assert_eq!(&got.answers, &entry.answers);
-            prop_assert_eq!(got.complete, entry.complete);
+            assert_eq!(&got.answers, &entry.answers);
+            assert_eq!(got.complete, entry.complete);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_persistence_roundtrips(
-        records in prop::collection::vec(
-            (ground_call(), prop::option::of(0.0f64..1e6), prop::option::of(0.0f64..1e6), prop::option::of(0.0f64..1e4)),
-            0..20,
-        ),
-    ) {
+#[test]
+fn stats_persistence_roundtrips() {
+    cases("stats_persistence_roundtrips", CASES, |r| {
+        let n = r.range_usize(0, 20);
         let mut db = hermes::dcsm::CostVectorDb::new();
-        for (call, tf, ta, card) in &records {
-            db.record(
-                call.clone(),
-                hermes::dcsm::CostVector { t_first_ms: *tf, t_all_ms: *ta, cardinality: *card },
-                SimInstant::EPOCH,
-            );
+        for _ in 0..n {
+            let call = ground_call(r);
+            let opt = |r: &mut Rng64, hi: f64| {
+                if r.chance(0.5) {
+                    Some(r.range_f64(0.0, hi))
+                } else {
+                    None
+                }
+            };
+            let vector = hermes::dcsm::CostVector {
+                t_first_ms: opt(r, 1e6),
+                t_all_ms: opt(r, 1e6),
+                cardinality: opt(r, 1e4),
+            };
+            db.record(call, vector, SimInstant::EPOCH);
         }
         let mut buf = Vec::new();
         hermes::dcsm::persist::save(&db, &mut buf).unwrap();
         let loaded = hermes::dcsm::persist::load(std::io::Cursor::new(&buf)).unwrap();
-        prop_assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.len(), db.len());
         for (domain, function) in db.functions() {
-            prop_assert_eq!(
+            assert_eq!(
                 loaded.records_for(&domain, &function),
                 db.records_for(&domain, &function)
             );
         }
-    }
+    });
 }
 
 // ---------- whole-pipeline properties ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn every_plan_computes_the_same_answers(seed in 0u64..500) {
+#[test]
+fn every_plan_computes_the_same_answers() {
+    cases("every_plan_computes_the_same_answers", 12, |r| {
         use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
         use hermes::net::profiles;
         use hermes::{CimPolicy, Mediator, Network};
         use std::sync::Arc;
 
+        let seed = r.range_u64(0, 500);
         let build = || {
             let d = SyntheticDomain::generate(
                 "d1",
                 seed,
-                &[RelationSpec::uniform("p", 6, 2.0), RelationSpec::uniform("q", 6, 2.0)],
+                &[
+                    RelationSpec::uniform("p", 6, 2.0),
+                    RelationSpec::uniform("q", 6, 2.0),
+                ],
             );
             let mut net = Network::new(seed);
             net.place(Arc::new(d), profiles::maryland());
@@ -380,7 +515,8 @@ proptest! {
                 join(X, Y, Z) :- p(X, Y) & q(Z, Y).
                 ",
                 net,
-            ).unwrap();
+            )
+            .unwrap();
             m.set_policy(CimPolicy::never());
             m
         };
@@ -395,14 +531,16 @@ proptest! {
                 chosen: 0,
             };
             let out = m.execute(single, None).unwrap();
-            prop_assert!(out.t_first.map(|f| f <= out.t_all).unwrap_or(true));
+            assert!(out.t_first.map(|f| f <= out.t_all).unwrap_or(true));
             let mut rows = out.rows;
             rows.sort();
             rows.dedup();
             match &reference {
                 None => reference = Some(rows),
-                Some(r) => prop_assert_eq!(&rows, r, "plan {} disagrees", i),
+                Some(reference) => {
+                    assert_eq!(&rows, reference, "plan {} disagrees (seed {seed})", i)
+                }
             }
         }
-    }
+    });
 }

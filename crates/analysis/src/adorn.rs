@@ -1,0 +1,249 @@
+//! Pass 2 — adornment feasibility.
+//!
+//! Reuses the shared groundability fixpoint from `hermes-lang` (the single
+//! implementation of the paper's §3 ground-call requirement) to certify, per
+//! rule, that *some* binding-pattern-compatible subgoal ordering exists:
+//!
+//! * **HA005** a variable the body requires can never become ground;
+//! * **HA006** a head variable missing from the body (range restriction);
+//! * **HA007** a non-ground fact;
+//! * **HA010** for each *declared* query adornment (e.g. `route(b, f)`), no
+//!   rule admits an executable ordering when only the `b` positions are
+//!   bound — with a precise "variable X can never be ground under adornment
+//!   bf" explanation instead of a generic plan error.
+
+use crate::analyzer::QueryForm;
+use crate::diagnostic::{DiagCode, Diagnostic, Locus};
+use hermes_lang::{groundability, Program, Rule};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Runs the pass.
+pub(crate) fn run(program: &Program, query_forms: &[QueryForm], out: &mut Vec<Diagnostic>) {
+    for (index, rule) in program.rules.iter().enumerate() {
+        check_rule(index, rule, out);
+    }
+    for form in query_forms {
+        check_form(program, form, out);
+    }
+}
+
+/// Per-rule groundability, seeded with every head variable (sideways
+/// information passing may bind any of them).
+fn check_rule(index: usize, rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let locus = || Locus::Rule {
+        index,
+        head: rule.head.to_string(),
+    };
+
+    if rule.body.is_empty() {
+        if !rule.head.variables().is_empty() {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::NonGroundFact,
+                    locus(),
+                    "fact contains variables; facts must be ground",
+                )
+                .with_suggestion("replace the variables with constants"),
+            );
+        }
+        return;
+    }
+
+    let report = groundability(rule.head.variables(), &rule.body);
+    for stuck in &report.stuck {
+        let vars: Vec<String> = stuck.missing.iter().map(|v| format!("`{v}`")).collect();
+        out.push(
+            Diagnostic::new(
+                DiagCode::UngroundableVariable,
+                locus(),
+                format!(
+                    "subgoal #{} `{}` can never run: it requires {} to be \
+                     ground, but no subgoal order binds {}",
+                    stuck.index + 1,
+                    stuck.atom,
+                    vars.join(", "),
+                    if vars.len() == 1 { "it" } else { "them" },
+                ),
+            )
+            .with_suggestion(format!(
+                "bind {} via an `in(...)` answer target, a `=` assignment, \
+                 or another predicate subgoal",
+                vars.join(", ")
+            )),
+        );
+    }
+
+    let body_vars: BTreeSet<Arc<str>> = rule.body.iter().flat_map(|a| a.variables()).collect();
+    for v in rule.head.variables() {
+        if !body_vars.contains(&v) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::HeadVarNotInBody,
+                    locus(),
+                    format!("head variable `{v}` does not occur in the body"),
+                )
+                .with_suggestion(format!(
+                    "add a subgoal that produces `{v}` or drop it from the \
+                     head"
+                )),
+            );
+        }
+    }
+}
+
+/// HA010: at least one rule for the form's predicate must admit an
+/// executable ordering when exactly the `b`-adorned head positions are
+/// bound, and the ordering must ground every head variable (the `f`
+/// positions are answers the caller expects).
+fn check_form(program: &Program, form: &QueryForm, out: &mut Vec<Diagnostic>) {
+    let locus = Locus::QueryForm {
+        text: form.to_string(),
+    };
+    let rules = program.rules_for(&form.pred, form.bound.len());
+    if rules.is_empty() {
+        out.push(Diagnostic::new(
+            DiagCode::UndefinedPredicate,
+            locus,
+            format!(
+                "declared query form references `{}/{}`, which no rule \
+                 defines",
+                form.pred,
+                form.bound.len()
+            ),
+        ));
+        return;
+    }
+
+    // Why each rule fails, for the error message; empty if some rule works.
+    let mut reasons: Vec<String> = Vec::new();
+    for rule in &rules {
+        if rule.body.is_empty() {
+            return; // a ground fact answers any adornment
+        }
+        let mut seed: BTreeSet<Arc<str>> = BTreeSet::new();
+        for (i, bound) in form.bound.iter().enumerate() {
+            if *bound {
+                if let Some(v) = rule.head.args[i].as_var() {
+                    seed.insert(v.clone());
+                }
+            }
+        }
+        let report = groundability(seed, &rule.body);
+        if let Some(stuck) = report.stuck.first() {
+            let vars: Vec<String> = stuck.missing.iter().map(|v| format!("`{v}`")).collect();
+            reasons.push(format!(
+                "in rule `{}`, variable {} can never be ground under \
+                 adornment `{}` (subgoal `{}` requires it)",
+                rule.head,
+                vars.join(", "),
+                form.adornment(),
+                stuck.atom,
+            ));
+            continue;
+        }
+        let unbound: Vec<String> = rule
+            .head
+            .variables()
+            .into_iter()
+            .filter(|v| !report.groundable.contains(v))
+            .map(|v| format!("`{v}`"))
+            .collect();
+        if unbound.is_empty() {
+            return; // feasible
+        }
+        reasons.push(format!(
+            "in rule `{}`, head variable {} is never bound by the body \
+             under adornment `{}`",
+            rule.head,
+            unbound.join(", "),
+            form.adornment(),
+        ));
+    }
+
+    out.push(
+        Diagnostic::new(
+            DiagCode::InfeasibleAdornment,
+            locus,
+            format!(
+                "no rule admits an executable subgoal ordering: {}",
+                reasons.join("; ")
+            ),
+        )
+        .with_suggestion(format!(
+            "bind more arguments in the query (adornment `{}` leaves the \
+             `f` positions free) or add a rule that produces them",
+            form.adornment()
+        )),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::parse_program;
+
+    fn diags(src: &str, forms: &[QueryForm]) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let mut out = Vec::new();
+        run(&p, forms, &mut out);
+        out
+    }
+
+    #[test]
+    fn ha005_names_the_blocking_subgoal_and_variable() {
+        let out = diags("p(A) :- in(A, d:f(Z)).", &[]);
+        let d = out
+            .iter()
+            .find(|d| d.code == DiagCode::UngroundableVariable)
+            .unwrap();
+        assert!(d.message.contains("`Z`"));
+        assert!(d.message.contains("in(A, d:f(Z))"));
+    }
+
+    #[test]
+    fn ha006_head_var_not_in_body() {
+        let out = diags("p(A, B) :- in(A, d:f()).", &[]);
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::HeadVarNotInBody && d.message.contains("`B`")));
+    }
+
+    #[test]
+    fn ha007_non_ground_fact() {
+        let out = diags("p(A).", &[]);
+        assert!(out.iter().any(|d| d.code == DiagCode::NonGroundFact));
+    }
+
+    #[test]
+    fn ha010_reports_adornment_and_variable() {
+        // Feasible only when B is bound: q(b, f) works, q(f, f) does not.
+        let src = "q(B, C) :- in(C, d2:q_bf(B)).";
+        let ok = diags(src, &[QueryForm::parse("q(b, f)").unwrap()]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = diags(src, &[QueryForm::parse("q(f, f)").unwrap()]);
+        let d = bad
+            .iter()
+            .find(|d| d.code == DiagCode::InfeasibleAdornment)
+            .unwrap();
+        assert!(d.message.contains("`B`"), "{}", d.message);
+        assert!(d.message.contains("adornment `ff`"), "{}", d.message);
+    }
+
+    #[test]
+    fn ha010_passes_when_any_rule_is_feasible() {
+        let src = "q(B, C) :- in(C, d2:q_bf(B)).\n\
+                   q(B, C) :- in(Ans, d2:q_all()) & =(Ans.1, B) & =(Ans.2, C).\n";
+        let out = diags(src, &[QueryForm::parse("q(f, f)").unwrap()]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ha010_undefined_query_form_pred() {
+        let out = diags(
+            "p(A) :- in(A, d:f()).",
+            &[QueryForm::parse("nosuch(f)").unwrap()],
+        );
+        assert!(out.iter().any(|d| d.code == DiagCode::UndefinedPredicate));
+    }
+}

@@ -1,0 +1,319 @@
+//! The analyzer driver: inputs, builder, and pass orchestration.
+
+use crate::diagnostic::AnalysisReport;
+use crate::{adorn, coverage, graph, invariants, sigs};
+use hermes_cim::InvariantStore;
+use hermes_common::{HermesError, Result};
+use hermes_dcsm::Dcsm;
+use hermes_domains::DomainRegistry;
+use hermes_lang::{Invariant, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A declared query adornment, e.g. `route(b, f)`: the mediator promises to
+/// answer queries on `route/2` with the first argument bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryForm {
+    /// The predicate name.
+    pub pred: Arc<str>,
+    /// Per-position binding: `true` = bound (`b`), `false` = free (`f`).
+    pub bound: Vec<bool>,
+}
+
+impl QueryForm {
+    /// Builds a form from a name and per-position bindings.
+    pub fn new(pred: impl Into<Arc<str>>, bound: Vec<bool>) -> Self {
+        QueryForm {
+            pred: pred.into(),
+            bound,
+        }
+    }
+
+    /// Parses `pred(b, f, ...)` — also accepts the compact `pred/bf` form.
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim().trim_end_matches('.');
+        let bad = |msg: &str| HermesError::Parse {
+            line: 0,
+            col: 0,
+            msg: format!("query form `{text}`: {msg}"),
+        };
+        let (pred, adornment) = if let Some((p, rest)) = text.split_once('(') {
+            let rest = rest
+                .strip_suffix(')')
+                .ok_or_else(|| bad("missing closing `)`"))?;
+            (p.trim(), rest.replace([',', ' '], ""))
+        } else if let Some((p, a)) = text.split_once('/') {
+            (p.trim(), a.trim().to_string())
+        } else {
+            return Err(bad("expected `pred(b, f, ...)` or `pred/bf`"));
+        };
+        if pred.is_empty() {
+            return Err(bad("empty predicate name"));
+        }
+        let mut bound = Vec::with_capacity(adornment.len());
+        for c in adornment.chars() {
+            match c {
+                'b' => bound.push(true),
+                'f' => bound.push(false),
+                other => {
+                    return Err(bad(&format!(
+                        "adornment positions must be `b` or `f`, got `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(QueryForm::new(pred, bound))
+    }
+
+    /// The adornment string, e.g. `bf`.
+    pub fn adornment(&self) -> String {
+        self.bound
+            .iter()
+            .map(|b| if *b { 'b' } else { 'f' })
+            .collect()
+    }
+}
+
+impl fmt::Display for QueryForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<&str> = self
+            .bound
+            .iter()
+            .map(|b| if *b { "b" } else { "f" })
+            .collect();
+        write!(f, "{}({})", self.pred, args.join(", "))
+    }
+}
+
+/// What the analyzer knows about one domain.
+#[derive(Clone, Debug, Default)]
+struct DomainSigs {
+    /// Exported functions and their arities.
+    functions: BTreeMap<Arc<str>, usize>,
+    /// True when the domain ships its own cost estimator (§6).
+    has_native_estimator: bool,
+}
+
+/// Known domain signatures, either snapshotted from a live
+/// [`DomainRegistry`] or declared (e.g. by `%!` lint directives in a `.hms`
+/// file).
+#[derive(Clone, Debug, Default)]
+pub struct SignatureTable {
+    domains: BTreeMap<Arc<str>, DomainSigs>,
+}
+
+impl SignatureTable {
+    /// An empty table (every call will be an unknown domain).
+    pub fn new() -> Self {
+        SignatureTable::default()
+    }
+
+    /// Snapshots every registered domain's signatures.
+    pub fn from_registry(reg: &DomainRegistry) -> Self {
+        let mut table = SignatureTable::new();
+        for name in reg.names() {
+            if let Ok(d) = reg.get(&name) {
+                for sig in d.functions() {
+                    table.declare(name.clone(), sig.name, sig.arity);
+                }
+                if d.native_estimator().is_some() {
+                    table.declare_estimator(name.clone());
+                }
+            }
+        }
+        table
+    }
+
+    /// Declares one function signature.
+    pub fn declare(
+        &mut self,
+        domain: impl Into<Arc<str>>,
+        function: impl Into<Arc<str>>,
+        arity: usize,
+    ) {
+        self.domains
+            .entry(domain.into())
+            .or_default()
+            .functions
+            .insert(function.into(), arity);
+    }
+
+    /// Marks a domain as shipping a native estimator.
+    pub fn declare_estimator(&mut self, domain: impl Into<Arc<str>>) {
+        self.domains
+            .entry(domain.into())
+            .or_default()
+            .has_native_estimator = true;
+    }
+
+    /// True when no domain is declared at all.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Declared domain names.
+    pub fn domain_names(&self) -> Vec<Arc<str>> {
+        self.domains.keys().cloned().collect()
+    }
+
+    /// True when `domain` is declared.
+    pub fn has_domain(&self, domain: &str) -> bool {
+        self.domains.contains_key(domain)
+    }
+
+    /// The declared arity of `domain:function`, if any.
+    pub fn arity(&self, domain: &str, function: &str) -> Option<usize> {
+        self.domains.get(domain)?.functions.get(function).copied()
+    }
+
+    /// Function names declared for `domain`.
+    pub fn functions_of(&self, domain: &str) -> Vec<Arc<str>> {
+        self.domains
+            .get(domain)
+            .map(|d| d.functions.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// True when `domain` declared a native estimator.
+    pub fn has_native_estimator(&self, domain: &str) -> bool {
+        self.domains
+            .get(domain)
+            .is_some_and(|d| d.has_native_estimator)
+    }
+}
+
+/// The multi-pass static analyzer (see crate docs for the pass list).
+///
+/// Only the program is mandatory; every other input unlocks further passes:
+/// signatures enable domain-call checking, invariants enable the invariant
+/// lints, a DCSM enables cost-coverage advisories, and query forms enable
+/// reachability plus per-adornment feasibility.
+pub struct Analyzer<'a> {
+    program: &'a Program,
+    invariants: Vec<Invariant>,
+    signatures: Option<SignatureTable>,
+    dcsm: Option<&'a Dcsm>,
+    query_forms: Vec<QueryForm>,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Starts an analysis of `program`.
+    pub fn new(program: &'a Program) -> Self {
+        Analyzer {
+            program,
+            invariants: Vec::new(),
+            signatures: None,
+            dcsm: None,
+            query_forms: Vec::new(),
+        }
+    }
+
+    /// Adds invariants to lint (pass 4).
+    pub fn with_invariants(mut self, invs: impl IntoIterator<Item = Invariant>) -> Self {
+        self.invariants.extend(invs);
+        self
+    }
+
+    /// Adds every invariant of a CIM store (pass 4).
+    pub fn with_invariant_store(self, store: &InvariantStore) -> Self {
+        self.with_invariants(store.all().iter().cloned())
+    }
+
+    /// Declares domain signatures (pass 3; also sharpens pass 5).
+    pub fn with_signatures(mut self, table: SignatureTable) -> Self {
+        self.signatures = Some(table);
+        self
+    }
+
+    /// Snapshots signatures from a live registry (pass 3).
+    pub fn with_registry(self, reg: &DomainRegistry) -> Self {
+        self.with_signatures(SignatureTable::from_registry(reg))
+    }
+
+    /// Enables cost-coverage advisories against this DCSM (pass 5).
+    pub fn with_dcsm(mut self, dcsm: &'a Dcsm) -> Self {
+        self.dcsm = Some(dcsm);
+        self
+    }
+
+    /// Declares a query form (sharpens passes 1 and 2).
+    pub fn with_query_form(mut self, form: QueryForm) -> Self {
+        self.query_forms.push(form);
+        self
+    }
+
+    /// Declares several query forms.
+    pub fn with_query_forms(mut self, forms: impl IntoIterator<Item = QueryForm>) -> Self {
+        self.query_forms.extend(forms);
+        self
+    }
+
+    /// Runs every enabled pass and collects the findings.
+    pub fn analyze(&self) -> AnalysisReport {
+        let mut out = Vec::new();
+        graph::run(self.program, &self.query_forms, &mut out);
+        adorn::run(self.program, &self.query_forms, &mut out);
+        if let Some(table) = &self.signatures {
+            sigs::run(self.program, &self.invariants, table, &mut out);
+        }
+        invariants::run(&self.invariants, &mut out);
+        if let Some(dcsm) = self.dcsm {
+            coverage::run(self.program, dcsm, self.signatures.as_ref(), &mut out);
+        }
+        AnalysisReport { diagnostics: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::DiagCode;
+    use hermes_lang::parse_program;
+
+    #[test]
+    fn query_form_parses_both_syntaxes() {
+        let a = QueryForm::parse("route(b, f)").unwrap();
+        assert_eq!(a.pred.as_ref(), "route");
+        assert_eq!(a.bound, vec![true, false]);
+        assert_eq!(a.adornment(), "bf");
+        let b = QueryForm::parse("route/bf").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "route(b, f)");
+        assert!(QueryForm::parse("route(b, x)").is_err());
+        assert!(QueryForm::parse("route").is_err());
+    }
+
+    #[test]
+    fn zero_arity_form_parses() {
+        let f = QueryForm::parse("ping()").unwrap();
+        assert!(f.bound.is_empty());
+    }
+
+    #[test]
+    fn analyzer_runs_only_enabled_passes() {
+        // Unknown domain, but no signature table: pass 3 must stay silent.
+        let p = parse_program("p(A) :- in(A, nosuch:f()).").unwrap();
+        let report = Analyzer::new(&p).analyze();
+        assert!(report.is_clean(), "{}", report.render());
+
+        // With an empty table the same call is an unknown domain.
+        let report = Analyzer::new(&p)
+            .with_signatures(SignatureTable::new())
+            .analyze();
+        assert!(report.has_code(DiagCode::UnknownDomain));
+    }
+
+    #[test]
+    fn signature_table_declarations_round_trip() {
+        let mut t = SignatureTable::new();
+        t.declare("d", "f", 2);
+        t.declare_estimator("d");
+        assert!(t.has_domain("d"));
+        assert_eq!(t.arity("d", "f"), Some(2));
+        assert_eq!(t.arity("d", "g"), None);
+        assert!(t.has_native_estimator("d"));
+        assert!(!t.has_native_estimator("e"));
+        assert_eq!(t.functions_of("d").len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Structured diagnostics emitted by the analyzer.
+//!
+//! Every finding carries a stable code (`HA001`…), a severity, a locus
+//! (which rule/invariant/query form it is about), a human message, and an
+//! optional suggestion. Codes are stable so tests, CI, and users can match
+//! on them; messages are free to improve over time.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program is still executable, but something looks wrong or will
+    /// hurt (dead rules, estimator blind spots, redundant invariants).
+    Warning,
+    /// The program (or invariant set) is broken: registering it would only
+    /// defer the failure to query time.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes, one per distinct kind of finding.
+///
+/// Numbering groups by pass: `HA00x` dependency graph, `HA01x` adornment
+/// feasibility, `HA02x` domain signatures, `HA03x` invariants, `HA04x`
+/// cost coverage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `HA001` — recursive predicate cycle; the nested-loops executor
+    /// cannot terminate on recursion.
+    RecursiveCycle,
+    /// `HA002` — a body atom references a predicate no rule defines.
+    UndefinedPredicate,
+    /// `HA003` — a predicate is unreachable from every declared query form
+    /// (dead rules).
+    UnreachablePredicate,
+    /// `HA004` — a predicate mixes ground facts and proper rules.
+    MixedFactsAndRules,
+    /// `HA005` — a variable can never become ground in any subgoal order.
+    UngroundableVariable,
+    /// `HA006` — a head variable does not occur in the body.
+    HeadVarNotInBody,
+    /// `HA007` — a fact (empty body) contains variables.
+    NonGroundFact,
+    /// `HA010` — no rule admits an executable ordering under a declared
+    /// query adornment.
+    InfeasibleAdornment,
+    /// `HA020` — a domain call names an unregistered domain.
+    UnknownDomain,
+    /// `HA021` — a domain call names a function the domain does not export.
+    UnknownFunction,
+    /// `HA022` — a domain call's arity disagrees with the signature.
+    ArityMismatch,
+    /// `HA030` — an invariant condition mentions a variable that appears in
+    /// neither call.
+    FreeConditionVariable,
+    /// `HA031` — equality invariants form a substitution cycle that can
+    /// make rewriting loop.
+    CyclicInvariantChain,
+    /// `HA032` — an invariant's condition can never be satisfied.
+    UnsatisfiableCondition,
+    /// `HA033` — an invariant duplicates another (up to renaming/flipping).
+    DuplicateInvariant,
+    /// `HA034` — the `⊆`/`⊇` direction looks wrong given the condition.
+    SuspiciousDirection,
+    /// `HA040` — a call pattern has neither DCSM statistics nor a native
+    /// estimator; costing falls back to the prior.
+    EstimatorBlindSpot,
+}
+
+impl DiagCode {
+    /// The stable `HAxxx` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::RecursiveCycle => "HA001",
+            DiagCode::UndefinedPredicate => "HA002",
+            DiagCode::UnreachablePredicate => "HA003",
+            DiagCode::MixedFactsAndRules => "HA004",
+            DiagCode::UngroundableVariable => "HA005",
+            DiagCode::HeadVarNotInBody => "HA006",
+            DiagCode::NonGroundFact => "HA007",
+            DiagCode::InfeasibleAdornment => "HA010",
+            DiagCode::UnknownDomain => "HA020",
+            DiagCode::UnknownFunction => "HA021",
+            DiagCode::ArityMismatch => "HA022",
+            DiagCode::FreeConditionVariable => "HA030",
+            DiagCode::CyclicInvariantChain => "HA031",
+            DiagCode::UnsatisfiableCondition => "HA032",
+            DiagCode::DuplicateInvariant => "HA033",
+            DiagCode::SuspiciousDirection => "HA034",
+            DiagCode::EstimatorBlindSpot => "HA040",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::RecursiveCycle
+            | DiagCode::UndefinedPredicate
+            | DiagCode::MixedFactsAndRules
+            | DiagCode::UngroundableVariable
+            | DiagCode::HeadVarNotInBody
+            | DiagCode::NonGroundFact
+            | DiagCode::InfeasibleAdornment
+            | DiagCode::UnknownDomain
+            | DiagCode::UnknownFunction
+            | DiagCode::ArityMismatch
+            | DiagCode::FreeConditionVariable => Severity::Error,
+            DiagCode::UnreachablePredicate
+            | DiagCode::CyclicInvariantChain
+            | DiagCode::UnsatisfiableCondition
+            | DiagCode::DuplicateInvariant
+            | DiagCode::SuspiciousDirection
+            | DiagCode::EstimatorBlindSpot => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a diagnostic is about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Locus {
+    /// The program as a whole (cycles spanning rules, reachability).
+    Program,
+    /// A specific rule, by index in the program and rendered head.
+    Rule {
+        /// Index into `Program::rules`.
+        index: usize,
+        /// The rendered head atom, e.g. `p(A, B)`.
+        head: String,
+    },
+    /// A specific invariant, by index in the analyzed list.
+    Invariant {
+        /// Index into the analyzed invariant list.
+        index: usize,
+        /// The rendered invariant.
+        text: String,
+    },
+    /// A declared query form, e.g. `route(b, f)`.
+    QueryForm {
+        /// The rendered form.
+        text: String,
+    },
+    /// A domain-call pattern, e.g. `ingres:select_eq('inventory', $b, $b)`.
+    CallPattern {
+        /// The rendered pattern.
+        text: String,
+    },
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Program => f.write_str("program"),
+            Locus::Rule { index, head } => write!(f, "rule #{index} `{head}`"),
+            Locus::Invariant { index, text } => {
+                write!(f, "invariant #{index} `{text}`")
+            }
+            Locus::QueryForm { text } => write!(f, "query form `{text}`"),
+            Locus::CallPattern { text } => write!(f, "call pattern `{text}`"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// What the finding is about.
+    pub locus: Locus,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Optional actionable hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity comes from the code.
+    pub fn new(code: DiagCode, locus: Locus, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            locus,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.locus, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the analyzer found, in pass order.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// True when no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect()
+    }
+
+    /// True when some finding carries `code`.
+    pub fn has_code(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders every finding, one per line (suggestions indented below).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_derived_from_code() {
+        let d = Diagnostic::new(DiagCode::RecursiveCycle, Locus::Program, "cycle p/1 -> p/1");
+        assert_eq!(d.severity, Severity::Error);
+        let w = Diagnostic::new(
+            DiagCode::EstimatorBlindSpot,
+            Locus::CallPattern {
+                text: "d:f($b)".into(),
+            },
+            "no stats",
+        );
+        assert_eq!(w.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn render_includes_code_locus_and_suggestion() {
+        let d = Diagnostic::new(
+            DiagCode::UngroundableVariable,
+            Locus::Rule {
+                index: 0,
+                head: "p(A)".into(),
+            },
+            "variable `Z` can never become ground",
+        )
+        .with_suggestion("bind `Z` via an `in(...)` answer target");
+        let text = d.to_string();
+        assert!(text.contains("error[HA005] rule #0 `p(A)`"));
+        assert!(text.contains("help: bind `Z`"));
+    }
+
+    #[test]
+    fn report_partitions_by_severity() {
+        let mut r = AnalysisReport::default();
+        assert!(r.is_clean() && !r.has_errors());
+        r.diagnostics.push(Diagnostic::new(
+            DiagCode::DuplicateInvariant,
+            Locus::Program,
+            "dup",
+        ));
+        assert!(!r.has_errors());
+        r.diagnostics.push(Diagnostic::new(
+            DiagCode::UndefinedPredicate,
+            Locus::Program,
+            "missing",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.errors().len(), 1);
+        assert_eq!(r.warnings().len(), 1);
+        assert!(r.has_code(DiagCode::UndefinedPredicate));
+        assert!(!r.has_code(DiagCode::RecursiveCycle));
+    }
+}

@@ -1,0 +1,120 @@
+//! Lint directives embedded in `.hms` program files.
+//!
+//! `%` starts a comment in the rule language, so directives hide in
+//! comments beginning with `%!` — the parser never sees them, but
+//! `hermes-lint` does:
+//!
+//! ```text
+//! %! query route(b, f)                 declare an exported query adornment
+//! %! domain terraindb: findrte/2       declare a domain's signatures
+//! %! estimator terraindb               the domain ships a native estimator
+//! %! invariant X > 0 => d:f(X) = d:g(X).   lint this invariant
+//! ```
+//!
+//! Declaring at least one `domain` (or `estimator`) directive opts the file
+//! into signature checking; files without any stay exempt so plain programs
+//! lint without a registry.
+
+use crate::analyzer::{QueryForm, SignatureTable};
+use hermes_common::{HermesError, Result};
+use hermes_lang::{parse_invariant, Invariant};
+
+/// Everything the directives of one file declared.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Declared query adornments.
+    pub query_forms: Vec<QueryForm>,
+    /// Declared signatures; `None` when no `domain`/`estimator` directive
+    /// appeared (signature checking stays off).
+    pub signatures: Option<SignatureTable>,
+    /// Declared invariants.
+    pub invariants: Vec<Invariant>,
+}
+
+/// Scans `src` for `%!` directives.
+pub fn parse_directives(src: &str) -> Result<Directives> {
+    let mut out = Directives::default();
+    for (lineno, line) in src.lines().enumerate() {
+        let Some(rest) = line.trim_start().strip_prefix("%!") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let bad = |msg: String| HermesError::Parse {
+            line: lineno + 1,
+            col: 0,
+            msg: format!("directive: {msg}"),
+        };
+        if let Some(arg) = rest.strip_prefix("query ") {
+            out.query_forms.push(QueryForm::parse(arg)?);
+        } else if let Some(arg) = rest.strip_prefix("domain ") {
+            let (name, funcs) = arg
+                .split_once(':')
+                .ok_or_else(|| bad("expected `domain name: f/2, g/1`".into()))?;
+            let table = out.signatures.get_or_insert_with(SignatureTable::new);
+            let name = name.trim();
+            for f in funcs.split(',') {
+                let f = f.trim().trim_end_matches('.');
+                if f.is_empty() {
+                    continue;
+                }
+                let (fname, arity) = f
+                    .split_once('/')
+                    .ok_or_else(|| bad(format!("function `{f}` must be `name/arity`")))?;
+                let arity: usize = arity
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad arity in `{f}`")))?;
+                table.declare(name, fname.trim(), arity);
+            }
+        } else if let Some(arg) = rest.strip_prefix("estimator ") {
+            out.signatures
+                .get_or_insert_with(SignatureTable::new)
+                .declare_estimator(arg.trim().trim_end_matches('.'));
+        } else if let Some(arg) = rest.strip_prefix("invariant ") {
+            out.invariants.push(parse_invariant(arg.trim())?);
+        } else {
+            return Err(bad(format!(
+                "unknown directive `{rest}`; expected `query`, `domain`, \
+                 `estimator`, or `invariant`"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_directive_kinds() {
+        let src = "\
+            %! query route(b, f)\n\
+            % plain comment, ignored\n\
+            %! domain terraindb: findrte/2, within/3\n\
+            %! estimator terraindb\n\
+            %! invariant X > 0 => d:f(X) = d:g(X).\n\
+            route(A, B) :- in(B, terraindb:findrte(A, 'x')).\n";
+        let d = parse_directives(src).unwrap();
+        assert_eq!(d.query_forms.len(), 1);
+        assert_eq!(d.query_forms[0].adornment(), "bf");
+        let sigs = d.signatures.unwrap();
+        assert_eq!(sigs.arity("terraindb", "findrte"), Some(2));
+        assert_eq!(sigs.arity("terraindb", "within"), Some(3));
+        assert!(sigs.has_native_estimator("terraindb"));
+        assert_eq!(d.invariants.len(), 1);
+    }
+
+    #[test]
+    fn no_domain_directive_means_no_signature_table() {
+        let d = parse_directives("%! query p(f)\np(A) :- in(A, d:f()).\n").unwrap();
+        assert!(d.signatures.is_none());
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        assert!(parse_directives("%! frobnicate yes\n").is_err());
+        assert!(parse_directives("%! domain nocolon\n").is_err());
+        assert!(parse_directives("%! domain d: f/x\n").is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Pass 1 — predicate dependency graph.
+//!
+//! Builds the graph whose nodes are defined predicate identities
+//! (`name/arity`) and whose edges go from a rule head to every IDB predicate
+//! its body references, then checks:
+//!
+//! * **HA001** recursion (an SCC of size > 1 or a self-loop) — the
+//!   nested-loops rewriter/executor flattens rules and cannot terminate on
+//!   recursive programs;
+//! * **HA002** references to predicates no rule defines;
+//! * **HA003** predicates unreachable from every declared query form
+//!   (dead rules) — only checked when query forms are declared;
+//! * **HA004** predicates that mix ground facts and proper rules.
+
+use crate::analyzer::QueryForm;
+use crate::diagnostic::{DiagCode, Diagnostic, Locus};
+use hermes_lang::{BodyAtom, Program};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+type PredKey = (Arc<str>, usize);
+
+fn fmt_key(k: &PredKey) -> String {
+    format!("{}/{}", k.0, k.1)
+}
+
+/// Runs the pass.
+pub(crate) fn run(program: &Program, query_forms: &[QueryForm], out: &mut Vec<Diagnostic>) {
+    let defined: BTreeSet<PredKey> = program.defined_predicates();
+    let mut edges: BTreeMap<PredKey, BTreeSet<PredKey>> = BTreeMap::new();
+    for k in &defined {
+        edges.entry(k.clone()).or_default();
+    }
+
+    // HA002 + edge construction.
+    for (index, rule) in program.rules.iter().enumerate() {
+        let head = rule.head.key();
+        for atom in &rule.body {
+            if let BodyAtom::Pred(p) = atom {
+                let k = p.key();
+                if defined.contains(&k) {
+                    edges.entry(head.clone()).or_default().insert(k);
+                } else {
+                    let mut d = Diagnostic::new(
+                        DiagCode::UndefinedPredicate,
+                        Locus::Rule {
+                            index,
+                            head: rule.head.to_string(),
+                        },
+                        format!("body references `{}`, which no rule defines", fmt_key(&k)),
+                    );
+                    let same_name: Vec<String> = defined
+                        .iter()
+                        .filter(|(n, _)| n == &k.0)
+                        .map(fmt_key)
+                        .collect();
+                    if !same_name.is_empty() {
+                        d = d.with_suggestion(format!(
+                            "a predicate with this name exists at a \
+                             different arity: {}",
+                            same_name.join(", ")
+                        ));
+                    }
+                    out.push(d);
+                }
+            }
+        }
+    }
+
+    // HA001: strongly connected components of the defined-predicate graph.
+    for scc in sccs(&edges) {
+        let recursive = scc.len() > 1
+            || edges
+                .get(&scc[0])
+                .is_some_and(|succ| succ.contains(&scc[0]));
+        if recursive {
+            let cycle: Vec<String> = scc.iter().chain(scc.first()).map(fmt_key).collect();
+            out.push(
+                Diagnostic::new(
+                    DiagCode::RecursiveCycle,
+                    Locus::Program,
+                    format!(
+                        "recursive cycle {}; the rewriter flattens rules \
+                         and cannot terminate on recursion",
+                        cycle.join(" -> ")
+                    ),
+                )
+                .with_suggestion(
+                    "break the cycle: bounded traversals must be unrolled \
+                     into distinct predicates",
+                ),
+            );
+        }
+    }
+
+    // HA004: a predicate defined by both facts and proper rules.
+    for key in &defined {
+        let defs = program.rules_for(&key.0, key.1);
+        let facts = defs.iter().filter(|r| r.body.is_empty()).count();
+        if facts > 0 && facts < defs.len() {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::MixedFactsAndRules,
+                    Locus::Program,
+                    format!(
+                        "predicate `{}` mixes facts and rules ({} fact(s), \
+                         {} rule(s))",
+                        fmt_key(key),
+                        facts,
+                        defs.len() - facts
+                    ),
+                )
+                .with_suggestion(
+                    "move the facts into a separate predicate and add a \
+                     bridging rule",
+                ),
+            );
+        }
+    }
+
+    // HA003: reachability from declared query forms.
+    if !query_forms.is_empty() {
+        let mut reached: BTreeSet<PredKey> = BTreeSet::new();
+        let mut stack: Vec<PredKey> = query_forms
+            .iter()
+            .map(|f| (f.pred.clone(), f.bound.len()))
+            .filter(|k| defined.contains(k))
+            .collect();
+        while let Some(k) = stack.pop() {
+            if !reached.insert(k.clone()) {
+                continue;
+            }
+            if let Some(succ) = edges.get(&k) {
+                stack.extend(succ.iter().cloned());
+            }
+        }
+        for key in defined.iter().filter(|k| !reached.contains(*k)) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::UnreachablePredicate,
+                    Locus::Program,
+                    format!(
+                        "predicate `{}` is unreachable from every declared \
+                         query form (dead rules)",
+                        fmt_key(key)
+                    ),
+                )
+                .with_suggestion("delete the rules or declare a query form that uses them"),
+            );
+        }
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative bookkeeping
+/// via recursion; mediator programs are small).
+fn sccs(edges: &BTreeMap<PredKey, BTreeSet<PredKey>>) -> Vec<Vec<PredKey>> {
+    struct State<'g> {
+        edges: &'g BTreeMap<PredKey, BTreeSet<PredKey>>,
+        index: usize,
+        indices: BTreeMap<PredKey, usize>,
+        lowlink: BTreeMap<PredKey, usize>,
+        stack: Vec<PredKey>,
+        on_stack: BTreeSet<PredKey>,
+        out: Vec<Vec<PredKey>>,
+    }
+    fn visit(s: &mut State<'_>, v: &PredKey) {
+        s.indices.insert(v.clone(), s.index);
+        s.lowlink.insert(v.clone(), s.index);
+        s.index += 1;
+        s.stack.push(v.clone());
+        s.on_stack.insert(v.clone());
+        let succ: Vec<PredKey> = s
+            .edges
+            .get(v)
+            .map(|e| e.iter().cloned().collect())
+            .unwrap_or_default();
+        for w in &succ {
+            if !s.indices.contains_key(w) {
+                visit(s, w);
+                let wl = s.lowlink[w];
+                let vl = s.lowlink.get_mut(v).unwrap_or_else(|| unreachable!());
+                *vl = (*vl).min(wl);
+            } else if s.on_stack.contains(w) {
+                let wi = s.indices[w];
+                let vl = s.lowlink.get_mut(v).unwrap_or_else(|| unreachable!());
+                *vl = (*vl).min(wi);
+            }
+        }
+        if s.lowlink[v] == s.indices[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = s.stack.pop() {
+                s.on_stack.remove(&w);
+                let done = w == *v;
+                comp.push(w);
+                if done {
+                    break;
+                }
+            }
+            comp.reverse();
+            s.out.push(comp);
+        }
+    }
+    let mut s = State {
+        edges,
+        index: 0,
+        indices: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        stack: Vec::new(),
+        on_stack: BTreeSet::new(),
+        out: Vec::new(),
+    };
+    let nodes: Vec<PredKey> = edges.keys().cloned().collect();
+    for v in &nodes {
+        if !s.indices.contains_key(v) {
+            visit(&mut s, v);
+        }
+    }
+    s.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::parse_program;
+
+    fn diags(src: &str, forms: &[QueryForm]) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let mut out = Vec::new();
+        run(&p, forms, &mut out);
+        out
+    }
+
+    #[test]
+    fn ha001_direct_and_mutual_recursion() {
+        let out = diags("p(A) :- p(A).", &[]);
+        assert!(out.iter().any(|d| d.code == DiagCode::RecursiveCycle));
+
+        let out = diags("p(A) :- q(A).\n q(A) :- p(A).\n", &[]);
+        let rec: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DiagCode::RecursiveCycle)
+            .collect();
+        assert_eq!(rec.len(), 1);
+        assert!(rec[0].message.contains("p/1"));
+        assert!(rec[0].message.contains("q/1"));
+    }
+
+    #[test]
+    fn ha002_undefined_predicate_with_arity_hint() {
+        let out = diags("p(A) :- q(A, 'x').\n q(A) :- in(A, d:f()).\n", &[]);
+        let miss: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DiagCode::UndefinedPredicate)
+            .collect();
+        assert_eq!(miss.len(), 1);
+        assert!(miss[0].message.contains("q/2"));
+        assert!(miss[0].suggestion.as_deref().unwrap().contains("q/1"));
+    }
+
+    #[test]
+    fn ha003_unreachable_only_with_query_forms() {
+        let src = "p(A) :- in(A, d:f()).\n dead(A) :- in(A, d:g()).\n";
+        assert!(diags(src, &[]).is_empty());
+        let forms = vec![QueryForm::parse("p(f)").unwrap()];
+        let out = diags(src, &forms);
+        let dead: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DiagCode::UnreachablePredicate)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("dead/1"));
+    }
+
+    #[test]
+    fn ha004_mixed_facts_and_rules() {
+        let out = diags("p('a').\n p(A) :- in(A, d:f()).\n", &[]);
+        assert!(out.iter().any(|d| d.code == DiagCode::MixedFactsAndRules));
+    }
+
+    #[test]
+    fn clean_layered_program_has_no_graph_findings() {
+        let out = diags(
+            "m(A, C) :- p(A, B) & q(B, C).\n\
+             p(A, B) :- in(Ans, d1:p_ff()) & =(Ans.1, A) & =(Ans.2, B).\n\
+             q(B, C) :- in(C, d2:q_bf(B)).\n",
+            &[QueryForm::parse("m(f, f)").unwrap()],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

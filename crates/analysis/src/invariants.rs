@@ -1,0 +1,592 @@
+//! Pass 4 — invariant lints.
+//!
+//! The CIM applies invariants (§4) as rewrite rules at cache-lookup time, so
+//! a bad invariant silently corrupts answers or loops the rewriter. Checks:
+//!
+//! * **HA030** a condition variable appears in neither call ("no free
+//!   variables in the invariants", §4);
+//! * **HA031** equality invariants chain into a substitution cycle that can
+//!   make `substitutes()` loop (`f = g`, `g = h`, `h = f`);
+//! * **HA032** the condition can never be satisfied (false constant
+//!   comparisons, `X < X`, empty intervals like `X > 5 & X < 3`);
+//! * **HA033** an invariant duplicates an earlier one up to variable
+//!   renaming and/or flipping the relation;
+//! * **HA034** the `⊆`/`⊇` direction looks wrong: the relation is not `=`
+//!   yet the two calls are identical (or the condition forces them to be),
+//!   or two invariants claim opposite monotonicity for the same function
+//!   argument.
+
+use crate::diagnostic::{DiagCode, Diagnostic, Locus};
+use hermes_lang::{CallTemplate, Condition, InvRel, Invariant, Relop, Term};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Runs the pass.
+pub(crate) fn run(invariants: &[Invariant], out: &mut Vec<Diagnostic>) {
+    let locus = |index: usize| Locus::Invariant {
+        index,
+        text: invariants[index].to_string(),
+    };
+
+    // HA030 — free condition variables.
+    for (i, inv) in invariants.iter().enumerate() {
+        let call_vars = inv.call_variables();
+        for c in &inv.conditions {
+            for v in c.variables() {
+                if !call_vars.contains(&v) {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::FreeConditionVariable,
+                            locus(i),
+                            format!(
+                                "condition variable `{v}` appears in \
+                                 neither domain call"
+                            ),
+                        )
+                        .with_suggestion(format!(
+                            "every condition variable must occur in one of \
+                             the two calls; rename `{v}` or drop the \
+                             condition"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    // HA031 — substitution cycles among `=` invariants. Union-find over
+    // `domain:function` nodes: an equality edge between two already
+    // connected nodes closes a cycle.
+    let mut uf: BTreeMap<String, String> = BTreeMap::new();
+    fn find(uf: &mut BTreeMap<String, String>, x: &str) -> String {
+        let parent = uf.entry(x.to_string()).or_insert_with(|| x.to_string());
+        if parent == x {
+            return x.to_string();
+        }
+        let p = parent.clone();
+        let root = find(uf, &p);
+        uf.insert(x.to_string(), root.clone());
+        root
+    }
+    for (i, inv) in invariants.iter().enumerate() {
+        if inv.rel != InvRel::Equal {
+            continue;
+        }
+        let a = format!("{}:{}", inv.lhs.domain, inv.lhs.function);
+        let b = format!("{}:{}", inv.rhs.domain, inv.rhs.function);
+        if a == b {
+            continue; // self-maps (e.g. argument symmetries) don't chain
+        }
+        let ra = find(&mut uf, &a);
+        let rb = find(&mut uf, &b);
+        if ra == rb {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::CyclicInvariantChain,
+                    locus(i),
+                    format!(
+                        "equality invariants already connect `{a}` and \
+                         `{b}`; this one closes a substitution cycle that \
+                         can make invariant rewriting loop"
+                    ),
+                )
+                .with_suggestion(
+                    "drop one invariant of the cycle; equalities compose \
+                     transitively",
+                ),
+            );
+        } else {
+            uf.insert(ra, rb);
+        }
+    }
+
+    // HA032 — unsatisfiable conditions.
+    for (i, inv) in invariants.iter().enumerate() {
+        if let Some(reason) = unsatisfiable(&inv.conditions) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::UnsatisfiableCondition,
+                    locus(i),
+                    format!("condition can never hold: {reason}"),
+                )
+                .with_suggestion(
+                    "an invariant with an unsatisfiable condition never \
+                     fires; fix or remove it",
+                ),
+            );
+        }
+    }
+
+    // HA033 — duplicates up to renaming / flipping.
+    let canon: Vec<String> = invariants.iter().map(canon_string).collect();
+    let canon_flipped: Vec<String> = invariants.iter().map(|i| canon_string(&flip(i))).collect();
+    for j in 1..invariants.len() {
+        for i in 0..j {
+            if canon[j] == canon[i] || canon_flipped[j] == canon[i] {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::DuplicateInvariant,
+                        locus(j),
+                        format!(
+                            "duplicates invariant #{i} `{}` (up to variable \
+                             renaming{})",
+                            invariants[i],
+                            if canon[j] == canon[i] {
+                                ""
+                            } else {
+                                " and flipping"
+                            }
+                        ),
+                    )
+                    .with_suggestion("remove one of the two"),
+                );
+                break;
+            }
+        }
+    }
+
+    // HA034 — direction mistakes.
+    direction_lints(invariants, &locus, out);
+}
+
+/// The invariant read right-to-left.
+fn flip(inv: &Invariant) -> Invariant {
+    Invariant::new(
+        inv.conditions.clone(),
+        inv.rhs.clone(),
+        inv.rel.flipped(),
+        inv.lhs.clone(),
+    )
+}
+
+/// Renders an invariant with variables renamed `v0, v1, …` in first
+/// occurrence order, so alpha-equivalent invariants render identically.
+fn canon_string(inv: &Invariant) -> String {
+    let mut names: BTreeMap<Arc<str>, String> = BTreeMap::new();
+    let mut rename = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => {
+                let n = names.len();
+                Term::Var(
+                    names
+                        .entry(v.clone())
+                        .or_insert_with(|| format!("v{n}"))
+                        .as_str()
+                        .into(),
+                )
+            }
+            c => c.clone(),
+        }
+    };
+    let mut parts = Vec::new();
+    for c in &inv.conditions {
+        let lhs = rename(&c.lhs.base);
+        let rhs = rename(&c.rhs.base);
+        parts.push(format!(
+            "{}({}{},{}{})",
+            c.op, lhs, c.lhs.path, rhs, c.rhs.path
+        ));
+    }
+    let mut tmpl = |t: &CallTemplate| -> String {
+        let args: Vec<String> = t.args.iter().map(|a| rename(a).to_string()).collect();
+        format!("{}:{}({})", t.domain, t.function, args.join(","))
+    };
+    format!(
+        "{} => {} {} {}",
+        parts.join(" & "),
+        tmpl(&inv.lhs),
+        inv.rel,
+        tmpl(&inv.rhs)
+    )
+}
+
+/// Static satisfiability check over a condition conjunction. Returns the
+/// reason when provably unsatisfiable; `None` means "don't know / fine".
+fn unsatisfiable(conds: &[Condition]) -> Option<String> {
+    use hermes_common::Value;
+    // (lower bound, strict), (upper bound, strict), equality pin — per var.
+    #[derive(Default)]
+    struct Bounds {
+        lower: Option<(Value, bool)>,
+        upper: Option<(Value, bool)>,
+        eq: Option<Value>,
+    }
+    let mut bounds: BTreeMap<Arc<str>, Bounds> = BTreeMap::new();
+
+    for c in conds {
+        let lb = (c.lhs.path.is_empty()).then_some(&c.lhs.base);
+        let rb = (c.rhs.path.is_empty()).then_some(&c.rhs.base);
+        match (lb, rb) {
+            // Constant vs constant: evaluate now.
+            (Some(Term::Const(a)), Some(Term::Const(b))) if !c.op.eval(a, b) => {
+                return Some(format!("`{c}` is false"));
+            }
+            (Some(Term::Const(_)), Some(Term::Const(_))) => {}
+            // Same bare variable on both sides.
+            (Some(Term::Var(x)), Some(Term::Var(y))) if x == y => {
+                if matches!(c.op, Relop::Lt | Relop::Gt | Relop::Ne) {
+                    return Some(format!("`{c}` compares `{x}` with itself"));
+                }
+            }
+            // Bare variable vs constant: accumulate interval constraints.
+            (Some(Term::Var(x)), Some(Term::Const(v)))
+            | (Some(Term::Const(v)), Some(Term::Var(x))) => {
+                // Normalize to `x op' v`.
+                let op = if matches!(&c.lhs.base, Term::Var(_)) && lb.is_some() {
+                    c.op
+                } else {
+                    c.op.flipped()
+                };
+                let b = bounds.entry(x.clone()).or_default();
+                match op {
+                    Relop::Eq => {
+                        if let Some(prev) = &b.eq {
+                            if prev != v {
+                                return Some(format!(
+                                    "`{x}` pinned to both \
+                                     {} and {}",
+                                    prev.to_literal(),
+                                    v.to_literal()
+                                ));
+                            }
+                        }
+                        b.eq = Some(v.clone());
+                    }
+                    Relop::Gt | Relop::Ge => {
+                        let strict = op == Relop::Gt;
+                        let tighter = match &b.lower {
+                            Some((cur, _)) => v > cur,
+                            None => true,
+                        };
+                        if tighter {
+                            b.lower = Some((v.clone(), strict));
+                        }
+                    }
+                    Relop::Lt | Relop::Le => {
+                        let strict = op == Relop::Lt;
+                        let tighter = match &b.upper {
+                            Some((cur, _)) => v < cur,
+                            None => true,
+                        };
+                        if tighter {
+                            b.upper = Some((v.clone(), strict));
+                        }
+                    }
+                    Relop::Ne => {}
+                }
+            }
+            _ => {} // path selections and mixed shapes: not decidable here
+        }
+    }
+
+    for (x, b) in &bounds {
+        if let (Some((lo, ls)), Some((hi, hs))) = (&b.lower, &b.upper) {
+            if lo > hi || (lo == hi && (*ls || *hs)) {
+                return Some(format!(
+                    "`{x}` is constrained to the empty interval ({} .. {})",
+                    lo.to_literal(),
+                    hi.to_literal()
+                ));
+            }
+        }
+        if let Some(v) = &b.eq {
+            let below = b
+                .lower
+                .as_ref()
+                .is_some_and(|(lo, s)| v < lo || (v == lo && *s));
+            let above = b
+                .upper
+                .as_ref()
+                .is_some_and(|(hi, s)| v > hi || (v == hi && *s));
+            if below || above {
+                return Some(format!("`{x}` = {} violates its bounds", v.to_literal()));
+            }
+        }
+    }
+    None
+}
+
+/// HA034 sub-lints; see module docs.
+fn direction_lints(
+    invariants: &[Invariant],
+    locus: &dyn Fn(usize) -> Locus,
+    out: &mut Vec<Diagnostic>,
+) {
+    // (a) non-`=` relation between syntactically identical calls.
+    for (i, inv) in invariants.iter().enumerate() {
+        if inv.rel != InvRel::Equal && inv.lhs == inv.rhs {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::SuspiciousDirection,
+                    locus(i),
+                    format!(
+                        "`{}` between identical calls holds trivially; \
+                         likely a typo in the arguments or the direction",
+                        inv.rel
+                    ),
+                )
+                .with_suggestion("make the two calls differ, or delete the invariant"),
+            );
+            continue;
+        }
+        // (b) equality conditions force the calls to coincide.
+        if inv.rel != InvRel::Equal && templates_equal_under_conditions(inv) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::SuspiciousDirection,
+                    locus(i),
+                    format!(
+                        "the condition forces both calls to be identical, \
+                         so `{}` holds trivially; likely a direction or \
+                         condition mistake",
+                        inv.rel
+                    ),
+                )
+                .with_suggestion(
+                    "an inequality condition (e.g. `V1 <= V2`) is usually \
+                     intended for containment invariants",
+                ),
+            );
+        }
+    }
+
+    // (c) opposite monotonicity claims for the same function argument.
+    let mut claims: BTreeMap<ClaimKey, (InvRel, usize)> = BTreeMap::new();
+    for (i, inv) in invariants.iter().enumerate() {
+        let Some((key, rel)) = monotonicity_claim(inv) else {
+            continue;
+        };
+        match claims.get(&key) {
+            Some((prev_rel, prev_idx))
+                if *prev_rel != rel && *prev_rel != InvRel::Equal && rel != InvRel::Equal =>
+            {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::SuspiciousDirection,
+                        locus(i),
+                        format!(
+                            "claims the opposite monotonicity of invariant \
+                             #{prev_idx} `{}` for argument {} of \
+                             `{}:{}`; one of the two directions is wrong",
+                            invariants[*prev_idx], key.2, key.0, key.1
+                        ),
+                    )
+                    .with_suggestion(
+                        "check which call's answer set really contains the \
+                         other's",
+                    ),
+                );
+            }
+            _ => {
+                claims.insert(key, (rel, i));
+            }
+        }
+    }
+}
+
+/// True when unifying variables equated by bare `=` conditions makes the
+/// two call templates syntactically identical.
+fn templates_equal_under_conditions(inv: &Invariant) -> bool {
+    let mut repr: BTreeMap<Arc<str>, Arc<str>> = BTreeMap::new();
+    fn find(repr: &mut BTreeMap<Arc<str>, Arc<str>>, x: &Arc<str>) -> Arc<str> {
+        let p = repr.entry(x.clone()).or_insert_with(|| x.clone()).clone();
+        if p == *x {
+            return x.clone();
+        }
+        let root = find(repr, &p);
+        repr.insert(x.clone(), root.clone());
+        root
+    }
+    for c in &inv.conditions {
+        if c.op == Relop::Eq && c.lhs.path.is_empty() && c.rhs.path.is_empty() {
+            if let (Term::Var(a), Term::Var(b)) = (&c.lhs.base, &c.rhs.base) {
+                let ra = find(&mut repr, a);
+                let rb = find(&mut repr, b);
+                repr.insert(ra, rb);
+            }
+        }
+    }
+    if repr.is_empty() {
+        return false;
+    }
+    let norm = |t: &CallTemplate, repr: &mut BTreeMap<Arc<str>, Arc<str>>| {
+        let args: Vec<Term> = t
+            .args
+            .iter()
+            .map(|a| match a {
+                Term::Var(v) => Term::Var(find(repr, v)),
+                c => c.clone(),
+            })
+            .collect();
+        CallTemplate::new(t.domain.clone(), t.function.clone(), args)
+    };
+    norm(&inv.lhs, &mut repr) == norm(&inv.rhs, &mut repr)
+}
+
+/// `(domain, function, argument position)` identifying one monotone
+/// argument of a domain function.
+type ClaimKey = (Arc<str>, Arc<str>, usize);
+
+/// Extracts a monotonicity claim: a single-condition invariant
+/// `A op B => d:f(.. A ..) REL d:f(.. B ..)` whose calls differ in exactly
+/// one position holding the condition variables. Returns the claim key
+/// `(domain, function, position)` and the relation *from the smaller
+/// argument's call to the bigger argument's call*.
+fn monotonicity_claim(inv: &Invariant) -> Option<(ClaimKey, InvRel)> {
+    if inv.conditions.len() != 1 {
+        return None;
+    }
+    let c = &inv.conditions[0];
+    if !c.lhs.path.is_empty() || !c.rhs.path.is_empty() {
+        return None;
+    }
+    let (Term::Var(x), Term::Var(y)) = (&c.lhs.base, &c.rhs.base) else {
+        return None;
+    };
+    let (small, big) = match c.op {
+        Relop::Lt | Relop::Le => (x, y),
+        Relop::Gt | Relop::Ge => (y, x),
+        _ => return None,
+    };
+    if inv.lhs.domain != inv.rhs.domain
+        || inv.lhs.function != inv.rhs.function
+        || inv.lhs.args.len() != inv.rhs.args.len()
+    {
+        return None;
+    }
+    let mut diff = None;
+    for (pos, (a, b)) in inv.lhs.args.iter().zip(inv.rhs.args.iter()).enumerate() {
+        if a == b {
+            continue;
+        }
+        if diff.is_some() {
+            return None; // differs in more than one position
+        }
+        diff = Some((pos, a, b));
+    }
+    let (pos, a, b) = diff?;
+    let (Term::Var(av), Term::Var(bv)) = (a, b) else {
+        return None;
+    };
+    let key = (inv.lhs.domain.clone(), inv.lhs.function.clone(), pos);
+    if av == small && bv == big {
+        Some((key, inv.rel)) // lhs is the smaller-argument call
+    } else if av == big && bv == small {
+        Some((key, inv.rel.flipped()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::parse_invariant;
+
+    fn diags(srcs: &[&str]) -> Vec<Diagnostic> {
+        let invs: Vec<Invariant> = srcs.iter().map(|s| parse_invariant(s).unwrap()).collect();
+        let mut out = Vec::new();
+        run(&invs, &mut out);
+        out
+    }
+
+    #[test]
+    fn ha030_free_condition_variable() {
+        let out = diags(&["W > 5 => d:f(X) = d:g(X)."]);
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::FreeConditionVariable && d.message.contains("`W`")));
+    }
+
+    #[test]
+    fn ha031_triangle_of_equalities_warns_once() {
+        let out = diags(&[
+            "=> d:f(X) = d:g(X).",
+            "=> d:g(X) = d:h(X).",
+            "=> d:h(X) = d:f(X).",
+        ]);
+        let cyc: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DiagCode::CyclicInvariantChain)
+            .collect();
+        assert_eq!(cyc.len(), 1);
+    }
+
+    #[test]
+    fn ha031_single_equality_and_self_map_are_fine() {
+        let out = diags(&[
+            "=> d:f(X) = d:g(X).",
+            // Argument symmetry on the same function: not a chain.
+            "=> d:sym(X, Y) = d:sym(Y, X).",
+        ]);
+        assert!(!out.iter().any(|d| d.code == DiagCode::CyclicInvariantChain));
+    }
+
+    #[test]
+    fn ha032_false_constant_and_self_comparison() {
+        let out = diags(&["1 > 2 => d:f(X) = d:g(X)."]);
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::UnsatisfiableCondition));
+
+        let out = diags(&["X < X => d:f(X) = d:g(X)."]);
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::UnsatisfiableCondition));
+    }
+
+    #[test]
+    fn ha032_empty_interval() {
+        let out = diags(&["X > 5 & X < 3 => d:f(X) = d:g(X)."]);
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::UnsatisfiableCondition
+                && d.message.contains("empty interval")));
+        // A satisfiable interval stays quiet.
+        let ok = diags(&["X > 3 & X < 5 => d:f(X) = d:g(X)."]);
+        assert!(!ok
+            .iter()
+            .any(|d| d.code == DiagCode::UnsatisfiableCondition));
+    }
+
+    #[test]
+    fn ha033_alpha_renamed_duplicate() {
+        let out = diags(&["X > 5 => d:f(X) >= d:g(X).", "Y > 5 => d:f(Y) >= d:g(Y)."]);
+        assert!(out.iter().any(|d| d.code == DiagCode::DuplicateInvariant));
+    }
+
+    #[test]
+    fn ha033_flipped_duplicate() {
+        let out = diags(&["X > 5 => d:f(X) >= d:g(X).", "X > 5 => d:g(X) <= d:f(X)."]);
+        assert!(out.iter().any(|d| d.code == DiagCode::DuplicateInvariant));
+    }
+
+    #[test]
+    fn ha034_identical_calls_with_containment() {
+        let out = diags(&["X > 5 => d:f(X) >= d:f(X)."]);
+        assert!(out.iter().any(|d| d.code == DiagCode::SuspiciousDirection));
+    }
+
+    #[test]
+    fn ha034_condition_forces_identity() {
+        let out = diags(&["V1 = V2 => d:f(V1) >= d:f(V2)."]);
+        assert!(out.iter().any(|d| d.code == DiagCode::SuspiciousDirection));
+    }
+
+    #[test]
+    fn ha034_opposite_monotonicity_claims() {
+        let out = diags(&[
+            "V1 <= V2 => d:select_lt(T, A, V2) >= d:select_lt(T, A, V1).",
+            "V1 <= V2 => d:select_lt(T, A, V1) >= d:select_lt(T, A, V2).",
+        ]);
+        assert!(out.iter().any(|d| d.code == DiagCode::SuspiciousDirection
+            && d.message.contains("opposite monotonicity")));
+    }
+
+    #[test]
+    fn paper_monotonicity_invariant_is_clean() {
+        let out = diags(&["V1 <= V2 => relation:select_lt(T, A, V2) >= \
+             relation:select_lt(T, A, V1)."]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

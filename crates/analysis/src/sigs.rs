@@ -1,0 +1,184 @@
+//! Pass 3 — domain-call signature checking.
+//!
+//! Every `in(X, d:f(args))` in a rule body — and both call templates of
+//! every invariant — is checked against the declared signatures so that
+//! unknown domains (**HA020**), unknown functions (**HA021**), and arity
+//! mismatches (**HA022**) fail at registration, not mid-execution.
+
+use crate::analyzer::SignatureTable;
+use crate::diagnostic::{DiagCode, Diagnostic, Locus};
+use hermes_lang::{BodyAtom, CallTemplate, Invariant, Program};
+
+/// Runs the pass.
+pub(crate) fn run(
+    program: &Program,
+    invariants: &[Invariant],
+    table: &SignatureTable,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (index, rule) in program.rules.iter().enumerate() {
+        for atom in &rule.body {
+            if let BodyAtom::In { call, .. } = atom {
+                check_call(
+                    call,
+                    table,
+                    Locus::Rule {
+                        index,
+                        head: rule.head.to_string(),
+                    },
+                    out,
+                );
+            }
+        }
+    }
+    for (index, inv) in invariants.iter().enumerate() {
+        let locus = || Locus::Invariant {
+            index,
+            text: inv.to_string(),
+        };
+        check_call(&inv.lhs, table, locus(), out);
+        check_call(&inv.rhs, table, locus(), out);
+    }
+}
+
+fn check_call(
+    call: &CallTemplate,
+    table: &SignatureTable,
+    locus: Locus,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !table.has_domain(&call.domain) {
+        let mut d = Diagnostic::new(
+            DiagCode::UnknownDomain,
+            locus,
+            format!("call `{call}` names unknown domain `{}`", call.domain),
+        );
+        let known = table.domain_names();
+        if !known.is_empty() {
+            d = d.with_suggestion(format!(
+                "known domains: {}",
+                known
+                    .iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push(d);
+        return;
+    }
+    match table.arity(&call.domain, &call.function) {
+        None => {
+            let mut d = Diagnostic::new(
+                DiagCode::UnknownFunction,
+                locus,
+                format!(
+                    "domain `{}` exports no function `{}`",
+                    call.domain, call.function
+                ),
+            );
+            let known = table.functions_of(&call.domain);
+            if !known.is_empty() {
+                d = d.with_suggestion(format!(
+                    "`{}` exports: {}",
+                    call.domain,
+                    known
+                        .iter()
+                        .map(|n| format!("`{n}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            out.push(d);
+        }
+        Some(expected) if expected != call.args.len() => {
+            out.push(Diagnostic::new(
+                DiagCode::ArityMismatch,
+                locus,
+                format!(
+                    "call `{call}` passes {} argument(s) but \
+                     `{}:{}` expects {expected}",
+                    call.args.len(),
+                    call.domain,
+                    call.function,
+                ),
+            ));
+        }
+        Some(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::{parse_invariant, parse_program};
+
+    fn table() -> SignatureTable {
+        let mut t = SignatureTable::new();
+        t.declare("d", "f", 1);
+        t.declare("d", "g", 2);
+        t.declare("e", "h", 0);
+        t
+    }
+
+    fn diags(src: &str, invs: &[&str]) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let invs: Vec<Invariant> = invs.iter().map(|s| parse_invariant(s).unwrap()).collect();
+        let mut out = Vec::new();
+        run(&p, &invs, &table(), &mut out);
+        out
+    }
+
+    #[test]
+    fn ha020_unknown_domain_lists_known_ones() {
+        let out = diags("p(A) :- in(A, nosuch:f('x')).", &[]);
+        let d = out
+            .iter()
+            .find(|d| d.code == DiagCode::UnknownDomain)
+            .unwrap();
+        assert!(d.message.contains("nosuch"));
+        assert!(d.suggestion.as_deref().unwrap().contains("`d`"));
+    }
+
+    #[test]
+    fn ha021_unknown_function_lists_exports() {
+        let out = diags("p(A) :- in(A, d:nosuch('x')).", &[]);
+        let d = out
+            .iter()
+            .find(|d| d.code == DiagCode::UnknownFunction)
+            .unwrap();
+        assert!(d.suggestion.as_deref().unwrap().contains("`f`"));
+    }
+
+    #[test]
+    fn ha022_arity_mismatch_reports_both_counts() {
+        let out = diags("p(A) :- in(A, d:g('x')).", &[]);
+        let d = out
+            .iter()
+            .find(|d| d.code == DiagCode::ArityMismatch)
+            .unwrap();
+        assert!(d.message.contains("1 argument"));
+        assert!(d.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn invariant_templates_are_checked_too() {
+        let out = diags(
+            "p(A) :- in(A, d:f('x')).",
+            &["X > 0 => d:f(X) = d:missing(X)."],
+        );
+        assert!(out
+            .iter()
+            .any(|d| d.code == DiagCode::UnknownFunction
+                && matches!(d.locus, Locus::Invariant { .. })));
+    }
+
+    #[test]
+    fn well_typed_calls_are_clean() {
+        let out = diags(
+            "p(A, B) :- in(A, d:f(B)) & in(B, e:h()).",
+            &["X > 0 => d:g(X, 'c') = d:g(X, 'c')."],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -29,10 +29,9 @@ fn bench<I, O>(name: &str, mut setup: impl FnMut() -> I, mut f: impl FnMut(I) ->
         std::hint::black_box(f(std::hint::black_box(input)));
         iters += 1;
     }
-    let per_batch = (iters.max(1) * MEASURE.as_micros() as u64
-        / WARMUP.as_micros() as u64
-        / BATCHES as u64)
-        .max(1);
+    let per_batch =
+        (iters.max(1) * MEASURE.as_micros() as u64 / WARMUP.as_micros() as u64 / BATCHES as u64)
+            .max(1);
 
     let mut means = Vec::with_capacity(BATCHES);
     for _ in 0..BATCHES {
@@ -219,11 +218,15 @@ fn bench_rewriter() {
 
     let plans = enumerate_plans(&program, &query, &policy, RewriteConfig::default()).unwrap();
     let dcsm = warmed_dcsm(100);
-    bench("cost_estimate_per_plan", || (), |_| {
-        for p in &plans {
-            std::hint::black_box(estimate_plan(p, &dcsm, &CostConfig::default()));
-        }
-    });
+    bench(
+        "cost_estimate_per_plan",
+        || (),
+        |_| {
+            for p in &plans {
+                std::hint::black_box(estimate_plan(p, &dcsm, &CostConfig::default()));
+            }
+        },
+    );
 }
 
 fn bench_executor() {
@@ -253,20 +256,24 @@ fn bench_executor() {
     let network = m.network();
     let cim = m.cim();
     let dcsm = m.dcsm();
-    bench("cached_query_wall_time", || (), |_| {
-        Executor::new(
-            network,
-            &cim,
-            &dcsm,
-            hermes_common::SimClock::new(),
-            ExecConfig {
-                record_stats: false,
-                ..ExecConfig::default()
-            },
-        )
-        .run(&plan, None)
-        .unwrap()
-    });
+    bench(
+        "cached_query_wall_time",
+        || (),
+        |_| {
+            Executor::new(
+                network,
+                &cim,
+                &dcsm,
+                hermes_common::SimClock::new(),
+                ExecConfig {
+                    record_stats: false,
+                    ..ExecConfig::default()
+                },
+            )
+            .run(&plan, None)
+            .unwrap()
+        },
+    );
 }
 
 fn bench_parser() {

@@ -92,7 +92,11 @@ fn measure(seed: u64, drop_rate: f64, resilient: bool, queries: usize) -> ChaosR
     let mut m = storm_world(seed, drop_rate, resilient);
     let mut row = ChaosRow {
         drop_rate,
-        config: if resilient { "resilient" } else { "retries only" },
+        config: if resilient {
+            "resilient"
+        } else {
+            "retries only"
+        },
         answered: 0,
         complete: 0,
         failed: 0,

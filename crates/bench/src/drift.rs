@@ -65,13 +65,9 @@ pub fn run(seed: u64, amplitudes: &[f64]) -> Vec<DriftRow> {
             // Both predict through the blanket table (steady-state
             // operation after summarization).
             // Seed the blanket shapes so online updates have a target.
-            let blanket_pattern = GroundCall::new("src", "r_bf", vec![Value::str("x")])
-                .blanket_pattern();
-            decayed.ensure_table(hermes_common::PatternShape::new(
-                "src",
-                "r_bf",
-                vec![false],
-            ));
+            let blanket_pattern =
+                GroundCall::new("src", "r_bf", vec![Value::str("x")]).blanket_pattern();
+            decayed.ensure_table(hermes_common::PatternShape::new("src", "r_bf", vec![false]));
 
             let mut clock = SimClock::new();
             let mut rng = hermes_common::Rng64::new(seed ^ 0x0D21F7);
@@ -95,8 +91,20 @@ pub fn run(seed: u64, amplitudes: &[f64]) -> Vec<DriftRow> {
                     decayed_err += (d - actual).abs() / actual;
                     measured += 1;
                 }
-                plain.record(&call, None, Some(actual), Some(outcome.cardinality() as f64), clock.now());
-                decayed.record(&call, None, Some(actual), Some(outcome.cardinality() as f64), clock.now());
+                plain.record(
+                    &call,
+                    None,
+                    Some(actual),
+                    Some(outcome.cardinality() as f64),
+                    clock.now(),
+                );
+                decayed.record(
+                    &call,
+                    None,
+                    Some(actual),
+                    Some(outcome.cardinality() as f64),
+                    clock.now(),
+                );
             }
             // The decayed DCSM has no detail, so make sure its blanket
             // table really answered (otherwise the comparison is void).

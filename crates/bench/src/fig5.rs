@@ -19,9 +19,7 @@
 //!   monotone range invariant yields those answers immediately while the
 //!   real call completes in parallel.
 
-use crate::scenarios::{
-    frame_range_invariant, mirror_invariant, rope_world, VideoSite,
-};
+use crate::scenarios::{frame_range_invariant, mirror_invariant, rope_world, VideoSite};
 use crate::table::{ms_opt, TextTable};
 use hermes_cim::CimPolicy;
 

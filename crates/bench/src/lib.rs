@@ -18,8 +18,8 @@
 //! | resilience layer (beyond the paper) | [`chaos`] | `chaos_resilience` |
 
 pub mod chaos;
-pub mod fig234;
 pub mod drift;
+pub mod fig234;
 pub mod fig5;
 pub mod fig6;
 pub mod plan_choice;

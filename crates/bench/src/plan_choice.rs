@@ -264,6 +264,9 @@ mod tests {
             .collect();
         let weighted: f64 = big.iter().map(|b| b.accuracy * b.pairs as f64).sum::<f64>()
             / big.iter().map(|b| b.pairs as f64).sum::<f64>().max(1.0);
-        assert!(weighted > 0.8, "all-answers >=3x-margin accuracy {weighted}");
+        assert!(
+            weighted > 0.8,
+            "all-answers >=3x-margin accuracy {weighted}"
+        );
     }
 }

@@ -72,7 +72,8 @@ pub fn ms(v: f64) -> String {
 
 /// Formats an optional duration in ms.
 pub fn ms_opt(v: Option<hermes_common::SimDuration>) -> String {
-    v.map(|d| ms(d.as_millis_f64())).unwrap_or_else(|| "-".into())
+    v.map(|d| ms(d.as_millis_f64()))
+        .unwrap_or_else(|| "-".into())
 }
 
 #[cfg(test)]

@@ -91,9 +91,7 @@ pub fn run(seed: u64, skews: &[f64]) -> Vec<LevelResult> {
         // Ground truth for training calls and probes: the store's own
         // compute cost (we measure estimation quality, so no network noise).
         let exec = |call: &GroundCall| -> (f64, f64) {
-            let outcome = store
-                .call(&call.function, &call.args)
-                .expect("call runs");
+            let outcome = store.call(&call.function, &call.args).expect("call runs");
             (
                 outcome.compute.t_all.as_millis_f64(),
                 outcome.answers.len() as f64,
@@ -104,7 +102,13 @@ pub fn run(seed: u64, skews: &[f64]) -> Vec<LevelResult> {
         let mut master = Dcsm::new();
         for c in &w.calls {
             let (t_all, card) = exec(c);
-            master.record(c, Some(t_all / 3.0), Some(t_all), Some(card), SimInstant::EPOCH);
+            master.record(
+                c,
+                Some(t_all / 3.0),
+                Some(t_all),
+                Some(card),
+                SimInstant::EPOCH,
+            );
         }
 
         let truth: Vec<f64> = w.probes.iter().map(|c| exec(c).0).collect();
@@ -114,7 +118,13 @@ pub fn run(seed: u64, skews: &[f64]) -> Vec<LevelResult> {
             let mut d = Dcsm::new();
             for c in &w.calls {
                 let (t_all, card) = exec(c);
-                d.record(c, Some(t_all / 3.0), Some(t_all), Some(card), SimInstant::EPOCH);
+                d.record(
+                    c,
+                    Some(t_all / 3.0),
+                    Some(t_all),
+                    Some(card),
+                    SimInstant::EPOCH,
+                );
             }
             d
         };

@@ -116,12 +116,14 @@ impl AnswerCache {
         while self.current_bytes > budget && self.entries.len() > 1 {
             // Evict the least-recently-used entry (but never the one just
             // inserted, which is the most recent by construction).
-            let victim = self
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty cache");
+            else {
+                break;
+            };
             if let Some(e) = self.entries.remove(&victim) {
                 self.current_bytes -= e.bytes;
                 self.stats.evictions += 1;
@@ -212,7 +214,9 @@ mod tests {
     }
 
     fn big_answers(n: usize) -> Vec<Value> {
-        (0..n).map(|i| Value::str(format!("answer_{i:04}"))).collect()
+        (0..n)
+            .map(|i| Value::str(format!("answer_{i:04}")))
+            .collect()
     }
 
     #[test]

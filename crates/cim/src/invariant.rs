@@ -14,8 +14,8 @@
 //! (`⊆`, unusable for sound answers and therefore only counted).
 
 use crate::cache::AnswerCache;
-use hermes_lang::{CallTemplate, InvRel, Invariant, Subst};
 use hermes_common::GroundCall;
+use hermes_lang::{CallTemplate, InvRel, Invariant, Subst};
 
 /// One way the cache can serve a call through an invariant.
 #[derive(Clone, Debug, PartialEq)]
@@ -220,10 +220,8 @@ mod tests {
     fn store_with_monotone_invariant() -> InvariantStore {
         let mut s = InvariantStore::new();
         s.add(
-            parse_invariant(
-                "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
-            )
-            .unwrap(),
+            parse_invariant("V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).")
+                .unwrap(),
         )
         .unwrap();
         s
@@ -274,14 +272,24 @@ mod tests {
         let cached = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(142)],
+            vec![
+                Value::str("points"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(142),
+            ],
         );
         let mut cache = AnswerCache::new();
         cache.insert(cached.clone(), vec![Value::Int(1)], true, SimInstant::EPOCH);
         let wanted = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(500)],
+            vec![
+                Value::str("points"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(500),
+            ],
         );
         let hits = s.find_hits(&wanted, &cache);
         assert_eq!(hits.len(), 1);
@@ -303,14 +311,24 @@ mod tests {
         let wide = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(500)],
+            vec![
+                Value::str("points"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(500),
+            ],
         );
         let mut cache = AnswerCache::new();
         cache.insert(wide.clone(), vec![Value::Int(1)], true, SimInstant::EPOCH);
         let narrow = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(142)],
+            vec![
+                Value::str("points"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(142),
+            ],
         );
         let hits = s.find_hits(&narrow, &cache);
         assert_eq!(hits.len(), 1);
@@ -320,7 +338,8 @@ mod tests {
     #[test]
     fn incomplete_equal_entry_degrades_to_partial() {
         let mut s = InvariantStore::new();
-        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap()).unwrap();
+        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap())
+            .unwrap();
         let mut cache = AnswerCache::new();
         let g = GroundCall::new("d", "g", vec![Value::Int(5)]);
         cache.insert(g.clone(), vec![Value::Int(1)], false, SimInstant::EPOCH);
@@ -332,7 +351,8 @@ mod tests {
     #[test]
     fn equal_hits_sort_before_partial() {
         let mut s = InvariantStore::new();
-        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap()).unwrap();
+        s.add(parse_invariant("=> d:f(X) = d:g(X).").unwrap())
+            .unwrap();
         s.add(parse_invariant("X <= Y => d:f(Y) >= d:h(X).").unwrap())
             .unwrap();
         let mut cache = AnswerCache::new();
@@ -367,7 +387,12 @@ mod tests {
         let wanted = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(999)],
+            vec![
+                Value::str("points"),
+                Value::Int(3),
+                Value::Int(4),
+                Value::Int(999),
+            ],
         );
         let subs = s.substitutes(&wanted);
         assert_eq!(subs.len(), 1);
@@ -376,14 +401,24 @@ mod tests {
             GroundCall::new(
                 "spatial",
                 "range",
-                vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(142)],
+                vec![
+                    Value::str("points"),
+                    Value::Int(3),
+                    Value::Int(4),
+                    Value::Int(142)
+                ],
             )
         );
         // Below the threshold: no substitute.
         let small = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("points"), Value::Int(3), Value::Int(4), Value::Int(100)],
+            vec![
+                Value::str("points"),
+                Value::Int(3),
+                Value::Int(4),
+                Value::Int(100),
+            ],
         );
         assert!(s.substitutes(&small).is_empty());
     }
@@ -392,7 +427,8 @@ mod tests {
     fn substitutes_skip_self_and_non_equality() {
         let mut s = store_with_monotone_invariant(); // superset inv only
         assert!(s.substitutes(&lt_call(5)).is_empty());
-        s.add(parse_invariant("=> d:f(X) = d:f(X).").unwrap()).unwrap();
+        s.add(parse_invariant("=> d:f(X) = d:f(X).").unwrap())
+            .unwrap();
         // Identity equality maps the call to itself: filtered out.
         assert!(s
             .substitutes(&GroundCall::new("d", "f", vec![Value::Int(1)]))

@@ -1,3 +1,7 @@
+// Cache state must never panic the mediator: every fallible path returns a
+// typed `HermesError` instead. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! # hermes-cim
 //!
 //! The **Cache and Invariant Manager** (CIM) of §4: an answer cache keyed by

@@ -272,11 +272,7 @@ impl Cim {
     /// returning the deduplicated remainder (actual minus cached) and the
     /// simulated comparison cost — the §8 observation that "the size of the
     /// partial answer returned plays a significant role".
-    pub fn merge_partial(
-        &self,
-        cached: &[Value],
-        actual: Vec<Value>,
-    ) -> (Vec<Value>, SimDuration) {
+    pub fn merge_partial(&self, cached: &[Value], actual: Vec<Value>) -> (Vec<Value>, SimDuration) {
         let cached_set: std::collections::HashSet<&Value> = cached.iter().collect();
         let compared = actual.len() + cached.len();
         let remainder: Vec<Value> = actual
@@ -330,10 +326,8 @@ mod tests {
     fn partial_hit_via_superset_invariant() {
         let mut cim = Cim::new();
         cim.add_invariant(
-            parse_invariant(
-                "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
-            )
-            .unwrap(),
+            parse_invariant("V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).")
+                .unwrap(),
         )
         .unwrap();
         cim.store(call(10), vec![Value::Int(1)], true, SimInstant::EPOCH);
@@ -361,12 +355,19 @@ mod tests {
         let wanted = GroundCall::new(
             "spatial",
             "range",
-            vec![Value::str("p"), Value::Int(0), Value::Int(0), Value::Int(999)],
+            vec![
+                Value::str("p"),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(999),
+            ],
         );
         // Empty cache: miss, but with the 142-substitute.
         let (res, _) = cim.lookup(&wanted, SimInstant::EPOCH);
         match &res {
-            CimResolution::Miss { substitute: Some(sub) } => {
+            CimResolution::Miss {
+                substitute: Some(sub),
+            } => {
                 assert_eq!(sub.args[3], Value::Int(142));
             }
             other => panic!("expected substituted miss, got {other:?}"),
@@ -374,7 +375,9 @@ mod tests {
         assert_eq!(cim.stats().substituted_misses, 1);
         // Cache the substitute; now the wanted call is an equality hit.
         let sub = match res {
-            CimResolution::Miss { substitute: Some(s) } => s,
+            CimResolution::Miss {
+                substitute: Some(s),
+            } => s,
             _ => unreachable!(),
         };
         cim.store(sub.clone(), vec![Value::Int(7)], true, SimInstant::EPOCH);
@@ -400,10 +403,8 @@ mod tests {
     fn invariant_scan_cost_grows_with_cache() {
         let mut cim = Cim::new();
         cim.add_invariant(
-            parse_invariant(
-                "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
-            )
-            .unwrap(),
+            parse_invariant("V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).")
+                .unwrap(),
         )
         .unwrap();
         let (_, cost_empty) = cim.lookup(&call(999), SimInstant::EPOCH);

@@ -59,9 +59,9 @@ pub fn load<R: BufRead>(input: R) -> Result<AnswerCache> {
         }
         let mut fields = line.split('\t');
         let mut need = || {
-            fields.next().ok_or_else(|| {
-                HermesError::Io(format!("cache line {}: truncated", lineno + 2))
-            })
+            fields
+                .next()
+                .ok_or_else(|| HermesError::Io(format!("cache line {}: truncated", lineno + 2)))
         };
         let call_text = need()?;
         let complete_text = need()?;
@@ -84,9 +84,9 @@ pub fn load<R: BufRead>(input: R) -> Result<AnswerCache> {
         let micros: u64 = at_text.parse().map_err(|e| {
             HermesError::Io(format!("cache line {}: bad timestamp: {e}", lineno + 2))
         })?;
-        let count: usize = count_text.parse().map_err(|e| {
-            HermesError::Io(format!("cache line {}: bad count: {e}", lineno + 2))
-        })?;
+        let count: usize = count_text
+            .parse()
+            .map_err(|e| HermesError::Io(format!("cache line {}: bad count: {e}", lineno + 2)))?;
         let mut ad = Decoder::new(answers_text);
         let mut answers = Vec::with_capacity(count.min(4096));
         for _ in 0..count {
@@ -146,7 +146,12 @@ mod tests {
             false,
             SimInstant::EPOCH,
         );
-        c.insert(GroundCall::new("d", "empty", vec![]), vec![], true, SimInstant::EPOCH);
+        c.insert(
+            GroundCall::new("d", "empty", vec![]),
+            vec![],
+            true,
+            SimInstant::EPOCH,
+        );
         c
     }
 

@@ -296,13 +296,7 @@ impl PatternShape {
             .args
             .iter()
             .zip(&self.const_mask)
-            .map(|(a, keep)| {
-                if *keep {
-                    a.clone()
-                } else {
-                    PatArg::Bound
-                }
-            })
+            .map(|(a, keep)| if *keep { a.clone() } else { PatArg::Bound })
             .collect();
         Some(CallPattern {
             domain: self.domain.clone(),
@@ -340,11 +334,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(call().to_string(), "d:f('a', 5, 2)");
-        let p = CallPattern::new(
-            "d",
-            "f",
-            vec![PatArg::Const(Value::Int(5)), PatArg::Bound],
-        );
+        let p = CallPattern::new("d", "f", vec![PatArg::Const(Value::Int(5)), PatArg::Bound]);
         assert_eq!(p.to_string(), "d:f(5, $b)");
     }
 

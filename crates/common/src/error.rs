@@ -69,6 +69,12 @@ pub enum HermesError {
     },
     /// Query compilation failed (unsafe rule, no executable ordering, ...).
     Plan(String),
+    /// Static analysis rejected a program at registration time. Each entry
+    /// is one rendered diagnostic (`error[HAxxx] locus: message`).
+    Analysis {
+        /// Rendered error-severity diagnostics.
+        diagnostics: Vec<String>,
+    },
     /// Runtime evaluation failure.
     Eval(String),
     /// Underlying I/O failure (flat-file domain, persistence).
@@ -108,6 +114,17 @@ impl fmt::Display for HermesError {
                 "deadline exceeded: {elapsed} elapsed against a {deadline} deadline"
             ),
             HermesError::Plan(msg) => write!(f, "planning error: {msg}"),
+            HermesError::Analysis { diagnostics } => {
+                write!(
+                    f,
+                    "program rejected by static analysis ({} finding(s))",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             HermesError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             HermesError::Io(msg) => write!(f, "io error: {msg}"),
         }

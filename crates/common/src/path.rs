@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn resolve_by_position() {
         let v = sample();
-        assert_eq!(AttrPath::parse("1").resolve(&v), Some(&Value::str("stewart")));
+        assert_eq!(
+            AttrPath::parse("1").resolve(&v),
+            Some(&Value::str("stewart"))
+        );
         assert_eq!(
             AttrPath::parse("2.1").resolve(&v),
             Some(&Value::str("brandon"))

@@ -444,10 +444,7 @@ mod tests {
         assert_eq!(Value::Int(3), Value::Float(3.0));
         assert!(Value::Int(3) < Value::Float(3.5));
         assert!(Value::Float(2.5) < Value::Int(3));
-        assert_eq!(
-            Value::Int(3).cmp(&Value::Float(3.0)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(3).cmp(&Value::Float(3.0)), Ordering::Equal);
     }
 
     #[test]

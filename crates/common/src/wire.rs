@@ -22,6 +22,10 @@
 //! call   := field field "A" count ";" value*   (domain, function, args)
 //! ```
 
+// Decoding untrusted persisted caches must never panic the process: every
+// fallible path returns a typed `HermesError`. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::call::GroundCall;
 use crate::error::{HermesError, Result};
 use crate::value::{Record, Value};
@@ -134,10 +138,16 @@ impl<'a> Decoder<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> HermesError {
+        // Clamp the context snippet to a char boundary: slicing a &str at a
+        // fixed byte offset panics inside multi-byte UTF-8 sequences.
+        let mut cut = self.rest.len().min(24);
+        while cut > 0 && !self.rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
         HermesError::Io(format!(
             "decode error: {} (at …{:?})",
             msg.into(),
-            &self.rest[..self.rest.len().min(24)]
+            &self.rest[..cut]
         ))
     }
 
@@ -352,12 +362,29 @@ mod tests {
     #[test]
     fn malformed_inputs_error_cleanly() {
         for bad in [
-            "", "X", "I12", "Fzz;", "S5:ab", "L3;I1;", "R1;I1;", "B7",
+            "",
+            "X",
+            "I12",
+            "Fzz;",
+            "S5:ab",
+            "L3;I1;",
+            "R1;I1;",
+            "B7",
             "S999999:x",
         ] {
             assert!(value_from_str(bad).is_err(), "accepted {bad:?}");
         }
         // Trailing garbage is rejected.
         assert!(value_from_str("I1;I2;").is_err());
+    }
+
+    #[test]
+    fn decode_error_snippet_respects_utf8_boundaries() {
+        // The error snippet clamps at 24 bytes; the leading ASCII byte shifts
+        // the 2-byte chars so that offset lands mid-character, which must not
+        // panic the formatter.
+        let bad = format!("Xa{}", "é".repeat(30));
+        let err = value_from_str(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"), "{err}");
     }
 }

@@ -76,9 +76,7 @@ impl Breaker {
     /// has elapsed at `now`).
     pub fn state_at(&self, config: &BreakerConfig, now: SimInstant) -> BreakerState {
         match (self.state, self.opened_at) {
-            (BreakerState::Open, Some(at)) if now >= at + config.cooldown => {
-                BreakerState::HalfOpen
-            }
+            (BreakerState::Open, Some(at)) if now >= at + config.cooldown => BreakerState::HalfOpen,
             (s, _) => s,
         }
     }
@@ -90,9 +88,7 @@ impl Breaker {
             BreakerState::Closed => Admission::Allow,
             BreakerState::HalfOpen => Admission::Probe,
             BreakerState::Open => {
-                let cooled = self
-                    .opened_at
-                    .is_some_and(|at| now >= at + config.cooldown);
+                let cooled = self.opened_at.is_some_and(|at| now >= at + config.cooldown);
                 if cooled {
                     self.state = BreakerState::HalfOpen;
                     Admission::Probe

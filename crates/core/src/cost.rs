@@ -97,8 +97,7 @@ pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVecto
                 for (i, t) in args.iter().enumerate() {
                     if let Term::Var(v) = t {
                         if bound.contains(v) {
-                            let distinct: BTreeSet<_> =
-                                rows.iter().map(|r| r[i].clone()).collect();
+                            let distinct: BTreeSet<_> = rows.iter().map(|r| r[i].clone()).collect();
                             if !distinct.is_empty() {
                                 card /= distinct.len() as f64;
                             }

@@ -12,10 +12,10 @@ use crate::breaker::BreakerBank;
 use crate::exec::{ExecConfig, ExecStats, Executor};
 use crate::plan::Plan;
 use hermes_cim::Cim;
+use hermes_common::sync::Mutex;
 use hermes_common::{HermesError, SimClock, SimDuration, Value};
 use hermes_dcsm::Dcsm;
 use hermes_net::Network;
-use hermes_common::sync::Mutex;
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -200,8 +200,7 @@ mod tests {
     type World = (Arc<Network>, Arc<Mutex<Cim>>, Arc<Mutex<Dcsm>>, Plan);
 
     fn setup() -> World {
-        let domain =
-            SyntheticDomain::generate("d1", 9, &[RelationSpec::uniform("p", 10, 4.0)]);
+        let domain = SyntheticDomain::generate("d1", 9, &[RelationSpec::uniform("p", 10, 4.0)]);
         let mut net = Network::new(2);
         net.place(Arc::new(domain), profiles::cornell());
         let plan = Plan {

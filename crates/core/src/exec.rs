@@ -21,13 +21,13 @@ use crate::breaker::{Admission, BreakerBank};
 use crate::plan::{Plan, PlanStep, Route};
 use crate::trace::{TraceEntry, TraceEvent};
 use hermes_cim::{Cim, CimResolution};
+use hermes_common::sync::Mutex;
 use hermes_common::{
     GroundCall, HermesError, Result, Rng64, SimClock, SimDuration, SimInstant, Value,
 };
 use hermes_dcsm::Dcsm;
 use hermes_lang::{Relop, Subst, Term};
 use hermes_net::{Network, RemoteOutcome};
-use hermes_common::sync::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -505,7 +505,16 @@ impl<'w> Executor<'w> {
                 })?;
                 self.stats.calls_attempted += 1;
                 let probe = theta.term(target);
-                self.run_call(steps, idx, theta, out, &ground, *route, probe.as_ref(), target)
+                self.run_call(
+                    steps,
+                    idx,
+                    theta,
+                    out,
+                    &ground,
+                    *route,
+                    probe.as_ref(),
+                    target,
+                )
             }
         }
     }
@@ -535,8 +544,15 @@ impl<'w> Executor<'w> {
             if let Some(answers) = self.memo.get(ground).cloned() {
                 self.stats.memo_hits += 1;
                 return self.iterate(
-                    steps, idx, theta, out, &answers, SimDuration::ZERO, SimDuration::ZERO,
-                    probe, target,
+                    steps,
+                    idx,
+                    theta,
+                    out,
+                    &answers,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    probe,
+                    target,
                 );
             }
         }
@@ -634,8 +650,15 @@ impl<'w> Executor<'w> {
                     self.memo.insert(ground.clone(), answers.clone());
                 }
                 self.iterate(
-                    steps, idx, theta, out, &answers, SimDuration::ZERO, SimDuration::ZERO,
-                    probe, target,
+                    steps,
+                    idx,
+                    theta,
+                    out,
+                    &answers,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    probe,
+                    target,
                 )
             }
             CimResolution::EqualHit { via, answers } => {
@@ -647,19 +670,26 @@ impl<'w> Executor<'w> {
                 });
                 if self.config.store_results {
                     // Make the next lookup an exact hit.
-                    self.cim.lock().store(
-                        ground.clone(),
-                        answers.clone(),
-                        true,
-                        self.clock.now(),
-                    );
+                    self.cim
+                        .lock()
+                        .store(ground.clone(), answers.clone(), true, self.clock.now());
                 }
                 self.iterate(
-                    steps, idx, theta, out, &answers, SimDuration::ZERO, SimDuration::ZERO,
-                    probe, target,
+                    steps,
+                    idx,
+                    theta,
+                    out,
+                    &answers,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    probe,
+                    target,
                 )
             }
-            CimResolution::PartialHit { via, answers: cached } => {
+            CimResolution::PartialHit {
+                via,
+                answers: cached,
+            } => {
                 self.stats.cim_partial += 1;
                 self.note(TraceEvent::PartialHit {
                     call: ground.clone(),
@@ -711,9 +741,7 @@ impl<'w> Executor<'w> {
                                     target,
                                 );
                             }
-                            None => {
-                                return Err(HermesError::Unavailable { site, reason })
-                            }
+                            None => return Err(HermesError::Unavailable { site, reason }),
                         }
                     }
                     Err(e) => return Err(e),
@@ -770,9 +798,7 @@ impl<'w> Executor<'w> {
         } else {
             for a in &cached {
                 let mut t2 = theta.clone();
-                let var = target
-                    .as_var()
-                    .expect("non-probe target is a variable");
+                let var = target.as_var().expect("non-probe target is a variable");
                 t2.bind(var.clone(), a.clone());
                 if !self.exec(steps, idx + 1, &t2, out)? {
                     // Consumer stopped inside the cached prefix: the
@@ -796,8 +822,10 @@ impl<'w> Executor<'w> {
                 } else {
                     self.clock.advance(outcome.t_all);
                 }
-                let (remainder, merge_cost) =
-                    self.cim.lock().merge_partial(&cached, outcome.answers.clone());
+                let (remainder, merge_cost) = self
+                    .cim
+                    .lock()
+                    .merge_partial(&cached, outcome.answers.clone());
                 self.clock.advance(merge_cost);
                 if self.config.store_results {
                     self.cim.lock().store(
@@ -948,8 +976,7 @@ impl<'w> Executor<'w> {
                     }
                     // A tripped breaker ends the retry loop — isolation
                     // beats persistence — and so does a spent deadline.
-                    let past_deadline =
-                        self.deadline_at.is_some_and(|d| self.clock.now() > d);
+                    let past_deadline = self.deadline_at.is_some_and(|d| self.clock.now() > d);
                     let will_retry =
                         !tripped && !past_deadline && attempt < self.config.retry_attempts;
                     self.note(TraceEvent::Unavailable {
@@ -1110,19 +1137,13 @@ mod tests {
         // Relation-style invariant on the synthetic domain is awkward;
         // fake one: cache a call under g and declare f ⊇ g via condition.
         cim.lock()
-            .add_invariant(
-                parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap(),
-            )
+            .add_invariant(parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap())
             .unwrap();
         // This invariant is *not sound* for the synthetic relation, but
         // the executor machinery is what's under test: seed a cached
         // "narrower" call whose answers are a subset of the actual one.
         let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
-        let a = d
-            .domain_values("p")
-            .into_iter()
-            .max()
-            .expect("non-empty");
+        let a = d.domain_values("p").into_iter().max().expect("non-empty");
         let full = d.call("p_bf", std::slice::from_ref(&a)).unwrap().answers;
         use hermes_domains::Domain;
         // Cache a strict subset under a "smaller" key (string ordering).
@@ -1159,9 +1180,7 @@ mod tests {
     fn partial_hit_with_limit_cancels_actual_call() {
         let (net, cim, dcsm) = world();
         cim.lock()
-            .add_invariant(
-                parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap(),
-            )
+            .add_invariant(parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap())
             .unwrap();
         let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
         use hermes_domains::Domain;
@@ -1209,7 +1228,7 @@ mod tests {
             .run(&plan, None)
             .unwrap();
         assert_eq!(out.answers.len(), 1); // one empty binding = "true"
-        // A probe for a value that is not in the answers yields nothing.
+                                          // A probe for a value that is not in the answers yields nothing.
         let plan2 = Plan {
             steps: vec![PlanStep::Call {
                 target: Term::Const(Value::str("definitely-not-an-answer")),
@@ -1300,9 +1319,7 @@ mod tests {
         );
         let cim = Mutex::new(Cim::new());
         cim.lock()
-            .add_invariant(
-                parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap(),
-            )
+            .add_invariant(parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap())
             .unwrap();
         let prefix: Vec<Value> = full.iter().take(1).cloned().collect();
         cim.lock().store(
@@ -1442,9 +1459,7 @@ mod tests {
         );
         let cim = Mutex::new(Cim::new());
         cim.lock()
-            .add_invariant(
-                parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap(),
-            )
+            .add_invariant(parse_invariant("X <= Y => d1:p_bf(Y) >= d1:p_bf(X).").unwrap())
             .unwrap();
         let prefix: Vec<Value> = full.iter().take(1).cloned().collect();
         cim.lock().store(
@@ -1615,8 +1630,7 @@ mod tests {
         // so some answers exist when evaluation unwinds.
         fn cross_world() -> (Network, Mutex<Cim>, Mutex<Dcsm>, Plan) {
             let (net, cim, dcsm) = world();
-            let d =
-                SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
+            let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 10, 3.0)]);
             let a = d.domain_values("p").into_iter().next().unwrap();
             let plan = Plan {
                 steps: vec![

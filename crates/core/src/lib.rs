@@ -46,12 +46,10 @@ pub mod trace;
 pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
 pub use cost::{choose_plan, estimate_plan, CostConfig};
 pub use cursor::{InteractiveQuery, InteractiveSummary};
-pub use exec::{
-    ExecConfig, ExecOutcome, ExecStats, Executor, IncompleteReason, SubgoalProvenance,
-};
+pub use exec::{ExecConfig, ExecOutcome, ExecStats, Executor, IncompleteReason, SubgoalProvenance};
 pub use mediator::{Mediator, MediatorConfig, Planned, QueryResult};
 pub use plan::{Plan, PlanStep, Route};
-pub use trace::{TraceEntry, TraceEvent};
 pub use rewrite::{
     bind_query, enumerate_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
 };
+pub use trace::{TraceEntry, TraceEvent};

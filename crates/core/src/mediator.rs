@@ -6,12 +6,13 @@ use crate::cursor::InteractiveQuery;
 use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor, SubgoalProvenance};
 use crate::plan::{Plan, PlanStep};
 use crate::rewrite::{enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig};
+use hermes_analysis::{AnalysisReport, Analyzer, Diagnostic, QueryForm};
 use hermes_cim::{Cim, CimPolicy};
+use hermes_common::sync::Mutex;
 use hermes_common::{HermesError, Result, SimClock, SimDuration, Value};
 use hermes_dcsm::{CostVector, Dcsm};
 use hermes_lang::{parse_program, parse_query, validate_program, Program, Query};
 use hermes_net::Network;
-use hermes_common::sync::Mutex;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -112,6 +113,9 @@ pub struct Mediator {
     config: MediatorConfig,
     clock: SimClock,
     pushdowns: Vec<PushdownRule>,
+    /// Warning-severity findings from the last `register_program` (or
+    /// `analyze`) run; queryable via [`Mediator::analysis_warnings`].
+    analysis_warnings: Vec<Diagnostic>,
 }
 
 impl Mediator {
@@ -128,12 +132,58 @@ impl Mediator {
             config: MediatorConfig::default(),
             clock: SimClock::new(),
             pushdowns: Vec::new(),
+            analysis_warnings: Vec::new(),
         })
     }
 
     /// Builds a mediator from program source text.
     pub fn from_source(src: &str, network: Network) -> Result<Self> {
         Mediator::new(parse_program(src)?, network)
+    }
+
+    /// Runs the whole-program static analyzer over `program` (against this
+    /// mediator's domain registry, invariant store, and DCSM) and installs
+    /// it as the active program **only** when no error-severity diagnostics
+    /// are found. On rejection the error carries every rendered diagnostic;
+    /// on success warning-severity findings are stored and queryable via
+    /// [`Mediator::analysis_warnings`].
+    pub fn register_program(&mut self, program: Program, query_forms: &[QueryForm]) -> Result<()> {
+        let report = self.analyze_program(&program, query_forms);
+        if report.has_errors() {
+            return Err(HermesError::Analysis {
+                diagnostics: report.diagnostics.iter().map(|d| d.to_string()).collect(),
+            });
+        }
+        self.analysis_warnings = report.warnings().into_iter().cloned().collect();
+        self.program = program;
+        Ok(())
+    }
+
+    /// Parses and registers program source text (see `register_program`).
+    pub fn register_source(&mut self, src: &str, query_forms: &[QueryForm]) -> Result<()> {
+        self.register_program(parse_program(src)?, query_forms)
+    }
+
+    /// Runs the analyzer over the *active* program without changing it.
+    pub fn analyze(&self, query_forms: &[QueryForm]) -> AnalysisReport {
+        self.analyze_program(&self.program, query_forms)
+    }
+
+    fn analyze_program(&self, program: &Program, query_forms: &[QueryForm]) -> AnalysisReport {
+        let cim = self.cim.lock();
+        let dcsm = self.dcsm.lock();
+        Analyzer::new(program)
+            .with_registry(self.network.registry())
+            .with_invariant_store(cim.invariants())
+            .with_dcsm(&dcsm)
+            .with_query_forms(query_forms.iter().cloned())
+            .analyze()
+    }
+
+    /// Warning-severity findings from the most recent
+    /// [`Mediator::register_program`] run.
+    pub fn analysis_warnings(&self) -> &[Diagnostic] {
+        &self.analysis_warnings
     }
 
     /// Replaces the CIM routing policy.
@@ -301,8 +351,7 @@ impl Mediator {
             match attempt {
                 Ok(outcome) => {
                     self.clock = outcome.clock.clone();
-                    let mut result =
-                        Self::project(plan, estimate, planned.plans.len(), outcome);
+                    let mut result = Self::project(plan, estimate, planned.plans.len(), outcome);
                     result.failovers = failovers;
                     result.stats.absorb(&carried);
                     return Ok(result);
@@ -349,10 +398,7 @@ impl Mediator {
         if eligible.is_empty() {
             return None;
         }
-        let candidates: Vec<Plan> = eligible
-            .iter()
-            .map(|&i| planned.plans[i].clone())
-            .collect();
+        let candidates: Vec<Plan> = eligible.iter().map(|&i| planned.plans[i].clone()).collect();
         let dcsm = self.dcsm.lock();
         let (chosen, _) = choose_plan(
             &candidates,
@@ -480,8 +526,7 @@ mod tests {
     use hermes_net::profiles;
 
     fn mediator() -> Mediator {
-        let domain =
-            SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let domain = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
         let mut net = Network::new(1);
         net.place(Arc::new(domain), profiles::cornell());
         Mediator::from_source(
@@ -515,8 +560,7 @@ mod tests {
         let mut m = mediator();
         let all = m.query("?- item(A, B).").unwrap();
         let a0 = all.rows[0][0].clone();
-        let expected: Vec<&Vec<Value>> =
-            all.rows.iter().filter(|r| r[0] == a0).collect();
+        let expected: Vec<&Vec<Value>> = all.rows.iter().filter(|r| r[0] == a0).collect();
         let bound = m
             .query(&format!("?- item({}, B).", a0.to_literal()))
             .unwrap();
@@ -629,8 +673,8 @@ mod tests {
 
     #[test]
     fn parameterized_queries_bind_before_planning() {
-        use hermes_lang::Subst;
         use hermes_common::Value;
+        use hermes_lang::Subst;
         let mut m = mediator();
         let direct = m.query("?- item('p_1', B).").unwrap();
         let params = Subst::from_pairs([("A", Value::str("p_1"))]);
@@ -640,7 +684,14 @@ mod tests {
         let bound_bs: Vec<Value> = bound
             .rows
             .iter()
-            .map(|r| r[bound.columns.iter().position(|c| c.as_ref() == "B").unwrap()].clone())
+            .map(|r| {
+                r[bound
+                    .columns
+                    .iter()
+                    .position(|c| c.as_ref() == "B")
+                    .unwrap()]
+                .clone()
+            })
             .collect();
         assert_eq!(direct_bs, bound_bs);
         // And the plan saw the constant (no full-scan-only plan space).
@@ -687,10 +738,8 @@ mod tests {
 
     #[test]
     fn state_survives_a_restart() {
-        let dir = std::env::temp_dir().join(format!(
-            "hermes-mediator-state-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hermes-mediator-state-{}", std::process::id()));
         let (rows, cold_ms) = {
             let mut m = mediator();
             let r = m.query("?- item('p_1', B).").unwrap();
@@ -811,8 +860,7 @@ mod tests {
     fn cached_answers_survive_a_later_outage() {
         // The site goes dark one hour in; a query warmed before then is
         // still answerable from the cache during the outage.
-        let domain =
-            SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let domain = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
         let mut net = Network::new(1);
         let epoch = hermes_common::SimInstant::EPOCH;
         net.place(
@@ -842,5 +890,56 @@ mod tests {
         m.advance_clock(SimDuration::from_secs(60));
         let t1 = m.now();
         assert!(t1.duration_since(t0) >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn register_program_rejects_errors_with_diagnostics() {
+        let mut m = mediator();
+        let bad = parse_program("item(A) :- in(A, d1:nosuch()).").unwrap();
+        let err = m.register_program(bad, &[]).unwrap_err();
+        match err {
+            HermesError::Analysis { diagnostics } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("HA021")),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected Analysis error, got {other}"),
+        }
+        // The rejected program did not replace the active one.
+        assert_eq!(m.program().rules.len(), 3);
+    }
+
+    #[test]
+    fn register_program_collects_warnings() {
+        let mut m = mediator();
+        let p = parse_program(
+            "
+            item(A, B) :- in(B, d1:p_bf(A)).
+            dead(A) :- in(A, d1:p_fb('x')).
+            ",
+        )
+        .unwrap();
+        m.register_program(p, &[QueryForm::parse("item(b, f)").unwrap()])
+            .unwrap();
+        assert_eq!(m.program().rules.len(), 2);
+        assert!(
+            m.analysis_warnings()
+                .iter()
+                .any(|d| d.code == hermes_analysis::DiagCode::UnreachablePredicate),
+            "{:?}",
+            m.analysis_warnings()
+        );
+    }
+
+    #[test]
+    fn register_program_rejects_infeasible_declared_adornment() {
+        let mut m = mediator();
+        // p_bf needs its argument bound, so `item(f, f)` has no ordering.
+        let p = parse_program("item(A, B) :- in(B, d1:p_bf(A)).").unwrap();
+        let err = m
+            .register_program(p, &[QueryForm::parse("item(f, f)").unwrap()])
+            .unwrap_err();
+        assert!(err.to_string().contains("HA010"), "{err}");
     }
 }

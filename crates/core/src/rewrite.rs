@@ -23,8 +23,8 @@ use crate::plan::{Plan, PlanStep, Route};
 use hermes_cim::{CimPolicy, RoutingDecision};
 use hermes_common::{HermesError, PathStep, Result, Value};
 use hermes_lang::{
-    validate_program, BodyAtom, CallTemplate, Condition, PathTerm, PredAtom, Program, Query,
-    Relop, Rule, Subst, Term,
+    validate_program, BodyAtom, CallTemplate, Condition, PathTerm, PredAtom, Program, Query, Relop,
+    Rule, Subst, Term,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -125,10 +125,16 @@ pub fn enumerate_plans_with_pushdowns(
     let bound = BTreeSet::new();
     rw.search(query.goals.clone(), bound, Vec::new(), 0);
     if rw.plans.is_empty() {
+        // Ask the analyzer *which* variable/subgoal blocks every ordering,
+        // so the error names the culprit instead of guessing.
+        let why =
+            hermes_analysis::explain_infeasible_query(program, &query.goals).unwrap_or_else(|| {
+                "a domain call argument can never become ground, or a \
+                 predicate is undefined"
+                    .to_string()
+            });
         return Err(HermesError::Plan(format!(
-            "no executable ordering found for query `{query}` \
-             (a domain call argument can never become ground, or a \
-             predicate is undefined)"
+            "no executable ordering found for query `{query}`: {why}"
         )));
     }
     let mut plans = rw.plans;
@@ -162,11 +168,7 @@ fn check_not_recursive(program: &Program) -> Result<()> {
     }
     let keys: Vec<_> = edges.keys().cloned().collect();
     let mut color: BTreeMap<PredKey, Color> = BTreeMap::new();
-    fn visit(
-        node: &PredKey,
-        edges: &PredGraph,
-        color: &mut BTreeMap<PredKey, Color>,
-    ) -> bool {
+    fn visit(node: &PredKey, edges: &PredGraph, color: &mut BTreeMap<PredKey, Color>) -> bool {
         match color.get(node).copied().unwrap_or(Color::White) {
             Color::Gray => return false,
             Color::Black => return true,
@@ -305,16 +307,18 @@ impl Rewriter<'_> {
                         let mut fused_remaining = remaining.clone();
                         // Remove the higher index first to keep positions
                         // valid, then the lower.
-                        let (hi, lo) = if cond_idx > i { (cond_idx, i) } else { (i, cond_idx) };
+                        let (hi, lo) = if cond_idx > i {
+                            (cond_idx, i)
+                        } else {
+                            (i, cond_idx)
+                        };
                         fused_remaining.remove(hi);
                         fused_remaining.remove(lo);
-                        let fused_route = match self
-                            .policy
-                            .decide(&fused_call.domain, &fused_call.function)
-                        {
-                            RoutingDecision::UseCim => Route::Cim,
-                            RoutingDecision::Direct => Route::Direct,
-                        };
+                        let fused_route =
+                            match self.policy.decide(&fused_call.domain, &fused_call.function) {
+                                RoutingDecision::UseCim => Route::Cim,
+                                RoutingDecision::Direct => Route::Direct,
+                            };
                         let mut fused_steps = steps.clone();
                         fused_steps.push(PlanStep::Call {
                             target: target.clone(),
@@ -362,12 +366,11 @@ impl Rewriter<'_> {
                 }
                 let BodyAtom::Cond(c) = atom else { continue };
                 // Orient so the path side references the scan target.
-                let oriented = [
-                    (c.op, &c.lhs, &c.rhs),
-                    (c.op.flipped(), &c.rhs, &c.lhs),
-                ];
+                let oriented = [(c.op, &c.lhs, &c.rhs), (c.op.flipped(), &c.rhs, &c.lhs)];
                 for (op, path_side, value_side) in oriented {
-                    let Some(fused_fn) = rule.fused.get(&op) else { continue };
+                    let Some(fused_fn) = rule.fused.get(&op) else {
+                        continue;
+                    };
                     // Path side: exactly `Target.field`.
                     if path_side.var_name() != Some(target_var) {
                         continue;
@@ -436,12 +439,7 @@ impl Rewriter<'_> {
                 for (k, a) in new_atoms.into_iter().enumerate() {
                     next_remaining.insert(i + k, a);
                 }
-                self.search(
-                    next_remaining,
-                    bound.clone(),
-                    steps.to_vec(),
-                    depth + 1,
-                );
+                self.search(next_remaining, bound.clone(), steps.to_vec(), depth + 1);
             }
         }
     }
@@ -542,8 +540,7 @@ impl Rewriter<'_> {
             path: pt.path.clone(),
         };
 
-        let mut out: Vec<BodyAtom> =
-            extra_conditions.into_iter().map(BodyAtom::Cond).collect();
+        let mut out: Vec<BodyAtom> = extra_conditions.into_iter().map(BodyAtom::Cond).collect();
         for a in &rule.body {
             out.push(match a {
                 BodyAtom::Pred(p) => BodyAtom::Pred(PredAtom::new(
@@ -798,8 +795,8 @@ mod tests {
     #[test]
     fn impossible_binding_yields_clear_error() {
         // q_bf needs B bound and there is no other access path to bind it.
-        let program = parse_program("only(C) :- in(C, d2:q_bf(B)) & in(B, d9:undefined_pred(C)).")
-            .unwrap();
+        let program =
+            parse_program("only(C) :- in(C, d2:q_bf(B)) & in(B, d9:undefined_pred(C)).").unwrap();
         // d9 call needs C which needs B: circular; no ordering works.
         let err = enumerate_plans(
             &program,
@@ -808,7 +805,12 @@ mod tests {
             RewriteConfig::default(),
         )
         .unwrap_err();
-        assert!(err.to_string().contains("no executable ordering"));
+        let msg = err.to_string();
+        assert!(msg.contains("no executable ordering"));
+        // The analyzer names the blocked subgoal inside the rule instead of
+        // a generic "something is unbound" guess.
+        assert!(msg.contains("in rule `only(C)`"), "{msg}");
+        assert!(msg.contains("`B`"), "{msg}");
     }
 
     #[test]
@@ -901,10 +903,8 @@ mod tests {
 
     #[test]
     fn pushdown_handles_ranges_and_flipped_orientation() {
-        let program = parse_program(
-            "low(T) :- in(T, relation:all('inventory')) & >(10, T.qty).",
-        )
-        .unwrap();
+        let program =
+            parse_program("low(T) :- in(T, relation:all('inventory')) & >(10, T.qty).").unwrap();
         let plans = enumerate_plans_with_pushdowns(
             &program,
             &parse_query("?- low(T).").unwrap(),
@@ -921,10 +921,9 @@ mod tests {
 
     #[test]
     fn pushdown_skips_unground_values_and_foreign_domains() {
-        let program = parse_program(
-            "r(T, V) :- in(T, relation:all('t')) & =(T.f, V) & in(V, other:vals()).",
-        )
-        .unwrap();
+        let program =
+            parse_program("r(T, V) :- in(T, relation:all('t')) & =(T.f, V) & in(V, other:vals()).")
+                .unwrap();
         let plans = enumerate_plans_with_pushdowns(
             &program,
             &parse_query("?- r(T, V).").unwrap(),
@@ -947,10 +946,7 @@ mod tests {
     #[test]
     fn bind_query_substitutes_constants() {
         let q = parse_query("?- m(A, C).").unwrap();
-        let bound = bind_query(
-            &q,
-            &Subst::from_pairs([("A", Value::str("a"))]),
-        );
+        let bound = bind_query(&q, &Subst::from_pairs([("A", Value::str("a"))]));
         assert_eq!(bound.to_string(), "?- m('a', C).");
     }
 }

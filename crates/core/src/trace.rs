@@ -131,10 +131,7 @@ impl fmt::Display for TraceEntry {
                 answers,
                 t_all,
                 bytes,
-            } => write!(
-                f,
-                "CALL {call} -> {answers} answers in {t_all} ({bytes} B)"
-            ),
+            } => write!(f, "CALL {call} -> {answers} answers in {t_all} ({bytes} B)"),
             TraceEvent::CacheHit { call, via, answers } => {
                 if call == via {
                     write!(f, "HIT  {call} -> {answers} answers (exact)")

@@ -141,7 +141,11 @@ impl Dcsm {
     /// Registers a source-provided estimator for a domain (§6: "if a
     /// domain already provides a cost estimation module, the DCSM can be
     /// connected to them").
-    pub fn register_external(&mut self, domain: impl Into<Arc<str>>, est: Arc<dyn NativeEstimator>) {
+    pub fn register_external(
+        &mut self,
+        domain: impl Into<Arc<str>>,
+        est: Arc<dyn NativeEstimator>,
+    ) {
         self.external.insert(domain.into(), est);
     }
 
@@ -205,7 +209,11 @@ impl Dcsm {
     /// counters. Returns `(created, dropped)` shape lists. Blanket tables
     /// are never dropped — they are the last-resort fallback and cost a
     /// single row.
-    pub fn maintain(&mut self, min_hot: u64, min_cold: u64) -> (Vec<PatternShape>, Vec<PatternShape>) {
+    pub fn maintain(
+        &mut self,
+        min_hot: u64,
+        min_cold: u64,
+    ) -> (Vec<PatternShape>, Vec<PatternShape>) {
         let (hot, cold) = {
             let tracker = self.tracker.lock();
             let hot: Vec<PatternShape> = tracker
@@ -232,8 +240,10 @@ impl Dcsm {
             } else {
                 None
             };
-            self.tables
-                .insert(shape.clone(), table.unwrap_or_else(|| SummaryTable::new(shape.clone())));
+            self.tables.insert(
+                shape.clone(),
+                table.unwrap_or_else(|| SummaryTable::new(shape.clone())),
+            );
             created.push(shape);
         }
         let mut dropped = Vec::new();
@@ -428,7 +438,10 @@ mod tests {
         assert!((est.t_all_ms() - 2.10).abs() < 1e-9);
         assert!(matches!(
             est.source,
-            EstimateSource::Detail { records: 2, relaxations: 0 }
+            EstimateSource::Detail {
+                records: 2,
+                relaxations: 0
+            }
         ));
     }
 
@@ -451,7 +464,10 @@ mod tests {
         d.build_lossless("d1", "p_bf");
         let p = GroundCall::new("d1", "p_bf", vec![Value::str("a")]).pattern();
         let est = d.cost(&p);
-        assert!(matches!(est.source, EstimateSource::Summary { relaxations: 0, .. }));
+        assert!(matches!(
+            est.source,
+            EstimateSource::Summary { relaxations: 0, .. }
+        ));
         assert!((est.t_all_ms() - 2.10).abs() < 1e-9);
         // Summary lookup is constant work, not 2 records.
         assert_eq!(est.lookup_work, 1);
@@ -463,14 +479,16 @@ mod tests {
         // different shapes; lookup relaxes until something matches.
         let mut d = Dcsm::new();
         let call = |a: i64, b: i64, c: i64| {
-            GroundCall::new(
-                "d",
-                "f",
-                vec![Value::Int(a), Value::Int(b), Value::Int(c)],
-            )
+            GroundCall::new("d", "f", vec![Value::Int(a), Value::Int(b), Value::Int(c)])
         };
         for i in 0..5 {
-            d.record(&call(i, i * 2, 2), Some(1.0), Some(10.0 + i as f64), Some(4.0), SimInstant::EPOCH);
+            d.record(
+                &call(i, i * 2, 2),
+                Some(1.0),
+                Some(10.0 + i as f64),
+                Some(4.0),
+                SimInstant::EPOCH,
+            );
         }
         // Tables: full detail summary, $b,$b,C  and $b,$b,$b.
         d.build_lossless("d", "f");
@@ -484,7 +502,11 @@ mod tests {
         let p = CallPattern::new(
             "d",
             "f",
-            vec![PatArg::Const(Value::Int(9)), PatArg::Bound, PatArg::Const(Value::Int(2))],
+            vec![
+                PatArg::Const(Value::Int(9)),
+                PatArg::Bound,
+                PatArg::Const(Value::Int(2)),
+            ],
         );
         let est = d.cost(&p);
         match &est.source {
@@ -635,7 +657,10 @@ mod tests {
         let mut d = dcsm_fig2();
         d.build_lossy("d2", "q_ff", vec![]);
         let (_, dropped) = d.maintain(1_000, 1_000);
-        assert!(dropped.is_empty(), "blanket table must survive: {dropped:?}");
+        assert!(
+            dropped.is_empty(),
+            "blanket table must survive: {dropped:?}"
+        );
     }
 
     #[test]

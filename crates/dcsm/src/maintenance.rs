@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn unknown_function_keeps_nothing() {
         let program = parse_program("p('a').").unwrap();
-        assert_eq!(droppable_dimensions(&program, "d", "f", 2), vec![false, false]);
+        assert_eq!(
+            droppable_dimensions(&program, "d", "f", 2),
+            vec![false, false]
+        );
     }
 
     #[test]

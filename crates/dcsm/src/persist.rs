@@ -92,7 +92,10 @@ pub fn load<R: BufRead>(input: R) -> Result<CostVectorDb> {
             cardinality: read_component(fields[3], "cardinality")?,
         };
         let micros: u64 = fields[4].parse().map_err(|e| {
-            HermesError::Io(format!("statistics line {}: bad timestamp: {e}", lineno + 2))
+            HermesError::Io(format!(
+                "statistics line {}: bad timestamp: {e}",
+                lineno + 2
+            ))
         })?;
         db.record(
             call,

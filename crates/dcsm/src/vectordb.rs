@@ -59,9 +59,7 @@ impl CostVectorDb {
         self.records
             .values()
             .flatten()
-            .map(|r| {
-                r.call.request_bytes() + 3 * std::mem::size_of::<f64>() + 8
-            })
+            .map(|r| r.call.request_bytes() + 3 * std::mem::size_of::<f64>() + 8)
             .sum()
     }
 
@@ -134,7 +132,10 @@ impl CostVectorDb {
 
     /// Drops all records for one function (after summarization, §6.2).
     pub fn drop_function(&mut self, domain: &str, function: &str) -> usize {
-        match self.records.remove(&(Arc::from(domain), Arc::from(function))) {
+        match self
+            .records
+            .remove(&(Arc::from(domain), Arc::from(function)))
+        {
             Some(rs) => {
                 self.total -= rs.len();
                 rs.len()

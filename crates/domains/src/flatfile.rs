@@ -6,8 +6,8 @@
 //! filesystem.
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -85,16 +85,13 @@ impl FlatFileDomain {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec = Record::from_fields(
-                line.split(self.delimiter)
-                    .enumerate()
-                    .map(|(i, fld)| {
-                        (
-                            Arc::<str>::from(format!("f{}", i + 1)),
-                            Value::parse_scalar(fld),
-                        )
-                    }),
-            );
+            let rec =
+                Record::from_fields(line.split(self.delimiter).enumerate().map(|(i, fld)| {
+                    (
+                        Arc::<str>::from(format!("f{}", i + 1)),
+                        Value::parse_scalar(fld),
+                    )
+                }));
             records.push(Arc::new(rec));
             raw.push(Arc::<str>::from(line));
         }
@@ -156,9 +153,9 @@ impl Domain for FlatFileDomain {
         self.check_arity(function, arity, args)?;
         let files = self.files.read();
         let fname = self.file_arg(function, args)?;
-        let file = files.get(fname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no file `{fname}`", self.name))
-        })?;
+        let file = files
+            .get(fname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no file `{fname}`", self.name)))?;
         let n = file.records.len();
         let answers: Vec<Value> = match function {
             "scan" => file
@@ -188,10 +185,7 @@ impl Domain for FlatFileDomain {
             }
             "grep" => {
                 let needle = args[1].as_str().ok_or_else(|| {
-                    HermesError::Type(format!(
-                        "{}:grep: pattern must be a string",
-                        self.name
-                    ))
+                    HermesError::Type(format!("{}:grep: pattern must be a string", self.name))
                 })?;
                 file.raw_lines
                     .iter()
@@ -241,7 +235,11 @@ mod tests {
         let out = d
             .call(
                 "match_field",
-                &[Value::str("supplies"), Value::Int(1), Value::str("h-22 fuel")],
+                &[
+                    Value::str("supplies"),
+                    Value::Int(1),
+                    Value::str("h-22 fuel"),
+                ],
             )
             .unwrap();
         assert_eq!(out.answers.len(), 2);
@@ -287,7 +285,11 @@ mod tests {
         d.load_text("small", "a|1\n");
         let big_text: String = (0..1000).map(|i| format!("row{i}|{i}\n")).collect();
         d.load_text("big", &big_text);
-        let small = d.call("scan", &[Value::str("small")]).unwrap().compute.t_all;
+        let small = d
+            .call("scan", &[Value::str("small")])
+            .unwrap()
+            .compute
+            .t_all;
         let big = d.call("scan", &[Value::str("big")]).unwrap().compute.t_all;
         assert!(big > small);
     }

@@ -9,8 +9,8 @@
 //! the number of objects visited.
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -133,9 +133,8 @@ impl ObjectStoreDomain {
 
     fn cost(&self, objects: usize, edges: usize) -> ComputeCost {
         let p = &self.params;
-        let t_all_us = p.startup_us
-            + p.per_object_us * objects as f64
-            + p.per_edge_us * edges as f64;
+        let t_all_us =
+            p.startup_us + p.per_object_us * objects as f64 + p.per_edge_us * edges as f64;
         let t_first_us = p.startup_us + p.per_object_us;
         ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
     }
@@ -172,9 +171,9 @@ impl Domain for ObjectStoreDomain {
                 self.name
             ))
         })?;
-        let class = classes.get(cname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no class `{cname}`", self.name))
-        })?;
+        let class = classes
+            .get(cname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no class `{cname}`", self.name)))?;
         let oid_arg = |v: &Value| -> Result<Oid> {
             match v.as_int() {
                 Some(i) if i >= 0 && i <= u32::MAX as i64 => Ok(i as Oid),
@@ -218,10 +217,7 @@ impl Domain for ObjectStoreDomain {
             "follow" => {
                 let oid = oid_arg(&args[1])?;
                 let field = args[2].as_str().ok_or_else(|| {
-                    HermesError::Type(format!(
-                        "{}:follow: field must be a string",
-                        self.name
-                    ))
+                    HermesError::Type(format!("{}:follow: field must be a string", self.name))
                 })?;
                 let mut answers = Vec::new();
                 let mut edges = 0usize;
@@ -247,10 +243,7 @@ impl Domain for ObjectStoreDomain {
             "reachable" => {
                 let oid = oid_arg(&args[1])?;
                 let field = args[2].as_str().ok_or_else(|| {
-                    HermesError::Type(format!(
-                        "{}:reachable: field must be a string",
-                        self.name
-                    ))
+                    HermesError::Type(format!("{}:reachable: field must be a string", self.name))
                 })?;
                 let depth = args[3].as_int().filter(|d| *d >= 0).ok_or_else(|| {
                     HermesError::Type(format!(
@@ -259,16 +252,14 @@ impl Domain for ObjectStoreDomain {
                     ))
                 })? as usize;
                 // BFS along `field`, bounded by depth, deduplicated.
-                let mut seen: std::collections::BTreeSet<(Arc<str>, Oid)> =
-                    Default::default();
+                let mut seen: std::collections::BTreeSet<(Arc<str>, Oid)> = Default::default();
                 let mut frontier: Vec<(Arc<str>, Oid)> = vec![(Arc::from(cname), oid)];
                 let mut answers = Vec::new();
                 let mut edges = 0usize;
                 for _ in 0..depth {
                     let mut next = Vec::new();
                     for (c, o) in frontier.drain(..) {
-                        let Some(obj) =
-                            classes.get(&c).and_then(|cl| cl.objects.get(o as usize))
+                        let Some(obj) = classes.get(&c).and_then(|cl| cl.objects.get(o as usize))
                         else {
                             continue;
                         };
@@ -276,9 +267,8 @@ impl Domain for ObjectStoreDomain {
                             for (tc, to) in targets {
                                 edges += 1;
                                 if seen.insert((tc.clone(), *to)) {
-                                    if let Some(t) = classes
-                                        .get(tc)
-                                        .and_then(|cl| cl.objects.get(*to as usize))
+                                    if let Some(t) =
+                                        classes.get(tc).and_then(|cl| cl.objects.get(*to as usize))
                                     {
                                         answers.push(Self::object_record(tc, t));
                                         next.push((tc.clone(), *to));
@@ -344,9 +334,7 @@ mod tests {
     #[test]
     fn get_returns_attrs_with_identity() {
         let d = store();
-        let out = d
-            .call("get", &[Value::str("part"), Value::Int(0)])
-            .unwrap();
+        let out = d.call("get", &[Value::str("part"), Value::Int(0)]).unwrap();
         match &out.answers[0] {
             Value::Record(r) => {
                 assert_eq!(r.get("class"), Some(&Value::str("part")));
@@ -411,7 +399,12 @@ mod tests {
         let out = d
             .call(
                 "reachable",
-                &[Value::str("n"), Value::Int(a as i64), Value::str("next"), Value::Int(50)],
+                &[
+                    Value::str("n"),
+                    Value::Int(a as i64),
+                    Value::str("next"),
+                    Value::Int(50),
+                ],
             )
             .unwrap();
         assert_eq!(out.answers.len(), 2); // b then a, once each
@@ -423,7 +416,10 @@ mod tests {
         let a = d.create("n", Record::new());
         d.add_ref("n", a, "next", "n", 999);
         let out = d
-            .call("follow", &[Value::str("n"), Value::Int(0), Value::str("next")])
+            .call(
+                "follow",
+                &[Value::str("n"), Value::Int(0), Value::str("next")],
+            )
             .unwrap();
         assert!(out.answers.is_empty());
         assert!(!d.add_ref("n", 42, "next", "n", 0));
@@ -459,7 +455,12 @@ mod tests {
         assert!(d
             .call(
                 "reachable",
-                &[Value::str("part"), Value::Int(0), Value::str("parts"), Value::Int(-2)],
+                &[
+                    Value::str("part"),
+                    Value::Int(0),
+                    Value::str("parts"),
+                    Value::Int(-2)
+                ],
             )
             .is_err());
     }

@@ -92,9 +92,7 @@ mod tests {
             match function {
                 "pi" => {
                     self.check_arity("pi", 0, args)?;
-                    Ok(CallOutcome::free(vec![Value::Float(
-                        std::f64::consts::PI,
-                    )]))
+                    Ok(CallOutcome::free(vec![Value::Float(std::f64::consts::PI)]))
                 }
                 other => Err(self.unknown_function(other)),
             }

@@ -2,8 +2,8 @@
 
 use crate::domain::{CallOutcome, ComputeCost, CostHint, Domain, FunctionSig, NativeEstimator};
 use crate::relational::table::Table;
-use hermes_common::{CallPattern, HermesError, PatArg, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{CallPattern, HermesError, PatArg, Result, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -59,10 +59,7 @@ impl RelationalDomain {
     }
 
     /// Creates an engine with explicit cost parameters.
-    pub fn with_params(
-        name: impl Into<Arc<str>>,
-        params: RelationalCostParams,
-    ) -> Arc<Self> {
+    pub fn with_params(name: impl Into<Arc<str>>, params: RelationalCostParams) -> Arc<Self> {
         Arc::new_cyclic(|weak| RelationalDomain {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
@@ -75,9 +72,7 @@ impl RelationalDomain {
 
     /// Adds (or replaces) a table.
     pub fn add_table(&self, table: Table) {
-        self.tables
-            .write()
-            .insert(Arc::from(table.name()), table);
+        self.tables.write().insert(Arc::from(table.name()), table);
     }
 
     /// Runs `f` over a table, if present.
@@ -116,7 +111,8 @@ impl RelationalDomain {
     /// Converts rows-touched / results-produced counts into a compute cost.
     fn cost(&self, touched: usize, produced: usize) -> ComputeCost {
         let p = &self.params;
-        let t_all_us = p.startup_us + p.per_row_us * touched as f64 + p.per_result_us * produced as f64;
+        let t_all_us =
+            p.startup_us + p.per_row_us * touched as f64 + p.per_result_us * produced as f64;
         // First answer: startup plus a proportional share of the touch work
         // (pipelined scan finds the first match early, on average).
         let share = if produced > 0 {
@@ -131,15 +127,12 @@ impl RelationalDomain {
     fn run(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
         let tables = self.tables.read();
         let tname = self.table_arg(function, args)?;
-        let table = tables.get(tname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no table `{tname}`", self.name))
-        })?;
+        let table = tables
+            .get(tname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no table `{tname}`", self.name)))?;
         let (answers, touched) = match function {
             "all" => {
-                let rows: Vec<Value> = table
-                    .scan()
-                    .map(|r| Value::Record((**r).clone()))
-                    .collect();
+                let rows: Vec<Value> = table.scan().map(|r| Value::Record((**r).clone())).collect();
                 let n = rows.len();
                 (rows, n)
             }
@@ -176,8 +169,7 @@ impl RelationalDomain {
             }
             "select_range" => {
                 let col = self.column_arg(function, args)?;
-                let (rows, touched) =
-                    table.select_range(col, Some(&args[2]), Some(&args[3]))?;
+                let (rows, touched) = table.select_range(col, Some(&args[2]), Some(&args[3]))?;
                 (
                     rows.into_iter()
                         .map(|r| Value::Record((*r).clone()))
@@ -199,23 +191,15 @@ impl RelationalDomain {
                     ))
                 })?;
                 let pos = table.schema().position(col).ok_or_else(|| {
-                    HermesError::Type(format!(
-                        "table `{tname}` has no column `{col}`"
-                    ))
+                    HermesError::Type(format!("table `{tname}` has no column `{col}`"))
                 })?;
-                let values: Vec<&Value> = table
-                    .scan()
-                    .filter_map(|r| r.get_pos(pos + 1))
-                    .collect();
+                let values: Vec<&Value> = table.scan().filter_map(|r| r.get_pos(pos + 1)).collect();
                 let result = match op {
                     "min" => values.iter().min().map(|v| (*v).clone()),
                     "max" => values.iter().max().map(|v| (*v).clone()),
-                    "count_distinct" => Some(Value::Int(
-                        table.distinct_count(col)? as i64,
-                    )),
+                    "count_distinct" => Some(Value::Int(table.distinct_count(col)? as i64)),
                     "sum" | "avg" => {
-                        let nums: Option<Vec<f64>> =
-                            values.iter().map(|v| v.as_f64()).collect();
+                        let nums: Option<Vec<f64>> = values.iter().map(|v| v.as_f64()).collect();
                         let nums = nums.ok_or_else(|| {
                             HermesError::Type(format!(
                                 "{}:agg: `{op}` needs a numeric column",
@@ -227,9 +211,7 @@ impl RelationalDomain {
                         } else if op == "sum" {
                             Some(Value::Float(nums.iter().sum()))
                         } else {
-                            Some(Value::Float(
-                                nums.iter().sum::<f64>() / nums.len() as f64,
-                            ))
+                            Some(Value::Float(nums.iter().sum::<f64>() / nums.len() as f64))
                         }
                     }
                     other => {
@@ -267,7 +249,11 @@ impl Domain for RelationalDomain {
             FunctionSig::new("select_ge", 3, "rows with column >= value"),
             FunctionSig::new("select_range", 4, "rows with lo <= column <= hi"),
             FunctionSig::new("project", 2, "distinct values of a column"),
-            FunctionSig::new("agg", 3, "column aggregate (sum/min/max/avg/count_distinct)"),
+            FunctionSig::new(
+                "agg",
+                3,
+                "column aggregate (sum/min/max/avg/count_distinct)",
+            ),
         ]
     }
 
@@ -310,9 +296,7 @@ impl NativeEstimator for RelationalEstimator {
         };
         let (rows, distinct) = domain.with_table(&tname, |t| {
             let distinct = match pattern.args.get(1) {
-                Some(PatArg::Const(Value::Str(col))) => {
-                    t.distinct_count(col).ok()
-                }
+                Some(PatArg::Const(Value::Str(col))) => t.distinct_count(col).ok(),
                 _ => None,
             };
             (t.len(), distinct)
@@ -374,8 +358,16 @@ mod tests {
             .unwrap(),
         );
         inv.insert_all([
-            vec![Value::str("h-22 fuel"), Value::str("pax river"), Value::Int(40)],
-            vec![Value::str("h-22 fuel"), Value::str("aberdeen"), Value::Int(15)],
+            vec![
+                Value::str("h-22 fuel"),
+                Value::str("pax river"),
+                Value::Int(40),
+            ],
+            vec![
+                Value::str("h-22 fuel"),
+                Value::str("aberdeen"),
+                Value::Int(15),
+            ],
             vec![Value::str("ammo"), Value::str("pax river"), Value::Int(2)],
         ])
         .unwrap();
@@ -492,7 +484,11 @@ mod tests {
         let smin = d
             .call(
                 "agg",
-                &[Value::str("inventory"), Value::str("item"), Value::str("min")],
+                &[
+                    Value::str("inventory"),
+                    Value::str("item"),
+                    Value::str("min"),
+                ],
             )
             .unwrap();
         assert_eq!(smin.answers, vec![Value::str("ammo")]);
@@ -500,13 +496,21 @@ mod tests {
         assert!(d
             .call(
                 "agg",
-                &[Value::str("inventory"), Value::str("item"), Value::str("sum")],
+                &[
+                    Value::str("inventory"),
+                    Value::str("item"),
+                    Value::str("sum")
+                ],
             )
             .is_err());
         assert!(d
             .call(
                 "agg",
-                &[Value::str("inventory"), Value::str("qty"), Value::str("median")],
+                &[
+                    Value::str("inventory"),
+                    Value::str("qty"),
+                    Value::str("median")
+                ],
             )
             .is_err());
     }
@@ -566,11 +570,7 @@ mod tests {
     fn native_estimator_needs_constant_table() {
         let d = engine();
         let est = d.native_estimator().unwrap();
-        let pattern = CallPattern::new(
-            "relation",
-            "all",
-            vec![PatArg::Bound],
-        );
+        let pattern = CallPattern::new("relation", "all", vec![PatArg::Bound]);
         assert!(est.estimate(&pattern).is_none());
     }
 }

@@ -62,10 +62,7 @@ impl Schema {
     pub fn new(columns: Vec<Column>) -> Result<Self> {
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|d| d.name == c.name) {
-                return Err(HermesError::Type(format!(
-                    "duplicate column `{}`",
-                    c.name
-                )));
+                return Err(HermesError::Type(format!("duplicate column `{}`", c.name)));
             }
         }
         Ok(Schema { columns })
@@ -236,10 +233,7 @@ impl Table {
 
     fn position(&self, column: &str) -> Result<usize> {
         self.schema.position(column).ok_or_else(|| {
-            HermesError::Type(format!(
-                "table `{}` has no column `{column}`",
-                self.name
-            ))
+            HermesError::Type(format!("table `{}` has no column `{column}`", self.name))
         })
     }
 
@@ -287,9 +281,7 @@ impl Table {
         hi: Option<&Value>,
     ) -> Result<(Vec<Arc<Record>>, usize)> {
         let pos = self.position(column)?;
-        let in_range = |v: &Value| {
-            lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v <= h)
-        };
+        let in_range = |v: &Value| lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v <= h);
         if let Some(idx) = self.ordered_indexes.get(&pos) {
             use std::ops::Bound;
             let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
@@ -346,10 +338,7 @@ impl Table {
             if line.is_empty() {
                 continue;
             }
-            let values: Vec<Value> = line
-                .split(delimiter)
-                .map(Value::parse_scalar)
-                .collect();
+            let values: Vec<Value> = line.split(delimiter).map(Value::parse_scalar).collect();
             self.insert(values)?;
             n += 1;
         }
@@ -495,9 +484,7 @@ mod tests {
     #[test]
     fn load_csv_parses_scalars() {
         let mut t = Table::new("t", Schema::untyped(&["name", "qty"]));
-        let n = t
-            .load_csv("fuel,10\n\nammo,25\n", ',')
-            .unwrap();
+        let n = t.load_csv("fuel,10\n\nammo,25\n", ',').unwrap();
         assert_eq!(n, 2);
         assert_eq!(t.len(), 2);
         let (rows, _) = t.select_eq("qty", &Value::Int(25)).unwrap();

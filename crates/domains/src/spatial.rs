@@ -13,8 +13,8 @@
 //! exactly why the range-shrinking invariant saves work.
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -42,7 +42,9 @@ impl PointFile {
     fn new(points: Vec<Point>, cell: f64) -> Self {
         let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
         for (i, p) in points.iter().enumerate() {
-            grid.entry(Self::cell_of(p.x, p.y, cell)).or_default().push(i);
+            grid.entry(Self::cell_of(p.x, p.y, cell))
+                .or_default()
+                .push(i);
         }
         PointFile { points, cell, grid }
     }
@@ -148,7 +150,8 @@ impl SpatialDomain {
         let p = &self.params;
         let t_all_us =
             p.startup_us + p.per_candidate_us * examined as f64 + p.per_hit_us * hits as f64;
-        let t_first_us = p.startup_us + p.per_candidate_us * (examined as f64).sqrt() + p.per_hit_us;
+        let t_first_us =
+            p.startup_us + p.per_candidate_us * (examined as f64).sqrt() + p.per_hit_us;
         ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
     }
 }
@@ -180,9 +183,9 @@ impl Domain for SpatialDomain {
                 self.name
             ))
         })?;
-        let file = files.get(fname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no point file `{fname}`", self.name))
-        })?;
+        let file = files
+            .get(fname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no point file `{fname}`", self.name)))?;
         match function {
             "size" => Ok(CallOutcome {
                 answers: vec![Value::Int(file.points.len() as i64)],
@@ -236,10 +239,26 @@ mod tests {
     fn store() -> SpatialDomain {
         let d = SpatialDomain::new("spatial");
         let pts = vec![
-            Point { label: Arc::from("a"), x: 0.0, y: 0.0 },
-            Point { label: Arc::from("b"), x: 3.0, y: 4.0 },  // dist 5 from origin
-            Point { label: Arc::from("c"), x: 50.0, y: 50.0 },
-            Point { label: Arc::from("d"), x: 99.0, y: 99.0 },
+            Point {
+                label: Arc::from("a"),
+                x: 0.0,
+                y: 0.0,
+            },
+            Point {
+                label: Arc::from("b"),
+                x: 3.0,
+                y: 4.0,
+            }, // dist 5 from origin
+            Point {
+                label: Arc::from("c"),
+                x: 50.0,
+                y: 50.0,
+            },
+            Point {
+                label: Arc::from("d"),
+                x: 99.0,
+                y: 99.0,
+            },
         ];
         d.load_points("points", pts, 10.0);
         d
@@ -251,7 +270,12 @@ mod tests {
         let out = d
             .call(
                 "range",
-                &[Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(5)],
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(5),
+                ],
             )
             .unwrap();
         assert_eq!(out.answers.len(), 2); // a at 0, b at exactly 5
@@ -328,7 +352,12 @@ mod tests {
         let c = d
             .call(
                 "count_range",
-                &[Value::str("points"), Value::Int(0), Value::Int(0), Value::Int(5)],
+                &[
+                    Value::str("points"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(5),
+                ],
             )
             .unwrap();
         assert_eq!(c.answers, vec![Value::Int(2)]);
@@ -343,7 +372,12 @@ mod tests {
         let small = d
             .call(
                 "range",
-                &[Value::str("u"), Value::Int(500), Value::Int(500), Value::Int(10)],
+                &[
+                    Value::str("u"),
+                    Value::Int(500),
+                    Value::Int(500),
+                    Value::Int(10),
+                ],
             )
             .unwrap()
             .compute
@@ -351,7 +385,12 @@ mod tests {
         let large = d
             .call(
                 "range",
-                &[Value::str("u"), Value::Int(500), Value::Int(500), Value::Int(400)],
+                &[
+                    Value::str("u"),
+                    Value::Int(500),
+                    Value::Int(500),
+                    Value::Int(400),
+                ],
             )
             .unwrap()
             .compute
@@ -365,7 +404,12 @@ mod tests {
         let out = d
             .call(
                 "range",
-                &[Value::str("points"), Value::Int(50), Value::Int(50), Value::Int(1)],
+                &[
+                    Value::str("points"),
+                    Value::Int(50),
+                    Value::Int(50),
+                    Value::Int(1),
+                ],
             )
             .unwrap();
         match &out.answers[0] {
@@ -383,19 +427,32 @@ mod tests {
         assert!(d
             .call(
                 "range",
-                &[Value::str("nope"), Value::Int(0), Value::Int(0), Value::Int(5)]
+                &[
+                    Value::str("nope"),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(5)
+                ]
             )
             .is_err());
         assert!(d
             .call(
                 "range",
-                &[Value::str("points"), Value::str("x"), Value::Int(0), Value::Int(5)]
+                &[
+                    Value::str("points"),
+                    Value::str("x"),
+                    Value::Int(0),
+                    Value::Int(5)
+                ]
             )
             .is_err());
     }
 
     #[test]
     fn uniform_points_deterministic() {
-        assert_eq!(uniform_points(9, 10, 100.0)[3].x, uniform_points(9, 10, 100.0)[3].x);
+        assert_eq!(
+            uniform_points(9, 10, 100.0)[3].x,
+            uniform_points(9, 10, 100.0)[3].x
+        );
     }
 }

@@ -181,7 +181,10 @@ impl SyntheticDomain {
 
     /// Total number of pairs in a relation.
     pub fn pair_count(&self, relation: &str) -> usize {
-        self.relations.get(relation).map(|r| r.pairs.len()).unwrap_or(0)
+        self.relations
+            .get(relation)
+            .map(|r| r.pairs.len())
+            .unwrap_or(0)
     }
 
     fn split_function<'f>(&self, function: &'f str) -> Option<(&'f str, &'f str)> {
@@ -194,10 +197,7 @@ impl SyntheticDomain {
     }
 
     fn pair_record(a: &Value, b: &Value) -> Value {
-        Value::Record(Record::from_fields([
-            ("a", a.clone()),
-            ("b", b.clone()),
-        ]))
+        Value::Record(Record::from_fields([("a", a.clone()), ("b", b.clone())]))
     }
 }
 
@@ -210,7 +210,11 @@ impl Domain for SyntheticDomain {
         let mut out = Vec::new();
         for rel in self.relations.keys() {
             out.push(FunctionSig::new(format!("{rel}_ff"), 0, "all pairs"));
-            out.push(FunctionSig::new(format!("{rel}_bf"), 1, "b values for an a"));
+            out.push(FunctionSig::new(
+                format!("{rel}_bf"),
+                1,
+                "b values for an a",
+            ));
             out.push(FunctionSig::new(format!("{rel}_fb"), 1, "a values for a b"));
             out.push(FunctionSig::new(format!("{rel}_bb"), 2, "membership probe"));
         }
@@ -242,7 +246,11 @@ impl Domain for SyntheticDomain {
             }
             "bf" | "fb" => {
                 self.check_arity(function, 1, args)?;
-                let map = if mode == "bf" { &rel.forward } else { &rel.inverse };
+                let map = if mode == "bf" {
+                    &rel.forward
+                } else {
+                    &rel.inverse
+                };
                 let answers = map.get(&args[0]).cloned().unwrap_or_default();
                 let n = answers.len() as f64;
                 Ok(CallOutcome {
@@ -338,7 +346,12 @@ mod tests {
             &[RelationSpec::uniform("r", 200, 4.0).with_skew(1.5)],
         );
         let values = d.domain_values("r");
-        let degree = |v: &Value| d.call("r_bf", std::slice::from_ref(v)).unwrap().answers.len();
+        let degree = |v: &Value| {
+            d.call("r_bf", std::slice::from_ref(v))
+                .unwrap()
+                .answers
+                .len()
+        };
         // First (most popular) left values should dominate the tail.
         let head: usize = values.iter().take(5).map(degree).sum();
         let tail: usize = values.iter().rev().take(5).map(degree).sum();
@@ -350,7 +363,11 @@ mod tests {
         let d = domain();
         let ff = d.call("p_ff", &[]).unwrap().compute.t_all;
         let a = d.domain_values("p")[0].clone();
-        let bf = d.call("p_bf", std::slice::from_ref(&a)).unwrap().compute.t_all;
+        let bf = d
+            .call("p_bf", std::slice::from_ref(&a))
+            .unwrap()
+            .compute
+            .t_all;
         assert!(ff > bf);
     }
 

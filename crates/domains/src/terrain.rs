@@ -8,8 +8,8 @@
 //! makes this (like AVIS) a domain only a statistics cache can cost.
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Value};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -168,9 +168,10 @@ impl TerrainDomain {
                 self.name
             ))
         })?;
-        map.places.get(name).copied().ok_or_else(|| {
-            HermesError::Eval(format!("{}: unknown place `{name}`", self.name))
-        })
+        map.places
+            .get(name)
+            .copied()
+            .ok_or_else(|| HermesError::Eval(format!("{}: unknown place `{name}`", self.name)))
     }
 
     fn cost(&self, expanded: usize) -> ComputeCost {
@@ -203,11 +204,7 @@ impl Domain for TerrainDomain {
         let map = self.map.read();
         match function {
             "places" => {
-                let names: Vec<Value> = map
-                    .places
-                    .keys()
-                    .map(|k| Value::Str(k.clone()))
-                    .collect();
+                let names: Vec<Value> = map.places.keys().map(|k| Value::Str(k.clone())).collect();
                 Ok(CallOutcome {
                     answers: names,
                     compute: self.cost(0),
@@ -270,7 +267,7 @@ mod tests {
         match &out.answers[0] {
             Value::List(wps) => {
                 assert!(wps.len() > 50); // must detour through a gate
-                // Route crosses the wall only at a gate row.
+                                         // Route crosses the wall only at a gate row.
                 let crossing = wps.iter().find_map(|w| match w {
                     Value::Record(r) => {
                         if r.get("x") == Some(&Value::Int(32)) {
@@ -310,7 +307,9 @@ mod tests {
         m.add_place("a", (0, 0));
         m.add_place("b", (9, 9));
         let d = TerrainDomain::new("terraindb", m);
-        let out = d.call("findrte", &[Value::str("a"), Value::str("b")]).unwrap();
+        let out = d
+            .call("findrte", &[Value::str("a"), Value::str("b")])
+            .unwrap();
         assert!(out.answers.is_empty());
         assert!(out.compute.t_all.as_millis_f64() > 0.0);
     }
@@ -338,7 +337,10 @@ mod tests {
         let d = TerrainDomain::new("terraindb", demo_map());
         // Nearby pair: cheap. Cross-wall pair: expensive.
         let near = d
-            .call("distance", &[Value::str("place1"), Value::str("college park")])
+            .call(
+                "distance",
+                &[Value::str("place1"), Value::str("college park")],
+            )
             .unwrap()
             .compute
             .t_all;

@@ -7,8 +7,8 @@
 //! model.
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Rng64, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Rng64, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -105,12 +105,7 @@ impl TextDomain {
     }
 
     /// Adds a document to a corpus (created on first use); returns its id.
-    pub fn add_document(
-        &self,
-        corpus: impl Into<Arc<str>>,
-        headline: &str,
-        body: &str,
-    ) -> u32 {
+    pub fn add_document(&self, corpus: impl Into<Arc<str>>, headline: &str, body: &str) -> u32 {
         self.corpora
             .write()
             .entry(corpus.into())
@@ -166,19 +161,16 @@ impl Domain for TextDomain {
                 self.name
             ))
         })?;
-        let corpus = corpora.get(cname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no corpus `{cname}`", self.name))
-        })?;
+        let corpus = corpora
+            .get(cname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no corpus `{cname}`", self.name)))?;
         let term_arg = |i: usize| -> Result<String> {
-            args[i]
-                .as_str()
-                .map(|s| s.to_lowercase())
-                .ok_or_else(|| {
-                    HermesError::Type(format!(
-                        "{}:{function}: search terms must be strings",
-                        self.name
-                    ))
-                })
+            args[i].as_str().map(|s| s.to_lowercase()).ok_or_else(|| {
+                HermesError::Type(format!(
+                    "{}:{function}: search terms must be strings",
+                    self.name
+                ))
+            })
         };
         match function {
             "doc_count" => Ok(CallOutcome {
@@ -254,13 +246,33 @@ impl Domain for TextDomain {
 /// documents, rare ones in few — realistic posting-list skew).
 pub fn newswire(seed: u64, domain_name: &str, corpus: &str, n: usize) -> TextDomain {
     const TOPICS: &[&str] = &[
-        "election", "budget", "senate", "pentagon", "bosnia", "trade",
-        "internet", "baseball", "hurricane", "medicare", "nasa", "olympics",
-        "whitewater", "stocks", "crime", "unabomber", "education", "taxes",
+        "election",
+        "budget",
+        "senate",
+        "pentagon",
+        "bosnia",
+        "trade",
+        "internet",
+        "baseball",
+        "hurricane",
+        "medicare",
+        "nasa",
+        "olympics",
+        "whitewater",
+        "stocks",
+        "crime",
+        "unabomber",
+        "education",
+        "taxes",
     ];
     const VERBS: &[&str] = &[
-        "debates", "approves", "rejects", "investigates", "announces",
-        "delays", "expands",
+        "debates",
+        "approves",
+        "rejects",
+        "investigates",
+        "announces",
+        "delays",
+        "expands",
     ];
     let d = TextDomain::new(domain_name);
     let mut rng = Rng64::new(seed);
@@ -285,9 +297,21 @@ mod tests {
 
     fn store() -> TextDomain {
         let d = TextDomain::new("text");
-        d.add_document("usatoday", "Senate debates budget", "The budget measure stalled.");
-        d.add_document("usatoday", "Orioles win again", "Baseball fans cheered in Baltimore.");
-        d.add_document("usatoday", "Budget deal near", "Senate leaders and the baseball strike.");
+        d.add_document(
+            "usatoday",
+            "Senate debates budget",
+            "The budget measure stalled.",
+        );
+        d.add_document(
+            "usatoday",
+            "Orioles win again",
+            "Baseball fans cheered in Baltimore.",
+        );
+        d.add_document(
+            "usatoday",
+            "Budget deal near",
+            "Senate leaders and the baseball strike.",
+        );
         d
     }
 
@@ -314,7 +338,11 @@ mod tests {
         let out = d
             .call(
                 "search_and",
-                &[Value::str("usatoday"), Value::str("senate"), Value::str("baseball")],
+                &[
+                    Value::str("usatoday"),
+                    Value::str("senate"),
+                    Value::str("baseball"),
+                ],
             )
             .unwrap();
         assert_eq!(out.answers.len(), 1);
@@ -362,7 +390,9 @@ mod tests {
     fn doc_count_and_missing_corpus() {
         let d = store();
         assert_eq!(
-            d.call("doc_count", &[Value::str("usatoday")]).unwrap().answers,
+            d.call("doc_count", &[Value::str("usatoday")])
+                .unwrap()
+                .answers,
             vec![Value::Int(3)]
         );
         assert!(d.call("doc_count", &[Value::str("nope")]).is_err());

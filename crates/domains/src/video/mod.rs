@@ -15,8 +15,8 @@
 pub mod gen;
 
 use crate::domain::{CallOutcome, ComputeCost, Domain, FunctionSig};
-use hermes_common::{HermesError, Record, Result, Value};
 use hermes_common::sync::RwLock;
+use hermes_common::{HermesError, Record, Result, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -157,13 +157,13 @@ impl VideoDomain {
     fn range_cost(&self, width: u32, intervals_touched: usize, hits: usize) -> ComputeCost {
         let p = &self.params;
         let analysis = p.analysis_us * (intervals_touched as f64).powf(1.35);
-        let t_all_us = p.startup_us
-            + p.per_frame_us * width as f64
-            + p.per_hit_us * hits as f64
-            + analysis;
+        let t_all_us =
+            p.startup_us + p.per_frame_us * width as f64 + p.per_hit_us * hits as f64 + analysis;
         // AVIS streams hits as the sweep reaches them: the first hit costs
         // startup plus a fraction of the frame sweep.
-        let t_first_us = p.startup_us + p.per_frame_us * (width as f64 / (hits.max(1) as f64 + 1.0)) + p.per_hit_us;
+        let t_first_us = p.startup_us
+            + p.per_frame_us * (width as f64 / (hits.max(1) as f64 + 1.0))
+            + p.per_hit_us;
         ComputeCost::from_millis(t_first_us / 1000.0, t_all_us / 1000.0)
     }
 
@@ -185,16 +185,8 @@ impl Domain for VideoDomain {
             FunctionSig::new("video_size", 1, "total encoded bytes of a video"),
             FunctionSig::new("video_length", 1, "frame count of a video"),
             FunctionSig::new("objects", 1, "all objects of a video"),
-            FunctionSig::new(
-                "frames_to_objects",
-                3,
-                "objects visible in a frame range",
-            ),
-            FunctionSig::new(
-                "object_to_frames",
-                2,
-                "appearance intervals of an object",
-            ),
+            FunctionSig::new("frames_to_objects", 3, "objects visible in a frame range"),
+            FunctionSig::new("object_to_frames", 2, "appearance intervals of an object"),
         ]
     }
 
@@ -219,15 +211,13 @@ impl Domain for VideoDomain {
         }
 
         let vname = self.video_arg(function, args)?;
-        let video = videos.get(vname).ok_or_else(|| {
-            HermesError::Eval(format!("{}: no video `{vname}`", self.name))
-        })?;
+        let video = videos
+            .get(vname)
+            .ok_or_else(|| HermesError::Eval(format!("{}: no video `{vname}`", self.name)))?;
 
         match function {
             "video_size" => Ok(CallOutcome {
-                answers: vec![Value::Int(
-                    video.frames as i64 * video.frame_bytes as i64,
-                )],
+                answers: vec![Value::Int(video.frames as i64 * video.frame_bytes as i64)],
                 compute: self.flat_cost(1),
             }),
             "video_length" => Ok(CallOutcome {
@@ -338,11 +328,7 @@ mod tests {
             )
             .unwrap();
         // rupert enters at frame 90 and must be absent.
-        let names: Vec<&str> = out
-            .answers
-            .iter()
-            .map(|v| v.as_str().unwrap())
-            .collect();
+        let names: Vec<&str> = out.answers.iter().map(|v| v.as_str().unwrap()).collect();
         assert!(names.contains(&"brandon"));
         assert!(names.contains(&"rope_prop"));
         assert!(!names.contains(&"rupert"));
@@ -358,11 +344,7 @@ mod tests {
                 &[Value::str("rope"), Value::Int(100), Value::Int(200)],
             )
             .unwrap();
-        let names: Vec<&str> = out
-            .answers
-            .iter()
-            .map(|v| v.as_str().unwrap())
-            .collect();
+        let names: Vec<&str> = out.answers.iter().map(|v| v.as_str().unwrap()).collect();
         assert!(!names.contains(&"rope_prop"));
         assert!(names.contains(&"rupert"));
     }

@@ -313,9 +313,7 @@ impl BodyAtom {
     pub fn binds(&self) -> BTreeSet<Arc<str>> {
         match self {
             BodyAtom::Pred(p) => p.variables(),
-            BodyAtom::In { target, .. } => {
-                target.as_var().cloned().into_iter().collect()
-            }
+            BodyAtom::In { target, .. } => target.as_var().cloned().into_iter().collect(),
             BodyAtom::Cond(_) => BTreeSet::new(),
         }
     }
@@ -347,9 +345,7 @@ impl BodyAtom {
         };
         match self {
             BodyAtom::Pred(_) => true,
-            BodyAtom::In { call, .. } => {
-                call.variables().iter().all(|v| bound.contains(v))
-            }
+            BodyAtom::In { call, .. } => call.variables().iter().all(|v| bound.contains(v)),
             BodyAtom::Cond(c) if c.op == Relop::Eq => {
                 let lhs_ok = ground(&c.lhs);
                 let rhs_ok = ground(&c.rhs);
@@ -357,8 +353,7 @@ impl BodyAtom {
                 // all; assignment targets must be bare variables.
                 let lhs_assignable = c.lhs.path.is_empty() && c.lhs.base.is_var();
                 let rhs_assignable = c.rhs.path.is_empty() && c.rhs.base.is_var();
-                (lhs_ok && (rhs_ok || rhs_assignable))
-                    || (rhs_ok && lhs_assignable)
+                (lhs_ok && (rhs_ok || rhs_assignable)) || (rhs_ok && lhs_assignable)
             }
             BodyAtom::Cond(c) => ground(&c.lhs) && ground(&c.rhs),
         }

@@ -444,10 +444,7 @@ mod tests {
 
     #[test]
     fn lex_strings_with_escapes() {
-        assert_eq!(
-            toks(r"'it\'s'"),
-            vec![Tok::Str("it's".into())]
-        );
+        assert_eq!(toks(r"'it\'s'"), vec![Tok::Str("it's".into())]);
     }
 
     #[test]

@@ -56,4 +56,7 @@ pub use ast::{
 };
 pub use parser::{parse_invariant, parse_invariants, parse_program, parse_query, parse_rule};
 pub use subst::Subst;
-pub use validate::{validate_invariant, validate_program, validate_rule};
+pub use validate::{
+    groundability, validate_invariant, validate_program, validate_rule, GroundabilityReport,
+    StuckAtom,
+};

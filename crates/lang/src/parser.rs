@@ -448,10 +448,7 @@ mod tests {
 
     #[test]
     fn parse_multiple_invariants() {
-        let invs = parse_invariants(
-            "=> d:f(X) = d:g(X).\nA < B => d:h(B) >= d:h(A).",
-        )
-        .unwrap();
+        let invs = parse_invariants("=> d:f(X) = d:g(X).\nA < B => d:h(B) >= d:h(A).").unwrap();
         assert_eq!(invs.len(), 2);
     }
 

@@ -11,29 +11,60 @@
 //!   actual orderings.
 //! * **Invariant well-formedness** — every condition variable must appear in
 //!   one of the two calls (§4: "no free variables in the invariants").
+//!
+//! The groundability fixpoint itself lives in [`groundability`], shared by
+//! this module's legacy entry points, the `hermes-analysis` whole-program
+//! analyzer, and the rewriter's infeasibility explanations — so the logic
+//! exists exactly once.
 
-use crate::ast::{Invariant, Program, Rule};
+use crate::ast::{BodyAtom, Invariant, Program, Rule};
 use hermes_common::{HermesError, Result};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Validates every rule of a program.
-pub fn validate_program(p: &Program) -> Result<()> {
-    for r in &p.rules {
-        validate_rule(r)?;
-    }
-    Ok(())
+/// One atom that can never run: at the groundability fixpoint it still
+/// requires variables no other atom can bind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StuckAtom {
+    /// Index of the atom in the analyzed conjunction.
+    pub index: usize,
+    /// The atom itself.
+    pub atom: BodyAtom,
+    /// The variables the atom *requires* ground (call arguments, condition
+    /// operands) that can never become ground, sorted.
+    pub missing: Vec<Arc<str>>,
 }
 
-/// Validates a single rule (see module docs).
-pub fn validate_rule(rule: &Rule) -> Result<()> {
-    // Variables that evaluation can ever bind: head variables (a query may
-    // bind them top-down) plus everything any body atom binds.
-    let mut groundable: BTreeSet<Arc<str>> = rule.head.variables();
+/// The result of the groundability fixpoint over a conjunction.
+#[derive(Clone, Debug, Default)]
+pub struct GroundabilityReport {
+    /// Every variable that *some* evaluation order can make ground.
+    pub groundable: BTreeSet<Arc<str>>,
+    /// Atoms mentioning variables that can never become ground, in
+    /// conjunction order. Empty iff the conjunction is executable.
+    pub stuck: Vec<StuckAtom>,
+}
+
+impl GroundabilityReport {
+    /// True when every atom can eventually run.
+    pub fn is_executable(&self) -> bool {
+        self.stuck.is_empty()
+    }
+}
+
+/// Runs the groundability fixpoint: starting from `seed` (variables the
+/// caller guarantees ground — head variables for rule validation, query
+/// constants' variables for query analysis), repeatedly runs every atom
+/// whose requirements are met and adds the variables it binds, until
+/// nothing changes. This is the *single* implementation of the paper's §3
+/// ground-call requirement; `validate_rule`, the `hermes-analysis`
+/// adornment pass, and the rewriter's error explanations all delegate here.
+pub fn groundability(seed: BTreeSet<Arc<str>>, atoms: &[BodyAtom]) -> GroundabilityReport {
+    let mut groundable = seed;
     let mut changed = true;
     while changed {
         changed = false;
-        for atom in &rule.body {
+        for atom in atoms {
             if atom.can_run(&groundable) {
                 for v in atom.new_bindings(&groundable) {
                     if groundable.insert(v) {
@@ -43,18 +74,50 @@ pub fn validate_rule(rule: &Rule) -> Result<()> {
             }
         }
     }
-
-    // Every variable used anywhere must be groundable.
-    for atom in &rule.body {
-        for v in atom.variables() {
-            if !groundable.contains(&v) {
-                return Err(HermesError::Plan(format!(
-                    "rule `{}`: variable `{v}` can never become ground \
-                     (no subgoal binds it)",
-                    rule.head
-                )));
-            }
+    let mut stuck = Vec::new();
+    for (index, atom) in atoms.iter().enumerate() {
+        // An atom is stuck iff some variable it mentions can never become
+        // ground; the blockers are the *required* ones (an unboundable
+        // target or assignee always traces back to an unboundable
+        // requirement, since the atom would otherwise run and bind it).
+        if atom.variables().iter().all(|v| groundable.contains(v)) {
+            continue;
         }
+        let missing: Vec<Arc<str>> = atom
+            .requires()
+            .into_iter()
+            .filter(|v| !groundable.contains(v))
+            .collect();
+        if !missing.is_empty() {
+            stuck.push(StuckAtom {
+                index,
+                atom: atom.clone(),
+                missing,
+            });
+        }
+    }
+    GroundabilityReport { groundable, stuck }
+}
+
+/// Validates every rule of a program.
+pub fn validate_program(p: &Program) -> Result<()> {
+    for r in &p.rules {
+        validate_rule(r)?;
+    }
+    Ok(())
+}
+
+/// Validates a single rule (see module docs). A thin shim over
+/// [`groundability`]: seeds the fixpoint with the head variables (a query
+/// may bind them top-down) and reports the first stuck variable.
+pub fn validate_rule(rule: &Rule) -> Result<()> {
+    let report = groundability(rule.head.variables(), &rule.body);
+    if let Some(stuck) = report.stuck.first() {
+        return Err(HermesError::Plan(format!(
+            "rule `{}`: variable `{}` can never become ground \
+             (no subgoal binds it)",
+            rule.head, stuck.missing[0]
+        )));
     }
 
     // Head variables must be bound by the body when the body is non-empty:
@@ -64,11 +127,7 @@ pub fn validate_rule(rule: &Rule) -> Result<()> {
         // (It need not be *bound* by the body alone — sideways information
         // passing from the query can bind it, as in `q(B,C) :- in(C,
         // d2:q_bf(B))` where B flows in from the caller.)
-        let body_vars: BTreeSet<Arc<str>> = rule
-            .body
-            .iter()
-            .flat_map(|a| a.variables())
-            .collect();
+        let body_vars: BTreeSet<Arc<str>> = rule.body.iter().flat_map(|a| a.variables()).collect();
         for v in rule.head.variables() {
             if !body_vars.contains(&v) {
                 return Err(HermesError::Plan(format!(
@@ -108,7 +167,7 @@ pub fn validate_invariant(inv: &Invariant) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse_invariant, parse_program, parse_rule};
+    use crate::parser::{parse_invariant, parse_program, parse_query, parse_rule};
 
     #[test]
     fn valid_paper_rules_pass() {
@@ -173,5 +232,26 @@ mod tests {
         assert!(validate_invariant(&inv).is_err());
         let ok = parse_invariant("X > 5 => d:f(X) = d:g(X).").unwrap();
         assert!(validate_invariant(&ok).is_ok());
+    }
+
+    #[test]
+    fn groundability_reports_stuck_atoms_with_missing_vars() {
+        let q = parse_query("?- in(C, d2:q_bf(B)) & in(B, d9:f(C)).").unwrap();
+        let report = groundability(BTreeSet::new(), &q.goals);
+        assert!(!report.is_executable());
+        // Both calls are stuck: each needs the variable the other binds.
+        assert_eq!(report.stuck.len(), 2);
+        assert_eq!(report.stuck[0].index, 0);
+        assert_eq!(report.stuck[0].missing, vec![Arc::<str>::from("B")]);
+        assert!(!report.groundable.contains("C"));
+    }
+
+    #[test]
+    fn groundability_seed_unblocks_chain() {
+        let q = parse_query("?- in(C, d2:q_bf(B)) & in(B, d9:f(C)).").unwrap();
+        let seed: BTreeSet<Arc<str>> = [Arc::<str>::from("B")].into();
+        let report = groundability(seed, &q.goals);
+        assert!(report.is_executable());
+        assert!(report.groundable.contains("C"));
     }
 }

@@ -279,7 +279,11 @@ mod tests {
 
     #[test]
     fn draws_replay_bit_identically_for_the_same_seed() {
-        let mk = || FaultPlan::new(77).drop_rate("s", 0.5).truncation("s", 0.5, 0.25);
+        let mk = || {
+            FaultPlan::new(77)
+                .drop_rate("s", 0.5)
+                .truncation("s", 0.5, 0.25)
+        };
         let a = mk();
         let b = mk();
         for _ in 0..200 {

@@ -2,11 +2,9 @@
 
 use crate::fault::FaultPlan;
 use crate::site::Site;
-use hermes_common::{
-    GroundCall, HermesError, Result, Rng64, SimDuration, SimInstant, Value,
-};
-use hermes_domains::{Domain, DomainRegistry};
 use hermes_common::sync::Mutex;
+use hermes_common::{GroundCall, HermesError, Result, Rng64, SimDuration, SimInstant, Value};
+use hermes_domains::{Domain, DomainRegistry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -169,9 +167,8 @@ impl Network {
         let lat = &site.link;
         let slow = load * jitter * latency_factor;
 
-        let request_overhead =
-            SimDuration::from_millis_f64((lat.connect_ms + lat.rtt_ms) * slow)
-                + lat.transfer(call.request_bytes()) * bandwidth_divisor;
+        let request_overhead = SimDuration::from_millis_f64((lat.connect_ms + lat.rtt_ms) * slow)
+            + lat.transfer(call.request_bytes()) * bandwidth_divisor;
 
         // First answer: overhead + source's time-to-first + first tuple on
         // the wire (approximated by the mean answer size).
@@ -205,7 +202,9 @@ impl std::fmt::Debug for Network {
             .iter()
             .map(|(d, s)| format!("{d}@{}", s.name))
             .collect();
-        f.debug_struct("Network").field("placement", &placement).finish()
+        f.debug_struct("Network")
+            .field("placement", &placement)
+            .finish()
     }
 }
 
@@ -242,7 +241,10 @@ mod tests {
         remote.place(Arc::new(rope_store()), profiles::italy());
         let t_local = local.execute(&call(), SimInstant::EPOCH).unwrap().t_all;
         let t_remote = remote.execute(&call(), SimInstant::EPOCH).unwrap().t_all;
-        assert!(t_remote > t_local * 5, "remote {t_remote} vs local {t_local}");
+        assert!(
+            t_remote > t_local * 5,
+            "remote {t_remote} vs local {t_local}"
+        );
     }
 
     #[test]
@@ -379,7 +381,12 @@ mod tests {
         let us = SimDuration::from_micros(1);
         assert!(net.execute(&call(), from).is_err());
         assert!(net.execute(&call(), to).is_err());
-        assert!(net.execute(&call(), SimInstant::EPOCH + (from.duration_since(SimInstant::EPOCH) - us)).is_ok());
+        assert!(net
+            .execute(
+                &call(),
+                SimInstant::EPOCH + (from.duration_since(SimInstant::EPOCH) - us)
+            )
+            .is_ok());
         assert!(net.execute(&call(), to + us).is_ok());
     }
 

@@ -78,11 +78,7 @@ pub struct Site {
 
 impl Site {
     /// Builds a site.
-    pub fn new(
-        name: impl Into<Arc<str>>,
-        region: impl Into<Arc<str>>,
-        link: LinkModel,
-    ) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, region: impl Into<Arc<str>>, link: LinkModel) -> Self {
         Site {
             name: name.into(),
             region: region.into(),

@@ -6,12 +6,12 @@
 //! cargo run --example bill_of_materials
 //! ```
 
+use hermes::common::Record;
 use hermes::core::PushdownRule;
 use hermes::domains::objectstore::ObjectStoreDomain;
 use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
 use hermes::net::profiles;
 use hermes::{Mediator, Network, Value};
-use hermes::common::Record;
 use std::sync::Arc;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
         );
         part_oids.push(oid);
     }
-    let heli = oodb.create("vehicle", Record::from_fields([("name", Value::str("h-22"))]));
+    let heli = oodb.create(
+        "vehicle",
+        Record::from_fields([("name", Value::str("h-22"))]),
+    );
     for &p in &part_oids[..3] {
         oodb.add_ref("vehicle", heli, "parts", "part", p);
     }
@@ -70,23 +73,8 @@ fn main() {
     net.place_local(Arc::new(oodb));
     net.place(inv, profiles::cornell());
 
-    let mut mediator = Mediator::from_source(
-        "
-        component(Class, Oid, Part) :-
-            in(Part, design:reachable(Class, Oid, 'parts', 10)).
-
-        supply(PartName, Depot, Qty) :-
-            in(Row, inventory:all('stock')) &
-            =(Row.part, PartName) & =(Row.depot, Depot) & =(Row.qty, Qty).
-
-        sourcing(Class, Oid, PartName, Depot, Qty) :-
-            component(Class, Oid, P) &
-            =(P.name, PartName) &
-            supply(PartName, Depot, Qty).
-        ",
-        net,
-    )
-    .expect("program compiles");
+    let mut mediator = Mediator::from_source(include_str!("programs/bill_of_materials.hms"), net)
+        .expect("program compiles");
     // §5: push the part-name selection into the inventory source.
     mediator.add_pushdown(PushdownRule::relational("inventory"));
     mediator.config_mut().exec.collect_trace = true;

@@ -20,11 +20,13 @@ fn main() {
     let parts = SyntheticDomain::generate(
         "catalog",
         11,
-        &[RelationSpec::uniform("parts", 300, 6.0).with_profile(CostProfile {
-            start_ms: 5.0,
-            per_answer_ms: 0.4,
-            per_probe_ms: 1.0,
-        })],
+        &[
+            RelationSpec::uniform("parts", 300, 6.0).with_profile(CostProfile {
+                start_ms: 5.0,
+                per_answer_ms: 0.4,
+                per_probe_ms: 1.0,
+            }),
+        ],
     );
     let suppliers = SyntheticDomain::generate(
         "directory",
@@ -38,23 +40,8 @@ fn main() {
     net.place(Arc::new(parts), profiles::bucknell());
     net.place(Arc::new(suppliers), profiles::maryland());
 
-    let mut mediator = Mediator::from_source(
-        "
-        offered(Vendor, Part) :- in(Part, directory:suppliers_bf(Vendor)).
-        offered(Vendor, Part) :- in(Vendor, directory:suppliers_fb(Part)).
-        offered(Vendor, Part) :- in(Ans, directory:suppliers_ff()) &
-                                 =(Ans.a, Vendor) & =(Ans.b, Part).
-
-        made_of(Product, Part) :- in(Part, catalog:parts_bf(Product)).
-        made_of(Product, Part) :- in(Product, catalog:parts_fb(Part)).
-        made_of(Product, Part) :- in(Ans, catalog:parts_ff()) &
-                                  =(Ans.a, Product) & =(Ans.b, Part).
-
-        sources(Product, Vendor) :- made_of(Product, Part) & offered(Vendor, Part).
-        ",
-        net,
-    )
-    .expect("program compiles");
+    let mut mediator = Mediator::from_source(include_str!("programs/federated_inventory.hms"), net)
+        .expect("program compiles");
 
     let q = "?- sources('parts_7', Vendor).";
 

@@ -26,10 +26,22 @@ fn main() {
     );
     inventory
         .insert_all([
-            vec![Value::str("h-22 fuel"), Value::str("pax river"), Value::Int(40)],
-            vec![Value::str("h-22 fuel"), Value::str("aberdeen"), Value::Int(12)],
+            vec![
+                Value::str("h-22 fuel"),
+                Value::str("pax river"),
+                Value::Int(40),
+            ],
+            vec![
+                Value::str("h-22 fuel"),
+                Value::str("aberdeen"),
+                Value::Int(12),
+            ],
             vec![Value::str("ammo"), Value::str("aberdeen"), Value::Int(500)],
-            vec![Value::str("rations"), Value::str("college park"), Value::Int(90)],
+            vec![
+                Value::str("rations"),
+                Value::str("college park"),
+                Value::Int(90),
+            ],
         ])
         .unwrap();
     inventory.create_hash_index("item").unwrap();
@@ -43,16 +55,8 @@ fn main() {
     net.place_local(Arc::new(terrain));
 
     // The §2 rule, verbatim modulo syntax conventions.
-    let mut mediator = Mediator::from_source(
-        "
-        routetosupplies(From, Sup1, To, R) :-
-            in(Tuple, ingres:select_eq('inventory', 'item', Sup1)) &
-            =(Tuple.loc, To) &
-            in(R, terraindb:findrte(From, To)).
-        ",
-        net,
-    )
-    .expect("program compiles");
+    let mut mediator = Mediator::from_source(include_str!("programs/logistics.hms"), net)
+        .expect("program compiles");
 
     // \"When this is queried with routetosupplies('place1', 'h-22 fuel',
     // To, R) we request to find a place To that has the h-22 fuel and plan
@@ -61,7 +65,10 @@ fn main() {
         .query("?- routetosupplies('place1', 'h-22 fuel', To, R).")
         .expect("query runs");
 
-    println!("routes to h-22 fuel from place1 ({} found):", result.rows.len());
+    println!(
+        "routes to h-22 fuel from place1 ({} found):",
+        result.rows.len()
+    );
     for row in &result.rows {
         let to = &row[0];
         let waypoints = match &row[1] {
@@ -86,8 +93,7 @@ fn main() {
         .expect("query runs");
     println!(
         "cached rerun: all routes in {} ({} cache hits)",
-        again.t_all,
-        again.stats.cim_exact
+        again.t_all, again.stats.cim_exact
     );
 
     // After two executions DCSM has learned what findrte costs — something

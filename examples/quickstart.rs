@@ -7,8 +7,8 @@
 
 use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
 use hermes::domains::video::gen::{rope_store, ROPE_CAST};
-use hermes::{parse_invariant, Mediator, Network, Value};
 use hermes::net::profiles;
+use hermes::{parse_invariant, Mediator, Network, Value};
 use std::sync::Arc;
 
 fn main() {
@@ -35,16 +35,8 @@ fn main() {
     net.place(relation, profiles::cornell());
 
     // 2. The mediator program: who plays the objects seen in a scene?
-    let mut mediator = Mediator::from_source(
-        "
-        scene_actors(First, Last, Object, Actor) :-
-            in(Object, video:frames_to_objects('rope', First, Last)) &
-            in(Tuple, relation:select_eq('cast', 'role', Object)) &
-            =(Tuple.name, Actor).
-        ",
-        net,
-    )
-    .expect("program compiles");
+    let mut mediator = Mediator::from_source(include_str!("programs/quickstart.hms"), net)
+        .expect("program compiles");
 
     // An invariant: a frame range inside a cached wider range... is not
     // sound in general — but a *wider* range always contains a narrower
@@ -64,13 +56,21 @@ fn main() {
     // 3. Cold run: everything goes over the (simulated) Atlantic.
     let q = "?- scene_actors(4, 47, Object, Actor).";
     let cold = mediator.query(q).expect("query runs");
-    println!("cold run:  {} answers, first in {}, all in {}",
-        cold.rows.len(), fmt(cold.t_first), cold.t_all);
+    println!(
+        "cold run:  {} answers, first in {}, all in {}",
+        cold.rows.len(),
+        fmt(cold.t_first),
+        cold.t_all
+    );
 
     // 4. Warm run: served from the answer cache.
     let warm = mediator.query(q).expect("query runs");
-    println!("warm run:  {} answers, first in {}, all in {}",
-        warm.rows.len(), fmt(warm.t_first), warm.t_all);
+    println!(
+        "warm run:  {} answers, first in {}, all in {}",
+        warm.rows.len(),
+        fmt(warm.t_first),
+        warm.t_all
+    );
     assert_eq!(cold.rows, warm.rows);
 
     // 5. A *wider* scene was never cached — the invariant lets the cache
@@ -78,8 +78,13 @@ fn main() {
     let wide = mediator
         .query("?- scene_actors(4, 127, Object, Actor).")
         .expect("query runs");
-    println!("wide run:  {} answers, first in {}, all in {} ({} partial cache hits)",
-        wide.rows.len(), fmt(wide.t_first), wide.t_all, wide.stats.cim_partial);
+    println!(
+        "wide run:  {} answers, first in {}, all in {} ({} partial cache hits)",
+        wide.rows.len(),
+        fmt(wide.t_first),
+        wide.t_all,
+        wide.stats.cim_partial
+    );
 
     // 6. What did the optimizer consider?
     println!("\n{}", mediator.explain(q).unwrap());

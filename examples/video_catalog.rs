@@ -16,18 +16,8 @@ fn main() {
     let mut net = Network::new(1996);
     net.place(Arc::new(rope_store()), profiles::italy());
 
-    let mut mediator = Mediator::from_source(
-        "
-        appears(V, Object, Spans) :-
-            in(Object, video:objects(V)) &
-            in(Spans, video:object_to_frames(V, Object)).
-
-        in_scene(V, F, L, Object) :-
-            in(Object, video:frames_to_objects(V, F, L)).
-        ",
-        net,
-    )
-    .expect("program compiles");
+    let mut mediator = Mediator::from_source(include_str!("programs/video_catalog.hms"), net)
+        .expect("program compiles");
 
     // Optimize for time-to-first-answer: this is interactive use.
     mediator.config_mut().optimize_first_answer = true;
@@ -79,7 +69,10 @@ fn main() {
     let spans = mediator
         .query("?- appears('rope', 'rupert', S).")
         .expect("appears query");
-    println!("\nrupert appears in {} frame interval(s):", spans.rows.len());
+    println!(
+        "\nrupert appears in {} frame interval(s):",
+        spans.rows.len()
+    );
     for row in &spans.rows {
         println!("  {}", row[0]); // the query's only free variable is S
     }

@@ -1,0 +1,169 @@
+//! `hermes-lint` — whole-program static analysis for `.hms` rule files.
+//!
+//! ```sh
+//! hermes-lint examples/programs            # lint every .hms under a dir
+//! hermes-lint --strict program.hms         # warnings fail too
+//! hermes-lint --coverage program.hms       # include HA040 advisories
+//! ```
+//!
+//! Each file is parsed and run through the five analyzer passes (see
+//! `hermes-analysis`). `%!` directives in the file opt into the
+//! context-dependent passes: `%! query p(b, f)` declares an exported
+//! adornment (enables reachability and feasibility checks), `%! domain
+//! d: f/2` declares signatures (enables signature checks), `%! invariant
+//! ...` lints an invariant the deployment will install.
+//!
+//! Exit status: `0` all files clean, `1` findings (errors, or any finding
+//! under `--strict`), `2` usage or I/O trouble.
+
+use hermes::analysis::{parse_directives, Analyzer, Severity};
+use hermes::{parse_program, Dcsm};
+use std::path::{Path, PathBuf};
+
+struct Options {
+    strict: bool,
+    coverage: bool,
+    paths: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: hermes-lint [--strict] [--coverage] <file.hms | dir>...";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        strict: false,
+        coverage: false,
+        paths: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => opts.strict = true,
+            "--coverage" => opts.coverage = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+/// Expands directories into their `.hms` files, recursively; keeps plain
+/// files as given.
+fn collect_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            walk(path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(format!("no such file or directory: {}", path.display()));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "hms") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file; returns (errors, warnings) counted, or a parse failure.
+fn lint_file(path: &Path, coverage: bool) -> Result<(usize, usize), String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let program =
+        parse_program(&src).map_err(|e| format!("{}: parse error: {e}", path.display()))?;
+    let directives = parse_directives(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    // An empty DCSM makes pass 5 list every call pattern the optimizer
+    // would have to cost from the prior — advisory, hence opt-in.
+    let empty_dcsm = Dcsm::new();
+    let mut analyzer = Analyzer::new(&program)
+        .with_query_forms(directives.query_forms)
+        .with_invariants(directives.invariants);
+    if let Some(table) = directives.signatures {
+        analyzer = analyzer.with_signatures(table);
+    }
+    if coverage {
+        analyzer = analyzer.with_dcsm(&empty_dcsm);
+    }
+    let report = analyzer.analyze();
+
+    for d in &report.diagnostics {
+        println!("{}: {d}", path.display());
+    }
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    Ok((errors, report.diagnostics.len() - errors))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let files = match collect_files(&opts.paths) {
+        Ok(files) if files.is_empty() => {
+            eprintln!("no .hms files found");
+            std::process::exit(2);
+        }
+        Ok(files) => files,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut broken = 0usize;
+    for file in &files {
+        match lint_file(file, opts.coverage) {
+            Ok((e, w)) => {
+                errors += e;
+                warnings += w;
+            }
+            Err(msg) => {
+                println!("{msg}");
+                broken += 1;
+            }
+        }
+    }
+
+    println!(
+        "{} file(s) checked: {} error(s), {} warning(s){}",
+        files.len(),
+        errors,
+        warnings,
+        if broken > 0 {
+            format!(", {broken} unparseable")
+        } else {
+            String::new()
+        }
+    );
+    let failed = errors > 0 || broken > 0 || (opts.strict && warnings > 0);
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -17,6 +17,7 @@
 //! :first <k> ?- <...>.   run a query, stop after k answers
 //! :explain ?- <...>.     show candidate plans and estimates
 //! :invariant <inv>.      add an invariant to CIM
+//! :check [p/bf ...]      static analysis of the loaded program
 //! :mode all|first        optimization objective
 //! :retry <n> [ms]        retries per call (0 = none) + backoff base
 //! :deadline <ms>|off     per-query virtual-clock deadline
@@ -35,15 +36,7 @@ use hermes::{parse_invariant, Mediator, Network, Value};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-const DEMO_PROGRAM: &str = "
-    objs(F, L, O) :- in(O, video:frames_to_objects('rope', F, L)).
-    actors(F, L, O, A) :-
-        in(O, video:frames_to_objects('rope', F, L)) &
-        in(T, relation:select_eq('cast', 'role', O)) &
-        =(T.name, A).
-    near(X, Y, D, P) :- in(P, spatial:range('points', X, Y, D)).
-    route(From, To, R) :- in(R, terraindb:findrte(From, To)).
-";
+const DEMO_PROGRAM: &str = include_str!("../../examples/programs/demo.hms");
 
 fn demo_network() -> Network {
     let relation = RelationalDomain::new("relation");
@@ -140,6 +133,8 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
              :first <k> ?- ...     stop after k answers\n  \
              :explain ?- ...       show plans + estimates\n  \
              :invariant <inv>.     add an invariant\n  \
+             :check [p/bf ...]     static analysis (optionally against\n  \
+                                   declared query adornments)\n  \
              :mode all|first       optimization objective\n  \
              :trace on|off         show execution traces\n  \
              :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
@@ -284,6 +279,26 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
         println!("  loaded.");
         return Ok(Control::Continue);
     }
+    if let Some(rest) = line.strip_prefix(":check") {
+        let mut forms = Vec::new();
+        for tok in rest.split_whitespace() {
+            forms.push(hermes::QueryForm::parse(tok)?);
+        }
+        let report = mediator.analyze(&forms);
+        if report.is_clean() {
+            println!("  no findings.");
+        } else {
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+            println!(
+                "  ({} error(s), {} warning(s))",
+                report.errors().len(),
+                report.warnings().len()
+            );
+        }
+        return Ok(Control::Continue);
+    }
     if let Some(inv) = line.strip_prefix(":invariant") {
         let parsed = parse_invariant(inv.trim())?;
         mediator.cim().lock().add_invariant(parsed)?;
@@ -339,7 +354,11 @@ fn print_result(result: &hermes::QueryResult) {
         } else {
             String::new()
         },
-        if result.incomplete { "; INCOMPLETE" } else { "" },
+        if result.incomplete {
+            "; INCOMPLETE"
+        } else {
+            ""
+        },
     );
     if result.incomplete {
         for p in result.provenance.iter().filter(|p| !p.complete()) {

@@ -38,6 +38,7 @@
 //! assert!(warm.t_all.as_millis_f64() * 10.0 < cold.t_all.as_millis_f64());
 //! ```
 
+pub use hermes_analysis as analysis;
 pub use hermes_cim as cim;
 pub use hermes_common as common;
 pub use hermes_core as core;
@@ -46,6 +47,9 @@ pub use hermes_domains as domains;
 pub use hermes_lang as lang;
 pub use hermes_net as net;
 
+pub use hermes_analysis::{
+    analyze_source, AnalysisReport, Analyzer, DiagCode, Diagnostic, QueryForm, Severity,
+};
 pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision};
 pub use hermes_common::{
     GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,

@@ -1,0 +1,192 @@
+//! Integration tests for the static analyzer: every diagnostic class has a
+//! fixture that trips it, the shipped example programs lint clean, the
+//! `hermes-lint` binary reports through its exit status, and the mediator
+//! refuses to register a program the analyzer rejects.
+
+use hermes::{analyze_source, DiagCode, HermesError, Mediator, Network};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn analyze_fixture(name: &str) -> hermes::AnalysisReport {
+    let path = repo_path(&format!("tests/fixtures/{name}"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    analyze_source(&src).expect("fixture parses")
+}
+
+#[test]
+fn graph_fixture_trips_dependency_diagnostics() {
+    let report = analyze_fixture("bad_graph.hms");
+    assert!(
+        report.has_code(DiagCode::RecursiveCycle),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::UndefinedPredicate),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::UnreachablePredicate),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn adornment_fixture_trips_groundability_diagnostics() {
+    let report = analyze_fixture("bad_adorn.hms");
+    assert!(
+        report.has_code(DiagCode::UngroundableVariable),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::InfeasibleAdornment),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn signature_fixture_trips_all_three_signature_diagnostics() {
+    let report = analyze_fixture("bad_sigs.hms");
+    assert!(
+        report.has_code(DiagCode::UnknownDomain),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::UnknownFunction),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::ArityMismatch),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn invariant_fixture_trips_invariant_diagnostics() {
+    let report = analyze_fixture("bad_invariants.hms");
+    assert!(
+        report.has_code(DiagCode::FreeConditionVariable),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.has_code(DiagCode::DuplicateInvariant),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn coverage_pass_flags_unprofiled_call_patterns() {
+    // Pass 5 needs a DCSM; an empty one can only cost from the prior.
+    let src = std::fs::read_to_string(repo_path("examples/programs/logistics.hms")).unwrap();
+    let program = hermes::parse_program(&src).unwrap();
+    let directives = hermes::analysis::parse_directives(&src).unwrap();
+    let dcsm = hermes::Dcsm::new();
+    let mut analyzer = hermes::Analyzer::new(&program)
+        .with_query_forms(directives.query_forms)
+        .with_dcsm(&dcsm);
+    if let Some(table) = directives.signatures {
+        analyzer = analyzer.with_signatures(table);
+    }
+    let report = analyzer.analyze();
+    assert!(
+        report.has_code(DiagCode::EstimatorBlindSpot),
+        "{}",
+        report.render()
+    );
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
+fn shipped_example_programs_lint_clean() {
+    let dir = repo_path("examples/programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/programs exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|ext| ext != "hms") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = analyze_source(&src)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert!(
+            report.is_clean(),
+            "{} has findings:\n{}",
+            path.display(),
+            report.render()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "expected the example programs, found {checked}"
+    );
+}
+
+#[test]
+fn lint_binary_exit_status_reflects_findings() {
+    let lint = env!("CARGO_BIN_EXE_hermes-lint");
+
+    let clean = Command::new(lint)
+        .arg(repo_path("examples/programs"))
+        .output()
+        .expect("hermes-lint runs");
+    assert!(
+        clean.status.success(),
+        "examples should lint clean:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    let dirty = Command::new(lint)
+        .arg(repo_path("tests/fixtures"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(dirty.status.code(), Some(1));
+    let out = String::from_utf8_lossy(&dirty.stdout);
+    for code in ["HA001", "HA002", "HA005", "HA010", "HA020", "HA030"] {
+        assert!(out.contains(code), "missing {code} in:\n{out}");
+    }
+
+    // Warnings only fail under --strict.
+    let strict = Command::new(lint)
+        .args(["--coverage", "--strict"])
+        .arg(repo_path("examples/programs/logistics.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(strict.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&strict.stdout).contains("HA040"));
+
+    let usage = Command::new(lint).output().expect("hermes-lint runs");
+    assert_eq!(usage.status.code(), Some(2));
+}
+
+#[test]
+fn mediator_rejects_program_the_analyzer_fails() {
+    // No domains are placed, so every domain call is an unknown domain.
+    let mut mediator = Mediator::from_source("p(A) :- in(A, d:f('x')).", Network::new(1)).unwrap();
+    let err = mediator
+        .register_source("q(A) :- in(A, nosuch:fetch('k')).", &[])
+        .unwrap_err();
+    match err {
+        HermesError::Analysis { diagnostics } => {
+            assert!(
+                diagnostics.iter().any(|d| d.contains("HA020")),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("expected an analysis rejection, got: {other}"),
+    }
+}

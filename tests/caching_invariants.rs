@@ -36,9 +36,7 @@ fn caching_always_helps_remote_sources() {
     let warm = m.query("?- objs(4, 47, O).").unwrap();
     assert_eq!(warm.rows, cold.rows);
     assert!(warm.t_all.as_millis_f64() < cold.t_all.as_millis_f64() / 10.0);
-    assert!(
-        warm.t_first.unwrap().as_millis_f64() < cold.t_first.unwrap().as_millis_f64() / 10.0
-    );
+    assert!(warm.t_first.unwrap().as_millis_f64() < cold.t_first.unwrap().as_millis_f64() / 10.0);
 }
 
 #[test]
@@ -58,7 +56,10 @@ fn partial_invariant_gives_fast_first_answer_but_full_all_answers_time() {
     // speed, all answers near the no-cache time (the actual call still
     // runs, in parallel).
     let mut m = video_mediator(2, CimPolicy::cache_everything());
-    m.cim().lock().add_invariant(frame_range_invariant()).unwrap();
+    m.cim()
+        .lock()
+        .add_invariant(frame_range_invariant())
+        .unwrap();
     // Warm with a narrow range.
     m.query("?- objs(10, 40, O).").unwrap();
     // Query a wider, uncached range.
@@ -67,15 +68,27 @@ fn partial_invariant_gives_fast_first_answer_but_full_all_answers_time() {
     assert_eq!(wide.stats.actual_calls, 1);
     let t_first = wide.t_first.unwrap().as_millis_f64();
     let t_all = wide.t_all.as_millis_f64();
-    assert!(t_first < 500.0, "first answer should be cache-fast, got {t_first}");
-    assert!(t_all > 2_000.0, "all answers need the real call, got {t_all}");
-    assert!(t_all > t_first * 10.0, "t_all {t_all} should dwarf t_first {t_first}");
+    assert!(
+        t_first < 500.0,
+        "first answer should be cache-fast, got {t_first}"
+    );
+    assert!(
+        t_all > 2_000.0,
+        "all answers need the real call, got {t_all}"
+    );
+    assert!(
+        t_all > t_first * 10.0,
+        "t_all {t_all} should dwarf t_first {t_first}"
+    );
 }
 
 #[test]
 fn partial_answers_complete_and_deduplicated() {
     let mut m = video_mediator(3, CimPolicy::cache_everything());
-    m.cim().lock().add_invariant(frame_range_invariant()).unwrap();
+    m.cim()
+        .lock()
+        .add_invariant(frame_range_invariant())
+        .unwrap();
     // Reference: the same wide query without any cache.
     let mut reference = video_mediator(3, CimPolicy::never());
     let want = {
@@ -96,7 +109,10 @@ fn interactive_stop_within_partial_prefix_skips_actual_call() {
     // sufficient and the actual call may not need to be made at all."
     let m = {
         let m = video_mediator(4, CimPolicy::cache_everything());
-        m.cim().lock().add_invariant(frame_range_invariant()).unwrap();
+        m.cim()
+            .lock()
+            .add_invariant(frame_range_invariant())
+            .unwrap();
         m
     };
     let mut warmup = m.query_interactive("?- objs(10, 40, O).").unwrap();
@@ -155,7 +171,10 @@ fn equality_invariant_spatial_range_shrinking() {
 #[test]
 fn invariant_hits_counted_in_cim_stats() {
     let mut m = video_mediator(6, CimPolicy::cache_everything());
-    m.cim().lock().add_invariant(frame_range_invariant()).unwrap();
+    m.cim()
+        .lock()
+        .add_invariant(frame_range_invariant())
+        .unwrap();
     m.query("?- objs(10, 40, O).").unwrap();
     m.query("?- objs(0, 600, O).").unwrap();
     let cim = m.cim();

@@ -122,10 +122,7 @@ fn dcsm_maintenance_in_vivo() {
     let mut dcsm = dcsm.lock();
     assert!(dcsm.tables().is_empty());
     let (created, _) = dcsm.maintain(3, 0);
-    assert!(
-        !created.is_empty(),
-        "hot shapes should be materialized"
-    );
+    assert!(!created.is_empty(), "hot shapes should be materialized");
     // Pick a materialized shape whose function actually executed (has
     // detail records — the optimizer costs *every* candidate plan, so
     // never-executed functions can be hot too).
@@ -172,7 +169,10 @@ fn text_federation_queries_run() {
     let popular = m.query("?- headlines('election', H).").unwrap();
     let rare = m.query("?- headlines('taxes', H).").unwrap();
     assert!(popular.rows.len() > rare.rows.len());
-    assert!(popular.t_all > rare.t_all, "posting-list skew shows in time");
+    assert!(
+        popular.t_all > rare.t_all,
+        "posting-list skew shows in time"
+    );
 
     let both = m.query("?- both('election', 'budget', H).").unwrap();
     assert!(both.rows.len() <= popular.rows.len());

@@ -13,11 +13,13 @@ fn asymmetric_mediator(seed: u64) -> Mediator {
     let big = SyntheticDomain::generate(
         "srcbig",
         seed,
-        &[RelationSpec::uniform("big", 400, 5.0).with_profile(CostProfile {
-            start_ms: 10.0,
-            per_answer_ms: 0.5,
-            per_probe_ms: 2.0,
-        })],
+        &[
+            RelationSpec::uniform("big", 400, 5.0).with_profile(CostProfile {
+                start_ms: 10.0,
+                per_answer_ms: 0.5,
+                per_probe_ms: 2.0,
+            }),
+        ],
     );
     let small = SyntheticDomain::generate(
         "srcsmall",
@@ -185,14 +187,9 @@ fn external_estimator_feeds_the_optimizer() {
     let est_src = rel.clone();
     let mut net = Network::new(66);
     net.place(rel, profiles::maryland());
-    let m = Mediator::from_source(
-        "rows(K, T) :- in(T, rel:select_eq('wide', 'k', K)).",
-        net,
-    )
-    .unwrap();
-    m.dcsm()
-        .lock()
-        .register_external("rel", est_src);
+    let m =
+        Mediator::from_source("rows(K, T) :- in(T, rel:select_eq('wide', 'k', K)).", net).unwrap();
+    m.dcsm().lock().register_external("rel", est_src);
     let planned = m.plan("?- rows(7, T).").unwrap();
     let card = planned.estimate().cardinality.unwrap();
     // 500 rows / 50 distinct keys = 10 per key — the native model knows.

@@ -2,6 +2,7 @@
 //! a deep query, and a long query sequence exercising cache eviction,
 //! statistics growth, and clock progression together.
 
+use hermes::common::Record;
 use hermes::domains::objectstore::ObjectStoreDomain;
 use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
 use hermes::domains::spatial::{uniform_points, SpatialDomain};
@@ -9,7 +10,6 @@ use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
 use hermes::domains::terrain::{demo_map, TerrainDomain};
 use hermes::domains::text::newswire;
 use hermes::domains::video::gen::{rope_store, ROPE_CAST};
-use hermes::common::Record;
 use hermes::net::profiles;
 use hermes::{Mediator, Network, Value};
 use std::sync::Arc;
@@ -37,10 +37,7 @@ fn big_world(seed: u64) -> Mediator {
     let synth = SyntheticDomain::generate("synth", seed, &[RelationSpec::uniform("r", 30, 2.0)]);
     let oodb = ObjectStoreDomain::new("design");
     for i in 0..20 {
-        let oid = oodb.create(
-            "doc",
-            Record::from_fields([("n", Value::Int(i as i64))]),
-        );
+        let oid = oodb.create("doc", Record::from_fields([("n", Value::Int(i as i64))]));
         if oid > 0 {
             oodb.add_ref("doc", oid - 1, "next", "doc", oid);
         }
@@ -102,9 +99,7 @@ fn hundred_query_session_stays_consistent() {
     let t0 = m.now();
     for i in 0..100 {
         let f = (i % 10) * 30;
-        let result = m
-            .query(&format!("?- scene({f}, {}, O).", f + 40))
-            .unwrap();
+        let result = m.query(&format!("?- scene({f}, {}, O).", f + 40)).unwrap();
         assert!(!result.rows.is_empty());
         if f == 0 {
             let mut rows = result.rows.clone();
@@ -132,19 +127,19 @@ fn deep_unfolding_chain() {
     // A chain of IDB predicates ten levels deep still plans and runs.
     let mut src = String::from("p0(A, B) :- chainable(A, B).\n");
     for i in 1..10 {
-        src.push_str(&format!("p{i}(A, B) :- p{}(A, C) & chainable(C, B).\n", i - 1));
+        src.push_str(&format!(
+            "p{i}(A, B) :- p{}(A, C) & chainable(C, B).\n",
+            i - 1
+        ));
     }
     src.push_str("chainable(A, B) :- in(B, synth:r_bf(A)).\n");
-    let synth =
-        SyntheticDomain::generate("synth", 9, &[RelationSpec::uniform("r", 60, 1.2)]);
+    let synth = SyntheticDomain::generate("synth", 9, &[RelationSpec::uniform("r", 60, 1.2)]);
     let a0 = synth.domain_values("r")[0].clone();
     let mut net = Network::new(9);
     net.place(Arc::new(synth), profiles::maryland());
     let mut m = Mediator::from_source(&src, net).unwrap();
     m.config_mut().rewrite.max_plans = 4;
-    let result = m
-        .query(&format!("?- p9({}, B).", a0.to_literal()))
-        .unwrap();
+    let result = m.query(&format!("?- p9({}, B).", a0.to_literal())).unwrap();
     // The chain may die out; what matters is it plans, runs, terminates.
     assert!(result.plans_considered >= 1);
     assert!(result.stats.calls_attempted >= 1);

@@ -10,11 +10,13 @@
 //! * **HA010** for each *declared* query adornment (e.g. `route(b, f)`), no
 //!   rule admits an executable ordering when only the `b` positions are
 //!   bound — with a precise "variable X can never be ground under adornment
-//!   bf" explanation instead of a generic plan error.
+//!   bf" explanation instead of a generic plan error;
+//! * **HA050** a declared adornment serializes a rule's domain calls that a
+//!   more-bound adornment could dispatch concurrently.
 
 use crate::analyzer::QueryForm;
 use crate::diagnostic::{DiagCode, Diagnostic, Locus};
-use hermes_lang::{groundability, Program, Rule};
+use hermes_lang::{groundability, BodyAtom, Program, Rule};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -25,6 +27,7 @@ pub(crate) fn run(program: &Program, query_forms: &[QueryForm], out: &mut Vec<Di
     }
     for form in query_forms {
         check_form(program, form, out);
+        check_parallelism(program, form, out);
     }
 }
 
@@ -178,6 +181,100 @@ fn check_form(program: &Program, form: &QueryForm, out: &mut Vec<Diagnostic>) {
     );
 }
 
+/// HA050: the parallel scheduler overlaps only domain calls that are ground
+/// at the *same* point in the plan, so a rule benefits exactly when two or
+/// more `in(...)` calls are dispatchable from the entry bindings. For each
+/// feasible rule with at least two calls, count the calls whose arguments
+/// the declared `b` positions already ground; if fewer than two are ready
+/// but binding every *caller-suppliable* head position would ready two or
+/// more, the declared adornment is leaving overlap on the table — warn.
+///
+/// A head position is caller-suppliable unless the body derives it from the
+/// calls themselves (directly as a call target, or via `=` projections of
+/// one): a pipelined join like `in(O, v:objs(F)) & in(A, r:cast(O))`
+/// serializes on `O` *inherently* — `O` is an answer the query exists to
+/// compute, so no realistic adornment pre-binds it, and we stay quiet.
+fn check_parallelism(program: &Program, form: &QueryForm, out: &mut Vec<Diagnostic>) {
+    let rules = program.rules_for(&form.pred, form.bound.len());
+    for rule in &rules {
+        let calls: Vec<&BodyAtom> = rule
+            .body
+            .iter()
+            .filter(|a| matches!(a, BodyAtom::In { .. }))
+            .collect();
+        if calls.len() < 2 {
+            continue;
+        }
+        let mut declared_seed: BTreeSet<Arc<str>> = BTreeSet::new();
+        for (i, bound) in form.bound.iter().enumerate() {
+            if *bound {
+                if let Some(v) = rule.head.args[i].as_var() {
+                    declared_seed.insert(v.clone());
+                }
+            }
+        }
+        // Only feasible rules are interesting; infeasible ones already get
+        // HA010 and have no ordering to serialize.
+        if !groundability(declared_seed.clone(), &rule.body).is_executable() {
+            continue;
+        }
+        let ready = |seed: &BTreeSet<Arc<str>>| {
+            calls
+                .iter()
+                .filter(|a| a.requires().is_subset(seed))
+                .count()
+        };
+        let declared_ready = ready(&declared_seed);
+        if declared_ready >= 2 {
+            continue;
+        }
+        // Everything the calls + conditions alone derive from the declared
+        // bindings is an answer; what remains must flow in from elsewhere
+        // (IDB predicates) and is fair game for the caller to bind instead.
+        let non_pred: Vec<BodyAtom> = rule
+            .body
+            .iter()
+            .filter(|a| !matches!(a, BodyAtom::Pred(_)))
+            .cloned()
+            .collect();
+        let derived = groundability(declared_seed.clone(), &non_pred).groundable;
+        let mut widened: BTreeSet<Arc<str>> = rule
+            .head
+            .variables()
+            .into_iter()
+            .filter(|v| !derived.contains(v))
+            .collect();
+        widened.extend(declared_seed.iter().cloned());
+        let widened_ready = ready(&widened);
+        if widened_ready >= 2 {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::SerializedParallelizable,
+                    Locus::QueryForm {
+                        text: form.to_string(),
+                    },
+                    format!(
+                        "under adornment `{}`, rule `{}` can dispatch only \
+                         {} of its {} domain calls at entry, so they run \
+                         serially; binding every non-answer argument would \
+                         let {} overlap",
+                        form.adornment(),
+                        rule.head,
+                        declared_ready,
+                        calls.len(),
+                        widened_ready,
+                    ),
+                )
+                .with_suggestion(
+                    "bind more arguments in the query (or split the rule) so \
+                     at least two `in(...)` calls are ground at entry and the \
+                     scheduler can overlap them",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +333,77 @@ mod tests {
                    q(B, C) :- in(Ans, d2:q_all()) & =(Ans.1, B) & =(Ans.2, C).\n";
         let out = diags(src, &[QueryForm::parse("q(f, f)").unwrap()]);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ha050_warns_when_adornment_serializes_overlappable_calls() {
+        // Under lookup(b, f, f, f) the second call waits for `p` to bind B,
+        // a plain input position; declaring lookup(b, b, f, f) instead
+        // would let both calls dispatch at entry.
+        let src = "lookup(A, B, Y, Z) :- p(B) & in(Y, d1:f_bf(A)) & in(Z, d2:g_bf(B)).\n\
+                   p('x').";
+        let serial = diags(src, &[QueryForm::parse("lookup(b, f, f, f)").unwrap()]);
+        let d = serial
+            .iter()
+            .find(|d| d.code == DiagCode::SerializedParallelizable)
+            .expect("HA050 expected");
+        assert_eq!(d.severity, crate::diagnostic::Severity::Warning);
+        assert!(d.message.contains("adornment `bfff`"), "{}", d.message);
+        assert!(
+            d.message.contains("1 of its 2 domain calls"),
+            "{}",
+            d.message
+        );
+
+        let wide = diags(src, &[QueryForm::parse("lookup(b, b, f, f)").unwrap()]);
+        assert!(
+            !wide
+                .iter()
+                .any(|d| d.code == DiagCode::SerializedParallelizable),
+            "{wide:?}"
+        );
+    }
+
+    #[test]
+    fn ha050_silent_when_no_adornment_could_parallelize() {
+        // The second call consumes the first call's answer: inherently
+        // sequential under every adornment, so no warning.
+        let src = "chain(A, Y) :- in(X, d1:f_bf(A)) & in(Y, d2:g_bf(X)).";
+        let out = diags(src, &[QueryForm::parse("chain(b, f)").unwrap()]);
+        assert!(
+            !out.iter()
+                .any(|d| d.code == DiagCode::SerializedParallelizable),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn ha050_silent_on_pipelined_joins_over_answer_variables() {
+        // The paper's canonical join: the second call consumes the first
+        // call's *answer* (an `f` head position). No caller would pre-bind
+        // the object list it is asking for, so this must stay quiet.
+        let src = "actors(F, L, O, A) :-
+                       in(O, video:objs_bf(F, L)) &
+                       in(A, relation:cast_bf(O)).";
+        let out = diags(src, &[QueryForm::parse("actors(b, b, f, f)").unwrap()]);
+        assert!(
+            !out.iter()
+                .any(|d| d.code == DiagCode::SerializedParallelizable),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn ha050_silent_on_infeasible_rules() {
+        // Infeasible under ff — HA010 fires, HA050 stays quiet.
+        let src = "lookup(A, B, X, Y) :- in(X, d1:f_bf(A)) & in(Y, d2:g_bf(B)).";
+        let out = diags(src, &[QueryForm::parse("lookup(f, f, f, f)").unwrap()]);
+        assert!(out.iter().any(|d| d.code == DiagCode::InfeasibleAdornment));
+        assert!(
+            !out.iter()
+                .any(|d| d.code == DiagCode::SerializedParallelizable),
+            "{out:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl fmt::Display for Severity {
 ///
 /// Numbering groups by pass: `HA00x` dependency graph, `HA01x` adornment
 /// feasibility, `HA02x` domain signatures, `HA03x` invariants, `HA04x`
-/// cost coverage.
+/// cost coverage, `HA05x` parallelizability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagCode {
     /// `HA001` — recursive predicate cycle; the nested-loops executor
@@ -74,6 +74,11 @@ pub enum DiagCode {
     /// `HA040` — a call pattern has neither DCSM statistics nor a native
     /// estimator; costing falls back to the prior.
     EstimatorBlindSpot,
+    /// `HA050` — under a declared adornment, a rule's domain calls can only
+    /// run one after another, while a more-bound adornment would let two or
+    /// more dispatch concurrently (the parallel scheduler overlaps only
+    /// calls that are ground at the same point).
+    SerializedParallelizable,
 }
 
 impl DiagCode {
@@ -97,6 +102,7 @@ impl DiagCode {
             DiagCode::DuplicateInvariant => "HA033",
             DiagCode::SuspiciousDirection => "HA034",
             DiagCode::EstimatorBlindSpot => "HA040",
+            DiagCode::SerializedParallelizable => "HA050",
         }
     }
 
@@ -119,7 +125,8 @@ impl DiagCode {
             | DiagCode::UnsatisfiableCondition
             | DiagCode::DuplicateInvariant
             | DiagCode::SuspiciousDirection
-            | DiagCode::EstimatorBlindSpot => Severity::Warning,
+            | DiagCode::EstimatorBlindSpot
+            | DiagCode::SerializedParallelizable => Severity::Warning,
         }
     }
 }

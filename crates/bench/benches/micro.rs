@@ -265,10 +265,7 @@ fn bench_executor() {
                 &cim,
                 &dcsm,
                 hermes_common::SimClock::new(),
-                ExecConfig {
-                    record_stats: false,
-                    ..ExecConfig::default()
-                },
+                ExecConfig::builder().record_stats(false).build(),
             )
             .run(&plan, None)
             .unwrap()

@@ -1,0 +1,45 @@
+//! Parallel scheduler speedup on the four-independent-site scenario. Run
+//! with `cargo bench -p hermes-bench --bench parallel_speedup`; CI passes
+//! `-- --test-mode` for the single-row smoke variant.
+//!
+//! Exits non-zero if the overlapped run loses answers or falls short of
+//! the 2x simulated speedup bar.
+
+use hermes_bench::parallel;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test-mode");
+    let seed = 1996;
+
+    let rows = if test_mode {
+        vec![parallel::run(seed)]
+    } else {
+        [1, 2, 3, 4]
+            .into_iter()
+            .map(|k| parallel::run_at(seed, k))
+            .collect()
+    };
+
+    println!("\nParallel scheduler speedup (4 independent sites, simulated ms)\n");
+    println!("{}", parallel::render(&rows));
+
+    let headline = rows.last().expect("at least one row");
+    assert!(
+        headline.answers_match,
+        "overlapped run changed the answer set"
+    );
+    assert!(
+        headline.speedup >= 2.0,
+        "speedup {:.2}x below the 2x bar (serial {:.1}ms, parallel {:.1}ms)",
+        headline.speedup,
+        headline.serial_ms,
+        headline.parallel_ms
+    );
+    println!(
+        "headline: {:.2}x at {} slots, answers identical ({} rows)",
+        headline.speedup, headline.parallelism, headline.answers
+    );
+    if test_mode {
+        println!("parallel_speedup: OK (test mode)");
+    }
+}

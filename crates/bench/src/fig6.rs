@@ -142,11 +142,10 @@ pub fn run(seed: u64) -> Vec<Fig6Row> {
             &scratch_cim,
             &dcsm_arc,
             SimClock::new(),
-            ExecConfig {
-                record_stats: false,
-                store_results: false,
-                ..ExecConfig::default()
-            },
+            ExecConfig::builder()
+                .record_stats(false)
+                .store_results(false)
+                .build(),
         )
         .run(&plan, None)
         .expect("measured query runs");
@@ -177,10 +176,10 @@ fn train(m: &mut hermes_core::Mediator, seed: u64) {
     for _ in 0..20 {
         let first = rng.range_u64(0, 800);
         let len = rng.range_u64(10, 160);
-        let _ = m.query(&format!("?- objs({first}, {}, O).", first + len));
+        let _ = m.query(format!("?- objs({first}, {}, O).", first + len));
         let vfirst = rng.range_u64(0, 1_300);
         let vlen = rng.range_u64(100, 900);
-        let _ = m.query(&format!(
+        let _ = m.query(format!(
             "?- vobjs('vertigo', {vfirst}, {}, O).",
             (vfirst + vlen).min(1_535)
         ));
@@ -190,10 +189,10 @@ fn train(m: &mut hermes_core::Mediator, seed: u64) {
     let _ = m.query("?- in(S, video:video_size('vertigo')).");
     for _ in 0..20 {
         let (role, _) = ROPE_CAST[rng.range_usize(0, ROPE_CAST.len())];
-        let _ = m.query(&format!(
+        let _ = m.query(format!(
             "?- in(F, video:object_to_frames('rope', '{role}'))."
         ));
-        let _ = m.query(&format!(
+        let _ = m.query(format!(
             "?- in(T, relation:select_eq('cast', 'role', '{role}'))."
         ));
     }

@@ -16,12 +16,14 @@
 //! | §8 plan-choice claims 1–2 | [`plan_choice`] | `plan_choice` |
 //! | §6.2 summarization tradeoffs | [`tradeoffs`] | `summarization_tradeoffs` |
 //! | resilience layer (beyond the paper) | [`chaos`] | `chaos_resilience` |
+//! | parallel scheduler (beyond the paper) | [`parallel`] | `parallel_speedup` |
 
 pub mod chaos;
 pub mod drift;
 pub mod fig234;
 pub mod fig5;
 pub mod fig6;
+pub mod parallel;
 pub mod plan_choice;
 pub mod scenarios;
 pub mod table;

@@ -92,15 +92,15 @@ fn train(m: &mut Mediator, seed: u64) {
     for _ in 0..12 {
         let x = rng.range_usize(0, 40);
         let y = rng.range_i64(0, 80);
-        let _ = m.query(&format!("?- in(B, sa:ra_bf('ra_{x}'))."));
-        let _ = m.query(&format!("?- in(A, sa:ra_fb({y}))."));
-        let _ = m.query(&format!("?- in(X, sa:ra_bb('ra_{x}', {y}))."));
-        let _ = m.query(&format!(
+        let _ = m.query(format!("?- in(B, sa:ra_bf('ra_{x}'))."));
+        let _ = m.query(format!("?- in(A, sa:ra_fb({y}))."));
+        let _ = m.query(format!("?- in(X, sa:ra_bb('ra_{x}', {y}))."));
+        let _ = m.query(format!(
             "?- in(B, sb:rb_bf('rb_{}')).",
             rng.range_usize(0, 10)
         ));
-        let _ = m.query(&format!("?- in(A, sb:rb_fb({y}))."));
-        let _ = m.query(&format!(
+        let _ = m.query(format!("?- in(A, sb:rb_fb({y}))."));
+        let _ = m.query(format!(
             "?- in(X, sb:rb_bb('rb_{}', {y})).",
             rng.range_usize(0, 10)
         ));

@@ -51,5 +51,5 @@ pub mod policy;
 
 pub use cache::{AnswerCache, CacheEntry, CacheStats};
 pub use invariant::{InvariantHit, InvariantStore};
-pub use manager::{Cim, CimCostModel, CimResolution, CimStats};
+pub use manager::{Cim, CimCostModel, CimPreview, CimResolution, CimStats};
 pub use policy::{CimPolicy, RoutingDecision};

@@ -82,6 +82,22 @@ impl CimResolution {
     }
 }
 
+/// A side-effect-free preview of a lookup's outcome; see [`Cim::preview`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CimPreview {
+    /// An exact or equality hit: no network call would be needed.
+    Hit,
+    /// A subset invariant applies: the actual call is still required for
+    /// completeness, so a network call would follow the cached prefix.
+    Partial,
+    /// Nothing cached applies; `executed` is the ground call that would
+    /// actually go over the wire (the substitute, if one exists).
+    Miss {
+        /// The call that would be executed on the network.
+        executed: GroundCall,
+    },
+}
+
 /// Cumulative CIM counters, per resolution kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CimStats {
@@ -184,6 +200,32 @@ impl Cim {
     /// Cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A non-mutating preview of what [`Cim::lookup`] would resolve to:
+    /// no hit counters move, no LRU order changes, no simulated time is
+    /// charged. The parallel scheduler peeks before dispatching a group so
+    /// it only puts real network calls (misses) in flight; the member's
+    /// later `lookup` performs the authoritative, charged resolution.
+    pub fn preview(&self, call: &GroundCall) -> CimPreview {
+        if self.cache.peek(call).is_some_and(|e| e.complete) {
+            return CimPreview::Hit;
+        }
+        if !self.invariants.is_empty() {
+            if let Some(hit) = self.invariants.find_hits(call, &self.cache).first() {
+                return match hit {
+                    InvariantHit::Equal { .. } => CimPreview::Hit,
+                    InvariantHit::Partial { .. } => CimPreview::Partial,
+                };
+            }
+        }
+        let executed = self
+            .invariants
+            .substitutes(call)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| call.clone());
+        CimPreview::Miss { executed }
     }
 
     /// The §4.1 lookup pipeline. Returns the resolution and the simulated

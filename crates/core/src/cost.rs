@@ -15,11 +15,12 @@
 //! variables become `$b`). Fact scans are costed exactly; conditions apply
 //! a configurable selectivity.
 
-use crate::plan::{Plan, PlanStep};
+use crate::plan::{independence_groups, Plan, PlanStep};
 use hermes_common::{CallPattern, PatArg};
-use hermes_dcsm::{CostVector, Dcsm};
-use hermes_lang::{Relop, Term};
-use std::collections::BTreeSet;
+use hermes_dcsm::{overlap_makespan, CostVector, Dcsm};
+use hermes_lang::{CallTemplate, Relop, Term};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Cost-model knobs.
@@ -31,6 +32,17 @@ pub struct CostConfig {
     pub filter_selectivity: f64,
     /// Simulated milliseconds per fact row scanned.
     pub fact_row_ms: f64,
+    /// Concurrency the executor will grant an independence group. At the
+    /// default `1` the estimate is the paper's sequential formula exactly;
+    /// `k > 1` charges each group its overlap makespan over `k` virtual
+    /// slots instead of the members' sequential sum (cardinalities still
+    /// multiply — overlap changes time, not answers).
+    pub max_parallel_calls: usize,
+    /// Mediator-side milliseconds to put one group call in flight (must
+    /// mirror [`ExecConfig::dispatch_overhead_ms`]).
+    ///
+    /// [`ExecConfig::dispatch_overhead_ms`]: crate::exec::ExecConfig::dispatch_overhead_ms
+    pub dispatch_overhead_ms: f64,
 }
 
 impl Default for CostConfig {
@@ -38,8 +50,43 @@ impl Default for CostConfig {
         CostConfig {
             filter_selectivity: 0.4,
             fact_row_ms: 0.002,
+            max_parallel_calls: 1,
+            dispatch_overhead_ms: 0.05,
         }
     }
+}
+
+/// The DCSM call pattern of a plan call step: constants stay constants,
+/// variables become `$b`.
+fn step_pattern(call: &CallTemplate) -> CallPattern {
+    CallPattern::new(
+        call.domain.clone(),
+        call.function.clone(),
+        call.args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => PatArg::Const(v.clone()),
+                Term::Var(_) => PatArg::Bound,
+            })
+            .collect(),
+    )
+}
+
+/// The cardinality contribution of a call step, binding its target.
+/// Membership probes (ground target) yield at most one extension per
+/// input row.
+fn step_cardinality(target: &Term, estimated: f64, bound: &mut BTreeSet<Arc<str>>) -> f64 {
+    let is_probe = match target {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    };
+    let card = if is_probe {
+        estimated.min(1.0)
+    } else {
+        bound.insert(target.as_var().expect("non-probe target is a var").clone());
+        estimated
+    };
+    card.max(0.0)
 }
 
 /// The §7 estimate for `plan`, as a complete cost vector.
@@ -48,37 +95,49 @@ pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVecto
     let mut t_first = 0.0f64;
     let mut t_all = 0.0f64;
     let mut prefix_card = 1.0f64;
+    let groups: HashMap<usize, Range<usize>> = if config.max_parallel_calls > 1 {
+        independence_groups(&plan.steps)
+            .into_iter()
+            .map(|r| (r.start, r))
+            .collect()
+    } else {
+        HashMap::new()
+    };
 
-    for step in &plan.steps {
-        match step {
+    let mut i = 0;
+    while i < plan.steps.len() {
+        if let Some(group) = groups.get(&i) {
+            // Overlap-aware group charge: the executor dispatches these
+            // calls together, so the group costs its makespan over the
+            // configured slots — a barrier, hence the same charge toward
+            // T_first — while cardinalities multiply exactly as in the
+            // sequential formula.
+            let entry_card = prefix_card;
+            let mut durations = Vec::new();
+            for idx in group.clone() {
+                let PlanStep::Call { target, call, .. } = &plan.steps[idx] else {
+                    continue;
+                };
+                let est = dcsm.cost(&step_pattern(call));
+                durations.push(est.t_all_ms());
+                prefix_card *= step_cardinality(target, est.cardinality(), &mut bound);
+            }
+            let t_group = overlap_makespan(
+                &durations,
+                config.max_parallel_calls,
+                config.dispatch_overhead_ms,
+            );
+            t_all += entry_card * t_group;
+            t_first += t_group;
+            i = group.end;
+            continue;
+        }
+        match &plan.steps[i] {
             PlanStep::Call { target, call, .. } => {
-                let pattern = CallPattern::new(
-                    call.domain.clone(),
-                    call.function.clone(),
-                    call.args
-                        .iter()
-                        .map(|t| match t {
-                            Term::Const(v) => PatArg::Const(v.clone()),
-                            Term::Var(_) => PatArg::Bound,
-                        })
-                        .collect(),
-                );
-                let est = dcsm.cost(&pattern);
+                let est = dcsm.cost(&step_pattern(call));
                 t_all += prefix_card * est.t_all_ms();
                 t_first += est.t_first_ms();
-                // Membership probes (ground target) yield at most one
-                // extension per input row.
-                let is_probe = match target {
-                    Term::Const(_) => true,
-                    Term::Var(v) => bound.contains(v),
-                };
-                let card = if is_probe {
-                    est.cardinality().min(1.0)
-                } else {
-                    bound.insert(target.as_var().expect("non-probe target is a var").clone());
-                    est.cardinality()
-                };
-                prefix_card *= card.max(0.0);
+                prefix_card *= step_cardinality(target, est.cardinality(), &mut bound);
             }
             PlanStep::Facts { args, rows, .. } => {
                 // Exact: count rows compatible with the constant positions.
@@ -132,6 +191,7 @@ pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVecto
                 }
             }
         }
+        i += 1;
     }
     CostVector::full(t_first, t_all, prefix_card)
 }
@@ -333,6 +393,53 @@ mod tests {
         let cfg = CostConfig::default();
         let est = estimate_plan(&plans[0], &dcsm, &cfg);
         assert!((est.cardinality.unwrap() - 3.0 * cfg.filter_selectivity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_cost_charges_group_makespan() {
+        use crate::plan::Route;
+        let dcsm = warmed_dcsm();
+        // Two independent calls (constant args, distinct fresh targets).
+        let plan = Plan {
+            steps: vec![
+                PlanStep::Call {
+                    target: Term::var("B"),
+                    call: CallTemplate::new("d1", "p_bf", vec![Term::constant("a")]),
+                    route: Route::Direct,
+                },
+                PlanStep::Call {
+                    target: Term::var("C"),
+                    call: CallTemplate::new("d2", "q_ff", vec![]),
+                    route: Route::Direct,
+                },
+            ],
+            answer_vars: vec![Arc::from("B"), Arc::from("C")],
+        };
+        let seq = estimate_plan(&plan, &dcsm, &CostConfig::default());
+        // Sequential §7 formula: 2.1 + 3 · 5.2 = 17.7.
+        assert!((seq.t_all_ms.unwrap() - 17.7).abs() < 1e-6);
+        let par_cfg = CostConfig {
+            max_parallel_calls: 2,
+            dispatch_overhead_ms: 0.0,
+            ..CostConfig::default()
+        };
+        let par = estimate_plan(&plan, &dcsm, &par_cfg);
+        // Overlapped: the group costs max(2.1, 5.2) = 5.2.
+        assert!(
+            (par.t_all_ms.unwrap() - 5.2).abs() < 1e-6,
+            "got {:?}",
+            par.t_all_ms
+        );
+        // Overlap changes time, not answers.
+        assert!((par.cardinality.unwrap() - seq.cardinality.unwrap()).abs() < 1e-9);
+        // Dispatch overhead is charged per call.
+        let with_overhead = CostConfig {
+            max_parallel_calls: 2,
+            dispatch_overhead_ms: 0.5,
+            ..CostConfig::default()
+        };
+        let est = estimate_plan(&plan, &dcsm, &with_overhead);
+        assert!((est.t_all_ms.unwrap() - 5.7).abs() < 1e-6);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! send fails and evaluation unwinds, cancelling outstanding source calls
 //! (the paper: "the query processor stops the execution of all the running
 //! external programs when they are no longer needed").
+//!
+//! The cursor inherits the mediator's [`ExecConfig`] verbatim, including
+//! `max_parallel_calls`: with `k > 1` the worker dispatches each
+//! independence group before the first pull that touches it, so early
+//! answers already reflect the overlapped (shorter) virtual timeline, and
+//! stopping between pulls abandons only calls not yet dispatched.
 
 use crate::breaker::BreakerBank;
 use crate::exec::{ExecConfig, ExecStats, Executor};

@@ -20,7 +20,7 @@
 use crate::breaker::{Admission, BreakerBank};
 use crate::plan::{Plan, PlanStep, Route};
 use crate::trace::{TraceEntry, TraceEvent};
-use hermes_cim::{Cim, CimResolution};
+use hermes_cim::{Cim, CimPreview, CimResolution};
 use hermes_common::sync::Mutex;
 use hermes_common::{
     GroundCall, HermesError, Result, Rng64, SimClock, SimDuration, SimInstant, Value,
@@ -28,7 +28,7 @@ use hermes_common::{
 use hermes_dcsm::Dcsm;
 use hermes_lang::{Relop, Subst, Term};
 use hermes_net::{Network, RemoteOutcome};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A streaming answer sink: receives each answer binding and the elapsed
@@ -36,7 +36,12 @@ use std::fmt;
 pub type AnswerSink<'s> = &'s mut dyn FnMut(&Subst, SimDuration) -> bool;
 
 /// Executor knobs.
+///
+/// The struct is `#[non_exhaustive]`: outside `hermes-core`, construct it
+/// with [`ExecConfig::builder`] (or start from [`ExecConfig::default`] and
+/// assign fields) so new knobs can be added without breaking callers.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Issue the actual call concurrently with serving cached partial
     /// answers (§4.1: "it is possible to make the actual domain call in
@@ -78,6 +83,20 @@ pub struct ExecConfig {
     /// Fail deadline-exceeded runs with an error instead of returning
     /// partial answers.
     pub deadline_strict: bool,
+    /// Concurrent in-flight calls allowed when an *independence group* of
+    /// the plan (consecutive calls sharing no unbound variables) is
+    /// dispatched. `1` — the default — disables group dispatch entirely
+    /// and preserves the paper's sequential pipelined executor exactly;
+    /// `k > 1` overlaps up to `k` of a group's domain calls on the
+    /// virtual timeline.
+    pub max_parallel_calls: usize,
+    /// Within one dispatched group, let repeated `(site, function)` calls
+    /// piggyback on the first one's round trip: the repeats pay transfer
+    /// time but not connect + RTT.
+    pub batch_calls: bool,
+    /// Simulated mediator-side milliseconds to put one call of a
+    /// dispatched group in flight.
+    pub dispatch_overhead_ms: f64,
 }
 
 impl Default for ExecConfig {
@@ -96,8 +115,81 @@ impl Default for ExecConfig {
             retry_seed: 0x4245_4b45_5321,
             deadline: None,
             deadline_strict: false,
+            max_parallel_calls: 1,
+            batch_calls: true,
+            dispatch_overhead_ms: 0.05,
         }
     }
+}
+
+impl ExecConfig {
+    /// A builder starting from [`ExecConfig::default`] — the only way to
+    /// construct a customized config outside `hermes-core`.
+    pub fn builder() -> ExecConfigBuilder {
+        ExecConfigBuilder {
+            config: ExecConfig::default(),
+        }
+    }
+}
+
+/// Builds an [`ExecConfig`]; obtain one via [`ExecConfig::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfigBuilder {
+    config: ExecConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        impl ExecConfigBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $field(mut self, value: $ty) -> Self {
+                    self.config.$field = value;
+                    self
+                }
+            )*
+
+            /// Finishes the build.
+            pub fn build(self) -> ExecConfig {
+                self.config
+            }
+        }
+    };
+}
+
+builder_setters! {
+    /// See [`ExecConfig::partial_parallel`].
+    partial_parallel: bool,
+    /// See [`ExecConfig::record_stats`].
+    record_stats: bool,
+    /// See [`ExecConfig::store_results`].
+    store_results: bool,
+    /// See [`ExecConfig::memoize_calls`].
+    memoize_calls: bool,
+    /// See [`ExecConfig::fact_row_ms`].
+    fact_row_ms: f64,
+    /// See [`ExecConfig::collect_trace`].
+    collect_trace: bool,
+    /// See [`ExecConfig::retry_attempts`].
+    retry_attempts: u32,
+    /// See [`ExecConfig::retry_backoff_ms`].
+    retry_backoff_ms: f64,
+    /// See [`ExecConfig::retry_backoff_cap_ms`].
+    retry_backoff_cap_ms: f64,
+    /// See [`ExecConfig::retry_jitter_frac`].
+    retry_jitter_frac: f64,
+    /// See [`ExecConfig::retry_seed`].
+    retry_seed: u64,
+    /// See [`ExecConfig::deadline`].
+    deadline: Option<SimDuration>,
+    /// See [`ExecConfig::deadline_strict`].
+    deadline_strict: bool,
+    /// See [`ExecConfig::max_parallel_calls`].
+    max_parallel_calls: usize,
+    /// See [`ExecConfig::batch_calls`].
+    batch_calls: bool,
+    /// See [`ExecConfig::dispatch_overhead_ms`].
+    dispatch_overhead_ms: f64,
 }
 
 /// Execution counters.
@@ -139,6 +231,14 @@ pub struct ExecStats {
     pub deadline_aborts: u64,
     /// Actual calls whose answer set arrived truncated (injected fault).
     pub truncated_calls: u64,
+    /// Independence groups dispatched concurrently.
+    pub parallel_groups: u64,
+    /// Calls put in flight as part of a dispatched group.
+    pub overlapped_calls: u64,
+    /// Group calls that piggybacked on an earlier call's round trip.
+    pub batched_calls: u64,
+    /// Simulated microseconds saved by overlap (serial sum − makespan).
+    pub overlap_saved_us: u64,
 }
 
 impl ExecStats {
@@ -164,6 +264,10 @@ impl ExecStats {
         self.breaker_recoveries += other.breaker_recoveries;
         self.deadline_aborts += other.deadline_aborts;
         self.truncated_calls += other.truncated_calls;
+        self.parallel_groups += other.parallel_groups;
+        self.overlapped_calls += other.overlapped_calls;
+        self.batched_calls += other.batched_calls;
+        self.overlap_saved_us += other.overlap_saved_us;
     }
 }
 
@@ -295,6 +399,14 @@ pub struct Executor<'w> {
     retry_rng: Rng64,
     /// Absolute deadline instant, fixed when the run starts.
     deadline_at: Option<SimInstant>,
+    /// The plan's independence groups, keyed by starting step index.
+    /// Empty unless `max_parallel_calls > 1`.
+    groups: HashMap<usize, std::ops::Range<usize>>,
+    /// Outcomes fetched ahead by a group dispatch, keyed by the step
+    /// index and the call that actually went over the wire. Consumption
+    /// serves them at zero additional charge — the group barrier already
+    /// paid the overlapped makespan.
+    prefetch: HashMap<(usize, GroundCall), RemoteOutcome>,
 }
 
 impl<'w> Executor<'w> {
@@ -318,6 +430,8 @@ impl<'w> Executor<'w> {
             breakers: None,
             retry_rng: Rng64::new(config.retry_seed),
             deadline_at: None,
+            groups: HashMap::new(),
+            prefetch: HashMap::new(),
         }
     }
 
@@ -387,6 +501,15 @@ impl<'w> Executor<'w> {
             sink,
         };
         self.deadline_at = self.config.deadline.map(|d| out.start + d);
+        self.groups = if self.config.max_parallel_calls > 1 {
+            crate::plan::independence_groups(&plan.steps)
+                .into_iter()
+                .map(|r| (r.start, r))
+                .collect()
+        } else {
+            HashMap::new()
+        };
+        self.prefetch.clear();
         self.exec(&plan.steps, 0, &Subst::new(), &mut out)?;
         let t_all = self.clock.now().duration_since(out.start);
         let incomplete = out.incomplete || out.provenance.iter().any(|p| !p.complete());
@@ -497,6 +620,12 @@ impl<'w> Executor<'w> {
                 call,
                 route,
             } => {
+                if let Some(group) = self.groups.get(&idx).cloned() {
+                    // This call opens an independence group: put every
+                    // member's network call in flight together before the
+                    // nested-loops walk consumes their answers.
+                    self.dispatch_group(steps, group, theta, out);
+                }
                 let ground = theta.ground_call(call).ok_or_else(|| {
                     HermesError::Eval(format!(
                         "call `{call}` has unbound arguments at execution \
@@ -559,17 +688,37 @@ impl<'w> Executor<'w> {
 
         let result = match route {
             Route::Direct => {
-                let outcome = self.actual_call(ground)?;
-                self.note_truncation(out, idx, ground, &outcome);
-                let (first, per) = charge_schedule(&outcome);
-                if outcome.answers.is_empty() {
-                    self.clock.advance(outcome.t_all);
+                if let Some(outcome) = self.prefetched(idx, ground) {
+                    // The group dispatch already paid the overlapped
+                    // makespan: serve the parked answers at zero charge.
+                    self.note_truncation(out, idx, ground, &outcome);
+                    if self.config.memoize_calls && !outcome.truncated {
+                        self.memo.insert(ground.clone(), outcome.answers.clone());
+                    }
+                    self.iterate(
+                        steps,
+                        idx,
+                        theta,
+                        out,
+                        &outcome.answers,
+                        SimDuration::ZERO,
+                        SimDuration::ZERO,
+                        probe,
+                        target,
+                    )
+                } else {
+                    let outcome = self.actual_call(ground)?;
+                    self.note_truncation(out, idx, ground, &outcome);
+                    let (first, per) = charge_schedule(&outcome);
+                    if outcome.answers.is_empty() {
+                        self.clock.advance(outcome.t_all);
+                    }
+                    let answers = outcome.answers;
+                    if self.config.memoize_calls && !outcome.truncated {
+                        self.memo.insert(ground.clone(), answers.clone());
+                    }
+                    self.iterate(steps, idx, theta, out, &answers, first, per, probe, target)
                 }
-                let answers = outcome.answers;
-                if self.config.memoize_calls && !outcome.truncated {
-                    self.memo.insert(ground.clone(), answers.clone());
-                }
-                self.iterate(steps, idx, theta, out, &answers, first, per, probe, target)
             }
             Route::Cim => self.run_cim_call(steps, idx, theta, out, ground, probe, target),
         }?;
@@ -711,44 +860,55 @@ impl<'w> Executor<'w> {
                     }
                     None => ground.clone(),
                 };
-                let outcome = match self.actual_call(&exec_call) {
-                    Ok(o) => o,
-                    Err(HermesError::Unavailable { site, reason }) => {
-                        // Serve-stale fallback: a possibly-incomplete old
-                        // entry beats failing the whole query.
-                        let stale = self.cim.lock().stale_answers(ground);
-                        match stale {
-                            Some(answers) => {
-                                self.note(TraceEvent::ServedStale {
-                                    call: ground.clone(),
-                                    answers: answers.len(),
-                                });
-                                let gap = if reason.contains("circuit breaker") {
-                                    IncompleteReason::BreakerOpen { site }
-                                } else {
-                                    IncompleteReason::SiteUnavailable { site }
-                                };
-                                out.mark_gap(idx, gap);
-                                return self.iterate(
-                                    steps,
-                                    idx,
-                                    theta,
-                                    out,
-                                    &answers,
-                                    SimDuration::ZERO,
-                                    SimDuration::ZERO,
-                                    probe,
-                                    target,
-                                );
+                let parked = self.prefetched(idx, &exec_call);
+                let was_parked = parked.is_some();
+                let outcome = if let Some(o) = parked {
+                    o
+                } else {
+                    match self.actual_call(&exec_call) {
+                        Ok(o) => o,
+                        Err(HermesError::Unavailable { site, reason }) => {
+                            // Serve-stale fallback: a possibly-incomplete old
+                            // entry beats failing the whole query.
+                            let stale = self.cim.lock().stale_answers(ground);
+                            match stale {
+                                Some(answers) => {
+                                    self.note(TraceEvent::ServedStale {
+                                        call: ground.clone(),
+                                        answers: answers.len(),
+                                    });
+                                    let gap = if reason.contains("circuit breaker") {
+                                        IncompleteReason::BreakerOpen { site }
+                                    } else {
+                                        IncompleteReason::SiteUnavailable { site }
+                                    };
+                                    out.mark_gap(idx, gap);
+                                    return self.iterate(
+                                        steps,
+                                        idx,
+                                        theta,
+                                        out,
+                                        &answers,
+                                        SimDuration::ZERO,
+                                        SimDuration::ZERO,
+                                        probe,
+                                        target,
+                                    );
+                                }
+                                None => return Err(HermesError::Unavailable { site, reason }),
                             }
-                            None => return Err(HermesError::Unavailable { site, reason }),
                         }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
                 };
                 self.note_truncation(out, idx, &exec_call, &outcome);
-                let (first, per) = charge_schedule(&outcome);
-                if outcome.answers.is_empty() {
+                let (first, per) = if was_parked {
+                    // Already paid for by the group barrier.
+                    (SimDuration::ZERO, SimDuration::ZERO)
+                } else {
+                    charge_schedule(&outcome)
+                };
+                if !was_parked && outcome.answers.is_empty() {
                     self.clock.advance(outcome.t_all);
                 }
                 let complete = !outcome.truncated;
@@ -917,11 +1077,171 @@ impl<'w> Executor<'w> {
         Ok(true)
     }
 
+    /// Dispatches an independence group: grounds every member call
+    /// against the group-entry bindings, puts the ones that actually need
+    /// the network in flight across up to
+    /// [`max_parallel_calls`](ExecConfig::max_parallel_calls) virtual
+    /// slots (greedy earliest-slot list scheduling), advances the clock
+    /// once by the schedule's makespan, and parks the outcomes for the
+    /// nested-loops walk to consume at zero additional charge.
+    ///
+    /// Members that would be served by the per-query memo or a CIM hit
+    /// are skipped — they never touch the network. (A partial hit's
+    /// remainder call is also skipped: it already overlaps with serving
+    /// the cached prefix when `partial_parallel` is on.) Failed dispatches
+    /// are *not* parked; consumption re-attempts the call and runs the
+    /// ordinary unavailability handling (serve-stale, breakers,
+    /// failover). Answer content and order are identical to the
+    /// sequential walk — only the virtual-time charging changes.
+    fn dispatch_group(
+        &mut self,
+        steps: &[PlanStep],
+        group: std::ops::Range<usize>,
+        theta: &Subst,
+        out: &mut RunState,
+    ) {
+        let t0 = self.clock.now();
+        if self.deadline_at.is_some_and(|d| t0 > d) {
+            return; // the call-boundary check aborts before consumption
+        }
+        // Which members actually need the wire, and with which call.
+        let mut pending: Vec<(usize, GroundCall)> = Vec::new();
+        for idx in group {
+            let PlanStep::Call { call, route, .. } = &steps[idx] else {
+                continue;
+            };
+            let Some(ground) = theta.ground_call(call) else {
+                continue; // run_call will report the planner bug
+            };
+            if self.config.memoize_calls && self.memo.contains_key(&ground) {
+                continue;
+            }
+            let wire = match route {
+                Route::Direct => ground,
+                Route::Cim => match self.cim.lock().preview(&ground) {
+                    CimPreview::Hit | CimPreview::Partial => continue,
+                    CimPreview::Miss { executed } => executed,
+                },
+            };
+            if self.prefetch.contains_key(&(idx, wire.clone())) {
+                continue; // still parked from an earlier group entry
+            }
+            pending.push((idx, wire));
+        }
+        if pending.len() < 2 {
+            return; // nothing to overlap with
+        }
+
+        let slots = self.config.max_parallel_calls.min(pending.len());
+        let overhead = SimDuration::from_millis_f64(self.config.dispatch_overhead_ms.max(0.0));
+        let mut free = vec![SimDuration::ZERO; slots];
+        let mut batch_seen: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut intervals: Vec<(String, SimDuration, SimDuration)> = Vec::new();
+        let mut sites: BTreeSet<String> = BTreeSet::new();
+        let mut serial = SimDuration::ZERO;
+        let mut dispatched = 0usize;
+        let mut abandoned = false;
+        for (idx, wire) in pending {
+            let slot = (0..free.len()).min_by_key(|&i| (free[i], i)).unwrap_or(0);
+            let begin = free[slot];
+            if abandoned || self.deadline_at.is_some_and(|d| t0 + begin > d) {
+                // This member's slot would only open after the deadline:
+                // abandon it — and every later member — un-issued. The
+                // makespan necessarily exceeds the deadline too, so the
+                // call-boundary check aborts before any consumption.
+                abandoned = true;
+                self.stats.cancelled_calls += 1;
+                self.note(TraceEvent::Cancelled { call: wire });
+                out.mark_gap(idx, IncompleteReason::DeadlineExceeded);
+                continue;
+            }
+            let site = self.site_name(&wire).unwrap_or_default();
+            let piggyback = self.config.batch_calls
+                && !batch_seen.insert((site.clone(), format!("{}:{}", wire.domain, wire.function)));
+            if piggyback {
+                self.stats.batched_calls += 1;
+            }
+            // Every member's wait runs from the group-entry instant:
+            // clone the clock, let retry backoff advance the copy,
+            // restore, and fold the waited time into the slot occupancy.
+            let saved = self.clock.clone();
+            let result = self.actual_call_with(&wire, piggyback);
+            let waited = self.clock.now().duration_since(t0);
+            self.clock = saved;
+            let duration = overhead
+                + waited
+                + match &result {
+                    Ok(o) => o.t_all,
+                    Err(_) => SimDuration::ZERO,
+                };
+            free[slot] = begin + duration;
+            serial += duration;
+            intervals.push((site.clone(), begin, begin + duration));
+            sites.insert(site);
+            dispatched += 1;
+            if let Ok(outcome) = result {
+                self.prefetch.insert((idx, wire), outcome);
+            }
+        }
+        if dispatched == 0 {
+            return;
+        }
+        let makespan = free.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        // Report each site's concurrency peak (event sweep over the
+        // schedule intervals; ends sort before starts at equal instants
+        // so back-to-back calls in one slot never count as overlapping).
+        for site in &sites {
+            let mut events: Vec<(SimDuration, i32)> = Vec::new();
+            for (s, b, e) in &intervals {
+                if s == site {
+                    events.push((*b, 1));
+                    events.push((*e, -1));
+                }
+            }
+            events.sort_by_key(|&(t, delta)| (t, delta));
+            let (mut cur, mut peak) = (0i32, 0i32);
+            for (_, delta) in events {
+                cur += delta;
+                peak = peak.max(cur);
+            }
+            self.network.record_in_flight(site, peak.max(0) as usize);
+        }
+        self.stats.parallel_groups += 1;
+        self.stats.overlapped_calls += dispatched as u64;
+        self.stats.overlap_saved_us += serial.saturating_sub(makespan).as_micros();
+        self.note(TraceEvent::GroupDispatched {
+            calls: dispatched,
+            sites: sites.len(),
+            makespan,
+        });
+        self.clock.advance(makespan);
+        self.note(TraceEvent::Overlapped {
+            serial,
+            parallel: makespan,
+            calls: dispatched,
+        });
+    }
+
+    /// A parked group-dispatch outcome for step `idx`, if one exists. Not
+    /// removed: with the group's bindings unchanged, every backtracking
+    /// revisit of the step consumes the same in-flight answer set, which
+    /// is exactly what a buffering parallel executor would serve.
+    fn prefetched(&self, idx: usize, wire: &GroundCall) -> Option<RemoteOutcome> {
+        self.prefetch.get(&(idx, wire.clone())).cloned()
+    }
+
     /// Reaches the source over the network and records statistics,
     /// retrying transient unavailability with capped exponential backoff.
     /// When a breaker bank is attached, the site's breaker is consulted
     /// first — open means fail instantly, paying no simulated retry time.
     fn actual_call(&mut self, ground: &GroundCall) -> Result<RemoteOutcome> {
+        self.actual_call_with(ground, false)
+    }
+
+    /// [`Executor::actual_call`], with control over round-trip batching:
+    /// a `piggyback` call shares an already-dispatched group sibling's
+    /// round trip and pays no connect + RTT.
+    fn actual_call_with(&mut self, ground: &GroundCall, piggyback: bool) -> Result<RemoteOutcome> {
         let site = match self.breakers {
             Some(_) => self.site_name(ground),
             None => None,
@@ -950,7 +1270,10 @@ impl<'w> Executor<'w> {
         }
         let mut attempt = 0u32;
         let outcome = loop {
-            match self.network.execute(ground, self.clock.now()) {
+            match self
+                .network
+                .execute_batched(ground, self.clock.now(), piggyback)
+            {
                 Ok(out) => {
                     if let (Some(bank), Some(site)) = (self.breakers, site.as_deref()) {
                         if bank.lock().record_success(site) {

@@ -46,9 +46,12 @@ pub mod trace;
 pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
 pub use cost::{choose_plan, estimate_plan, CostConfig};
 pub use cursor::{InteractiveQuery, InteractiveSummary};
-pub use exec::{ExecConfig, ExecOutcome, ExecStats, Executor, IncompleteReason, SubgoalProvenance};
-pub use mediator::{Mediator, MediatorConfig, Planned, QueryResult};
-pub use plan::{Plan, PlanStep, Route};
+pub use exec::{
+    ExecConfig, ExecConfigBuilder, ExecOutcome, ExecStats, Executor, IncompleteReason,
+    SubgoalProvenance,
+};
+pub use mediator::{Mediator, MediatorConfig, Planned, QueryRequest, QueryResult};
+pub use plan::{independence_groups, Plan, PlanStep, Route};
 pub use rewrite::{
     bind_query, enumerate_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
 };

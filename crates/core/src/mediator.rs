@@ -101,6 +101,93 @@ pub struct QueryResult {
     pub trace: Vec<crate::trace::TraceEntry>,
 }
 
+/// One query and its per-run options, built fluently:
+///
+/// ```ignore
+/// m.query(QueryRequest::new("?- item(A, B).").limit(5).trace(true))?;
+/// ```
+///
+/// A bare `&str` (or `String`) converts into a request with all options
+/// at their defaults, so `m.query("?- item(A, B).")` keeps working.
+/// Options override the mediator's configuration for this run only.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    src: String,
+    limit: Option<usize>,
+    deadline: Option<SimDuration>,
+    bindings: Option<hermes_lang::Subst>,
+    trace: Option<bool>,
+    parallelism: Option<usize>,
+}
+
+impl QueryRequest {
+    /// A request for `src` with every option at its default.
+    pub fn new(src: impl Into<String>) -> Self {
+        QueryRequest {
+            src: src.into(),
+            limit: None,
+            deadline: None,
+            bindings: None,
+            trace: None,
+            parallelism: None,
+        }
+    }
+
+    /// Stop after `n` answers.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Abort (returning the answers so far) once the virtual clock has
+    /// advanced `d` past the start of the run.
+    pub fn deadline(mut self, d: SimDuration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Substitute these parameter bindings into the query *before*
+    /// planning, so the optimizer sees real constants (and DCSM can use
+    /// exact-constant statistics) instead of `$b` placeholders.
+    pub fn bindings(mut self, params: hermes_lang::Subst) -> Self {
+        self.bindings = Some(params);
+        self
+    }
+
+    /// Collect an execution trace for this run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
+
+    /// Let the scheduler overlap up to `k` independent domain calls
+    /// (`1` = the paper's sequential executor). Also makes the cost model
+    /// overlap-aware and biases plan enumeration toward orderings with
+    /// wide independence groups.
+    pub fn parallelism(mut self, k: usize) -> Self {
+        self.parallelism = Some(k.max(1));
+        self
+    }
+}
+
+impl From<&str> for QueryRequest {
+    fn from(src: &str) -> Self {
+        QueryRequest::new(src)
+    }
+}
+
+impl From<String> for QueryRequest {
+    fn from(src: String) -> Self {
+        QueryRequest::new(src)
+    }
+}
+
+impl From<&String> for QueryRequest {
+    fn from(src: &String) -> Self {
+        QueryRequest::new(src.as_str())
+    }
+}
+
 /// The HERMES mediator: a program, a network of domains, the two caches,
 /// and a persistent virtual clock.
 pub struct Mediator {
@@ -294,30 +381,62 @@ impl Mediator {
         Ok(())
     }
 
-    /// Runs a query in all-answers mode (§3).
-    pub fn query(&mut self, query_src: &str) -> Result<QueryResult> {
-        self.query_limited(query_src, None)
+    /// Runs a query. Accepts plain source text (all-answers mode, §3) or
+    /// a [`QueryRequest`] carrying per-run options:
+    ///
+    /// ```ignore
+    /// m.query("?- item(A, B).")?;
+    /// m.query(QueryRequest::new("?- item(A, B).").limit(5).parallelism(4))?;
+    /// ```
+    ///
+    /// Request options override the mediator's configuration for this run
+    /// only; the configuration is restored before returning.
+    pub fn query(&mut self, req: impl Into<QueryRequest>) -> Result<QueryResult> {
+        let req = req.into();
+        let saved = self.config;
+        if let Some(d) = req.deadline {
+            self.config.exec.deadline = Some(d);
+        }
+        if let Some(t) = req.trace {
+            self.config.exec.collect_trace = t;
+        }
+        if let Some(k) = req.parallelism {
+            self.config.exec.max_parallel_calls = k;
+            self.config.cost.max_parallel_calls = k;
+            self.config.rewrite.favor_parallel = k > 1;
+        }
+        let result = (|| {
+            let planned = match &req.bindings {
+                Some(params) => {
+                    let query = parse_query(&req.src)?;
+                    let bound = crate::rewrite::bind_query(&query, params);
+                    self.plan_query(&bound)?
+                }
+                None => self.plan(&req.src)?,
+            };
+            self.execute(planned, req.limit)
+        })();
+        self.config = saved;
+        result
     }
 
     /// Runs a query, stopping after `limit` answers when given.
+    #[deprecated(note = "use `Mediator::query` with `QueryRequest::new(src).limit(n)`")]
     pub fn query_limited(&mut self, query_src: &str, limit: Option<usize>) -> Result<QueryResult> {
-        let planned = self.plan(query_src)?;
-        self.execute(planned, limit)
+        let mut req = QueryRequest::new(query_src);
+        req.limit = limit;
+        self.query(req)
     }
 
     /// Runs a parameterized query: variables bound in `params` are
-    /// replaced by their constants before planning, so the optimizer sees
-    /// real values (and DCSM can use exact-constant statistics) instead of
-    /// `$b` placeholders.
+    /// replaced by their constants before planning.
+    #[deprecated(note = "use `Mediator::query` with `QueryRequest::new(src).bindings(params)`")]
     pub fn query_bound(
         &mut self,
         query_src: &str,
         params: &hermes_lang::Subst,
     ) -> Result<QueryResult> {
-        let query = parse_query(query_src)?;
-        let bound = crate::rewrite::bind_query(&query, params);
-        let planned = self.plan_query(&bound)?;
-        self.execute(planned, None)
+        self.query(QueryRequest::new(query_src).bindings(params.clone()))
     }
 
     /// Executes an already-planned query. When [`MediatorConfig::failover`]
@@ -562,7 +681,7 @@ mod tests {
         let a0 = all.rows[0][0].clone();
         let expected: Vec<&Vec<Value>> = all.rows.iter().filter(|r| r[0] == a0).collect();
         let bound = m
-            .query(&format!("?- item({}, B).", a0.to_literal()))
+            .query(format!("?- item({}, B).", a0.to_literal()))
             .unwrap();
         // The bound query projects only B (A is a constant in the query).
         assert_eq!(bound.columns.len(), 1);
@@ -618,8 +737,39 @@ mod tests {
     #[test]
     fn limited_query_stops_early() {
         let mut m = mediator();
-        let result = m.query_limited("?- item(A, B).", Some(2)).unwrap();
+        let result = m
+            .query(QueryRequest::new("?- item(A, B).").limit(2))
+            .unwrap();
         assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let mut m = mediator();
+        let limited = m.query_limited("?- item(A, B).", Some(2)).unwrap();
+        assert_eq!(limited.rows.len(), 2);
+        let params = hermes_lang::Subst::from_pairs([("A", Value::str("p_1"))]);
+        let bound = m.query_bound("?- item(A, B).", &params).unwrap();
+        let direct = m.query("?- item('p_1', B).").unwrap();
+        assert_eq!(bound.rows.len(), direct.rows.len());
+    }
+
+    #[test]
+    fn request_options_do_not_leak_into_config() {
+        let mut m = mediator();
+        m.query(
+            QueryRequest::new("?- item(A, B).")
+                .deadline(SimDuration::from_secs(3600))
+                .trace(true)
+                .parallelism(4),
+        )
+        .unwrap();
+        assert_eq!(m.config().exec.deadline, None);
+        assert!(!m.config().exec.collect_trace);
+        assert_eq!(m.config().exec.max_parallel_calls, 1);
+        assert_eq!(m.config().cost.max_parallel_calls, 1);
+        assert!(!m.config().rewrite.favor_parallel);
     }
 
     #[test]
@@ -678,7 +828,9 @@ mod tests {
         let mut m = mediator();
         let direct = m.query("?- item('p_1', B).").unwrap();
         let params = Subst::from_pairs([("A", Value::str("p_1"))]);
-        let bound = m.query_bound("?- item(A, B).", &params).unwrap();
+        let bound = m
+            .query(QueryRequest::new("?- item(A, B).").bindings(params))
+            .unwrap();
         // The bound query projects both A and B; B values must agree.
         let direct_bs: Vec<Value> = direct.rows.iter().map(|r| r[0].clone()).collect();
         let bound_bs: Vec<Value> = bound

@@ -7,8 +7,10 @@
 //! executor pipeline answers and measure realistic time-to-first-answer.
 
 use hermes_common::Value;
-use hermes_lang::{CallTemplate, Condition, Term};
+use hermes_lang::{CallTemplate, Condition, Relop, Term};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How a call step reaches its source.
@@ -92,6 +94,103 @@ impl Plan {
     /// Number of call steps.
     pub fn call_count(&self) -> usize {
         self.steps.iter().filter(|s| s.is_call()).count()
+    }
+}
+
+/// Computes the plan's *independence groups*: maximal runs of consecutive
+/// [`PlanStep::Call`] steps whose members share no unbound variables, so
+/// the executor may dispatch all of their domain calls concurrently and
+/// the cost model may charge the group's overlap makespan instead of the
+/// sequential sum.
+///
+/// A run of calls starting after bindings `θ` qualifies when every member
+/// satisfies, with respect to the variables bound *before the run*:
+///
+/// * every call argument is ground at group entry — a constant or an
+///   already-bound variable (never a sibling's answer variable);
+/// * the target either probes an already-bound value, or binds a fresh
+///   variable distinct from every other member's target.
+///
+/// Only groups of two or more calls are returned (a singleton "group" is
+/// just sequential execution). Indices are positions in `steps`.
+pub fn independence_groups(steps: &[PlanStep]) -> Vec<Range<usize>> {
+    let mut bound: BTreeSet<Arc<str>> = BTreeSet::new();
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < steps.len() {
+        if steps[i].is_call() {
+            let end = group_end(steps, i, &bound);
+            if end - i >= 2 {
+                groups.push(i..end);
+            }
+            for step in &steps[i..end] {
+                bind_step(step, &mut bound);
+            }
+            i = end;
+        } else {
+            bind_step(&steps[i], &mut bound);
+            i += 1;
+        }
+    }
+    groups
+}
+
+/// The exclusive end of the longest independent run of calls starting at
+/// `start` (at least `start + 1`: a call is trivially independent alone).
+fn group_end(steps: &[PlanStep], start: usize, bound: &BTreeSet<Arc<str>>) -> usize {
+    // Fresh variables bound by members admitted so far; sibling targets
+    // must stay pairwise distinct.
+    let mut fresh: BTreeSet<Arc<str>> = BTreeSet::new();
+    let mut j = start;
+    while j < steps.len() {
+        let PlanStep::Call { target, call, .. } = &steps[j] else {
+            break;
+        };
+        let args_ground = call.args.iter().all(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        });
+        if !args_ground && j > start {
+            break;
+        }
+        if let Term::Var(v) = target {
+            if !bound.contains(v) && !fresh.insert(v.clone()) {
+                break;
+            }
+        }
+        j += 1;
+    }
+    j.max(start + 1)
+}
+
+/// Adds the variables `step` binds to `bound` (mirrors the §7 executor's
+/// left-to-right binding discipline).
+fn bind_step(step: &PlanStep, bound: &mut BTreeSet<Arc<str>>) {
+    match step {
+        PlanStep::Call { target, .. } => {
+            if let Term::Var(v) = target {
+                bound.insert(v.clone());
+            }
+        }
+        PlanStep::Facts { args, .. } => {
+            for t in args {
+                if let Term::Var(v) = t {
+                    bound.insert(v.clone());
+                }
+            }
+        }
+        PlanStep::Cond(c) => {
+            // An equality with an unbound bare-variable side assigns it.
+            if c.op == Relop::Eq {
+                for pt in [&c.lhs, &c.rhs] {
+                    if pt.path.is_empty() {
+                        if let Some(v) = pt.var_name() {
+                            bound.insert(v.clone());
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -78,6 +78,13 @@ pub struct RewriteConfig {
     pub max_plans: usize,
     /// Maximum predicate-unfolding depth (guards against deep chains).
     pub max_depth: usize,
+    /// Stable-sort the enumerated plans by descending size of their
+    /// largest *independence group* (see
+    /// [`independence_groups`](crate::plan::independence_groups)), so
+    /// orderings the parallel scheduler can overlap come first and win
+    /// cost ties. Off by default: the paper's enumeration order is part
+    /// of the pinned baseline.
+    pub favor_parallel: bool,
 }
 
 impl Default for RewriteConfig {
@@ -85,6 +92,7 @@ impl Default for RewriteConfig {
         RewriteConfig {
             max_plans: 128,
             max_depth: 32,
+            favor_parallel: false,
         }
     }
 }
@@ -140,6 +148,18 @@ pub fn enumerate_plans_with_pushdowns(
     let mut plans = rw.plans;
     for p in &mut plans {
         p.answer_vars = answer_vars.clone();
+    }
+    if config.favor_parallel {
+        // Stable: plans with equally-sized largest groups keep the
+        // paper's enumeration order.
+        plans.sort_by_key(|p| {
+            let widest = crate::plan::independence_groups(&p.steps)
+                .into_iter()
+                .map(|g| g.len())
+                .max()
+                .unwrap_or(0);
+            std::cmp::Reverse(widest)
+        });
     }
     Ok(plans)
 }
@@ -821,7 +841,7 @@ mod tests {
             &CimPolicy::never(),
             RewriteConfig {
                 max_plans: 2,
-                max_depth: 32,
+                ..RewriteConfig::default()
             },
         )
         .unwrap();

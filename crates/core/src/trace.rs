@@ -111,6 +111,24 @@ pub enum TraceEvent {
         /// Stale answers served.
         answers: usize,
     },
+    /// An independence group's calls were dispatched concurrently.
+    GroupDispatched {
+        /// Calls put in flight together.
+        calls: usize,
+        /// Distinct sites involved.
+        sites: usize,
+        /// The group's overlapped completion time (its makespan).
+        makespan: SimDuration,
+    },
+    /// A dispatched group finished; records the overlap win.
+    Overlapped {
+        /// What the calls would have cost back-to-back.
+        serial: SimDuration,
+        /// What the overlapped schedule actually cost.
+        parallel: SimDuration,
+        /// Calls in the group.
+        calls: usize,
+    },
 }
 
 /// A timestamped event.
@@ -172,6 +190,26 @@ impl fmt::Display for TraceEntry {
             }
             TraceEvent::ServedStale { call, answers } => {
                 write!(f, "STALE {call} -> {answers} stale answers (source down)")
+            }
+            TraceEvent::GroupDispatched {
+                calls,
+                sites,
+                makespan,
+            } => {
+                write!(
+                    f,
+                    "PAR  dispatched {calls} calls to {sites} sites (makespan {makespan})"
+                )
+            }
+            TraceEvent::Overlapped {
+                serial,
+                parallel,
+                calls,
+            } => {
+                write!(
+                    f,
+                    "OVLP {calls} calls overlapped: {parallel} vs {serial} serial"
+                )
             }
         }
     }

@@ -396,6 +396,30 @@ impl Dcsm {
     }
 }
 
+/// Greedy list-scheduling makespan of a parallel dispatch group — the
+/// single overlap formula shared by the plan cost model and the executor,
+/// so estimates and simulated execution agree.
+///
+/// Each call, in order, occupies the earliest-free of `slots` dispatch
+/// slots for its duration plus `dispatch_overhead_ms` (the scheduler's
+/// per-call bookkeeping); the makespan is when the last slot drains.
+/// `slots = 1` degenerates to the sequential sum (plus overheads); with
+/// unlimited slots it approaches `max(durations) + overhead`.
+pub fn overlap_makespan(durations_ms: &[f64], slots: usize, dispatch_overhead_ms: f64) -> f64 {
+    let slots = slots.max(1).min(durations_ms.len().max(1));
+    let mut free = vec![0.0f64; slots];
+    for &d in durations_ms {
+        let slot = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one slot");
+        free[slot] += d.max(0.0) + dispatch_overhead_ms.max(0.0);
+    }
+    free.iter().copied().fold(0.0, f64::max)
+}
+
 impl std::fmt::Debug for Dcsm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dcsm")

@@ -42,7 +42,7 @@ pub mod summary;
 pub mod vectordb;
 
 pub use cost::{CostVector, MeanAgg};
-pub use estimator::{Dcsm, DcsmConfig, EstimateOutcome, EstimateSource};
+pub use estimator::{overlap_makespan, Dcsm, DcsmConfig, EstimateOutcome, EstimateSource};
 pub use maintenance::{droppable_dimensions, AccessTracker};
 pub use summary::{SummaryRow, SummaryTable};
 pub use vectordb::{CallRecord, CostVectorDb};

@@ -44,6 +44,10 @@ pub struct Network {
     placement: BTreeMap<Arc<str>, Arc<Site>>,
     rng: Mutex<Rng64>,
     faults: Option<FaultPlan>,
+    /// Peak concurrent in-flight calls observed per site. The parallel
+    /// scheduler reports each dispatch schedule here; tests and benches
+    /// query it to verify that overlap actually happened.
+    inflight_peak: Mutex<BTreeMap<Arc<str>, usize>>,
 }
 
 impl Network {
@@ -54,7 +58,22 @@ impl Network {
             placement: BTreeMap::new(),
             rng: Mutex::new(Rng64::new(seed)),
             faults: None,
+            inflight_peak: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Records that `concurrent` calls to `site` were in flight at the same
+    /// simulated moment (the per-site high-water mark is kept).
+    pub fn record_in_flight(&self, site: &str, concurrent: usize) {
+        let mut peaks = self.inflight_peak.lock();
+        let entry = peaks.entry(Arc::from(site)).or_insert(0);
+        *entry = (*entry).max(concurrent);
+    }
+
+    /// The highest number of concurrent in-flight calls ever observed for
+    /// `site` (0 when the site was never dispatched to in parallel).
+    pub fn peak_in_flight(&self, site: &str) -> usize {
+        self.inflight_peak.lock().get(site).copied().unwrap_or(0)
     }
 
     /// Installs a fault-injection plan (chaos harness). The plan draws from
@@ -104,6 +123,20 @@ impl Network {
     /// a scheduled outage or the link's failure rate fires — the situation
     /// in which only the answer cache can serve the query (§1, §4).
     pub fn execute(&self, call: &GroundCall, now: SimInstant) -> Result<RemoteOutcome> {
+        self.execute_batched(call, now, false)
+    }
+
+    /// Like [`Network::execute`], but `piggyback` marks the call as a
+    /// non-first member of a `(site, function)` batch: its request rides in
+    /// the batch leader's packet, so the connect + RTT request overhead is
+    /// not paid again. Source compute and answer transfer are still the
+    /// call's own.
+    pub fn execute_batched(
+        &self,
+        call: &GroundCall,
+        now: SimInstant,
+        piggyback: bool,
+    ) -> Result<RemoteOutcome> {
         let site = self.site_of(&call.domain)?.clone();
         if site.is_down(now) {
             return Err(HermesError::Unavailable {
@@ -167,8 +200,12 @@ impl Network {
         let lat = &site.link;
         let slow = load * jitter * latency_factor;
 
-        let request_overhead = SimDuration::from_millis_f64((lat.connect_ms + lat.rtt_ms) * slow)
-            + lat.transfer(call.request_bytes()) * bandwidth_divisor;
+        let round_trip = if piggyback {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis_f64((lat.connect_ms + lat.rtt_ms) * slow)
+        };
+        let request_overhead = round_trip + lat.transfer(call.request_bytes()) * bandwidth_divisor;
 
         // First answer: overhead + source's time-to-first + first tuple on
         // the wire (approximated by the mean answer size).

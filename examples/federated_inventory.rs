@@ -56,7 +56,7 @@ fn main() {
     // Run a few training queries to populate the statistics cache.
     for product in ["parts_1", "parts_2", "parts_3"] {
         mediator
-            .query(&format!("?- sources('{product}', V)."))
+            .query(format!("?- sources('{product}', V)."))
             .expect("training query");
     }
 

@@ -19,6 +19,7 @@
 //! :invariant <inv>.      add an invariant to CIM
 //! :check [p/bf ...]      static analysis of the loaded program
 //! :mode all|first        optimization objective
+//! :parallel <k>          overlap up to k independent calls (1 = serial)
 //! :retry <n> [ms]        retries per call (0 = none) + backoff base
 //! :deadline <ms>|off     per-query virtual-clock deadline
 //! :breaker <n> <ms>|off|status   circuit-breaker threshold/cooldown
@@ -136,6 +137,7 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
              :check [p/bf ...]     static analysis (optionally against\n  \
                                    declared query adornments)\n  \
              :mode all|first       optimization objective\n  \
+             :parallel <k>         overlap up to k independent calls (1 = serial)\n  \
              :trace on|off         show execution traces\n  \
              :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
              :deadline <ms>|off    per-query deadline on the virtual clock\n  \
@@ -269,6 +271,23 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
         }
         return Ok(Control::Continue);
     }
+    if let Some(rest) = line.strip_prefix(":parallel") {
+        match rest.trim().parse::<usize>() {
+            Ok(k) if k >= 1 => {
+                let config = mediator.config_mut();
+                config.exec.max_parallel_calls = k;
+                config.cost.max_parallel_calls = k;
+                config.rewrite.favor_parallel = k > 1;
+                if k == 1 {
+                    println!("  parallel off (serial dispatch)");
+                } else {
+                    println!("  overlapping up to {k} independent calls per group");
+                }
+            }
+            _ => println!("usage: :parallel <k>  (k >= 1; 1 = serial)"),
+        }
+        return Ok(Control::Continue);
+    }
     if let Some(dir) = line.strip_prefix(":save") {
         mediator.save_state(std::path::Path::new(dir.trim()))?;
         println!("  saved.");
@@ -317,7 +336,7 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
         let k: usize = k_text
             .parse()
             .map_err(|e| hermes::HermesError::Eval(format!("bad count `{k_text}`: {e}")))?;
-        let result = mediator.query_limited(query.trim(), Some(k))?;
+        let result = mediator.query(hermes::QueryRequest::new(query.trim()).limit(k))?;
         print_result(&result);
         return Ok(Control::Continue);
     }

@@ -55,8 +55,9 @@ pub use hermes_common::{
     GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,
 };
 pub use hermes_core::{
-    BreakerBank, BreakerConfig, BreakerState, ExecConfig, ExecStats, IncompleteReason,
-    InteractiveQuery, Mediator, MediatorConfig, Plan, QueryResult, SubgoalProvenance,
+    BreakerBank, BreakerConfig, BreakerState, ExecConfig, ExecConfigBuilder, ExecStats,
+    IncompleteReason, InteractiveQuery, Mediator, MediatorConfig, Plan, QueryRequest, QueryResult,
+    SubgoalProvenance,
 };
 pub use hermes_dcsm::{Dcsm, DcsmConfig};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};

@@ -55,8 +55,8 @@ fn pushdown_plan_is_chosen_and_faster_on_indexed_tables() {
     // Train both mediators so estimates are informed.
     let train = |m: &mut Mediator| {
         for i in 0..4 {
-            let _ = m.query(&format!("?- stock('item_{i}', L, Q)."));
-            let _ = m.query(&format!(
+            let _ = m.query(format!("?- stock('item_{i}', L, Q)."));
+            let _ = m.query(format!(
                 "?- in(T, relation:select_eq('inventory', 'item', 'item_{i}')))."
             ));
         }
@@ -116,7 +116,7 @@ fn dcsm_maintenance_in_vivo() {
     let mut m = inventory_mediator(7, true, true);
     // Generate estimator traffic on one hot shape.
     for i in 0..6 {
-        let _ = m.query(&format!("?- stock('item_{i}', L, Q)."));
+        let _ = m.query(format!("?- stock('item_{i}', L, Q)."));
     }
     let dcsm = m.dcsm();
     let mut dcsm = dcsm.lock();

@@ -177,7 +177,7 @@ fn cache_survives_source_outage() {
     let err = m.query("?- objs2(O) & objs(O).");
     assert!(err.is_err()); // undefined predicate → no plan
     let err2 = m
-        .query_limited("?- in(O, video:frames_to_objects('rope', 200, 300)).", None)
+        .query("?- in(O, video:frames_to_objects('rope', 200, 300)).")
         .unwrap_err();
     assert!(matches!(err2, hermes::HermesError::Unavailable { .. }));
 }

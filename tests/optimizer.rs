@@ -70,9 +70,9 @@ fn measure_all_plans(q: &str, seed: u64) -> Vec<(usize, f64)> {
 fn trained_mediator(seed: u64) -> Mediator {
     let mut m = asymmetric_mediator(seed);
     for x in 0..4 {
-        let _ = m.query(&format!("?- joined('dir_{x}', Y, Z)."));
-        let _ = m.query(&format!("?- big('big_{x}', B)."));
-        let _ = m.query(&format!("?- dir('dir_{x}', B)."));
+        let _ = m.query(format!("?- joined('dir_{x}', Y, Z)."));
+        let _ = m.query(format!("?- big('big_{x}', B)."));
+        let _ = m.query(format!("?- dir('dir_{x}', B)."));
     }
     m
 }

@@ -99,7 +99,7 @@ fn hundred_query_session_stays_consistent() {
     let t0 = m.now();
     for i in 0..100 {
         let f = (i % 10) * 30;
-        let result = m.query(&format!("?- scene({f}, {}, O).", f + 40)).unwrap();
+        let result = m.query(format!("?- scene({f}, {}, O).", f + 40)).unwrap();
         assert!(!result.rows.is_empty());
         if f == 0 {
             let mut rows = result.rows.clone();
@@ -139,7 +139,7 @@ fn deep_unfolding_chain() {
     net.place(Arc::new(synth), profiles::maryland());
     let mut m = Mediator::from_source(&src, net).unwrap();
     m.config_mut().rewrite.max_plans = 4;
-    let result = m.query(&format!("?- p9({}, B).", a0.to_literal())).unwrap();
+    let result = m.query(format!("?- p9({}, B).", a0.to_literal())).unwrap();
     // The chain may die out; what matters is it plans, runs, terminates.
     assert!(result.plans_considered >= 1);
     assert!(result.stats.calls_attempted >= 1);

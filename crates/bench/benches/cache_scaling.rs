@@ -1,0 +1,229 @@
+//! Cache-side hot-path scaling: `find_hits` latency as the answer cache
+//! grows from 10² to 10⁵ entries. Run with
+//! `cargo bench -p hermes-bench --bench cache_scaling`; CI passes
+//! `-- --test-mode` for a quick smoke run that asserts the 10⁵/10² latency
+//! ratio stays below a generous bound.
+//!
+//! The full run emits `BENCH_pr4.json` at the repo root — the first point
+//! in the performance trajectory (see README "Performance"). Three series:
+//!
+//! * `find_hits_monotone_ns` — indexed probe through a monotone `<=`
+//!   invariant (ordered-index range scan; should be ~flat in cache size),
+//! * `find_hits_equality_ns` — indexed probe through a ground equality
+//!   invariant (single exact peek; ~flat),
+//! * `find_hits_naive_ns` — the retained full-scan reference (linear in
+//!   cache size, kept as the comparison column).
+
+use hermes_cim::{AnswerCache, InvariantStore};
+use hermes_common::{GroundCall, SimInstant, Value};
+use hermes_lang::parse_invariant;
+use std::time::{Duration, Instant};
+
+const POPULATIONS: [usize; 4] = [100, 1_000, 10_000, 100_000];
+const BATCHES: usize = 7;
+
+/// Generous CI bound on the 10⁵/10² indexed-probe latency ratio. The
+/// acceptance bar is 10×; 64× absorbs shared-runner noise while still
+/// failing loudly on an accidental return to linear scanning (~1000×).
+const TEST_MODE_RATIO_BOUND: f64 = 64.0;
+
+fn select_lt(table: &str, threshold: i64) -> GroundCall {
+    GroundCall::new(
+        "rel",
+        "select_lt",
+        vec![Value::str(table), Value::str("qty"), Value::Int(threshold)],
+    )
+}
+
+fn spatial_range(dist: i64) -> GroundCall {
+    GroundCall::new(
+        "spatial",
+        "range",
+        vec![
+            Value::str("points"),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(dist),
+        ],
+    )
+}
+
+fn invariants() -> InvariantStore {
+    let mut s = InvariantStore::new();
+    s.add(
+        parse_invariant("V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).")
+            .expect("parse"),
+    )
+    .expect("monotone invariant");
+    s.add(
+        parse_invariant(
+            "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+        )
+        .expect("parse"),
+    )
+    .expect("equality invariant");
+    s
+}
+
+/// A cache with `n` `rel:select_lt` entries (each under its own table, so
+/// probe candidate counts stay constant while the population grows — the
+/// scaling series isolates index overhead, not hit fan-out) plus the one
+/// `spatial:range(…, 142)` entry the equality probe targets.
+fn populated_cache(store: &InvariantStore, n: usize) -> AnswerCache {
+    let mut cache = AnswerCache::new();
+    for (domain, function, pos) in store.ordered_index_specs() {
+        cache.register_ordered_index(domain, function, pos);
+    }
+    for j in 0..n {
+        cache.insert(
+            select_lt(&format!("t{j}"), 10),
+            vec![Value::Int(j as i64)],
+            true,
+            SimInstant::EPOCH,
+        );
+    }
+    cache.insert(
+        spatial_range(142),
+        vec![Value::Int(7)],
+        true,
+        SimInstant::EPOCH,
+    );
+    cache
+}
+
+/// Median wall-clock seconds per call of `f`, batched like `micro.rs`.
+fn time_median(measure: Duration, mut f: impl FnMut()) -> f64 {
+    // Warm up and size the batch so each batch fills measure/BATCHES.
+    let warm = Instant::now();
+    let warm_window = measure / 4;
+    let mut iters: u64 = 0;
+    while warm.elapsed() < warm_window {
+        f();
+        iters += 1;
+    }
+    let per_batch = (iters * 4 / BATCHES as u64).max(1);
+    let mut means = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            f();
+        }
+        means.push(start.elapsed().as_secs_f64() / per_batch as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    means[BATCHES / 2]
+}
+
+struct Row {
+    population: usize,
+    monotone_s: f64,
+    equality_s: f64,
+    naive_s: f64,
+}
+
+fn measure(population: usize, window: Duration) -> Row {
+    let store = invariants();
+    let cache = populated_cache(&store, population);
+    // Monotone probe: one candidate survives the ordered-index range scan.
+    let monotone_probe = select_lt("t0", 500);
+    // Equality probe: ground plan, single exact peek.
+    let equality_probe = spatial_range(999);
+    let monotone_s = time_median(window, || {
+        std::hint::black_box(store.find_hits(std::hint::black_box(&monotone_probe), &cache));
+    });
+    let equality_s = time_median(window, || {
+        std::hint::black_box(store.find_hits(std::hint::black_box(&equality_probe), &cache));
+    });
+    // The naive reference is O(population); give it the same window and let
+    // the batch sizing shrink the iteration count.
+    let naive_s = time_median(window, || {
+        std::hint::black_box(store.find_hits_naive(std::hint::black_box(&monotone_probe), &cache));
+    });
+    Row {
+        population,
+        monotone_s,
+        equality_s,
+        naive_s,
+    }
+}
+
+fn write_json(rows: &[Row], ratio_monotone: f64, ratio_naive: f64) -> std::io::Result<()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"cache_scaling\",\n");
+    body.push_str(
+        "  \"description\": \"find_hits latency vs AnswerCache population (ns/probe, median)\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"population\": {}, \"find_hits_monotone_ns\": {:.1}, \
+             \"find_hits_equality_ns\": {:.1}, \"find_hits_naive_ns\": {:.1}}}{}\n",
+            r.population,
+            r.monotone_s * 1e9,
+            r.equality_s * 1e9,
+            r.naive_s * 1e9,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"ratio_monotone_1e5_over_1e2\": {ratio_monotone:.2},\n"
+    ));
+    body.push_str(&format!(
+        "  \"ratio_naive_1e5_over_1e2\": {ratio_naive:.2}\n"
+    ));
+    body.push_str("}\n");
+    std::fs::write(path, body)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test-mode");
+    let window = if test_mode {
+        Duration::from_millis(80)
+    } else {
+        Duration::from_millis(600)
+    };
+    let populations: &[usize] = if test_mode {
+        &[100, 100_000]
+    } else {
+        &POPULATIONS
+    };
+
+    println!("cache_scaling: find_hits latency vs cache population\n");
+    println!(
+        "{:>10}  {:>16}  {:>16}  {:>16}",
+        "entries", "monotone (ns)", "equality (ns)", "naive scan (ns)"
+    );
+    let rows: Vec<Row> = populations.iter().map(|&n| measure(n, window)).collect();
+    for r in &rows {
+        println!(
+            "{:>10}  {:>16.1}  {:>16.1}  {:>16.1}",
+            r.population,
+            r.monotone_s * 1e9,
+            r.equality_s * 1e9,
+            r.naive_s * 1e9
+        );
+    }
+
+    let smallest = rows.first().expect("at least one row");
+    let largest = rows.last().expect("at least one row");
+    let ratio_monotone = largest.monotone_s / smallest.monotone_s;
+    let ratio_naive = largest.naive_s / smallest.naive_s;
+    println!("\nindexed 1e5/1e2 ratio: {ratio_monotone:.2}x (naive reference: {ratio_naive:.2}x)");
+
+    if test_mode {
+        assert!(
+            ratio_monotone < TEST_MODE_RATIO_BOUND,
+            "indexed find_hits no longer flat: 1e5/1e2 ratio {ratio_monotone:.2} \
+             exceeds {TEST_MODE_RATIO_BOUND}"
+        );
+        println!("cache_scaling: OK (test mode)");
+    } else if let Err(e) = write_json(&rows, ratio_monotone, ratio_naive) {
+        eprintln!("failed to write BENCH_pr4.json: {e}");
+        std::process::exit(1);
+    }
+}

@@ -93,7 +93,7 @@ fn populated_cim(entries: usize, invariants: bool) -> Cim {
                     Value::Int(i as i64 + 40),
                 ],
             ),
-            (0..10).map(Value::Int).collect(),
+            (0..10).map(Value::Int).collect::<Vec<_>>(),
             true,
             SimInstant::EPOCH,
         );

@@ -1,14 +1,36 @@
 //! The answer cache: ground call → answer set, with LRU eviction under an
 //! optional byte budget.
+//!
+//! Beyond the entry map, the cache maintains two index structures that the
+//! invariant matcher probes instead of iterating every entry (DESIGN.md §11):
+//!
+//! * **posting lists** — per `(domain, function)`, the set of cached calls,
+//!   so an invariant direction only visits entries its template can unify
+//!   with;
+//! * **ordered indexes** — per registered `(domain, function, position)`,
+//!   cached calls grouped by their remaining arguments and ordered by the
+//!   value at `position`, so monotone (`<`/`≤`-style) invariants probe a
+//!   contiguous value range instead of a list.
+//!
+//! **Coherence invariant**: every path that adds or removes an entry goes
+//! through [`AnswerCache::attach`] / [`AnswerCache::remove_entry`], so the
+//! posting lists and ordered indexes always describe exactly the keys of
+//! the entry map — eviction, replacement, invalidation, and expiry can
+//! never leave a dangling index pointer.
+//!
+//! Answer sets are `Arc<[Value]>`: a hit hands out a reference bump, not a
+//! deep copy. [`CacheStats::bytes_shared`] / [`CacheStats::bytes_copied`]
+//! track how much answer data moved zero-copy vs. had to be materialized.
 
 use hermes_common::{GroundCall, SimInstant, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// One cached answer set.
 #[derive(Clone, Debug)]
 pub struct CacheEntry {
-    /// The answers, in source order.
-    pub answers: Vec<Value>,
+    /// The answers, in source order (shared; clone is a reference bump).
+    pub answers: Arc<[Value]>,
     /// Wire size of the answers.
     pub bytes: usize,
     /// Virtual time the entry was stored.
@@ -33,13 +55,77 @@ pub struct CacheStats {
     pub hits: u64,
     /// Exact-lookup misses.
     pub misses: u64,
+    /// Answer bytes that moved by sharing an existing allocation (an
+    /// `Arc` bump): hits served zero-copy, plus stores whose answer set
+    /// was already shared with the caller.
+    pub bytes_shared: u64,
+    /// Answer bytes materialized into a fresh allocation: stores where the
+    /// caller handed an owned `Vec` that had to be converted.
+    pub bytes_copied: u64,
 }
 
-/// The cache proper. All answer sets are owned; the mediator hands out
-/// clones (answers are shared `Arc`-backed values, so clones are cheap).
+/// Cached calls of one `(domain, function)` grouped by every argument
+/// except the pivot position, ordered by the pivot value. `(rest, pivot)`
+/// determines the call, so each group maps a pivot value to one call.
+#[derive(Clone, Debug, Default)]
+struct OrderedIndex {
+    groups: HashMap<Vec<Value>, BTreeMap<Value, GroundCall>>,
+}
+
+impl OrderedIndex {
+    fn key_of(call: &GroundCall, pos: usize) -> Option<(Vec<Value>, Value)> {
+        if pos >= call.args.len() {
+            return None;
+        }
+        let rest: Vec<Value> = call
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, v)| v.clone())
+            .collect();
+        Some((rest, call.args[pos].clone()))
+    }
+
+    fn insert(&mut self, call: &GroundCall, pos: usize) {
+        if let Some((rest, pivot)) = Self::key_of(call, pos) {
+            self.groups
+                .entry(rest)
+                .or_default()
+                .insert(pivot, call.clone());
+        }
+    }
+
+    fn remove(&mut self, call: &GroundCall, pos: usize) {
+        if let Some((rest, pivot)) = Self::key_of(call, pos) {
+            if let Some(group) = self.groups.get_mut(&rest) {
+                group.remove(&pivot);
+                if group.is_empty() {
+                    self.groups.remove(&rest);
+                }
+            }
+        }
+    }
+}
+
+/// Nested per-domain / per-function map, probe-able by `&str` without
+/// allocating a lookup key.
+type ByFunction<T> = HashMap<Arc<str>, HashMap<Arc<str>, T>>;
+
+fn by_function_get<'a, T>(map: &'a ByFunction<T>, domain: &str, function: &str) -> Option<&'a T> {
+    map.get(domain)?.get(function)
+}
+
+/// The cache proper. Hits are served by sharing the stored `Arc<[Value]>`;
+/// the mediator never deep-copies an answer set on the hit path.
 #[derive(Clone, Debug, Default)]
 pub struct AnswerCache {
     entries: HashMap<GroundCall, CacheEntry>,
+    /// Per-`(domain, function)` posting lists over the entry keys.
+    postings: ByFunction<HashSet<GroundCall>>,
+    /// Registered ordered indexes: `(domain, function)` → pivot position →
+    /// index. Registration survives `clear`; contents track `entries`.
+    ordered: ByFunction<HashMap<usize, OrderedIndex>>,
     budget_bytes: Option<usize>,
     current_bytes: usize,
     clock: u64,
@@ -80,20 +166,83 @@ impl AnswerCache {
         self.stats
     }
 
+    /// Registers an ordered index over the value at argument `pos` of
+    /// `domain:function` calls (idempotent). The invariant matcher
+    /// registers one per monotone invariant side so its range probes are
+    /// index lookups; unregistered functions fall back to posting lists.
+    pub fn register_ordered_index(
+        &mut self,
+        domain: impl Into<Arc<str>>,
+        function: impl Into<Arc<str>>,
+        pos: usize,
+    ) {
+        let domain = domain.into();
+        let function = function.into();
+        let by_pos = self
+            .ordered
+            .entry(domain.clone())
+            .or_default()
+            .entry(function.clone())
+            .or_default();
+        if by_pos.contains_key(&pos) {
+            return;
+        }
+        let mut index = OrderedIndex::default();
+        for call in self.entries.keys() {
+            if call.domain == domain && call.function == function {
+                index.insert(call, pos);
+            }
+        }
+        by_pos.insert(pos, index);
+    }
+
+    /// The cached calls of one `(domain, function)` — the posting list the
+    /// invariant matcher scans instead of the whole cache.
+    pub fn calls_for(&self, domain: &str, function: &str) -> impl Iterator<Item = &GroundCall> {
+        by_function_get(&self.postings, domain, function)
+            .into_iter()
+            .flatten()
+    }
+
+    /// The ordered group for `(domain, function, pos)` whose non-pivot
+    /// arguments equal `rest`: pivot value → cached call, ordered by the
+    /// total order of [`Value`]. Outer `None` when no index is registered
+    /// at `pos` (caller must fall back to [`AnswerCache::calls_for`]);
+    /// inner `None` when the index exists but holds no such group.
+    pub fn ordered_group(
+        &self,
+        domain: &str,
+        function: &str,
+        pos: usize,
+        rest: &[Value],
+    ) -> Option<Option<&BTreeMap<Value, GroundCall>>> {
+        let by_pos = by_function_get(&self.ordered, domain, function)?;
+        let index = by_pos.get(&pos)?;
+        Some(index.groups.get(rest))
+    }
+
     /// Stores an answer set. Replacing an entry refreshes its LRU position.
     pub fn insert(
         &mut self,
         call: GroundCall,
-        answers: Vec<Value>,
+        answers: impl Into<Arc<[Value]>>,
         complete: bool,
         now: SimInstant,
     ) {
+        let answers = answers.into();
         let bytes: usize = answers.iter().map(Value::size_bytes).sum();
-        self.clock += 1;
-        if let Some(old) = self.entries.remove(&call) {
-            self.current_bytes -= old.bytes;
+        // A strong count above one means the caller still shares the
+        // allocation (zero-copy handoff); exactly one means the answers
+        // were materialized for this store.
+        if Arc::strong_count(&answers) > 1 {
+            self.stats.bytes_shared += bytes as u64;
+        } else {
+            self.stats.bytes_copied += bytes as u64;
         }
+        self.clock += 1;
+        self.remove_entry(&call);
         self.current_bytes += bytes;
+        self.attach(&call);
         self.entries.insert(
             call,
             CacheEntry {
@@ -107,6 +256,49 @@ impl AnswerCache {
         );
         self.stats.inserts += 1;
         self.enforce_budget();
+    }
+
+    /// Adds `call` to the posting list and any registered ordered indexes.
+    /// Paired with [`AnswerCache::remove_entry`]; see the module docs for
+    /// the coherence invariant.
+    fn attach(&mut self, call: &GroundCall) {
+        self.postings
+            .entry(call.domain.clone())
+            .or_default()
+            .entry(call.function.clone())
+            .or_default()
+            .insert(call.clone());
+        if let Some(by_fn) = self.ordered.get_mut(call.domain.as_ref()) {
+            if let Some(by_pos) = by_fn.get_mut(call.function.as_ref()) {
+                for (pos, index) in by_pos.iter_mut() {
+                    index.insert(call, *pos);
+                }
+            }
+        }
+    }
+
+    /// Removes an entry and detaches it from every index structure. The
+    /// single removal path: eviction, replacement, invalidation, expiry,
+    /// and `clear` all go through here.
+    fn remove_entry(&mut self, call: &GroundCall) -> Option<CacheEntry> {
+        let entry = self.entries.remove(call)?;
+        self.current_bytes -= entry.bytes;
+        if let Some(by_fn) = self.postings.get_mut(call.domain.as_ref()) {
+            if let Some(set) = by_fn.get_mut(call.function.as_ref()) {
+                set.remove(call);
+                if set.is_empty() {
+                    by_fn.remove(call.function.as_ref());
+                }
+            }
+        }
+        if let Some(by_fn) = self.ordered.get_mut(call.domain.as_ref()) {
+            if let Some(by_pos) = by_fn.get_mut(call.function.as_ref()) {
+                for (pos, index) in by_pos.iter_mut() {
+                    index.remove(call, *pos);
+                }
+            }
+        }
+        Some(entry)
     }
 
     fn enforce_budget(&mut self) {
@@ -124,8 +316,7 @@ impl AnswerCache {
             else {
                 break;
             };
-            if let Some(e) = self.entries.remove(&victim) {
-                self.current_bytes -= e.bytes;
+            if self.remove_entry(&victim).is_some() {
                 self.stats.evictions += 1;
             }
         }
@@ -140,6 +331,7 @@ impl AnswerCache {
                 e.last_used = clock;
                 e.hits += 1;
                 self.stats.hits += 1;
+                self.stats.bytes_shared += e.bytes as u64;
                 Some(&*e)
             }
             None => {
@@ -160,23 +352,23 @@ impl AnswerCache {
         self.entries.get(call).is_some_and(|e| e.complete)
     }
 
-    /// Iterates all entries (for invariant scans).
+    /// Iterates all entries (diagnostics, persistence, and the naive
+    /// reference scan).
     pub fn iter(&self) -> impl Iterator<Item = (&GroundCall, &CacheEntry)> {
         self.entries.iter()
     }
 
     /// Drops every entry for a domain (invalidation after source update).
+    /// Victims come from the posting lists, so the cost is proportional to
+    /// the domain's entries, not the whole cache.
     pub fn invalidate_domain(&mut self, domain: &str) -> usize {
         let victims: Vec<GroundCall> = self
-            .entries
-            .keys()
-            .filter(|c| c.domain.as_ref() == domain)
-            .cloned()
-            .collect();
+            .postings
+            .get(domain)
+            .map(|by_fn| by_fn.values().flatten().cloned().collect())
+            .unwrap_or_default();
         for v in &victims {
-            if let Some(e) = self.entries.remove(v) {
-                self.current_bytes -= e.bytes;
-            }
+            self.remove_entry(v);
         }
         victims.len()
     }
@@ -190,16 +382,23 @@ impl AnswerCache {
             .map(|(k, _)| k.clone())
             .collect();
         for v in &victims {
-            if let Some(e) = self.entries.remove(v) {
-                self.current_bytes -= e.bytes;
-            }
+            self.remove_entry(v);
         }
         victims.len()
     }
 
-    /// Empties the cache, keeping the stats.
+    /// Empties the cache, keeping the stats and registered ordered-index
+    /// positions (their contents are cleared with the entries).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.postings.clear();
+        for by_fn in self.ordered.values_mut() {
+            for by_pos in by_fn.values_mut() {
+                for index in by_pos.values_mut() {
+                    index.groups.clear();
+                }
+            }
+        }
         self.current_bytes = 0;
     }
 }
@@ -224,7 +423,7 @@ mod tests {
         let mut c = AnswerCache::new();
         c.insert(call(1), vec![Value::Int(10)], true, SimInstant::EPOCH);
         let e = c.get(&call(1)).unwrap();
-        assert_eq!(e.answers, vec![Value::Int(10)]);
+        assert_eq!(&e.answers[..], &[Value::Int(10)]);
         assert!(e.complete);
         assert_eq!(e.hits, 1);
         assert!(c.get(&call(2)).is_none());
@@ -310,5 +509,95 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn posting_lists_track_every_mutation() {
+        let mut c = AnswerCache::new();
+        let listed = |c: &AnswerCache| {
+            let mut v: Vec<GroundCall> = c.calls_for("d", "f").cloned().collect();
+            v.sort();
+            v
+        };
+        c.insert(call(1), vec![], true, SimInstant::EPOCH);
+        c.insert(call(2), vec![], true, SimInstant::EPOCH);
+        assert_eq!(listed(&c), vec![call(1), call(2)]);
+        // Replacement keeps one posting.
+        c.insert(call(1), vec![Value::Int(9)], true, SimInstant::EPOCH);
+        assert_eq!(listed(&c), vec![call(1), call(2)]);
+        // Invalidation empties the list.
+        c.invalidate_domain("d");
+        assert!(listed(&c).is_empty());
+        // Clear after reinsert empties it too.
+        c.insert(call(3), vec![], true, SimInstant::EPOCH);
+        c.clear();
+        assert!(listed(&c).is_empty());
+    }
+
+    #[test]
+    fn ordered_index_tracks_insert_evict_and_survives_clear() {
+        let two = |t: &str, v: i64| GroundCall::new("d", "g", vec![Value::str(t), Value::Int(v)]);
+        let mut c = AnswerCache::new();
+        c.insert(two("a", 5), vec![], true, SimInstant::EPOCH);
+        c.register_ordered_index("d", "g", 1);
+        // Registration indexes pre-existing entries.
+        let group = c
+            .ordered_group("d", "g", 1, &[Value::str("a")])
+            .expect("index registered")
+            .expect("group exists");
+        assert_eq!(group.len(), 1);
+        // New inserts join their group.
+        c.insert(two("a", 9), vec![], true, SimInstant::EPOCH);
+        c.insert(two("b", 1), vec![], true, SimInstant::EPOCH);
+        let group = c
+            .ordered_group("d", "g", 1, &[Value::str("a")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            group.keys().cloned().collect::<Vec<_>>(),
+            vec![Value::Int(5), Value::Int(9)]
+        );
+        // Removal detaches from the group.
+        c.expire(
+            SimInstant::EPOCH + SimDuration::from_secs(100),
+            SimDuration::from_secs(1),
+        );
+        assert!(c
+            .ordered_group("d", "g", 1, &[Value::str("a")])
+            .unwrap()
+            .is_none());
+        // Registration survives clear: new entries are indexed again.
+        c.insert(two("a", 7), vec![], true, SimInstant::EPOCH);
+        c.clear();
+        c.insert(two("a", 8), vec![], true, SimInstant::EPOCH);
+        let group = c
+            .ordered_group("d", "g", 1, &[Value::str("a")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            group.keys().cloned().collect::<Vec<_>>(),
+            vec![Value::Int(8)]
+        );
+        // Unregistered position: outer None, caller falls back.
+        assert!(c.ordered_group("d", "g", 0, &[Value::Int(8)]).is_none());
+    }
+
+    #[test]
+    fn shared_vs_copied_byte_accounting() {
+        let mut c = AnswerCache::new();
+        // Owned Vec: materialized, counts as copied.
+        c.insert(call(1), big_answers(2), true, SimInstant::EPOCH);
+        let copied = c.stats().bytes_copied;
+        assert!(copied > 0);
+        assert_eq!(c.stats().bytes_shared, 0);
+        // Shared Arc: zero-copy store.
+        let shared: Arc<[Value]> = big_answers(2).into();
+        c.insert(call(2), shared.clone(), true, SimInstant::EPOCH);
+        assert_eq!(c.stats().bytes_copied, copied);
+        let after_store = c.stats().bytes_shared;
+        assert!(after_store > 0);
+        // Hits are served zero-copy.
+        c.get(&call(1));
+        assert!(c.stats().bytes_shared > after_store);
     }
 }

@@ -5,6 +5,7 @@ use crate::cache::{AnswerCache, CacheStats};
 use crate::invariant::{InvariantHit, InvariantStore};
 use hermes_common::{GroundCall, Result, SimDuration, SimInstant, Value};
 use hermes_lang::Invariant;
+use std::sync::Arc;
 
 /// The simulated cost of CIM processing.
 ///
@@ -40,18 +41,20 @@ impl Default for CimCostModel {
 /// How CIM resolved a lookup (§4.1).
 #[derive(Clone, Debug, PartialEq)]
 pub enum CimResolution {
-    /// The call itself was cached (step 1): answers are complete.
+    /// The call itself was cached (step 1): answers are complete. The
+    /// answer slice is shared with the cache entry — no copy on the hit
+    /// path.
     ExactHit {
         /// The cached answers.
-        answers: Vec<Value>,
+        answers: Arc<[Value]>,
     },
     /// An equality invariant mapped the call onto a cached call with the
     /// same answer set (step 2): answers are complete.
     EqualHit {
         /// The cached call that served the answers.
         via: GroundCall,
-        /// The cached answers.
-        answers: Vec<Value>,
+        /// The cached answers (shared with the cache entry).
+        answers: Arc<[Value]>,
     },
     /// A subset invariant found a cached partial answer set (step 3). The
     /// actual call is still required for the remaining answers unless the
@@ -59,8 +62,8 @@ pub enum CimResolution {
     PartialHit {
         /// The cached call that served the partial answers.
         via: GroundCall,
-        /// The partial answers.
-        answers: Vec<Value>,
+        /// The partial answers (shared with the cache entry).
+        answers: Arc<[Value]>,
     },
     /// Nothing in the cache applies. `substitute`, when present, is an
     /// equivalent (by an equality invariant) ground call that may be
@@ -149,9 +152,15 @@ impl Cim {
         self
     }
 
-    /// Adds a validated invariant.
+    /// Adds a validated invariant and registers the ordered indexes its
+    /// monotone directions probe (idempotent; pre-existing cache entries
+    /// are back-indexed).
     pub fn add_invariant(&mut self, inv: Invariant) -> Result<usize> {
-        self.invariants.add(inv)
+        let idx = self.invariants.add(inv)?;
+        for (domain, function, pos) in self.invariants.ordered_index_specs() {
+            self.cache.register_ordered_index(domain, function, pos);
+        }
+        Ok(idx)
     }
 
     /// Enables serving stale (incomplete) cached entries when the source
@@ -169,8 +178,9 @@ impl Cim {
 
     /// The stale fallback: any exact-key cached entry, complete or not,
     /// without touching LRU order or hit counters. `None` when the knob is
-    /// off or nothing is cached under the call.
-    pub fn stale_answers(&self, call: &GroundCall) -> Option<Vec<Value>> {
+    /// off or nothing is cached under the call. The slice is shared with
+    /// the cache entry.
+    pub fn stale_answers(&self, call: &GroundCall) -> Option<Arc<[Value]>> {
         if !self.serve_stale {
             return None;
         }
@@ -248,18 +258,21 @@ impl Cim {
             );
         }
 
-        // Steps 2 and 3: invariants. Matching cost scales with the scan.
+        // Steps 2 and 3: invariants. The *simulated* matching cost keeps
+        // the paper's scan model (entries × invariants) so plan choices and
+        // reported timings are bit-identical; only the wall-clock matching
+        // below is indexed.
         if !self.invariants.is_empty() {
             cost_ms += self.cost.invariant_scan_per_entry_ms
                 * (self.cache.len() as f64)
                 * (self.invariants.len() as f64);
             let hits = self.invariants.find_hits(call, &self.cache);
             if let Some(hit) = hits.first() {
-                let answers = self
+                let answers: Arc<[Value]> = self
                     .cache
                     .peek(hit.cached())
                     .map(|e| e.answers.clone())
-                    .unwrap_or_default();
+                    .unwrap_or_else(|| Vec::new().into());
                 cost_ms += self.cost.per_answer_ms * answers.len() as f64;
                 return match hit {
                     InvariantHit::Equal { cached, .. } => {
@@ -298,11 +311,13 @@ impl Cim {
         )
     }
 
-    /// Stores an answer set for future lookups.
+    /// Stores an answer set for future lookups. Accepts either an owned
+    /// `Vec<Value>` or an already-shared `Arc<[Value]>` (the executor hands
+    /// back the same allocation it streams from — zero-copy).
     pub fn store(
         &mut self,
         call: GroundCall,
-        answers: Vec<Value>,
+        answers: impl Into<Arc<[Value]>>,
         complete: bool,
         now: SimInstant,
     ) {
@@ -314,12 +329,13 @@ impl Cim {
     /// returning the deduplicated remainder (actual minus cached) and the
     /// simulated comparison cost — the §8 observation that "the size of the
     /// partial answer returned plays a significant role".
-    pub fn merge_partial(&self, cached: &[Value], actual: Vec<Value>) -> (Vec<Value>, SimDuration) {
+    pub fn merge_partial(&self, cached: &[Value], actual: &[Value]) -> (Vec<Value>, SimDuration) {
         let cached_set: std::collections::HashSet<&Value> = cached.iter().collect();
         let compared = actual.len() + cached.len();
         let remainder: Vec<Value> = actual
-            .into_iter()
-            .filter(|a| !cached_set.contains(a))
+            .iter()
+            .filter(|a| !cached_set.contains(*a))
+            .cloned()
             .collect();
         (
             remainder,
@@ -349,7 +365,7 @@ mod tests {
         assert_eq!(
             res,
             CimResolution::ExactHit {
-                answers: vec![Value::Int(1)]
+                answers: vec![Value::Int(1)].into()
             }
         );
         assert!(cost > SimDuration::ZERO);
@@ -377,7 +393,7 @@ mod tests {
         match res {
             CimResolution::PartialHit { via, answers } => {
                 assert_eq!(via, call(10));
-                assert_eq!(answers, vec![Value::Int(1)]);
+                assert_eq!(answers[..], [Value::Int(1)]);
             }
             other => panic!("expected partial hit, got {other:?}"),
         }
@@ -427,7 +443,7 @@ mod tests {
         match res2 {
             CimResolution::EqualHit { via, answers } => {
                 assert_eq!(via, sub);
-                assert_eq!(answers, vec![Value::Int(7)]);
+                assert_eq!(answers[..], [Value::Int(7)]);
             }
             other => panic!("expected equal hit, got {other:?}"),
         }
@@ -467,7 +483,7 @@ mod tests {
         let cim = Cim::new();
         let cached = vec![Value::Int(1), Value::Int(2)];
         let actual = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        let (rest, cost) = cim.merge_partial(&cached, actual);
+        let (rest, cost) = cim.merge_partial(&cached, &actual);
         assert_eq!(rest, vec![Value::Int(3)]);
         assert!(cost > SimDuration::ZERO);
     }
@@ -481,7 +497,10 @@ mod tests {
         cim.set_serve_stale_on_outage(true);
         assert!(cim.serve_stale_on_outage());
         // Incomplete entries qualify; unknown calls still do not.
-        assert_eq!(cim.stale_answers(&call(10)), Some(vec![Value::Int(1)]));
+        assert_eq!(
+            cim.stale_answers(&call(10)).as_deref(),
+            Some(&[Value::Int(1)][..])
+        );
         assert_eq!(cim.stale_answers(&call(99)), None);
     }
 

@@ -32,7 +32,7 @@ pub fn save<W: Write>(cache: &AnswerCache, mut out: W) -> Result<()> {
         line.push('\t');
         line.push_str(&entry.answers.len().to_string());
         line.push('\t');
-        for a in &entry.answers {
+        for a in entry.answers.iter() {
             encode_value(a, &mut line);
         }
         writeln!(out, "{line}")?;

@@ -17,14 +17,19 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A fully ground domain call: `domain:function(arg1, …, argN)`.
+///
+/// The argument list is `Arc`-backed: ground calls are the *keys* of both
+/// caches (CIM answers, DCSM statistics) and get cloned on every probe,
+/// store, and invariant hit. With shared args a clone is three reference
+/// bumps — the key path never allocates.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroundCall {
     /// The external source ("domain") name, e.g. `video`.
     pub domain: Arc<str>,
     /// The function exported by that domain, e.g. `frames_to_objects`.
     pub function: Arc<str>,
-    /// Ground argument values.
-    pub args: Vec<Value>,
+    /// Ground argument values (shared; clone is a reference bump).
+    pub args: Arc<[Value]>,
 }
 
 impl GroundCall {
@@ -32,12 +37,12 @@ impl GroundCall {
     pub fn new(
         domain: impl Into<Arc<str>>,
         function: impl Into<Arc<str>>,
-        args: Vec<Value>,
+        args: impl Into<Arc<[Value]>>,
     ) -> Self {
         GroundCall {
             domain: domain.into(),
             function: function.into(),
-            args,
+            args: args.into(),
         }
     }
 
@@ -167,10 +172,14 @@ impl CallPattern {
         self.domain == call.domain
             && self.function == call.function
             && self.args.len() == call.args.len()
-            && self.args.iter().zip(&call.args).all(|(p, v)| match p {
-                PatArg::Bound => true,
-                PatArg::Const(c) => c == v,
-            })
+            && self
+                .args
+                .iter()
+                .zip(call.args.iter())
+                .all(|(p, v)| match p {
+                    PatArg::Bound => true,
+                    PatArg::Const(c) => c == v,
+                })
     }
 
     /// The patterns produced by replacing exactly one constant with `$b` —
@@ -179,11 +188,35 @@ impl CallPattern {
         self.const_positions()
             .into_iter()
             .map(|i| {
-                let mut p = self.clone();
-                p.args[i] = PatArg::Bound;
-                p
+                let args = self
+                    .args
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| if j == i { PatArg::Bound } else { a.clone() })
+                    .collect();
+                CallPattern {
+                    domain: self.domain.clone(),
+                    function: self.function.clone(),
+                    args,
+                }
             })
             .collect()
+    }
+
+    /// The constant positions as a bit mask (bit `i` set ⇔ `args[i]` holds a
+    /// constant) — the hash key of the DCSM relaxation-lattice index. `None`
+    /// when the arity exceeds 64 positions.
+    pub fn mask_bits(&self) -> Option<u64> {
+        if self.args.len() > 64 {
+            return None;
+        }
+        let mut mask = 0u64;
+        for (i, a) in self.args.iter().enumerate() {
+            if matches!(a, PatArg::Const(_)) {
+                mask |= 1 << i;
+            }
+        }
+        Some(mask)
     }
 
     /// The *shape* of this pattern: which positions are constants. Two
@@ -397,6 +430,24 @@ mod tests {
         // projecting a pattern of the wrong arity fails
         let other = CallPattern::new("d", "f", vec![PatArg::Bound]);
         assert!(lossy.project(&other).is_none());
+    }
+
+    #[test]
+    fn mask_bits_mark_constant_positions() {
+        let c = call();
+        assert_eq!(c.pattern().mask_bits(), Some(0b111));
+        assert_eq!(c.blanket_pattern().mask_bits(), Some(0));
+        let mut mid = c.pattern();
+        mid.args[1] = PatArg::Bound;
+        assert_eq!(mid.mask_bits(), Some(0b101));
+    }
+
+    #[test]
+    fn ground_call_clone_shares_args() {
+        let c = call();
+        let d = c.clone();
+        assert!(Arc::ptr_eq(&c.args, &d.args));
+        assert_eq!(c, d);
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn encode_call(c: &GroundCall, out: &mut String) {
     write_str(&c.domain, out);
     write_str(&c.function, out);
     let _ = write!(out, "A{};", c.args.len());
-    for a in &c.args {
+    for a in c.args.iter() {
         encode_value(a, out);
     }
 }

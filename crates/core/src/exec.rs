@@ -30,6 +30,7 @@ use hermes_lang::{Relop, Subst, Term};
 use hermes_net::{Network, RemoteOutcome};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// A streaming answer sink: receives each answer binding and the elapsed
 /// virtual time; returning `false` stops the run.
@@ -390,7 +391,7 @@ pub struct Executor<'w> {
     config: ExecConfig,
     clock: SimClock,
     stats: ExecStats,
-    memo: HashMap<GroundCall, Vec<Value>>,
+    memo: HashMap<GroundCall, Arc<[Value]>>,
     trace: Vec<TraceEntry>,
     /// Shared per-site circuit breakers (the mediator's bank, so breaker
     /// state persists across queries). `None` disables breaking.
@@ -692,15 +693,18 @@ impl<'w> Executor<'w> {
                     // The group dispatch already paid the overlapped
                     // makespan: serve the parked answers at zero charge.
                     self.note_truncation(out, idx, ground, &outcome);
-                    if self.config.memoize_calls && !outcome.truncated {
-                        self.memo.insert(ground.clone(), outcome.answers.clone());
+                    let truncated = outcome.truncated;
+                    // One shared allocation backs memo and iteration.
+                    let answers: Arc<[Value]> = outcome.answers.into();
+                    if self.config.memoize_calls && !truncated {
+                        self.memo.insert(ground.clone(), answers.clone());
                     }
                     self.iterate(
                         steps,
                         idx,
                         theta,
                         out,
-                        &outcome.answers,
+                        &answers,
                         SimDuration::ZERO,
                         SimDuration::ZERO,
                         probe,
@@ -713,8 +717,9 @@ impl<'w> Executor<'w> {
                     if outcome.answers.is_empty() {
                         self.clock.advance(outcome.t_all);
                     }
-                    let answers = outcome.answers;
-                    if self.config.memoize_calls && !outcome.truncated {
+                    let truncated = outcome.truncated;
+                    let answers: Arc<[Value]> = outcome.answers.into();
+                    if self.config.memoize_calls && !truncated {
                         self.memo.insert(ground.clone(), answers.clone());
                     }
                     self.iterate(steps, idx, theta, out, &answers, first, per, probe, target)
@@ -912,7 +917,9 @@ impl<'w> Executor<'w> {
                     self.clock.advance(outcome.t_all);
                 }
                 let complete = !outcome.truncated;
-                let answers = outcome.answers;
+                // One shared allocation backs the CIM store(s), the memo,
+                // and the iteration below (Arc clones, no deep copies).
+                let answers: Arc<[Value]> = outcome.answers.into();
                 if self.config.store_results {
                     let now = self.clock.now();
                     let mut cim = self.cim.lock();
@@ -941,7 +948,7 @@ impl<'w> Executor<'w> {
         theta: &Subst,
         out: &mut RunState,
         ground: &GroundCall,
-        cached: Vec<Value>,
+        cached: Arc<[Value]>,
         probe: Option<&Value>,
         target: &Term,
     ) -> Result<bool> {
@@ -956,7 +963,7 @@ impl<'w> Executor<'w> {
                 return self.exec(steps, idx + 1, theta, out);
             }
         } else {
-            for a in &cached {
+            for a in cached.iter() {
                 let mut t2 = theta.clone();
                 let var = target.as_var().expect("non-probe target is a variable");
                 t2.bind(var.clone(), a.clone());
@@ -982,21 +989,20 @@ impl<'w> Executor<'w> {
                 } else {
                     self.clock.advance(outcome.t_all);
                 }
-                let (remainder, merge_cost) = self
-                    .cim
-                    .lock()
-                    .merge_partial(&cached, outcome.answers.clone());
+                let truncated = outcome.truncated;
+                let answers: Arc<[Value]> = outcome.answers.into();
+                let (remainder, merge_cost) = self.cim.lock().merge_partial(&cached, &answers);
                 self.clock.advance(merge_cost);
                 if self.config.store_results {
                     self.cim.lock().store(
                         ground.clone(),
-                        outcome.answers.clone(),
-                        !outcome.truncated,
+                        answers.clone(),
+                        !truncated,
                         self.clock.now(),
                     );
                 }
-                if self.config.memoize_calls && !outcome.truncated {
-                    self.memo.insert(ground.clone(), outcome.answers.clone());
+                if self.config.memoize_calls && !truncated {
+                    self.memo.insert(ground.clone(), answers);
                 }
                 if let Some(v) = probe {
                     if remainder.contains(v) {

@@ -1,8 +1,27 @@
 //! The cost vector database: full-detail statistics of executed calls
 //! (§6.1, the tables of Figure 2).
+//!
+//! ## Indexed aggregation (DESIGN.md §11)
+//!
+//! [`CostVectorDb::aggregate`] no longer scans the record list per probe.
+//! Records are stored per `domain:function`, and each function keeps
+//! lazily-built aggregation cells keyed by *pattern shape* — the
+//! `(constant-position bitmask, arity)` pair a [`CallPattern`] projects to
+//! (the precomputed `$b`-mask key) — then by the projected constant
+//! values. The §6.3 relaxation lattice walk therefore costs one hash probe
+//! per relaxation step instead of one scan of the statistics rows.
+//!
+//! Cells accumulate component sums in record-insertion order, both when a
+//! shape is first built and when [`CostVectorDb::record`] appends to
+//! already-built shapes, so the averages are bitwise identical to the
+//! retained [`CostVectorDb::aggregate_scan`] reference (floating-point
+//! addition is not associative; order is part of the contract).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::cost::CostVector;
-use hermes_common::{CallPattern, GroundCall, SimInstant, Value};
+use hermes_common::sync::Mutex;
+use hermes_common::{CallPattern, GroundCall, PatArg, SimInstant, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -17,10 +36,103 @@ pub struct CallRecord {
     pub recorded_at: SimInstant,
 }
 
+/// A pattern shape: the constant-position bitmask plus the arity (the mask
+/// alone cannot distinguish `f(a)` from `f(a, $b)`).
+type ShapeKey = (u64, usize);
+
+/// Running component sums for one group of records, in insertion order.
+#[derive(Clone, Copy, Debug, Default)]
+struct AggCell {
+    t_first: (f64, usize),
+    t_all: (f64, usize),
+    card: (f64, usize),
+    matched: usize,
+}
+
+impl AggCell {
+    fn add(&mut self, v: &CostVector) {
+        self.matched += 1;
+        if let Some(x) = v.t_first_ms {
+            self.t_first.0 += x;
+            self.t_first.1 += 1;
+        }
+        if let Some(x) = v.t_all_ms {
+            self.t_all.0 += x;
+            self.t_all.1 += 1;
+        }
+        if let Some(x) = v.cardinality {
+            self.card.0 += x;
+            self.card.1 += 1;
+        }
+    }
+
+    fn finish(&self) -> (CostVector, usize) {
+        let avg = |(s, n): (f64, usize)| if n > 0 { Some(s / n as f64) } else { None };
+        (
+            CostVector {
+                t_first_ms: avg(self.t_first),
+                t_all_ms: avg(self.t_all),
+                cardinality: avg(self.card),
+            },
+            self.matched,
+        )
+    }
+}
+
+/// One function's records plus its lazily-built aggregation cells.
+///
+/// The index is interior-mutable so the read-only [`CostVectorDb::aggregate`]
+/// can build a shape on its first probe; [`CostVectorDb::record`] keeps
+/// already-built shapes current incrementally.
+#[derive(Debug, Default)]
+struct FunctionStats {
+    records: Vec<CallRecord>,
+    index: Mutex<HashMap<ShapeKey, HashMap<Vec<Value>, AggCell>>>,
+}
+
+impl Clone for FunctionStats {
+    fn clone(&self) -> Self {
+        FunctionStats {
+            records: self.records.clone(),
+            index: Mutex::new(self.index.lock().clone()),
+        }
+    }
+}
+
+impl FunctionStats {
+    /// Builds the cells for one shape by a single insertion-order scan.
+    fn build_shape(
+        records: &[CallRecord],
+        mask: u64,
+        arity: usize,
+    ) -> HashMap<Vec<Value>, AggCell> {
+        let mut cells: HashMap<Vec<Value>, AggCell> = HashMap::new();
+        for r in records {
+            if r.call.args.len() != arity {
+                continue;
+            }
+            cells
+                .entry(project(&r.call.args, mask))
+                .or_default()
+                .add(&r.vector);
+        }
+        cells
+    }
+}
+
+/// The record's argument values at the mask's constant positions.
+fn project(args: &[Value], mask: u64) -> Vec<Value> {
+    args.iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
 /// Full-detail statistics, one record list per `domain:function`.
 #[derive(Clone, Debug, Default)]
 pub struct CostVectorDb {
-    records: HashMap<(Arc<str>, Arc<str>), Vec<CallRecord>>,
+    records: HashMap<Arc<str>, HashMap<Arc<str>, FunctionStats>>,
     total: usize,
 }
 
@@ -30,16 +142,30 @@ impl CostVectorDb {
         CostVectorDb::default()
     }
 
-    /// Records an observation.
+    /// Records an observation. Shapes already built for this function are
+    /// extended in place (the new observation's components are added last,
+    /// matching what a fresh insertion-order scan would compute).
     pub fn record(&mut self, call: GroundCall, vector: CostVector, recorded_at: SimInstant) {
-        self.records
-            .entry((call.domain.clone(), call.function.clone()))
+        let stats = self
+            .records
+            .entry(call.domain.clone())
             .or_default()
-            .push(CallRecord {
-                call,
-                vector,
-                recorded_at,
-            });
+            .entry(call.function.clone())
+            .or_default();
+        for ((mask, arity), cells) in stats.index.get_mut().iter_mut() {
+            if *arity != call.args.len() {
+                continue;
+            }
+            cells
+                .entry(project(&call.args, *mask))
+                .or_default()
+                .add(&vector);
+        }
+        stats.records.push(CallRecord {
+            call,
+            vector,
+            recorded_at,
+        });
         self.total += 1;
     }
 
@@ -58,62 +184,72 @@ impl CostVectorDb {
     pub fn approx_bytes(&self) -> usize {
         self.records
             .values()
-            .flatten()
+            .flat_map(|m| m.values())
+            .flat_map(|s| &s.records)
             .map(|r| r.call.request_bytes() + 3 * std::mem::size_of::<f64>() + 8)
             .sum()
     }
 
     /// All records of one `domain:function`.
     pub fn records_for(&self, domain: &str, function: &str) -> &[CallRecord] {
-        self.records
-            .get(&(Arc::from(domain), Arc::from(function)))
-            .map(Vec::as_slice)
+        self.stats_for(domain, function)
+            .map(|s| s.records.as_slice())
             .unwrap_or(&[])
     }
 
     /// The `(domain, function)` pairs with records, sorted.
     pub fn functions(&self) -> Vec<(Arc<str>, Arc<str>)> {
-        let mut keys: Vec<_> = self.records.keys().cloned().collect();
+        let mut keys: Vec<_> = self
+            .records
+            .iter()
+            .flat_map(|(d, m)| m.keys().map(move |f| (d.clone(), f.clone())))
+            .collect();
         keys.sort();
         keys
     }
 
     /// Aggregates the records matching `pattern` with the plain average the
     /// paper uses (§6.1, Example 6.1). Returns the averaged vector and the
-    /// number of records aggregated — the "expensive aggregation" work that
-    /// summary tables exist to avoid.
+    /// number of records aggregated.
+    ///
+    /// One hash probe against the shape index (built on first use for each
+    /// `$b`-mask); falls back to [`CostVectorDb::aggregate_scan`] only for
+    /// arities beyond the 64-bit mask.
     pub fn aggregate(&self, pattern: &CallPattern) -> (CostVector, usize) {
-        let mut t_first = (0.0, 0usize);
-        let mut t_all = (0.0, 0usize);
-        let mut card = (0.0, 0usize);
-        let mut matched = 0usize;
+        let Some(mask) = pattern.mask_bits() else {
+            return self.aggregate_scan(pattern);
+        };
+        let Some(stats) = self.stats_for(&pattern.domain, &pattern.function) else {
+            return (CostVector::default(), 0);
+        };
+        let key: Vec<Value> = pattern
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                PatArg::Const(v) => Some(v.clone()),
+                PatArg::Bound => None,
+            })
+            .collect();
+        let mut index = stats.index.lock();
+        let cells = index.entry((mask, pattern.args.len())).or_insert_with(|| {
+            FunctionStats::build_shape(&stats.records, mask, pattern.args.len())
+        });
+        cells.get(&key).copied().unwrap_or_default().finish()
+    }
+
+    /// The linear-scan reference implementation of
+    /// [`CostVectorDb::aggregate`]: kept as the executable specification
+    /// (equivalence tests assert bitwise-identical results) and as the
+    /// fallback for unmaskable arities.
+    pub fn aggregate_scan(&self, pattern: &CallPattern) -> (CostVector, usize) {
+        let mut cell = AggCell::default();
         for r in self.records_for(&pattern.domain, &pattern.function) {
             if !pattern.matches(&r.call) {
                 continue;
             }
-            matched += 1;
-            if let Some(v) = r.vector.t_first_ms {
-                t_first.0 += v;
-                t_first.1 += 1;
-            }
-            if let Some(v) = r.vector.t_all_ms {
-                t_all.0 += v;
-                t_all.1 += 1;
-            }
-            if let Some(v) = r.vector.cardinality {
-                card.0 += v;
-                card.1 += 1;
-            }
+            cell.add(&r.vector);
         }
-        let avg = |(s, n): (f64, usize)| if n > 0 { Some(s / n as f64) } else { None };
-        (
-            CostVector {
-                t_first_ms: avg(t_first),
-                t_all_ms: avg(t_all),
-                cardinality: avg(card),
-            },
-            matched,
-        )
+        cell.finish()
     }
 
     /// The distinct argument vectors observed for `domain:function` —
@@ -123,25 +259,31 @@ impl CostVectorDb {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for r in self.records_for(domain, function) {
-            if seen.insert(r.call.args.clone()) {
-                out.push(r.call.args.clone());
+            if seen.insert(&r.call.args) {
+                out.push(r.call.args.to_vec());
             }
         }
         out
     }
 
-    /// Drops all records for one function (after summarization, §6.2).
+    /// Drops all records (and index cells) for one function (after
+    /// summarization, §6.2).
     pub fn drop_function(&mut self, domain: &str, function: &str) -> usize {
-        match self
-            .records
-            .remove(&(Arc::from(domain), Arc::from(function)))
-        {
-            Some(rs) => {
-                self.total -= rs.len();
-                rs.len()
-            }
-            None => 0,
+        let Some(by_fn) = self.records.get_mut(domain) else {
+            return 0;
+        };
+        let Some(stats) = by_fn.remove(function) else {
+            return 0;
+        };
+        if by_fn.is_empty() {
+            self.records.remove(domain);
         }
+        self.total -= stats.records.len();
+        stats.records.len()
+    }
+
+    fn stats_for(&self, domain: &str, function: &str) -> Option<&FunctionStats> {
+        self.records.get(domain).and_then(|m| m.get(function))
     }
 }
 
@@ -281,6 +423,62 @@ mod tests {
         let (v, n) = db.aggregate(&p);
         assert_eq!(n, 0);
         assert_eq!(v, CostVector::default());
+    }
+
+    #[test]
+    fn indexed_aggregate_matches_scan_bitwise() {
+        let db = figure2_database();
+        let patterns = [
+            GroundCall::new("d1", "p_bf", vec![Value::str("a")]).pattern(),
+            CallPattern::new("d1", "p_bf", vec![PatArg::Bound]),
+            CallPattern::new(
+                "d1",
+                "p_bb",
+                vec![PatArg::Const(Value::str("a")), PatArg::Bound],
+            ),
+            CallPattern::new(
+                "d1",
+                "p_bb",
+                vec![PatArg::Bound, PatArg::Const(Value::Int(1))],
+            ),
+            GroundCall::new("d2", "q_ff", vec![]).pattern(),
+        ];
+        for p in &patterns {
+            let (iv, in_) = db.aggregate(p);
+            let (sv, sn) = db.aggregate_scan(p);
+            assert_eq!(in_, sn, "matched count for {p}");
+            // Bitwise, not approximate: insertion-order sums must agree.
+            assert_eq!(iv.t_all_ms.map(f64::to_bits), sv.t_all_ms.map(f64::to_bits));
+            assert_eq!(
+                iv.t_first_ms.map(f64::to_bits),
+                sv.t_first_ms.map(f64::to_bits)
+            );
+            assert_eq!(
+                iv.cardinality.map(f64::to_bits),
+                sv.cardinality.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn built_shapes_stay_current_after_record() {
+        let mut db = figure2_database();
+        let p = GroundCall::new("d1", "p_bf", vec![Value::str("a")]).pattern();
+        assert_eq!(db.aggregate(&p).1, 2); // builds the (0b1, 1) shape
+        db.record(
+            GroundCall::new("d1", "p_bf", vec![Value::str("a")]),
+            CostVector {
+                t_first_ms: None,
+                t_all_ms: Some(4.0),
+                cardinality: Some(3.0),
+            },
+            SimInstant::EPOCH,
+        );
+        let (v, n) = db.aggregate(&p);
+        assert_eq!(n, 3);
+        let (sv, sn) = db.aggregate_scan(&p);
+        assert_eq!(n, sn);
+        assert_eq!(v.t_all_ms.map(f64::to_bits), sv.t_all_ms.map(f64::to_bits));
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl Subst {
             return None;
         }
         let mut out = self.clone();
-        for (t, v) in template.args.iter().zip(&call.args) {
+        for (t, v) in template.args.iter().zip(call.args.iter()) {
             match t {
                 Term::Const(c) => {
                     if c != v {

@@ -1,0 +1,347 @@
+//! Equivalence of the indexed lookup paths (PR 4) with their retained
+//! naive references, over randomized caches and statistics databases.
+//!
+//! * CIM: `InvariantStore::find_hits` / `substitutes` (posting lists,
+//!   ordered-index range probes, ground probes) must return the same hit
+//!   sets as `find_hits_naive` / `substitutes_naive` (full cache scan).
+//! * DCSM: `CostVectorDb::aggregate` (shape-keyed cells) must return
+//!   *bitwise*-identical averages to `aggregate_scan` — plan choices hang
+//!   off these floats, so approximate equality is not enough.
+//!
+//! Generators follow the `property.rs` idiom: hand-rolled over the seeded
+//! in-tree [`Rng64`]; every case is reproducible from the test name.
+
+use hermes::cim::{AnswerCache, InvariantHit, InvariantStore};
+use hermes::common::{CallPattern, GroundCall, PatArg, Rng64, SimDuration, SimInstant};
+use hermes::dcsm::{CostVector, CostVectorDb};
+use hermes::lang::parse_invariant;
+use hermes::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn cases(test_name: &str, n: u64, mut body: impl FnMut(&mut Rng64)) {
+    for case in 0..n {
+        let mut name_hash = DefaultHasher::new();
+        test_name.hash(&mut name_hash);
+        let mut rng = Rng64::new(name_hash.finish() ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+        body(&mut rng);
+    }
+}
+
+// ---------- CIM: find_hits / substitutes vs the naive scan ----------
+
+/// A pool exercising every probe plan the classifier can produce:
+/// ordered-index range probes (`<=`, and `=` via the k/k5 pair), ground
+/// equality probes, posting scans (two free variables in the video
+/// invariant), and the posting fallback for a non-contiguous `!=` range.
+fn invariant_pool() -> InvariantStore {
+    let mut s = InvariantStore::new();
+    for text in [
+        "V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).",
+        "Dist > 142 => spatial:range(F, X, Y, Dist) = spatial:range(F, X, Y, 142).",
+        "=> d:f(X) = d:g(X).",
+        "F2 <= F1 & L1 <= L2 =>
+         video:frames_to_objects(V, F2, L2) >= video:frames_to_objects(V, F1, L1).",
+        "V1 != 7 => d:j(T, V1) <= d:jall(T).",
+        "V1 = 5 => d:k(T, V1) = d:k5(T).",
+    ] {
+        s.add(parse_invariant(text).unwrap()).unwrap();
+    }
+    s
+}
+
+/// Calls overlapping the invariant pool's templates (plus unrelated noise),
+/// drawn from small value ranges so random caches collide with probes.
+fn pool_call(r: &mut Rng64) -> GroundCall {
+    match r.range_usize(0, 9) {
+        0 | 1 => GroundCall::new(
+            "rel",
+            "select_lt",
+            vec![
+                Value::str(format!("t{}", r.range_u64(0, 3))),
+                Value::str(if r.chance(0.5) { "qty" } else { "weight" }),
+                Value::Int(r.range_i64(0, 30)),
+            ],
+        ),
+        2 => GroundCall::new(
+            "spatial",
+            "range",
+            vec![
+                Value::str(if r.chance(0.7) { "points" } else { "grid" }),
+                Value::Int(r.range_i64(0, 2)),
+                Value::Int(r.range_i64(0, 2)),
+                Value::Int(if r.chance(0.4) {
+                    142
+                } else {
+                    r.range_i64(100, 200)
+                }),
+            ],
+        ),
+        3 => GroundCall::new("d", "f", vec![Value::Int(r.range_i64(0, 6))]),
+        4 => GroundCall::new("d", "g", vec![Value::Int(r.range_i64(0, 6))]),
+        5 => GroundCall::new(
+            "video",
+            "frames_to_objects",
+            vec![
+                Value::str(format!("v{}", r.range_u64(0, 2))),
+                Value::Int(r.range_i64(0, 10)),
+                Value::Int(r.range_i64(10, 20)),
+            ],
+        ),
+        6 => {
+            if r.chance(0.5) {
+                GroundCall::new(
+                    "d",
+                    "j",
+                    vec![Value::str("t"), Value::Int(r.range_i64(0, 10))],
+                )
+            } else {
+                GroundCall::new("d", "jall", vec![Value::str("t")])
+            }
+        }
+        7 => {
+            if r.chance(0.5) {
+                GroundCall::new(
+                    "d",
+                    "k",
+                    vec![Value::str("t"), Value::Int(r.range_i64(0, 8))],
+                )
+            } else {
+                GroundCall::new("d", "k5", vec![Value::str("t")])
+            }
+        }
+        _ => GroundCall::new("noise", "fn", vec![Value::Int(r.range_i64(0, 4))]),
+    }
+}
+
+fn random_cache(r: &mut Rng64, store: &InvariantStore) -> AnswerCache {
+    let mut cache = AnswerCache::new();
+    // Half the cases register the ordered indexes (exercising the range
+    // probes); the other half exercise the posting-list fallback.
+    if r.chance(0.5) {
+        for (d, f, pos) in store.ordered_index_specs() {
+            cache.register_ordered_index(d, f, pos);
+        }
+    }
+    let n = r.range_usize(0, 60);
+    for i in 0..n {
+        let call = pool_call(r);
+        let answers: Vec<Value> = (0..r.range_usize(0, 4))
+            .map(|_| Value::Int(r.range_i64(0, 100)))
+            .collect();
+        // Distinct insertion times keep the freshness sort deterministic.
+        cache.insert(
+            call,
+            answers,
+            r.chance(0.7),
+            SimInstant::EPOCH + SimDuration::from_micros(i as u64),
+        );
+    }
+    cache
+}
+
+fn hit_key(h: &InvariantHit) -> (bool, GroundCall, usize) {
+    match h {
+        InvariantHit::Equal { cached, invariant } => (true, cached.clone(), *invariant),
+        InvariantHit::Partial { cached, invariant } => (false, cached.clone(), *invariant),
+    }
+}
+
+#[test]
+fn indexed_find_hits_matches_naive_reference() {
+    let store = invariant_pool();
+    cases("indexed_find_hits_matches_naive_reference", 96, |r| {
+        let cache = random_cache(r, &store);
+        for _ in 0..8 {
+            let probe = pool_call(r);
+            let indexed = store.find_hits(&probe, &cache);
+            let naive = store.find_hits_naive(&probe, &cache);
+            // The §4.1 preference must survive indexing: if any equality
+            // hit exists, both paths lead with one.
+            assert_eq!(
+                indexed.first().map(InvariantHit::is_equal),
+                naive.first().map(InvariantHit::is_equal),
+                "lead hit kind diverged for {probe}"
+            );
+            // Hit sets must be identical (order among equal sort keys is
+            // representation-dependent, so compare canonically sorted).
+            let mut a: Vec<_> = indexed.iter().map(hit_key).collect();
+            let mut b: Vec<_> = naive.iter().map(hit_key).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "hit sets diverged for {probe}");
+        }
+    });
+}
+
+#[test]
+fn indexed_substitutes_matches_naive_reference() {
+    let store = invariant_pool();
+    cases("indexed_substitutes_matches_naive_reference", 128, |r| {
+        let probe = pool_call(r);
+        // Substitutes are cache-independent and deterministically ordered:
+        // exact (ordered) equality is required, not just set equality.
+        assert_eq!(
+            store.substitutes(&probe),
+            store.substitutes_naive(&probe),
+            "substitutes diverged for {probe}"
+        );
+    });
+}
+
+#[test]
+fn indexed_hits_survive_eviction_and_invalidation() {
+    // Posting lists and ordered indexes must stay coherent with entry
+    // removal: after invalidation, the indexed path must agree with the
+    // naive scan (which only sees `entries`).
+    let store = invariant_pool();
+    cases("indexed_hits_survive_eviction_and_invalidation", 48, |r| {
+        let mut cache = random_cache(r, &store);
+        match r.range_usize(0, 3) {
+            0 => {
+                cache.invalidate_domain("rel");
+            }
+            1 => {
+                cache.invalidate_domain("d");
+                cache.invalidate_domain("spatial");
+            }
+            _ => {
+                // Age half the entries out.
+                cache.expire(
+                    SimInstant::EPOCH + SimDuration::from_micros(30),
+                    SimDuration::from_micros(10),
+                );
+            }
+        }
+        for _ in 0..6 {
+            let probe = pool_call(r);
+            let mut a: Vec<_> = store
+                .find_hits(&probe, &cache)
+                .iter()
+                .map(hit_key)
+                .collect();
+            let mut b: Vec<_> = store
+                .find_hits_naive(&probe, &cache)
+                .iter()
+                .map(hit_key)
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "hit sets diverged after removal for {probe}");
+        }
+    });
+}
+
+// ---------- DCSM: shape-indexed aggregate vs the linear scan ----------
+
+fn random_record_call(r: &mut Rng64) -> GroundCall {
+    let domain = if r.chance(0.5) { "d1" } else { "d2" };
+    let function = if r.chance(0.5) { "f" } else { "g" };
+    let arity = r.range_usize(0, 4);
+    let args: Vec<Value> = (0..arity)
+        .map(|_| {
+            if r.chance(0.5) {
+                Value::Int(r.range_i64(0, 4))
+            } else {
+                Value::str(format!("{}", (b'a' + r.range_u64(0, 3) as u8) as char))
+            }
+        })
+        .collect();
+    GroundCall::new(domain, function, args)
+}
+
+fn random_vector(r: &mut Rng64) -> CostVector {
+    let maybe = |r: &mut Rng64| {
+        if r.chance(0.8) {
+            Some(r.range_f64(0.0, 100.0))
+        } else {
+            None
+        }
+    };
+    CostVector {
+        t_first_ms: maybe(r),
+        t_all_ms: maybe(r),
+        cardinality: maybe(r),
+    }
+}
+
+fn random_pattern(r: &mut Rng64) -> CallPattern {
+    // Reuse the record-call generator so patterns actually match rows.
+    let call = random_record_call(r);
+    let args: Vec<PatArg> = call
+        .args
+        .iter()
+        .map(|v| {
+            if r.chance(0.5) {
+                PatArg::Const(v.clone())
+            } else {
+                PatArg::Bound
+            }
+        })
+        .collect();
+    CallPattern::new(call.domain.as_ref(), call.function.as_ref(), args)
+}
+
+fn assert_aggregate_bitwise_equal(db: &CostVectorDb, p: &CallPattern) {
+    let (iv, in_) = db.aggregate(p);
+    let (sv, sn) = db.aggregate_scan(p);
+    assert_eq!(in_, sn, "matched count diverged for {p}");
+    assert_eq!(
+        iv.t_first_ms.map(f64::to_bits),
+        sv.t_first_ms.map(f64::to_bits),
+        "t_first diverged for {p}"
+    );
+    assert_eq!(
+        iv.t_all_ms.map(f64::to_bits),
+        sv.t_all_ms.map(f64::to_bits),
+        "t_all diverged for {p}"
+    );
+    assert_eq!(
+        iv.cardinality.map(f64::to_bits),
+        sv.cardinality.map(f64::to_bits),
+        "cardinality diverged for {p}"
+    );
+}
+
+#[test]
+fn dcsm_indexed_aggregate_matches_scan_on_random_dbs() {
+    cases(
+        "dcsm_indexed_aggregate_matches_scan_on_random_dbs",
+        64,
+        |r| {
+            let mut db = CostVectorDb::new();
+            for _ in 0..r.range_usize(0, 80) {
+                db.record(random_record_call(r), random_vector(r), SimInstant::EPOCH);
+            }
+            let patterns: Vec<CallPattern> = (0..12).map(|_| random_pattern(r)).collect();
+            for p in &patterns {
+                assert_aggregate_bitwise_equal(&db, p);
+            }
+            // Interleave more observations: shapes built above must be
+            // maintained incrementally, still bitwise-equal to a fresh scan.
+            for _ in 0..r.range_usize(1, 30) {
+                db.record(random_record_call(r), random_vector(r), SimInstant::EPOCH);
+            }
+            for p in &patterns {
+                assert_aggregate_bitwise_equal(&db, p);
+            }
+        },
+    );
+}
+
+#[test]
+fn dcsm_drop_function_clears_index_cells() {
+    cases("dcsm_drop_function_clears_index_cells", 32, |r| {
+        let mut db = CostVectorDb::new();
+        for _ in 0..r.range_usize(5, 40) {
+            db.record(random_record_call(r), random_vector(r), SimInstant::EPOCH);
+        }
+        let p = random_pattern(r);
+        assert_aggregate_bitwise_equal(&db, &p); // builds the shape
+        db.drop_function(&p.domain, &p.function);
+        let (v, n) = db.aggregate(&p);
+        assert_eq!(n, 0, "dropped function still aggregates for {p}");
+        assert_eq!(v, CostVector::default());
+        assert_aggregate_bitwise_equal(&db, &p);
+    });
+}

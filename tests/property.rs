@@ -133,7 +133,7 @@ fn ground_call(r: &mut Rng64) -> GroundCall {
     let d = ident(r);
     let f = ident(r);
     let n = r.range_usize(0, 4);
-    let args = (0..n).map(|_| scalar_value(r)).collect();
+    let args: Vec<Value> = (0..n).map(|_| scalar_value(r)).collect();
     GroundCall::new(d, f, args)
 }
 
@@ -328,7 +328,7 @@ fn cache_respects_budget_and_returns_stored_answers() {
             // The most recent insert is always retrievable.
             if let Some((c, a)) = &last_inserted {
                 if let Some(e) = cache.peek(c) {
-                    assert_eq!(&e.answers, a);
+                    assert_eq!(e.answers[..], a[..]);
                 }
             }
         }

@@ -1,0 +1,250 @@
+//! Concurrent-serving throughput: queries/sec of a [`ConcurrentMediator`]
+//! as client threads scale from 1 to 8 over a Zipf-skewed query mix. Run
+//! with `cargo bench -p hermes-bench --bench mediator_throughput`; CI
+//! passes `-- --test-mode` for a quick smoke run that asserts 8 threads
+//! beat 1 thread and that call coalescing actually fires.
+//!
+//! The full run emits `BENCH_pr5.json` at the repo root — the second point
+//! in the performance trajectory (see README "Performance").
+//!
+//! Sources are wrapped in [`SlowDomain`] so every *real* source call costs
+//! real wall-clock time (the simulator otherwise charges only virtual
+//! time, and a single CPU would show no concurrency benefit). Threads
+//! serving cache hits, or coalescing onto another query's in-flight call,
+//! skip the delay — so the measured speedup is exactly the paper's story:
+//! caching + coalescing turn source latency into shared work.
+//!
+//! Each run has two phases per thread count, against a cold server:
+//!
+//! * **stampede** — every thread issues the *same* cold call at the same
+//!   instant (barrier-released), exercising the single-flight registry;
+//! * **mix** — a pre-generated Zipf-skewed workload over 4 `(domain,
+//!   function)` pairs × 64 keys, split evenly across the threads.
+
+use hermes_core::{ConcurrentMediator, Mediator};
+use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes_domains::SlowDomain;
+use hermes_net::{profiles, Network};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Real wall-clock delay per executed source call.
+const SOURCE_DELAY: Duration = Duration::from_millis(3);
+/// Keys per relation; the Zipf mix draws from these.
+const KEYS: usize = 64;
+/// Identical queries per stampede round (divisible by every thread count).
+const PER_ROUND: usize = 8;
+
+/// Generous CI bound for `--test-mode`: 8 threads must beat 1 thread by at
+/// least this factor. The acceptance bar for the committed full run is 4×;
+/// 1.3× absorbs shared-runner noise while still failing loudly if the
+/// server ever serializes clients again (~1.0×).
+const TEST_MODE_SPEEDUP_BOUND: f64 = 1.3;
+
+fn build_server(seed: u64) -> ConcurrentMediator {
+    let d0 = SyntheticDomain::generate(
+        "d0",
+        seed,
+        &[
+            RelationSpec::uniform("r0", KEYS, 2.0),
+            RelationSpec::uniform("r1", KEYS, 2.0),
+            RelationSpec::uniform("h", KEYS, 2.0),
+        ],
+    );
+    let d1 = SyntheticDomain::generate(
+        "d1",
+        seed + 1,
+        &[
+            RelationSpec::uniform("r0", KEYS, 2.0),
+            RelationSpec::uniform("r1", KEYS, 2.0),
+        ],
+    );
+    let mut net = Network::new(seed);
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(d0), SOURCE_DELAY)),
+        profiles::maryland(),
+    );
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(d1), SOURCE_DELAY)),
+        profiles::cornell(),
+    );
+    let m = Mediator::from_source(
+        "
+        q0(A, B) :- in(B, d0:r0_bf(A)).
+        q1(A, B) :- in(B, d0:r1_bf(A)).
+        q2(A, B) :- in(B, d1:r0_bf(A)).
+        q3(A, B) :- in(B, d1:r1_bf(A)).
+        hot(A, B) :- in(B, d0:h_bf(A)).
+        ",
+        net,
+    )
+    .expect("bench program parses");
+    m.to_concurrent(8)
+}
+
+/// The Zipf-skewed mix: `count` queries over the 4 `(domain, function)`
+/// pairs, keys drawn Zipf(s = 1.1) so hot keys repeat (cache hits) while
+/// the tail stays cold (real source calls).
+fn zipf_mix(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = hermes_common::Rng64::new(seed ^ 0x7F4A_7C15);
+    (0..count)
+        .map(|_| {
+            let f = rng.range_usize(0, 4);
+            let key = rng.zipf(KEYS, 1.1) % KEYS;
+            let rel = if f.is_multiple_of(2) { "r0" } else { "r1" };
+            format!("?- q{f}('{rel}_{key}', B).")
+        })
+        .collect()
+}
+
+struct Run {
+    threads: usize,
+    total_queries: usize,
+    wall_s: f64,
+    qps: f64,
+    source_calls: u64,
+    calls_coalesced: u64,
+    round_trips_saved: u64,
+    coalesced_ratio: f64,
+    shard_contention: u64,
+}
+
+/// Serves the whole workload from `threads` client threads against a cold
+/// server and reports wall-clock throughput plus coalescing counters.
+fn run_workload(threads: usize, mix: &[String], stampede_rounds: usize, seed: u64) -> Run {
+    let server = build_server(seed);
+    let barrier = Barrier::new(threads);
+    let copies = PER_ROUND / threads;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (server, barrier) = (&server, &barrier);
+            let lo = t * mix.len() / threads;
+            let hi = (t + 1) * mix.len() / threads;
+            let slice = &mix[lo..hi];
+            s.spawn(move || {
+                // Stampede: all threads fire the same cold call at once.
+                for round in 0..stampede_rounds {
+                    barrier.wait();
+                    for _ in 0..copies {
+                        server
+                            .query(format!("?- hot('h_{round}', B).").as_str())
+                            .expect("stampede query runs");
+                    }
+                }
+                // Mix: this thread's share of the Zipf workload.
+                for q in slice {
+                    server.query(q.as_str()).expect("mix query runs");
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let total_queries = mix.len() + stampede_rounds * PER_ROUND;
+    assert_eq!(stats.queries as usize, total_queries);
+    let attempted = stats.source_calls + stats.calls_coalesced;
+    Run {
+        threads,
+        total_queries,
+        wall_s,
+        qps: total_queries as f64 / wall_s,
+        source_calls: stats.source_calls,
+        calls_coalesced: stats.calls_coalesced,
+        round_trips_saved: stats.round_trips_saved,
+        coalesced_ratio: if attempted > 0 {
+            stats.calls_coalesced as f64 / attempted as f64
+        } else {
+            0.0
+        },
+        shard_contention: stats.cim_lock_contention + stats.dcsm_lock_contention,
+    }
+}
+
+fn write_json(rows: &[Run], speedup: f64) -> std::io::Result<()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"mediator_throughput\",\n");
+    body.push_str(
+        "  \"description\": \"ConcurrentMediator queries/sec vs client threads \
+         (Zipf mix + stampede phase, 3 ms real source latency)\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"threads\": {}, \"queries\": {}, \"wall_s\": {:.3}, \"qps\": {:.1}, \
+             \"source_calls\": {}, \"calls_coalesced\": {}, \"round_trips_saved\": {}, \
+             \"coalesced_ratio\": {:.3}, \"shard_lock_contention\": {}}}{}\n",
+            r.threads,
+            r.total_queries,
+            r.wall_s,
+            r.qps,
+            r.source_calls,
+            r.calls_coalesced,
+            r.round_trips_saved,
+            r.coalesced_ratio,
+            r.shard_contention,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!("  \"speedup_8x_over_1x\": {speedup:.2}\n"));
+    body.push_str("}\n");
+    std::fs::write(path, body)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test-mode");
+    let (thread_counts, mix_len, stampede_rounds): (&[usize], usize, usize) = if test_mode {
+        (&[1, 8], 96, 3)
+    } else {
+        (&[1, 2, 4, 8], 400, 6)
+    };
+    let mix = zipf_mix(42, mix_len);
+
+    println!("mediator_throughput: concurrent serving, Zipf mix + stampede\n");
+    println!(
+        "{:>8}  {:>9}  {:>8}  {:>9}  {:>13}  {:>10}  {:>11}",
+        "threads", "wall (s)", "qps", "src calls", "coalesced", "ratio", "contention"
+    );
+    let rows: Vec<Run> = thread_counts
+        .iter()
+        .map(|&n| {
+            let r = run_workload(n, &mix, stampede_rounds, 42);
+            println!(
+                "{:>8}  {:>9.3}  {:>8.1}  {:>9}  {:>13}  {:>10.3}  {:>11}",
+                r.threads,
+                r.wall_s,
+                r.qps,
+                r.source_calls,
+                r.calls_coalesced,
+                r.coalesced_ratio,
+                r.shard_contention
+            );
+            r
+        })
+        .collect();
+
+    let one = rows.first().expect("at least one row");
+    let eight = rows.last().expect("at least one row");
+    let speedup = eight.qps / one.qps;
+    println!("\n8-thread / 1-thread speedup: {speedup:.2}x");
+
+    if test_mode {
+        assert!(
+            speedup >= TEST_MODE_SPEEDUP_BOUND,
+            "concurrent serving no faster than serial: {speedup:.2}x < {TEST_MODE_SPEEDUP_BOUND}x"
+        );
+        assert!(
+            eight.calls_coalesced > 0,
+            "stampede phase never coalesced a call"
+        );
+        println!("mediator_throughput: OK (test mode)");
+    } else if let Err(e) = write_json(&rows, speedup) {
+        eprintln!("failed to write BENCH_pr5.json: {e}");
+        std::process::exit(1);
+    }
+}

@@ -262,8 +262,8 @@ fn bench_executor() {
         |_| {
             Executor::new(
                 network,
-                &cim,
-                &dcsm,
+                cim.as_ref(),
+                dcsm.as_ref(),
                 hermes_common::SimClock::new(),
                 ExecConfig::builder().record_stats(false).build(),
             )

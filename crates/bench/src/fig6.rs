@@ -129,7 +129,7 @@ pub fn run(seed: u64) -> Vec<Fig6Row> {
         let (lossless_first, lossless_all) = {
             let dcsm = m.dcsm();
             let dcsm = dcsm.lock();
-            let e = estimate_plan(&plan, &dcsm, &cost_cfg);
+            let e = estimate_plan(&plan, &*dcsm, &cost_cfg);
             (e.t_first_ms.unwrap(), e.t_all_ms.unwrap())
         };
         let lossy_est = estimate_plan(&plan, &lossy, &cost_cfg);
@@ -140,7 +140,7 @@ pub fn run(seed: u64) -> Vec<Fig6Row> {
         let outcome = Executor::new(
             m.network(),
             &scratch_cim,
-            &dcsm_arc,
+            dcsm_arc.as_ref(),
             SimClock::new(),
             ExecConfig::builder()
                 .record_stats(false)

@@ -401,6 +401,13 @@ impl AnswerCache {
         }
         self.current_bytes = 0;
     }
+
+    /// Zeroes the cumulative counters without touching entries or indexes.
+    /// Shard facades use this when forking a template cache so per-shard
+    /// counters start from zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
 }
 
 #[cfg(test)]

@@ -48,8 +48,10 @@ pub mod invariant;
 pub mod manager;
 pub mod persist;
 pub mod policy;
+pub mod sharded;
 
 pub use cache::{AnswerCache, CacheEntry, CacheStats};
 pub use invariant::{InvariantHit, InvariantStore};
 pub use manager::{Cim, CimCostModel, CimPreview, CimResolution, CimStats};
 pub use policy::{CimPolicy, RoutingDecision};
+pub use sharded::{CimView, ShardedCim};

@@ -325,6 +325,18 @@ impl Cim {
         self.cache.insert(call, answers, complete, now);
     }
 
+    /// A structurally identical *empty* CIM: same invariants, cost model,
+    /// staleness policy, cache budget, and registered ordered indexes, but
+    /// no cached entries and zeroed counters. Shard facades replicate a
+    /// template into every shard with this.
+    pub fn fork_empty(&self) -> Cim {
+        let mut forked = self.clone();
+        forked.cache.clear();
+        forked.cache.reset_stats();
+        forked.stats = CimStats::default();
+        forked
+    }
+
     /// Merges partial (cached) answers with the actual call's answers,
     /// returning the deduplicated remainder (actual minus cached) and the
     /// simulated comparison cost — the §8 observation that "the size of the

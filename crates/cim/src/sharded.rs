@@ -1,0 +1,387 @@
+//! Concurrent CIM access: the [`CimView`] trait and the [`ShardedCim`]
+//! facade.
+//!
+//! A single [`Cim`] is a plain mutable structure; the executor historically
+//! reached it through a `Mutex`. That is fine for one query at a time, but a
+//! mediator serving many clients funnels *every* cache probe through one
+//! lock. `ShardedCim` partitions the cache by `(domain, function)` hash into
+//! N independently locked shards, so concurrent queries touching different
+//! functions never contend.
+//!
+//! The `(domain, function)` key is load-bearing: every structure that must
+//! see *all* cached calls of one function — the invariant posting lists and
+//! ordered indexes from the indexed lookup paths — lives whole inside a
+//! single shard. Invariant hits, substitutes, and partial-hit merges for a
+//! call therefore behave exactly as they do in an unsharded CIM, because
+//! all candidate entries share the probe's shard. The one semantic
+//! narrowing: an invariant relating *different* functions that hash to
+//! different shards cannot produce a cross-shard hit — the probe simply
+//! misses and performs a real call, which is always sound (the cache is an
+//! optimization, never an oracle).
+//!
+//! Invariants are replicated into every shard (they are small, read-only
+//! rewrite rules); cache entries are partitioned.
+
+use crate::cache::CacheStats;
+use crate::manager::{Cim, CimPreview, CimResolution, CimStats};
+use hermes_common::sync::Mutex;
+use hermes_common::{shard_index, GroundCall, Result, SimDuration, SimInstant, Value};
+use hermes_lang::Invariant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::MutexGuard;
+
+/// Shared-state access to a CIM.
+///
+/// The executor holds `&dyn CimView` and never cares whether the cache
+/// behind it is a single `Mutex<Cim>` (the serial mediator) or a
+/// [`ShardedCim`] (the concurrent mediator). All methods take `&self`;
+/// implementations provide interior mutability.
+pub trait CimView {
+    /// The §4.1 lookup pipeline: exact hit, equality-invariant hit,
+    /// partial hit, or miss (possibly with a cheaper substitute call).
+    fn lookup(&self, call: &GroundCall, now: SimInstant) -> (CimResolution, SimDuration);
+
+    /// Stores an answer set for future lookups.
+    fn store(&self, call: GroundCall, answers: Arc<[Value]>, complete: bool, now: SimInstant);
+
+    /// A stale (possibly evicted-policy-exempt) answer set for `call`, if
+    /// serve-stale-on-outage is enabled.
+    fn stale_answers(&self, call: &GroundCall) -> Option<Arc<[Value]>>;
+
+    /// Deduplicates `actual` against a cached prefix for `call`, returning
+    /// the remainder and the simulated comparison cost.
+    fn merge_partial(
+        &self,
+        call: &GroundCall,
+        cached: &[Value],
+        actual: &[Value],
+    ) -> (Vec<Value>, SimDuration);
+
+    /// Non-mutating routing preview for the group dispatcher.
+    fn preview(&self, call: &GroundCall) -> CimPreview;
+}
+
+impl CimView for Mutex<Cim> {
+    fn lookup(&self, call: &GroundCall, now: SimInstant) -> (CimResolution, SimDuration) {
+        self.lock().lookup(call, now)
+    }
+
+    fn store(&self, call: GroundCall, answers: Arc<[Value]>, complete: bool, now: SimInstant) {
+        self.lock().store(call, answers, complete, now);
+    }
+
+    fn stale_answers(&self, call: &GroundCall) -> Option<Arc<[Value]>> {
+        self.lock().stale_answers(call)
+    }
+
+    fn merge_partial(
+        &self,
+        _call: &GroundCall,
+        cached: &[Value],
+        actual: &[Value],
+    ) -> (Vec<Value>, SimDuration) {
+        self.lock().merge_partial(cached, actual)
+    }
+
+    fn preview(&self, call: &GroundCall) -> CimPreview {
+        self.lock().preview(call)
+    }
+}
+
+/// N independently locked CIM shards partitioned by `(domain, function)`.
+///
+/// Lock order: a caller holds at most **one** shard lock at a time — every
+/// method routes to a single shard, and aggregate methods visit shards
+/// sequentially, releasing each guard before taking the next. There is
+/// therefore no lock-ordering hazard between shards.
+#[derive(Debug)]
+pub struct ShardedCim {
+    shards: Vec<Mutex<Cim>>,
+    /// Shard-lock acquisitions that found the lock held (`try_lock`
+    /// failed and the caller had to block). The throughput bench reports
+    /// this as its contention metric.
+    contention: AtomicU64,
+}
+
+impl ShardedCim {
+    /// `n` empty default shards (`n` is clamped to at least 1).
+    pub fn new(n: usize) -> Self {
+        ShardedCim::from_template(&Cim::new(), n)
+    }
+
+    /// `n` shards forked from `template`: every shard replicates the
+    /// template's invariants, cost model, staleness policy, and ordered
+    /// indexes; the template's cache *entries* are partitioned by shard
+    /// key. Per-entry LRU age and hit counts start fresh.
+    ///
+    /// Note the cache byte budget is per shard, so aggregate capacity is
+    /// `n ×` the template's budget.
+    pub fn from_template(template: &Cim, n: usize) -> Self {
+        let n = n.max(1);
+        let mut shards: Vec<Cim> = (0..n).map(|_| template.fork_empty()).collect();
+        for (call, entry) in template.cache().iter() {
+            let idx = call.shard(n);
+            shards[idx].cache_mut().insert(
+                call.clone(),
+                entry.answers.clone(),
+                entry.complete,
+                entry.inserted_at,
+            );
+        }
+        ShardedCim {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Locks the shard owning `(domain, function)`, counting contention.
+    fn locked(&self, domain: &str, function: &str) -> MutexGuard<'_, Cim> {
+        let shard = &self.shards[shard_index(domain, function, self.shards.len())];
+        match shard.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                shard.lock()
+            }
+        }
+    }
+
+    /// Registers an invariant in **every** shard (invariants are
+    /// replicated, entries are partitioned). Returns the index reported by
+    /// the first shard; all shards hold identical invariant stores, so the
+    /// indexes agree.
+    pub fn add_invariant(&self, inv: &Invariant) -> Result<usize> {
+        let mut first = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let idx = shard.lock().add_invariant(inv.clone())?;
+            if i == 0 {
+                first = idx;
+            }
+        }
+        Ok(first)
+    }
+
+    /// Toggles serve-stale-on-outage in every shard.
+    pub fn set_serve_stale_on_outage(&self, on: bool) {
+        for shard in &self.shards {
+            shard.lock().set_serve_stale_on_outage(on);
+        }
+    }
+
+    /// Aggregate §4.1 pipeline counters across shards.
+    pub fn stats(&self) -> CimStats {
+        let mut total = CimStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.exact_hits += s.exact_hits;
+            total.equal_hits += s.equal_hits;
+            total.partial_hits += s.partial_hits;
+            total.misses += s.misses;
+            total.substituted_misses += s.substituted_misses;
+            total.stores += s.stores;
+        }
+        total
+    }
+
+    /// Aggregate answer-cache counters across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().cache_stats();
+            total.inserts += s.inserts;
+            total.evictions += s.evictions;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.bytes_shared += s.bytes_shared;
+            total.bytes_copied += s.bytes_copied;
+        }
+        total
+    }
+
+    /// Total cached entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().cache().len()).sum()
+    }
+
+    /// True if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cached answer bytes across shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().cache().bytes()).sum()
+    }
+
+    /// Drops every entry of `domain` in every shard; returns entries
+    /// removed.
+    pub fn invalidate_domain(&self, domain: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().cache_mut().invalidate_domain(domain))
+            .sum()
+    }
+
+    /// Drops entries older than `max_age` in every shard; returns entries
+    /// removed.
+    pub fn expire(&self, now: SimInstant, max_age: SimDuration) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().cache_mut().expire(now, max_age))
+            .sum()
+    }
+
+    /// Empties every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().cache_mut().clear();
+        }
+    }
+
+    /// Blocking shard-lock acquisitions so far (see field docs).
+    pub fn lock_contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` over each shard in index order (read-only; one shard
+    /// locked at a time). Tests use this to check per-shard coherence.
+    pub fn for_each_shard(&self, mut f: impl FnMut(usize, &Cim)) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            f(i, &shard.lock());
+        }
+    }
+}
+
+impl CimView for ShardedCim {
+    fn lookup(&self, call: &GroundCall, now: SimInstant) -> (CimResolution, SimDuration) {
+        self.locked(&call.domain, &call.function).lookup(call, now)
+    }
+
+    fn store(&self, call: GroundCall, answers: Arc<[Value]>, complete: bool, now: SimInstant) {
+        self.locked(&call.domain, &call.function)
+            .store(call, answers, complete, now);
+    }
+
+    fn stale_answers(&self, call: &GroundCall) -> Option<Arc<[Value]>> {
+        self.locked(&call.domain, &call.function)
+            .stale_answers(call)
+    }
+
+    fn merge_partial(
+        &self,
+        call: &GroundCall,
+        cached: &[Value],
+        actual: &[Value],
+    ) -> (Vec<Value>, SimDuration) {
+        self.locked(&call.domain, &call.function)
+            .merge_partial(cached, actual)
+    }
+
+    fn preview(&self, call: &GroundCall) -> CimPreview {
+        self.locked(&call.domain, &call.function).preview(call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(function: &str, k: i64) -> GroundCall {
+        GroundCall::new("d", function, vec![Value::Int(k)])
+    }
+
+    fn answers(k: i64) -> Arc<[Value]> {
+        vec![Value::Int(k), Value::Int(k + 1)].into()
+    }
+
+    #[test]
+    fn partitions_by_function_and_aggregates() {
+        let sharded = ShardedCim::new(4);
+        for f in 0..8 {
+            let function = format!("f{f}");
+            for k in 0..3 {
+                sharded.store(call(&function, k), answers(k), true, SimInstant::EPOCH);
+            }
+        }
+        assert_eq!(sharded.len(), 24);
+        assert_eq!(sharded.stats().stores, 24);
+        // Every entry of one function lives in exactly one shard.
+        for f in 0..8 {
+            let function = format!("f{f}");
+            let mut holding = 0;
+            sharded.for_each_shard(|_, cim| {
+                if cim.cache().calls_for("d", &function).count() > 0 {
+                    holding += 1;
+                }
+            });
+            assert_eq!(holding, 1, "function {function} split across shards");
+        }
+    }
+
+    #[test]
+    fn lookup_round_trips_through_the_owning_shard() {
+        let sharded = ShardedCim::new(8);
+        let c = call("f", 7);
+        sharded.store(c.clone(), answers(7), true, SimInstant::EPOCH);
+        let (resolution, _) = sharded.lookup(&c, SimInstant::EPOCH);
+        match resolution {
+            CimResolution::ExactHit { answers: got } => assert_eq!(got[..], answers(7)[..]),
+            other => panic!("expected exact hit, got {other:?}"),
+        }
+        let (miss, _) = sharded.lookup(&call("f", 99), SimInstant::EPOCH);
+        assert!(matches!(miss, CimResolution::Miss { .. }));
+    }
+
+    #[test]
+    fn from_template_replicates_invariants_and_partitions_entries() {
+        let mut template = Cim::new();
+        template
+            .add_invariant(
+                hermes_lang::parse_invariant("V1 <= V2 => d:f(V2) >= d:f(V1).").expect("parse"),
+            )
+            .expect("invariant");
+        template.store(call("f", 1), answers(1), true, SimInstant::EPOCH);
+        template.store(call("g", 2), answers(2), true, SimInstant::EPOCH);
+
+        let sharded = ShardedCim::from_template(&template, 4);
+        assert_eq!(sharded.len(), 2);
+        sharded.for_each_shard(|_, cim| assert_eq!(cim.invariants().len(), 1));
+        // Counters start fresh even though the template had stores.
+        assert_eq!(sharded.stats().stores, 0);
+        // The monotone invariant still fires inside the owning shard.
+        let (resolution, _) = sharded.lookup(&call("f", 0), SimInstant::EPOCH);
+        assert!(
+            matches!(
+                resolution,
+                CimResolution::EqualHit { .. }
+                    | CimResolution::PartialHit { .. }
+                    | CimResolution::Miss { .. }
+            ),
+            "lookup must stay well-formed: {resolution:?}"
+        );
+    }
+
+    #[test]
+    fn invalidate_and_clear_sweep_all_shards() {
+        let sharded = ShardedCim::new(3);
+        for f in 0..6 {
+            sharded.store(
+                call(&format!("f{f}"), 0),
+                answers(0),
+                true,
+                SimInstant::EPOCH,
+            );
+        }
+        assert_eq!(sharded.invalidate_domain("d"), 6);
+        assert!(sharded.is_empty());
+        sharded.store(call("f", 0), answers(0), true, SimInstant::EPOCH);
+        sharded.clear();
+        assert_eq!(sharded.len(), 0);
+    }
+}

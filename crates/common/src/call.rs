@@ -71,6 +71,31 @@ impl GroundCall {
             + 2
             + self.args.iter().map(Value::size_bytes).sum::<usize>()
     }
+
+    /// The shard this call routes to in an `n`-way `(domain, function)`
+    /// partition. See [`shard_index`].
+    pub fn shard(&self, n: usize) -> usize {
+        shard_index(&self.domain, &self.function, n)
+    }
+}
+
+/// Deterministic shard routing for `(domain, function)` keys.
+///
+/// Both sharded caches (`ShardedCim` answers, `ShardedDcsm` statistics)
+/// partition state by the same key so that every structure that must see
+/// *all* entries of one function — invariant posting lists, ordered
+/// indexes, DCSM summary tables — lives whole inside a single shard.
+/// `DefaultHasher::new()` uses fixed SipHash keys, so the routing is stable
+/// across runs and processes (cache persistence round-trips keep shards).
+pub fn shard_index(domain: &str, function: &str, n: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    if n <= 1 {
+        return 0;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    domain.hash(&mut h);
+    function.hash(&mut h);
+    (h.finish() % n as u64) as usize
 }
 
 impl fmt::Display for GroundCall {

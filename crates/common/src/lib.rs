@@ -29,7 +29,7 @@ pub mod sync;
 pub mod value;
 pub mod wire;
 
-pub use call::{CallPattern, GroundCall, PatArg, PatternShape};
+pub use call::{shard_index, CallPattern, GroundCall, PatArg, PatternShape};
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{HermesError, Result};
 pub use path::{AttrPath, PathStep};

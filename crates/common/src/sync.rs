@@ -41,6 +41,18 @@ impl<T: ?Sized> Mutex<T> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Attempts to acquire the lock without blocking, recovering from
+    /// poison. `None` means another thread holds the guard right now —
+    /// shard facades use this to count contention before falling back to
+    /// a blocking `lock()`.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -113,6 +125,17 @@ mod tests {
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
         assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(1);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        *m.try_lock().expect("uncontended") += 1;
+        assert_eq!(*m.lock(), 2);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::plan::{independence_groups, Plan, PlanStep};
 use hermes_common::{CallPattern, PatArg};
-use hermes_dcsm::{overlap_makespan, CostVector, Dcsm};
+use hermes_dcsm::{overlap_makespan, CostSource, CostVector};
 use hermes_lang::{CallTemplate, Relop, Term};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Range;
@@ -90,7 +90,14 @@ fn step_cardinality(target: &Term, estimated: f64, bound: &mut BTreeSet<Arc<str>
 }
 
 /// The §7 estimate for `plan`, as a complete cost vector.
-pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVector {
+///
+/// Generic over the cost source, so a plain `Dcsm`, a `Mutex<Dcsm>`, and
+/// a `ShardedDcsm` (including `dyn DcsmView`) all plug in unchanged.
+pub fn estimate_plan<C: CostSource + ?Sized>(
+    plan: &Plan,
+    dcsm: &C,
+    config: &CostConfig,
+) -> CostVector {
     let mut bound: BTreeSet<Arc<str>> = BTreeSet::new();
     let mut t_first = 0.0f64;
     let mut t_all = 0.0f64;
@@ -199,9 +206,9 @@ pub fn estimate_plan(plan: &Plan, dcsm: &Dcsm, config: &CostConfig) -> CostVecto
 /// Picks the cheapest plan for the given mode: all-answers mode minimizes
 /// `T_all`, interactive (first-answer) mode minimizes `T_first`. Returns
 /// the winning index and the per-plan estimates.
-pub fn choose_plan(
+pub fn choose_plan<C: CostSource + ?Sized>(
     plans: &[Plan],
-    dcsm: &Dcsm,
+    dcsm: &C,
     config: &CostConfig,
     optimize_first_answer: bool,
 ) -> (usize, Vec<CostVector>) {
@@ -231,6 +238,7 @@ mod tests {
     use crate::rewrite::{enumerate_plans, RewriteConfig};
     use hermes_cim::CimPolicy;
     use hermes_common::{GroundCall, SimInstant, Value};
+    use hermes_dcsm::Dcsm;
     use hermes_lang::{parse_program, parse_query};
 
     /// DCSM warmed with the Example 6.1 statistics.

@@ -84,7 +84,7 @@ impl InteractiveQuery {
                     .collect();
                 tx.send(Event::Answer((row, elapsed))).is_ok()
             };
-            let mut executor = Executor::new(&network, &cim, &dcsm, clock, config);
+            let mut executor = Executor::new(&network, cim.as_ref(), dcsm.as_ref(), clock, config);
             if let Some(bank) = breakers.as_ref() {
                 executor = executor.with_breakers(bank);
             }

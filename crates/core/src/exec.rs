@@ -18,14 +18,15 @@
 //!   incomplete, the paper's §1 motivation for result caching.
 
 use crate::breaker::{Admission, BreakerBank};
+use crate::flight::{FlightRole, InFlightRegistry};
 use crate::plan::{Plan, PlanStep, Route};
 use crate::trace::{TraceEntry, TraceEvent};
-use hermes_cim::{Cim, CimPreview, CimResolution};
+use hermes_cim::{CimPreview, CimResolution, CimView};
 use hermes_common::sync::Mutex;
 use hermes_common::{
     GroundCall, HermesError, Result, Rng64, SimClock, SimDuration, SimInstant, Value,
 };
-use hermes_dcsm::Dcsm;
+use hermes_dcsm::DcsmView;
 use hermes_lang::{Relop, Subst, Term};
 use hermes_net::{Network, RemoteOutcome};
 use std::collections::{BTreeSet, HashMap};
@@ -240,6 +241,13 @@ pub struct ExecStats {
     pub batched_calls: u64,
     /// Simulated microseconds saved by overlap (serial sum − makespan).
     pub overlap_saved_us: u64,
+    /// Calls that joined another query's identical in-flight call instead
+    /// of opening their own (single-flight followers).
+    pub calls_coalesced: u64,
+    /// Coalesced calls actually served by the leader's published outcome —
+    /// each one is a source round trip this query never paid. (A follower
+    /// whose leader failed falls back to its own call and saves nothing.)
+    pub round_trips_saved: u64,
 }
 
 impl ExecStats {
@@ -269,6 +277,8 @@ impl ExecStats {
         self.overlapped_calls += other.overlapped_calls;
         self.batched_calls += other.batched_calls;
         self.overlap_saved_us += other.overlap_saved_us;
+        self.calls_coalesced += other.calls_coalesced;
+        self.round_trips_saved += other.round_trips_saved;
     }
 }
 
@@ -384,10 +394,15 @@ impl RunState<'_> {
 
 /// The executor. Borrow the mediator's shared CIM/DCSM and network, hand
 /// it a clock, run one plan.
+///
+/// The CIM and DCSM are reached through their shared-state views, so the
+/// same executor serves the serial mediator (`&Mutex<Cim>` /
+/// `&Mutex<Dcsm>` coerce to the views) and the concurrent mediator's
+/// sharded facades.
 pub struct Executor<'w> {
     network: &'w Network,
-    cim: &'w Mutex<Cim>,
-    dcsm: &'w Mutex<Dcsm>,
+    cim: &'w dyn CimView,
+    dcsm: &'w dyn DcsmView,
     config: ExecConfig,
     clock: SimClock,
     stats: ExecStats,
@@ -408,14 +423,18 @@ pub struct Executor<'w> {
     /// serves them at zero additional charge — the group barrier already
     /// paid the overlapped makespan.
     prefetch: HashMap<(usize, GroundCall), RemoteOutcome>,
+    /// Shared single-flight registry: identical calls from concurrent
+    /// queries coalesce into one source round trip. `None` (the serial
+    /// mediator) disables coalescing.
+    flight: Option<&'w InFlightRegistry>,
 }
 
 impl<'w> Executor<'w> {
     /// Builds an executor.
     pub fn new(
         network: &'w Network,
-        cim: &'w Mutex<Cim>,
-        dcsm: &'w Mutex<Dcsm>,
+        cim: &'w dyn CimView,
+        dcsm: &'w dyn DcsmView,
         clock: SimClock,
         config: ExecConfig,
     ) -> Self {
@@ -433,6 +452,7 @@ impl<'w> Executor<'w> {
             deadline_at: None,
             groups: HashMap::new(),
             prefetch: HashMap::new(),
+            flight: None,
         }
     }
 
@@ -440,6 +460,14 @@ impl<'w> Executor<'w> {
     /// going out, and trip/recover transitions are recorded into it.
     pub fn with_breakers(mut self, bank: &'w Mutex<BreakerBank>) -> Self {
         self.breakers = Some(bank);
+        self
+    }
+
+    /// Attaches a shared single-flight registry: before reaching the
+    /// source, calls join the registry and either lead (one real round
+    /// trip) or follow (block for the leader's published answers).
+    pub fn with_flight(mut self, registry: &'w InFlightRegistry) -> Self {
+        self.flight = Some(registry);
         self
     }
 
@@ -695,7 +723,7 @@ impl<'w> Executor<'w> {
                     self.note_truncation(out, idx, ground, &outcome);
                     let truncated = outcome.truncated;
                     // One shared allocation backs memo and iteration.
-                    let answers: Arc<[Value]> = outcome.answers.into();
+                    let answers = outcome.answers;
                     if self.config.memoize_calls && !truncated {
                         self.memo.insert(ground.clone(), answers.clone());
                     }
@@ -718,7 +746,7 @@ impl<'w> Executor<'w> {
                         self.clock.advance(outcome.t_all);
                     }
                     let truncated = outcome.truncated;
-                    let answers: Arc<[Value]> = outcome.answers.into();
+                    let answers = outcome.answers;
                     if self.config.memoize_calls && !truncated {
                         self.memo.insert(ground.clone(), answers.clone());
                     }
@@ -790,7 +818,7 @@ impl<'w> Executor<'w> {
         probe: Option<&Value>,
         target: &Term,
     ) -> Result<bool> {
-        let (resolution, cim_cost) = self.cim.lock().lookup(ground, self.clock.now());
+        let (resolution, cim_cost) = self.cim.lookup(ground, self.clock.now());
         self.clock.advance(cim_cost);
         match resolution {
             CimResolution::ExactHit { answers } => {
@@ -825,7 +853,6 @@ impl<'w> Executor<'w> {
                 if self.config.store_results {
                     // Make the next lookup an exact hit.
                     self.cim
-                        .lock()
                         .store(ground.clone(), answers.clone(), true, self.clock.now());
                 }
                 self.iterate(
@@ -875,7 +902,7 @@ impl<'w> Executor<'w> {
                         Err(HermesError::Unavailable { site, reason }) => {
                             // Serve-stale fallback: a possibly-incomplete old
                             // entry beats failing the whole query.
-                            let stale = self.cim.lock().stale_answers(ground);
+                            let stale = self.cim.stale_answers(ground);
                             match stale {
                                 Some(answers) => {
                                     self.note(TraceEvent::ServedStale {
@@ -919,15 +946,16 @@ impl<'w> Executor<'w> {
                 let complete = !outcome.truncated;
                 // One shared allocation backs the CIM store(s), the memo,
                 // and the iteration below (Arc clones, no deep copies).
-                let answers: Arc<[Value]> = outcome.answers.into();
+                let answers = outcome.answers;
                 if self.config.store_results {
                     let now = self.clock.now();
-                    let mut cim = self.cim.lock();
-                    cim.store(exec_call.clone(), answers.clone(), complete, now);
+                    self.cim
+                        .store(exec_call.clone(), answers.clone(), complete, now);
                     if exec_call != *ground {
                         // Equality invariant: the original call has the
                         // same answers — cache it under its own key too.
-                        cim.store(ground.clone(), answers.clone(), complete, now);
+                        self.cim
+                            .store(ground.clone(), answers.clone(), complete, now);
                     }
                 }
                 if self.config.memoize_calls && complete {
@@ -990,11 +1018,11 @@ impl<'w> Executor<'w> {
                     self.clock.advance(outcome.t_all);
                 }
                 let truncated = outcome.truncated;
-                let answers: Arc<[Value]> = outcome.answers.into();
-                let (remainder, merge_cost) = self.cim.lock().merge_partial(&cached, &answers);
+                let answers = outcome.answers;
+                let (remainder, merge_cost) = self.cim.merge_partial(ground, &cached, &answers);
                 self.clock.advance(merge_cost);
                 if self.config.store_results {
-                    self.cim.lock().store(
+                    self.cim.store(
                         ground.clone(),
                         answers.clone(),
                         !truncated,
@@ -1124,7 +1152,7 @@ impl<'w> Executor<'w> {
             }
             let wire = match route {
                 Route::Direct => ground,
-                Route::Cim => match self.cim.lock().preview(&ground) {
+                Route::Cim => match self.cim.preview(&ground) {
                     CimPreview::Hit | CimPreview::Partial => continue,
                     CimPreview::Miss { executed } => executed,
                 },
@@ -1247,7 +1275,52 @@ impl<'w> Executor<'w> {
     /// [`Executor::actual_call`], with control over round-trip batching:
     /// a `piggyback` call shares an already-dispatched group sibling's
     /// round trip and pays no connect + RTT.
+    ///
+    /// With a single-flight registry attached, identical concurrent calls
+    /// coalesce here: the first caller in leads (performing the real call
+    /// below, breakers and retries included) and publishes its outcome;
+    /// later callers follow, blocking until the leader's answers arrive
+    /// as an `Arc` bump. A follower whose leader failed re-joins — one
+    /// inherits leadership of a fresh flight, the rest coalesce behind it.
     fn actual_call_with(&mut self, ground: &GroundCall, piggyback: bool) -> Result<RemoteOutcome> {
+        let Some(registry) = self.flight else {
+            return self.actual_call_direct(ground, piggyback);
+        };
+        loop {
+            match registry.join(ground) {
+                FlightRole::Leader(token) => {
+                    let result = self.actual_call_direct(ground, piggyback);
+                    match &result {
+                        Ok(outcome) => token.publish(outcome),
+                        Err(_) => token.abandon(),
+                    }
+                    return result;
+                }
+                FlightRole::Follower(handle) => {
+                    self.stats.calls_coalesced += 1;
+                    if let Some(outcome) = handle.wait() {
+                        self.stats.round_trips_saved += 1;
+                        registry.note_round_trip_saved();
+                        self.note(TraceEvent::Coalesced {
+                            call: ground.clone(),
+                            answers: outcome.answers.len(),
+                        });
+                        return Ok(outcome);
+                    }
+                    // The leader abandoned without publishing: contend
+                    // for leadership of a fresh flight.
+                }
+            }
+        }
+    }
+
+    /// The uncoalesced call path: breaker admission, the wire, retries
+    /// with backoff, and DCSM recording.
+    fn actual_call_direct(
+        &mut self,
+        ground: &GroundCall,
+        piggyback: bool,
+    ) -> Result<RemoteOutcome> {
         let site = match self.breakers {
             Some(_) => self.site_name(ground),
             None => None,
@@ -1332,7 +1405,7 @@ impl<'w> Executor<'w> {
             bytes: outcome.bytes,
         });
         if self.config.record_stats {
-            self.dcsm.lock().record(
+            self.dcsm.record(
                 ground,
                 Some(outcome.t_first.as_millis_f64()),
                 Some(outcome.t_all.as_millis_f64()),
@@ -1372,6 +1445,8 @@ fn charge_schedule(outcome: &RemoteOutcome) -> (SimDuration, SimDuration) {
 mod tests {
     use super::*;
     use crate::plan::{Plan, PlanStep};
+    use hermes_cim::Cim;
+    use hermes_dcsm::Dcsm;
     use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
     use hermes_lang::{parse_invariant, CallTemplate};
     use hermes_net::profiles;

@@ -38,9 +38,11 @@ pub mod breaker;
 pub mod cost;
 pub mod cursor;
 pub mod exec;
+pub mod flight;
 pub mod mediator;
 pub mod plan;
 pub mod rewrite;
+pub mod server;
 pub mod trace;
 
 pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
@@ -50,9 +52,11 @@ pub use exec::{
     ExecConfig, ExecConfigBuilder, ExecOutcome, ExecStats, Executor, IncompleteReason,
     SubgoalProvenance,
 };
+pub use flight::{FlightHandle, FlightLeader, FlightRole, InFlightRegistry};
 pub use mediator::{Mediator, MediatorConfig, Planned, QueryRequest, QueryResult};
 pub use plan::{independence_groups, Plan, PlanStep, Route};
 pub use rewrite::{
     bind_query, enumerate_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
 };
+pub use server::{ConcurrentMediator, ServerStats};
 pub use trace::{TraceEntry, TraceEvent};

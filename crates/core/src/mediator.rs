@@ -112,12 +112,12 @@ pub struct QueryResult {
 /// Options override the mediator's configuration for this run only.
 #[derive(Clone, Debug)]
 pub struct QueryRequest {
-    src: String,
-    limit: Option<usize>,
-    deadline: Option<SimDuration>,
-    bindings: Option<hermes_lang::Subst>,
-    trace: Option<bool>,
-    parallelism: Option<usize>,
+    pub(crate) src: String,
+    pub(crate) limit: Option<usize>,
+    pub(crate) deadline: Option<SimDuration>,
+    pub(crate) bindings: Option<hermes_lang::Subst>,
+    pub(crate) trace: Option<bool>,
+    pub(crate) parallelism: Option<usize>,
 }
 
 impl QueryRequest {
@@ -352,7 +352,7 @@ impl Mediator {
         let dcsm = self.dcsm.lock();
         let (chosen, estimates) = choose_plan(
             &plans,
-            &dcsm,
+            &*dcsm,
             &self.config.cost,
             self.config.optimize_first_answer,
         );
@@ -367,18 +367,7 @@ impl Mediator {
     /// access-path semantics — reject them with a clear message instead of
     /// silently finding no plan.
     fn check_mixed_definitions(&self, _query: &Query) -> Result<()> {
-        for key in self.program.defined_predicates() {
-            let rules = self.program.rules_for(&key.0, key.1);
-            let facts = rules.iter().filter(|r| r.body.is_empty()).count();
-            if facts > 0 && facts < rules.len() {
-                return Err(HermesError::Plan(format!(
-                    "predicate `{}/{}` mixes facts and rules; define it by \
-                     facts only or by access-path rules only",
-                    key.0, key.1
-                )));
-            }
-        }
-        Ok(())
+        check_mixed_definitions(&self.program)
     }
 
     /// Runs a query. Accepts plain source text (all-answers mode, §3) or
@@ -420,23 +409,25 @@ impl Mediator {
         result
     }
 
-    /// Runs a query, stopping after `limit` answers when given.
-    #[deprecated(note = "use `Mediator::query` with `QueryRequest::new(src).limit(n)`")]
-    pub fn query_limited(&mut self, query_src: &str, limit: Option<usize>) -> Result<QueryResult> {
-        let mut req = QueryRequest::new(query_src);
-        req.limit = limit;
-        self.query(req)
-    }
-
-    /// Runs a parameterized query: variables bound in `params` are
-    /// replaced by their constants before planning.
-    #[deprecated(note = "use `Mediator::query` with `QueryRequest::new(src).bindings(params)`")]
-    pub fn query_bound(
-        &mut self,
-        query_src: &str,
-        params: &hermes_lang::Subst,
-    ) -> Result<QueryResult> {
-        self.query(QueryRequest::new(query_src).bindings(params.clone()))
+    /// Splits this mediator into a shared-state concurrent server: the
+    /// planning inputs (program, policy, configuration, pushdown rules)
+    /// are copied into an immutable core, the answer cache and statistics
+    /// cache are redistributed over `shards` independently locked shards,
+    /// and the breaker bank is shared. The returned server's
+    /// [`query`](crate::server::ConcurrentMediator::query) takes `&self`,
+    /// so any number of client threads can call it at once.
+    pub fn to_concurrent(&self, shards: usize) -> crate::server::ConcurrentMediator {
+        crate::server::ConcurrentMediator::from_parts(
+            self.program.clone(),
+            self.policy.clone(),
+            self.config,
+            self.pushdowns.clone(),
+            self.network.clone(),
+            hermes_cim::ShardedCim::from_template(&self.cim.lock(), shards),
+            hermes_dcsm::ShardedDcsm::from_dcsm(&self.dcsm.lock(), shards),
+            self.breakers.clone(),
+            self.clock.now(),
+        )
     }
 
     /// Executes an already-planned query. When [`MediatorConfig::failover`]
@@ -456,8 +447,8 @@ impl Mediator {
             let estimate = planned.estimates[idx];
             let mut executor = Executor::new(
                 &self.network,
-                &self.cim,
-                &self.dcsm,
+                self.cim.as_ref(),
+                self.dcsm.as_ref(),
                 self.clock.clone(),
                 self.config.exec,
             )
@@ -470,7 +461,7 @@ impl Mediator {
             match attempt {
                 Ok(outcome) => {
                     self.clock = outcome.clock.clone();
-                    let mut result = Self::project(plan, estimate, planned.plans.len(), outcome);
+                    let mut result = project(plan, estimate, planned.plans.len(), outcome);
                     result.failovers = failovers;
                     result.stats.absorb(&carried);
                     return Ok(result);
@@ -521,44 +512,11 @@ impl Mediator {
         let dcsm = self.dcsm.lock();
         let (chosen, _) = choose_plan(
             &candidates,
-            &dcsm,
+            &*dcsm,
             &self.config.cost,
             self.config.optimize_first_answer,
         );
         Some(eligible[chosen])
-    }
-
-    fn project(
-        plan: Plan,
-        estimate: CostVector,
-        plans_considered: usize,
-        outcome: ExecOutcome,
-    ) -> QueryResult {
-        let columns = plan.answer_vars.clone();
-        let rows = outcome
-            .answers
-            .iter()
-            .map(|theta| {
-                columns
-                    .iter()
-                    .map(|v| theta.get(v).cloned().unwrap_or(Value::Null))
-                    .collect()
-            })
-            .collect();
-        QueryResult {
-            columns,
-            rows,
-            t_first: outcome.t_first,
-            t_all: outcome.t_all,
-            plan,
-            estimate,
-            plans_considered,
-            stats: outcome.stats,
-            incomplete: outcome.incomplete,
-            provenance: outcome.provenance,
-            failovers: 0,
-            trace: outcome.trace,
-        }
     }
 
     /// Starts a query in interactive mode (§3): answers stream on demand;
@@ -624,7 +582,58 @@ impl Mediator {
     /// Re-estimates one plan with the current statistics (used by the
     /// experiment harnesses to ask "what does DCSM predict now?").
     pub fn estimate_plan(&self, plan: &Plan) -> CostVector {
-        estimate_plan(plan, &self.dcsm.lock(), &self.config.cost)
+        estimate_plan(plan, &*self.dcsm.lock(), &self.config.cost)
+    }
+}
+
+/// Rejects programs where a predicate mixes fact and rule definitions
+/// (ambiguous access-path semantics).
+pub(crate) fn check_mixed_definitions(program: &Program) -> Result<()> {
+    for key in program.defined_predicates() {
+        let rules = program.rules_for(&key.0, key.1);
+        let facts = rules.iter().filter(|r| r.body.is_empty()).count();
+        if facts > 0 && facts < rules.len() {
+            return Err(HermesError::Plan(format!(
+                "predicate `{}/{}` mixes facts and rules; define it by \
+                 facts only or by access-path rules only",
+                key.0, key.1
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Projects an execution outcome onto a plan's answer variables.
+pub(crate) fn project(
+    plan: Plan,
+    estimate: CostVector,
+    plans_considered: usize,
+    outcome: ExecOutcome,
+) -> QueryResult {
+    let columns = plan.answer_vars.clone();
+    let rows = outcome
+        .answers
+        .iter()
+        .map(|theta| {
+            columns
+                .iter()
+                .map(|v| theta.get(v).cloned().unwrap_or(Value::Null))
+                .collect()
+        })
+        .collect();
+    QueryResult {
+        columns,
+        rows,
+        t_first: outcome.t_first,
+        t_all: outcome.t_all,
+        plan,
+        estimate,
+        plans_considered,
+        stats: outcome.stats,
+        incomplete: outcome.incomplete,
+        provenance: outcome.provenance,
+        failovers: 0,
+        trace: outcome.trace,
     }
 }
 
@@ -741,18 +750,6 @@ mod tests {
             .query(QueryRequest::new("?- item(A, B).").limit(2))
             .unwrap();
         assert_eq!(result.rows.len(), 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let mut m = mediator();
-        let limited = m.query_limited("?- item(A, B).", Some(2)).unwrap();
-        assert_eq!(limited.rows.len(), 2);
-        let params = hermes_lang::Subst::from_pairs([("A", Value::str("p_1"))]);
-        let bound = m.query_bound("?- item(A, B).", &params).unwrap();
-        let direct = m.query("?- item('p_1', B).").unwrap();
-        assert_eq!(bound.rows.len(), direct.rows.len());
     }
 
     #[test]

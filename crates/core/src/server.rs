@@ -1,0 +1,422 @@
+//! Concurrent query serving: the [`ConcurrentMediator`].
+//!
+//! A serial [`Mediator`](crate::mediator::Mediator) takes `&mut self` per
+//! query — one client at a time. This module splits the mediator into an
+//! **immutable planning core** (program, CIM policy, configuration,
+//! pushdown rules — read-only after construction) and a **shared-state
+//! layer** every query reaches through `&self`:
+//!
+//! * the answer cache, sharded by `(domain, function)` into independently
+//!   locked [`ShardedCim`] shards;
+//! * the statistics cache, sharded the same way ([`ShardedDcsm`]);
+//! * the per-site circuit-breaker bank (one mutex — breaker transitions
+//!   are rare and cheap);
+//! * the single-flight [`InFlightRegistry`], coalescing identical
+//!   concurrent ground calls into one source round trip.
+//!
+//! [`ConcurrentMediator::query`] therefore takes `&self`, and the type is
+//! `Send + Sync`: wrap it in an `Arc` and call it from as many client
+//! threads as you like.
+//!
+//! ## Virtual time under concurrency
+//!
+//! Each query runs on its own virtual clock, started at the server-wide
+//! high-water mark of finished queries (an atomic, in microseconds). This
+//! keeps per-query timings meaningful and monotone without serializing
+//! queries behind a global clock mutex; concurrent queries overlap in
+//! *real* time while each reports its own simulated timeline.
+
+use crate::breaker::BreakerBank;
+use crate::cost::choose_plan;
+use crate::exec::{ExecStats, Executor};
+use crate::flight::InFlightRegistry;
+use crate::mediator::{
+    check_mixed_definitions, project, MediatorConfig, Planned, QueryRequest, QueryResult,
+};
+use crate::plan::{Plan, PlanStep};
+use crate::rewrite::{bind_query, enumerate_plans_with_pushdowns, PushdownRule};
+use hermes_cim::{CimPolicy, ShardedCim};
+use hermes_common::sync::Mutex;
+use hermes_common::{HermesError, Result, SimClock, SimDuration, SimInstant};
+use hermes_dcsm::ShardedDcsm;
+use hermes_lang::{parse_query, Program, Query};
+use hermes_net::Network;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The immutable planning inputs, fixed at construction and shared
+/// (lock-free) by every query.
+#[derive(Debug)]
+struct PlanningCore {
+    program: Program,
+    policy: CimPolicy,
+    config: MediatorConfig,
+    pushdowns: Vec<PushdownRule>,
+}
+
+/// Server-wide counters, assembled on demand from the shared state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Queries served to completion (success or error).
+    pub queries: u64,
+    /// Ground calls that joined another query's identical in-flight call.
+    pub calls_coalesced: u64,
+    /// Coalesced calls actually served by a leader's published outcome —
+    /// source round trips the coalescing avoided.
+    pub round_trips_saved: u64,
+    /// Flights that resolved with at least one follower attached.
+    pub coalesced_flights: u64,
+    /// Calls that reached a source executor (one per flight, however many
+    /// queries coalesced onto it).
+    pub source_calls: u64,
+    /// Blocking CIM shard-lock acquisitions (a `try_lock` found the shard
+    /// held by another query).
+    pub cim_lock_contention: u64,
+    /// Blocking DCSM shard-lock acquisitions.
+    pub dcsm_lock_contention: u64,
+}
+
+/// A mediator that serves many clients at once: `query` takes `&self`.
+///
+/// Built from a warmed-up serial mediator with
+/// [`Mediator::to_concurrent`](crate::mediator::Mediator::to_concurrent);
+/// cached answers and learned statistics carry over into the shards.
+///
+/// ```ignore
+/// let server = Arc::new(mediator.to_concurrent(8));
+/// let handles: Vec<_> = (0..8).map(|_| {
+///     let server = server.clone();
+///     std::thread::spawn(move || server.query("?- item(A, B)."))
+/// }).collect();
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentMediator {
+    core: PlanningCore,
+    network: Arc<Network>,
+    cim: Arc<ShardedCim>,
+    dcsm: Arc<ShardedDcsm>,
+    breakers: Arc<Mutex<BreakerBank>>,
+    flight: Arc<InFlightRegistry>,
+    /// High-water mark of virtual time over finished queries, in
+    /// microseconds since the epoch. Each query's clock starts here.
+    epoch_us: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl ConcurrentMediator {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        program: Program,
+        policy: CimPolicy,
+        config: MediatorConfig,
+        pushdowns: Vec<PushdownRule>,
+        network: Arc<Network>,
+        cim: ShardedCim,
+        dcsm: ShardedDcsm,
+        breakers: Arc<Mutex<BreakerBank>>,
+        epoch: SimInstant,
+    ) -> Self {
+        ConcurrentMediator {
+            core: PlanningCore {
+                program,
+                policy,
+                config,
+                pushdowns,
+            },
+            network,
+            cim: Arc::new(cim),
+            dcsm: Arc::new(dcsm),
+            breakers,
+            flight: Arc::new(InFlightRegistry::new()),
+            epoch_us: AtomicU64::new(epoch.duration_since(SimInstant::EPOCH).as_micros()),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs a query. Accepts plain source text or a [`QueryRequest`],
+    /// exactly like the serial [`Mediator::query`]; request options apply
+    /// to this run only. Takes `&self` — call it from any thread.
+    ///
+    /// [`Mediator::query`]: crate::mediator::Mediator::query
+    pub fn query(&self, req: impl Into<QueryRequest>) -> Result<QueryResult> {
+        let req = req.into();
+        let mut config = self.core.config;
+        if let Some(d) = req.deadline {
+            config.exec.deadline = Some(d);
+        }
+        if let Some(t) = req.trace {
+            config.exec.collect_trace = t;
+        }
+        if let Some(k) = req.parallelism {
+            config.exec.max_parallel_calls = k;
+            config.cost.max_parallel_calls = k;
+            config.rewrite.favor_parallel = k > 1;
+        }
+        let result = (|| {
+            let query = parse_query(&req.src)?;
+            let query = match &req.bindings {
+                Some(params) => bind_query(&query, params),
+                None => query,
+            };
+            let planned = self.plan_query(&query, &config)?;
+            self.execute(planned, req.limit, &config)
+        })();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Plans a query against the immutable core and the current shared
+    /// statistics.
+    fn plan_query(&self, query: &Query, config: &MediatorConfig) -> Result<Planned> {
+        check_mixed_definitions(&self.core.program)?;
+        let plans = enumerate_plans_with_pushdowns(
+            &self.core.program,
+            query,
+            &self.core.policy,
+            config.rewrite,
+            &self.core.pushdowns,
+        )?;
+        let (chosen, estimates) = choose_plan(
+            &plans,
+            self.dcsm.as_ref(),
+            &config.cost,
+            config.optimize_first_answer,
+        );
+        Ok(Planned {
+            plans,
+            estimates,
+            chosen,
+        })
+    }
+
+    /// The failover-aware execution loop (mirrors the serial mediator's),
+    /// on a per-query clock seeded from the server's high-water mark.
+    fn execute(
+        &self,
+        planned: Planned,
+        limit: Option<usize>,
+        config: &MediatorConfig,
+    ) -> Result<QueryResult> {
+        let mut idx = planned.chosen;
+        let mut avoid: BTreeSet<String> = BTreeSet::new();
+        let mut failovers = 0u32;
+        let mut carried = ExecStats::default();
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_micros(
+            self.epoch_us.load(Ordering::Relaxed),
+        ));
+        loop {
+            let plan = planned.plans[idx].clone();
+            let estimate = planned.estimates[idx];
+            let mut executor = Executor::new(
+                &self.network,
+                self.cim.as_ref(),
+                self.dcsm.as_ref(),
+                clock.clone(),
+                config.exec,
+            )
+            .with_breakers(&self.breakers)
+            .with_flight(&self.flight);
+            let attempt = executor.run(&plan, limit);
+            clock.advance_to(executor.now());
+            self.push_epoch(clock.now());
+            match attempt {
+                Ok(outcome) => {
+                    self.push_epoch(outcome.clock.now());
+                    let mut result = project(plan, estimate, planned.plans.len(), outcome);
+                    result.failovers = failovers;
+                    result.stats.absorb(&carried);
+                    return Ok(result);
+                }
+                Err(HermesError::Unavailable { site, reason }) if config.failover => {
+                    carried.absorb(&executor.stats());
+                    if !avoid.insert(site.clone()) {
+                        return Err(HermesError::Unavailable { site, reason });
+                    }
+                    match self.failover_choice(&planned, &avoid, config) {
+                        Some(next) => {
+                            failovers += 1;
+                            idx = next;
+                        }
+                        None => return Err(HermesError::Unavailable { site, reason }),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Raises the server-wide virtual-time high-water mark to `t`.
+    fn push_epoch(&self, t: SimInstant) {
+        self.epoch_us.fetch_max(
+            t.duration_since(SimInstant::EPOCH).as_micros(),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The sites a plan's call steps touch.
+    fn plan_sites(&self, plan: &Plan) -> BTreeSet<String> {
+        let mut sites = BTreeSet::new();
+        for step in &plan.steps {
+            if let PlanStep::Call { call, .. } = step {
+                if let Ok(site) = self.network.site_of(&call.domain) {
+                    sites.insert(site.name.to_string());
+                }
+            }
+        }
+        sites
+    }
+
+    /// The cheapest plan (under current statistics) avoiding every site in
+    /// `avoid`, if any.
+    fn failover_choice(
+        &self,
+        planned: &Planned,
+        avoid: &BTreeSet<String>,
+        config: &MediatorConfig,
+    ) -> Option<usize> {
+        let eligible: Vec<usize> = (0..planned.plans.len())
+            .filter(|&i| self.plan_sites(&planned.plans[i]).is_disjoint(avoid))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let candidates: Vec<Plan> = eligible.iter().map(|&i| planned.plans[i].clone()).collect();
+        let (chosen, _) = choose_plan(
+            &candidates,
+            self.dcsm.as_ref(),
+            &config.cost,
+            config.optimize_first_answer,
+        );
+        Some(eligible[chosen])
+    }
+
+    /// The sharded answer cache.
+    pub fn cim(&self) -> &ShardedCim {
+        &self.cim
+    }
+
+    /// The sharded statistics cache.
+    pub fn dcsm(&self) -> &ShardedDcsm {
+        &self.dcsm
+    }
+
+    /// The single-flight registry.
+    pub fn flight(&self) -> &InFlightRegistry {
+        &self.flight
+    }
+
+    /// The network of placed domains.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The shared circuit-breaker bank.
+    pub fn breakers(&self) -> &Mutex<BreakerBank> {
+        &self.breakers
+    }
+
+    /// The server-wide virtual-time high-water mark.
+    pub fn now(&self) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_micros(self.epoch_us.load(Ordering::Relaxed))
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            calls_coalesced: self.flight.calls_coalesced(),
+            round_trips_saved: self.flight.round_trips_saved(),
+            coalesced_flights: self.flight.coalesced_flights(),
+            source_calls: self.network.source_calls(),
+            cim_lock_contention: self.cim.lock_contention(),
+            dcsm_lock_contention: self.dcsm.lock_contention(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mediator::Mediator;
+    use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+    use hermes_net::profiles;
+
+    fn mediator() -> Mediator {
+        let domain = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let mut net = Network::new(1);
+        net.place(Arc::new(domain), profiles::cornell());
+        Mediator::from_source(
+            "
+            item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+            item(A, B) :- in(B, d1:p_bf(A)).
+            item(A, B) :- in(A, d1:p_fb(B)).
+            ",
+            net,
+        )
+        .unwrap()
+    }
+
+    fn sorted(rows: &[Vec<hermes_common::Value>]) -> Vec<Vec<hermes_common::Value>> {
+        let mut rows = rows.to_vec();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn concurrent_mediator_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentMediator>();
+    }
+
+    #[test]
+    fn serves_the_same_answers_as_the_serial_mediator() {
+        let mut serial = mediator();
+        let expected = serial.query("?- item(A, B).").unwrap();
+        let server = mediator().to_concurrent(4);
+        let got = server.query("?- item(A, B).").unwrap();
+        assert_eq!(sorted(&got.rows), sorted(&expected.rows));
+        assert_eq!(server.stats().queries, 1);
+    }
+
+    #[test]
+    fn warm_cache_carries_over_into_the_shards() {
+        let mut serial = mediator();
+        let warm = serial.query("?- item('p_1', B).").unwrap();
+        let server = serial.to_concurrent(4);
+        let got = server.query("?- item('p_1', B).").unwrap();
+        assert_eq!(sorted(&got.rows), sorted(&warm.rows));
+        assert_eq!(got.stats.actual_calls, 0, "served from migrated cache");
+    }
+
+    #[test]
+    fn many_threads_query_one_server() {
+        let server = Arc::new(mediator().to_concurrent(4));
+        let expected = sorted(&server.query("?- item(A, B).").unwrap().rows);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let server = server.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        let got = server.query("?- item(A, B).").unwrap();
+                        assert_eq!(sorted(&got.rows), expected);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert_eq!(server.stats().queries, 13);
+    }
+
+    #[test]
+    fn virtual_time_high_water_advances() {
+        let server = mediator().to_concurrent(2);
+        let t0 = server.now();
+        server.query("?- item('p_1', B).").unwrap();
+        assert!(server.now() > t0);
+    }
+}

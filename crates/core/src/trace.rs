@@ -129,6 +129,14 @@ pub enum TraceEvent {
         /// Calls in the group.
         calls: usize,
     },
+    /// The call coalesced onto another query's identical in-flight call
+    /// and was served by the leader's published answers.
+    Coalesced {
+        /// The coalesced call.
+        call: GroundCall,
+        /// Answers shared from the leader's outcome.
+        answers: usize,
+    },
 }
 
 /// A timestamped event.
@@ -210,6 +218,9 @@ impl fmt::Display for TraceEntry {
                     f,
                     "OVLP {calls} calls overlapped: {parallel} vs {serial} serial"
                 )
+            }
+            TraceEvent::Coalesced { call, answers } => {
+                write!(f, "JOIN {call} -> {answers} answers (coalesced in-flight)")
             }
         }
     }

@@ -38,11 +38,13 @@ pub mod cost;
 pub mod estimator;
 pub mod maintenance;
 pub mod persist;
+pub mod sharded;
 pub mod summary;
 pub mod vectordb;
 
 pub use cost::{CostVector, MeanAgg};
 pub use estimator::{overlap_makespan, Dcsm, DcsmConfig, EstimateOutcome, EstimateSource};
 pub use maintenance::{droppable_dimensions, AccessTracker};
+pub use sharded::{CostSource, DcsmView, ShardedDcsm};
 pub use summary::{SummaryRow, SummaryTable};
 pub use vectordb::{CallRecord, CostVectorDb};

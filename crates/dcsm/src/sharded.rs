@@ -1,0 +1,250 @@
+//! Concurrent DCSM access: the [`CostSource`] / [`DcsmView`] traits and the
+//! [`ShardedDcsm`] facade.
+//!
+//! The planner asks "what will this call pattern cost?" ([`CostSource`]) and
+//! the executor reports "here is what the call actually cost"
+//! ([`DcsmView::record`]). Both route by `(domain, function)`, so the cost
+//! statistics partition the same way the answer cache does: each shard owns
+//! the complete detail records *and* summary tables for its functions, and
+//! the §6.3 relaxation-lattice lookup runs entirely inside one shard.
+
+use crate::estimator::{Dcsm, DcsmConfig, EstimateOutcome};
+use hermes_common::sync::Mutex;
+use hermes_common::{shard_index, CallPattern, GroundCall, SimInstant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::MutexGuard;
+
+/// Read-side cost estimation. `estimate_plan`/`choose_plan` are generic
+/// over this, so a plain [`Dcsm`], a `Mutex<Dcsm>`, and a [`ShardedDcsm`]
+/// all plug into the optimizer unchanged.
+pub trait CostSource {
+    /// Estimates the cost of a call pattern (§6.3 pattern relaxation).
+    fn cost(&self, pattern: &CallPattern) -> EstimateOutcome;
+}
+
+/// Shared-state DCSM access for the executor: estimation plus observation
+/// recording. All methods take `&self`; implementations provide interior
+/// mutability.
+pub trait DcsmView: CostSource {
+    /// Records an observed call outcome into the detail database and
+    /// summary tables.
+    fn record(
+        &self,
+        call: &GroundCall,
+        t_first_ms: Option<f64>,
+        t_all_ms: Option<f64>,
+        cardinality: Option<f64>,
+        now: SimInstant,
+    );
+}
+
+impl CostSource for Dcsm {
+    fn cost(&self, pattern: &CallPattern) -> EstimateOutcome {
+        Dcsm::cost(self, pattern)
+    }
+}
+
+impl CostSource for Mutex<Dcsm> {
+    fn cost(&self, pattern: &CallPattern) -> EstimateOutcome {
+        self.lock().cost(pattern)
+    }
+}
+
+impl DcsmView for Mutex<Dcsm> {
+    fn record(
+        &self,
+        call: &GroundCall,
+        t_first_ms: Option<f64>,
+        t_all_ms: Option<f64>,
+        cardinality: Option<f64>,
+        now: SimInstant,
+    ) {
+        self.lock()
+            .record(call, t_first_ms, t_all_ms, cardinality, now);
+    }
+}
+
+/// N independently locked DCSM shards partitioned by `(domain, function)`.
+///
+/// Same lock discipline as `ShardedCim`: every operation holds at most one
+/// shard lock, aggregates visit shards sequentially. Source-provided
+/// native estimators are *not* replicated (they are registered against a
+/// live `Dcsm`); a concurrent deployment wanting them registers per shard
+/// via [`ShardedDcsm::with_shard`].
+#[derive(Debug)]
+pub struct ShardedDcsm {
+    shards: Vec<Mutex<Dcsm>>,
+    contention: AtomicU64,
+}
+
+impl ShardedDcsm {
+    /// `n` empty shards with default configuration (`n` clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        ShardedDcsm::with_config(DcsmConfig::default(), n)
+    }
+
+    /// `n` empty shards sharing one configuration.
+    pub fn with_config(config: DcsmConfig, n: usize) -> Self {
+        let n = n.max(1);
+        ShardedDcsm {
+            shards: (0..n)
+                .map(|_| Mutex::new(Dcsm::with_config(config.clone())))
+                .collect(),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// `n` shards seeded from an existing estimator: configuration is
+    /// copied and the detail database is replayed into the owning shards
+    /// (summary tables rebuild incrementally from the replay). Native
+    /// estimators are not carried over.
+    pub fn from_dcsm(source: &Dcsm, n: usize) -> Self {
+        let sharded = ShardedDcsm::with_config(source.config().clone(), n);
+        let db = source.db();
+        for (domain, function) in db.functions() {
+            let shard = &sharded.shards[shard_index(&domain, &function, sharded.shards.len())];
+            let mut guard = shard.lock();
+            for r in db.records_for(&domain, &function) {
+                guard.record(
+                    &r.call,
+                    r.vector.t_first_ms,
+                    r.vector.t_all_ms,
+                    r.vector.cardinality,
+                    r.recorded_at,
+                );
+            }
+        }
+        sharded
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn locked(&self, domain: &str, function: &str) -> MutexGuard<'_, Dcsm> {
+        let shard = &self.shards[shard_index(domain, function, self.shards.len())];
+        match shard.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                shard.lock()
+            }
+        }
+    }
+
+    /// Total detail records across shards.
+    pub fn records(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().db().len()).sum()
+    }
+
+    /// Total summary tables across shards.
+    pub fn tables(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().tables().len()).sum()
+    }
+
+    /// Approximate resident bytes across shards.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().approx_bytes()).sum()
+    }
+
+    /// Blocking shard-lock acquisitions so far.
+    pub fn lock_contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with the shard owning `(domain, function)` locked —
+    /// registration hook for per-shard native estimators and for tests.
+    pub fn with_shard<R>(&self, domain: &str, function: &str, f: impl FnOnce(&mut Dcsm) -> R) -> R {
+        f(&mut self.locked(domain, function))
+    }
+}
+
+impl CostSource for ShardedDcsm {
+    fn cost(&self, pattern: &CallPattern) -> EstimateOutcome {
+        self.locked(&pattern.domain, &pattern.function)
+            .cost(pattern)
+    }
+}
+
+impl DcsmView for ShardedDcsm {
+    fn record(
+        &self,
+        call: &GroundCall,
+        t_first_ms: Option<f64>,
+        t_all_ms: Option<f64>,
+        cardinality: Option<f64>,
+        now: SimInstant,
+    ) {
+        self.locked(&call.domain, &call.function).record(
+            call,
+            t_first_ms,
+            t_all_ms,
+            cardinality,
+            now,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Value;
+
+    fn call(function: &str, k: i64) -> GroundCall {
+        GroundCall::new("d", function, vec![Value::Int(k)])
+    }
+
+    #[test]
+    fn record_then_cost_round_trips_in_one_shard() {
+        let sharded = ShardedDcsm::new(4);
+        for k in 0..5 {
+            sharded.record(
+                &call("f", k),
+                Some(10.0),
+                Some(40.0),
+                Some(8.0),
+                SimInstant::EPOCH,
+            );
+        }
+        assert_eq!(sharded.records(), 5);
+        let estimate = sharded.cost(&call("f", 2).pattern());
+        assert_eq!(estimate.t_all_ms(), 40.0);
+        // Only the owning shard holds the function's records.
+        let mut owners = 0;
+        for i in 0..sharded.shard_count() {
+            let held = {
+                let shard = &sharded.shards[i];
+                shard.lock().db().len()
+            };
+            if held > 0 {
+                owners += 1;
+            }
+        }
+        assert_eq!(owners, 1);
+    }
+
+    #[test]
+    fn from_dcsm_replays_detail_records() {
+        let mut source = Dcsm::new();
+        for k in 0..4 {
+            source.record(
+                &call("f", k),
+                Some(5.0),
+                Some(20.0),
+                Some(3.0),
+                SimInstant::EPOCH,
+            );
+            source.record(
+                &call("g", k),
+                Some(7.0),
+                Some(30.0),
+                Some(4.0),
+                SimInstant::EPOCH,
+            );
+        }
+        let sharded = ShardedDcsm::from_dcsm(&source, 3);
+        assert_eq!(sharded.records(), 8);
+        assert_eq!(sharded.cost(&call("g", 1).pattern()).t_all_ms(), 30.0);
+    }
+}

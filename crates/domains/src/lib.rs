@@ -34,6 +34,7 @@ pub mod flatfile;
 pub mod objectstore;
 pub mod registry;
 pub mod relational;
+pub mod slow;
 pub mod spatial;
 pub mod synthetic;
 pub mod terrain;
@@ -42,3 +43,4 @@ pub mod video;
 
 pub use domain::{CallOutcome, ComputeCost, CostHint, Domain, FunctionSig, NativeEstimator};
 pub use registry::DomainRegistry;
+pub use slow::SlowDomain;

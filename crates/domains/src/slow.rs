@@ -1,0 +1,101 @@
+//! [`SlowDomain`]: a delegating wrapper that makes every call cost real
+//! wall-clock time.
+//!
+//! The simulator charges *virtual* time for source calls, so on a single
+//! CPU a multi-threaded client sees no wall-clock benefit from caching or
+//! call coalescing — every call returns instantly in real time. Wrapping a
+//! domain in `SlowDomain` adds a real `thread::sleep` per executed call,
+//! which makes concurrency effects measurable: threads serving cache hits
+//! or coalescing onto another query's in-flight call skip the sleep
+//! entirely, while real source calls pay it. The throughput benchmark and
+//! the single-flight tests are built on this.
+//!
+//! The wrapper also counts calls, giving tests an exact "how many times
+//! was the source actually asked" probe independent of network counters.
+
+use crate::domain::{CallOutcome, Domain, FunctionSig, NativeEstimator};
+use hermes_common::{Result, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wraps a domain so every executed call sleeps for a fixed real-time
+/// delay and bumps a shared call counter.
+pub struct SlowDomain {
+    inner: Arc<dyn Domain>,
+    delay: Duration,
+    calls: Arc<AtomicU64>,
+}
+
+impl SlowDomain {
+    /// Wraps `inner`, sleeping `delay` of real time per call.
+    pub fn new(inner: Arc<dyn Domain>, delay: Duration) -> Self {
+        SlowDomain {
+            inner,
+            delay,
+            calls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A handle on the call counter; clone it before placing the domain to
+    /// observe calls from the outside.
+    pub fn counter(&self) -> Arc<AtomicU64> {
+        self.calls.clone()
+    }
+
+    /// Calls executed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl Domain for SlowDomain {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn functions(&self) -> Vec<FunctionSig> {
+        self.inner.functions()
+    }
+
+    fn call(&self, function: &str, args: &[Value]) -> Result<CallOutcome> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.call(function, args)
+    }
+
+    fn native_estimator(&self) -> Option<&dyn NativeEstimator> {
+        self.inner.native_estimator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{RelationSpec, SyntheticDomain};
+
+    #[test]
+    fn delegates_and_counts() {
+        let inner = SyntheticDomain::generate("d1", 3, &[RelationSpec::uniform("p", 4, 2.0)]);
+        let expected = inner.call("p_ff", &[]).unwrap();
+        let slow = SlowDomain::new(Arc::new(inner), Duration::from_millis(0));
+        let counter = slow.counter();
+        assert_eq!(slow.name(), "d1");
+        let got = slow.call("p_ff", &[]).unwrap();
+        assert_eq!(got.answers, expected.answers);
+        slow.call("p_ff", &[]).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        assert_eq!(slow.calls(), 2);
+    }
+
+    #[test]
+    fn sleep_is_real() {
+        let inner = SyntheticDomain::generate("d1", 3, &[RelationSpec::uniform("p", 4, 2.0)]);
+        let slow = SlowDomain::new(Arc::new(inner), Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        slow.call("p_ff", &[]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

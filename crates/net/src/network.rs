@@ -6,13 +6,18 @@ use hermes_common::sync::Mutex;
 use hermes_common::{GroundCall, HermesError, Result, Rng64, SimDuration, SimInstant, Value};
 use hermes_domains::{Domain, DomainRegistry};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The result of executing a call across the (simulated) network.
+///
+/// The answer set is `Arc`-backed: cloning an outcome — the executor's
+/// prefetch map, the single-flight registry fanning one result out to K
+/// coalesced queries — bumps a reference count instead of copying rows.
 #[derive(Clone, Debug)]
 pub struct RemoteOutcome {
-    /// The answers.
-    pub answers: Vec<Value>,
+    /// The answers (shared; clone is a reference bump).
+    pub answers: Arc<[Value]>,
     /// Simulated time until the first answer arrived at the mediator.
     pub t_first: SimDuration,
     /// Simulated time until the full answer set arrived.
@@ -48,6 +53,33 @@ pub struct Network {
     /// scheduler reports each dispatch schedule here; tests and benches
     /// query it to verify that overlap actually happened.
     inflight_peak: Mutex<BTreeMap<Arc<str>, usize>>,
+    /// Live wall-clock in-flight counters per site. Unlike
+    /// `inflight_peak` (a *schedule's* virtual-time claim, one query at a
+    /// time), these count calls actually inside [`Network::execute_batched`]
+    /// right now, so concurrent queries from many client threads are
+    /// accounted correctly.
+    live_in_flight: Mutex<BTreeMap<Arc<str>, Arc<SiteLoad>>>,
+    /// Total calls that reached a source (the denominator for the
+    /// single-flight "exactly one round trip" check).
+    source_calls: AtomicU64,
+}
+
+/// Live in-flight accounting for one site (atomics — updated from many
+/// client threads without taking the map lock per call boundary).
+#[derive(Debug, Default)]
+struct SiteLoad {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// RAII guard: one call in flight at a site until dropped (any exit path
+/// of `execute_batched`, including faults and outages mid-attempt).
+struct LoadGuard(Arc<SiteLoad>);
+
+impl Drop for LoadGuard {
+    fn drop(&mut self) {
+        self.0.current.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl Network {
@@ -59,7 +91,26 @@ impl Network {
             rng: Mutex::new(Rng64::new(seed)),
             faults: None,
             inflight_peak: Mutex::new(BTreeMap::new()),
+            live_in_flight: Mutex::new(BTreeMap::new()),
+            source_calls: AtomicU64::new(0),
         }
+    }
+
+    /// Marks one call entering `site`, returning the guard that marks it
+    /// leaving. Updates the site's live peak.
+    fn enter_site(&self, site: &Arc<str>) -> LoadGuard {
+        let load = {
+            let mut map = self.live_in_flight.lock();
+            map.entry(site.clone()).or_default().clone()
+        };
+        let concurrent = load.current.fetch_add(1, Ordering::AcqRel) + 1;
+        load.peak.fetch_max(concurrent, Ordering::AcqRel);
+        LoadGuard(load)
+    }
+
+    /// Total calls that reached a source over this network's lifetime.
+    pub fn source_calls(&self) -> u64 {
+        self.source_calls.load(Ordering::Relaxed)
     }
 
     /// Records that `concurrent` calls to `site` were in flight at the same
@@ -71,9 +122,18 @@ impl Network {
     }
 
     /// The highest number of concurrent in-flight calls ever observed for
-    /// `site` (0 when the site was never dispatched to in parallel).
+    /// `site` (0 when the site was never dispatched to in parallel): the
+    /// max of scheduler-reported virtual-time peaks and the live
+    /// wall-clock peak from concurrent client threads.
     pub fn peak_in_flight(&self, site: &str) -> usize {
-        self.inflight_peak.lock().get(site).copied().unwrap_or(0)
+        let reported = self.inflight_peak.lock().get(site).copied().unwrap_or(0);
+        let live = self
+            .live_in_flight
+            .lock()
+            .get(site)
+            .map(|l| l.peak.load(Ordering::Acquire))
+            .unwrap_or(0);
+        reported.max(live)
     }
 
     /// Installs a fault-injection plan (chaos harness). The plan draws from
@@ -144,6 +204,7 @@ impl Network {
                 reason: "scheduled outage".into(),
             });
         }
+        let _in_flight = self.enter_site(&site.name);
         // Injected faults, drawn from the plan's own stream *before* the
         // network's jitter stream so untouched calls keep their timings.
         let mut latency_factor = 1.0;
@@ -183,6 +244,7 @@ impl Network {
         };
 
         let mut outcome = self.registry.execute(call)?;
+        self.source_calls.fetch_add(1, Ordering::Relaxed);
         let truncated = match truncation {
             Some(keep_frac) if !outcome.answers.is_empty() => {
                 // Keep a prefix (at least one answer): the source cut the
@@ -222,7 +284,7 @@ impl Network {
             + lat.transfer(bytes) * (load * jitter * bandwidth_divisor);
 
         Ok(RemoteOutcome {
-            answers: outcome.answers,
+            answers: outcome.answers.into(),
             t_first,
             t_all: t_all.max(t_first),
             bytes,

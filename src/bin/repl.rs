@@ -23,6 +23,7 @@
 //! :retry <n> [ms]        retries per call (0 = none) + backoff base
 //! :deadline <ms>|off     per-query virtual-clock deadline
 //! :breaker <n> <ms>|off|status   circuit-breaker threshold/cooldown
+//! :serve <threads> <queries>     replay the last query concurrently
 //! :stats                 cache/statistics counters
 //! :save <dir>  :load <dir>   persist / restore caches
 //! :help  :quit
@@ -90,6 +91,7 @@ fn main() {
     let interactive = atty_stdout();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
+    let mut state = ReplState::default();
     loop {
         if interactive {
             print!("hermes> ");
@@ -111,7 +113,7 @@ fn main() {
         if !interactive {
             println!("hermes> {line}");
         }
-        match dispatch(&mut mediator, line) {
+        match dispatch(&mut mediator, &mut state, line) {
             Ok(Control::Continue) => {}
             Ok(Control::Quit) => break,
             Err(e) => println!("error: {e}"),
@@ -124,7 +126,16 @@ enum Control {
     Quit,
 }
 
-fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
+/// Session state the commands share across dispatches.
+#[derive(Default)]
+struct ReplState {
+    /// The most recent query text; `:serve` replays it concurrently.
+    last_query: Option<String>,
+    /// Counters from the most recent `:serve` run, surfaced by `:stats`.
+    serve: Option<hermes::ServerStats>,
+}
+
+fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> hermes::Result<Control> {
     if line == ":quit" || line == ":q" {
         return Ok(Control::Quit);
     }
@@ -142,6 +153,7 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
              :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
              :deadline <ms>|off    per-query deadline on the virtual clock\n  \
              :breaker <n> <ms>     trip threshold + cooldown (off|status)\n  \
+             :serve <t> <q>        replay the last query q times from t threads\n  \
              :stats                counters\n  \
              :save <dir> / :load <dir>\n  \
              :quit"
@@ -162,6 +174,11 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
             cim.cache().len(),
             cim.cache().bytes()
         );
+        let cs = cim.cache_stats();
+        println!(
+            "  answer bytes: {} shared (zero-copy), {} copied",
+            cs.bytes_shared, cs.bytes_copied
+        );
         drop(cim);
         let dcsm = mediator.dcsm();
         let dcsm = dcsm.lock();
@@ -171,6 +188,72 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
             dcsm.tables().len(),
             dcsm.approx_bytes()
         );
+        let (coalesced, saved) = state
+            .serve
+            .map(|s| (s.calls_coalesced, s.round_trips_saved))
+            .unwrap_or((0, 0));
+        println!(
+            "  coalescing (last :serve): {coalesced} calls coalesced, \
+             {saved} round trips saved"
+        );
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":serve") {
+        let mut parts = rest.split_whitespace();
+        let parsed = (
+            parts.next().map(str::parse::<usize>),
+            parts.next().map(str::parse::<usize>),
+        );
+        let (threads, queries) = match parsed {
+            (Some(Ok(t)), Some(Ok(q))) if t >= 1 && q >= 1 => (t, q),
+            _ => {
+                println!("usage: :serve <threads> <queries>  (replays the last query)");
+                return Ok(Control::Continue);
+            }
+        };
+        let Some(query) = state.last_query.clone() else {
+            println!("no query yet — run one first, then :serve replays it concurrently");
+            return Ok(Control::Continue);
+        };
+        // A concurrent snapshot of the mediator: cached answers and
+        // statistics carry over into the shards; state learned while
+        // serving stays in the snapshot.
+        let server = mediator.to_concurrent(8);
+        // The network (and its call counter) is shared with the serial
+        // session; report only the calls this serve run adds.
+        let base_source_calls = server.stats().source_calls;
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (server, query) = (&server, &query);
+                let share = queries / threads + usize::from(t < queries % threads);
+                s.spawn(move || {
+                    for _ in 0..share {
+                        if let Err(e) = server.query(query.as_str()) {
+                            println!("error: {e}");
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = server.stats();
+        println!(
+            "  served {} queries from {} threads in {:.3}s ({:.0} queries/sec)",
+            stats.queries,
+            threads,
+            wall,
+            stats.queries as f64 / wall.max(1e-9),
+        );
+        println!(
+            "  {} source calls; {} coalesced ({} round trips saved); shard contention {}",
+            stats.source_calls - base_source_calls,
+            stats.calls_coalesced,
+            stats.round_trips_saved,
+            stats.cim_lock_contention + stats.dcsm_lock_contention,
+        );
+        state.serve = Some(stats);
         return Ok(Control::Continue);
     }
     if let Some(rest) = line.strip_prefix(":trace") {
@@ -337,11 +420,13 @@ fn dispatch(mediator: &mut Mediator, line: &str) -> hermes::Result<Control> {
             .parse()
             .map_err(|e| hermes::HermesError::Eval(format!("bad count `{k_text}`: {e}")))?;
         let result = mediator.query(hermes::QueryRequest::new(query.trim()).limit(k))?;
+        state.last_query = Some(query.trim().to_string());
         print_result(&result);
         return Ok(Control::Continue);
     }
     // Anything else is a query.
     let result = mediator.query(line)?;
+    state.last_query = Some(line.to_string());
     if !result.trace.is_empty() {
         print!("{}", hermes::core::trace::render(&result.trace));
     }

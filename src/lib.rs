@@ -50,15 +50,15 @@ pub use hermes_net as net;
 pub use hermes_analysis::{
     analyze_source, AnalysisReport, Analyzer, DiagCode, Diagnostic, QueryForm, Severity,
 };
-pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision};
+pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision, ShardedCim};
 pub use hermes_common::{
     GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,
 };
 pub use hermes_core::{
-    BreakerBank, BreakerConfig, BreakerState, ExecConfig, ExecConfigBuilder, ExecStats,
-    IncompleteReason, InteractiveQuery, Mediator, MediatorConfig, Plan, QueryRequest, QueryResult,
-    SubgoalProvenance,
+    BreakerBank, BreakerConfig, BreakerState, ConcurrentMediator, ExecConfig, ExecConfigBuilder,
+    ExecStats, InFlightRegistry, IncompleteReason, InteractiveQuery, Mediator, MediatorConfig,
+    Plan, QueryRequest, QueryResult, ServerStats, SubgoalProvenance,
 };
-pub use hermes_dcsm::{Dcsm, DcsmConfig};
+pub use hermes_dcsm::{Dcsm, DcsmConfig, ShardedDcsm};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};
 pub use hermes_net::{profiles, FaultPlan, LinkModel, Network, Site};

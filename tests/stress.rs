@@ -123,6 +123,178 @@ fn hundred_query_session_stays_consistent() {
 }
 
 #[test]
+fn concurrent_answers_match_serial_across_seeds() {
+    // The tentpole soundness property: a ConcurrentMediator serving four
+    // threads produces, per query, exactly the answer multiset a serial
+    // mediator over the same world produces — across ten seeds, with each
+    // thread walking the query mix from a different offset so cache hits,
+    // partial hits, and misses interleave differently every run.
+    const QUERIES: [&str; 5] = [
+        "?- scene(0, 40, O).",
+        "?- scene(30, 70, O).",
+        "?- played_by('brandon', A).",
+        "?- near(50, 50, 30, P).",
+        "?- rte('place1', 'aberdeen', R).",
+    ];
+    for seed in 0..10u64 {
+        let mut serial = big_world(seed);
+        let reference: Vec<Vec<Vec<Value>>> = QUERIES
+            .iter()
+            .map(|q| {
+                let mut rows = serial.query(*q).unwrap().rows;
+                rows.sort();
+                rows
+            })
+            .collect();
+
+        let server = big_world(seed).to_concurrent(4);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let reference = &reference;
+                let server = &server;
+                s.spawn(move || {
+                    for k in 0..QUERIES.len() {
+                        let q = (t + k) % QUERIES.len();
+                        let mut rows = server.query(QUERIES[q]).unwrap().rows;
+                        rows.sort();
+                        assert_eq!(
+                            rows, reference[q],
+                            "seed {seed} thread {t} query {q} diverged from serial answers"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(server.stats().queries, 20);
+    }
+}
+
+#[test]
+fn sharded_cache_coherent_under_concurrent_mutation() {
+    use hermes::cim::{CimResolution, CimView};
+    use hermes::{GroundCall, ShardedCim, SimInstant};
+
+    let cim = ShardedCim::new(8);
+    let call_for = |i: u64| {
+        let domain = if i.is_multiple_of(2) { "keep" } else { "drop" };
+        GroundCall::new(domain, format!("f{}", i % 4), vec![Value::Int(i as i64)])
+    };
+    let answers_for =
+        |i: u64| -> Arc<[Value]> { vec![Value::Int(i as i64), Value::Int(-(i as i64))].into() };
+
+    std::thread::scope(|s| {
+        // Two writers over disjoint key ranges.
+        for w in 0..2u64 {
+            let cim = &cim;
+            s.spawn(move || {
+                for i in (w * 200)..(w * 200 + 200) {
+                    cim.store(call_for(i), answers_for(i), true, SimInstant::EPOCH);
+                }
+            });
+        }
+        // An invalidator repeatedly sweeping the `drop` domain while the
+        // writers are still landing entries in it.
+        let invalidator = &cim;
+        s.spawn(move || {
+            for _ in 0..50 {
+                invalidator.invalidate_domain("drop");
+                std::thread::yield_now();
+            }
+        });
+        // Readers: whatever the interleaving, a hit must carry exactly the
+        // answer set that was stored for that call — never a torn state.
+        for r in 0..2u64 {
+            let cim = &cim;
+            s.spawn(move || {
+                for k in 0..400u64 {
+                    let i = (k + r * 13) % 400;
+                    let (res, _) = cim.lookup(&call_for(i), SimInstant::EPOCH);
+                    if let CimResolution::ExactHit { answers } = res {
+                        assert_eq!(
+                            answers.as_ref(),
+                            answers_for(i).as_ref(),
+                            "torn read for call {i}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesced: one final sweep leaves exactly the `keep` entries, intact.
+    cim.invalidate_domain("drop");
+    assert_eq!(cim.len(), 200);
+    for i in (0..400u64).filter(|i| i.is_multiple_of(2)) {
+        let (res, _) = cim.lookup(&call_for(i), SimInstant::EPOCH);
+        match res {
+            CimResolution::ExactHit { answers } => {
+                assert_eq!(answers.as_ref(), answers_for(i).as_ref())
+            }
+            other => panic!("keep call {i} lost: {other:?}"),
+        }
+    }
+    for i in (0..400u64).filter(|i| i % 2 == 1) {
+        let (res, _) = cim.lookup(&call_for(i), SimInstant::EPOCH);
+        assert!(
+            matches!(res, CimResolution::Miss { .. }),
+            "drop call {i} survived invalidation"
+        );
+    }
+}
+
+#[test]
+fn single_flight_coalesces_identical_concurrent_calls() {
+    use hermes::domains::SlowDomain;
+    use std::sync::atomic::Ordering;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    // A source whose calls take 150 ms of *real* time: long enough that
+    // every thread released by the barrier reaches the in-flight registry
+    // while the first call is still on the wire.
+    let synth = SyntheticDomain::generate("d1", 11, &[RelationSpec::uniform("p", 20, 3.0)]);
+    let a0 = synth.domain_values("p")[0].clone();
+    let slow = SlowDomain::new(Arc::new(synth), Duration::from_millis(150));
+    let counter = slow.counter();
+    let mut net = Network::new(11);
+    net.place(Arc::new(slow), profiles::maryland());
+    let m = Mediator::from_source("item(A, B) :- in(B, d1:p_bf(A)).", net).unwrap();
+    let server = m.to_concurrent(4);
+
+    const K: usize = 6;
+    let query = format!("?- item({}, B).", a0.to_literal());
+    let barrier = Barrier::new(K);
+    let rows: Vec<Vec<Vec<Value>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let (server, barrier, query) = (&server, &barrier, &query);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut rows = server.query(query.as_str()).unwrap().rows;
+                    rows.sort();
+                    rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(!rows[0].is_empty());
+    for r in &rows[1..] {
+        assert_eq!(r, &rows[0], "coalesced answers diverged");
+    }
+    // Exactly one source round trip for K identical concurrent calls: the
+    // flight leader paid it; everyone else coalesced onto the in-flight
+    // call or hit the cache the leader filled.
+    assert_eq!(counter.load(Ordering::Relaxed), 1, "source asked twice");
+    assert_eq!(server.network().source_calls(), 1);
+    let flight = server.flight();
+    assert!(flight.calls_coalesced() >= 1, "no call ever coalesced");
+    assert_eq!(flight.round_trips_saved(), flight.calls_coalesced());
+    assert_eq!(server.stats().queries as usize, K);
+}
+
+#[test]
 fn deep_unfolding_chain() {
     // A chain of IDB predicates ten levels deep still plans and runs.
     let mut src = String::from("p0(A, B) :- chainable(A, B).\n");

@@ -1,7 +1,7 @@
 //! The analyzer driver: inputs, builder, and pass orchestration.
 
 use crate::diagnostic::AnalysisReport;
-use crate::{adorn, coverage, graph, invariants, sigs};
+use crate::{adorn, cacheable, coverage, graph, invariants, sigs};
 use hermes_cim::InvariantStore;
 use hermes_common::{HermesError, Result};
 use hermes_dcsm::Dcsm;
@@ -183,6 +183,9 @@ impl SignatureTable {
     }
 }
 
+/// A `(domain, function) -> routed?` predicate for the cacheability pass.
+pub type CacheRoutes<'a> = &'a dyn Fn(&str, &str) -> bool;
+
 /// The multi-pass static analyzer (see crate docs for the pass list).
 ///
 /// Only the program is mandatory; every other input unlocks further passes:
@@ -195,6 +198,7 @@ pub struct Analyzer<'a> {
     signatures: Option<SignatureTable>,
     dcsm: Option<&'a Dcsm>,
     query_forms: Vec<QueryForm>,
+    cache_routing: Option<CacheRoutes<'a>>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -206,6 +210,7 @@ impl<'a> Analyzer<'a> {
             signatures: None,
             dcsm: None,
             query_forms: Vec::new(),
+            cache_routing: None,
         }
     }
 
@@ -249,6 +254,14 @@ impl<'a> Analyzer<'a> {
         self
     }
 
+    /// Enables the cacheability pass (pass 6, `HA060`): `routes(domain,
+    /// function)` answers whether a call goes through the CIM. Without
+    /// this, no routing information exists and the pass stays silent.
+    pub fn with_cache_routing(mut self, routes: CacheRoutes<'a>) -> Self {
+        self.cache_routing = Some(routes);
+        self
+    }
+
     /// Runs every enabled pass and collects the findings.
     pub fn analyze(&self) -> AnalysisReport {
         let mut out = Vec::new();
@@ -260,6 +273,9 @@ impl<'a> Analyzer<'a> {
         invariants::run(&self.invariants, &mut out);
         if let Some(dcsm) = self.dcsm {
             coverage::run(self.program, dcsm, self.signatures.as_ref(), &mut out);
+        }
+        if let Some(routes) = self.cache_routing {
+            cacheable::run(self.program, &self.invariants, routes, &mut out);
         }
         AnalysisReport { diagnostics: out }
     }

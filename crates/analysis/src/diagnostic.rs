@@ -31,7 +31,7 @@ impl fmt::Display for Severity {
 ///
 /// Numbering groups by pass: `HA00x` dependency graph, `HA01x` adornment
 /// feasibility, `HA02x` domain signatures, `HA03x` invariants, `HA04x`
-/// cost coverage, `HA05x` parallelizability.
+/// cost coverage, `HA05x` parallelizability, `HA06x` cacheability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagCode {
     /// `HA001` — recursive predicate cycle; the nested-loops executor
@@ -79,6 +79,11 @@ pub enum DiagCode {
     /// more dispatch concurrently (the parallel scheduler overlaps only
     /// calls that are ground at the same point).
     SerializedParallelizable,
+    /// `HA060` — the program makes domain calls, but none is routed
+    /// through the CIM and no invariant is declared: the `cache-only`
+    /// plan tier can never serve it, so under overload (or an explicit
+    /// cache-only request) every query comes back empty.
+    CacheStarved,
 }
 
 impl DiagCode {
@@ -103,6 +108,7 @@ impl DiagCode {
             DiagCode::SuspiciousDirection => "HA034",
             DiagCode::EstimatorBlindSpot => "HA040",
             DiagCode::SerializedParallelizable => "HA050",
+            DiagCode::CacheStarved => "HA060",
         }
     }
 
@@ -126,7 +132,8 @@ impl DiagCode {
             | DiagCode::DuplicateInvariant
             | DiagCode::SuspiciousDirection
             | DiagCode::EstimatorBlindSpot
-            | DiagCode::SerializedParallelizable => Severity::Warning,
+            | DiagCode::SerializedParallelizable
+            | DiagCode::CacheStarved => Severity::Warning,
         }
     }
 }

@@ -9,15 +9,49 @@
 //! %! domain terraindb: findrte/2       declare a domain's signatures
 //! %! estimator terraindb               the domain ships a native estimator
 //! %! invariant X > 0 => d:f(X) = d:g(X).   lint this invariant
+//! %! cache terraindb                   the domain's calls route through CIM
+//! %! cache terraindb:findrte           one function routes through CIM
+//! %! cache never                       nothing routes through CIM
 //! ```
 //!
 //! Declaring at least one `domain` (or `estimator`) directive opts the file
 //! into signature checking; files without any stay exempt so plain programs
-//! lint without a registry.
+//! lint without a registry. Likewise, a `cache` directive opts the file
+//! into cacheability checking (`HA060`).
 
 use crate::analyzer::{QueryForm, SignatureTable};
 use hermes_common::{HermesError, Result};
 use hermes_lang::{parse_invariant, Invariant};
+use std::collections::BTreeSet;
+
+/// Declared CIM routing, built from `%! cache` directives. `%! cache
+/// never` declares the empty routing (nothing cached); every other form
+/// adds a domain or a `domain:function` route.
+#[derive(Clone, Debug, Default)]
+pub struct CacheRouting {
+    domains: BTreeSet<String>,
+    functions: BTreeSet<(String, String)>,
+}
+
+impl CacheRouting {
+    /// Declares a whole domain as CIM-routed.
+    pub fn route_domain(&mut self, domain: impl Into<String>) {
+        self.domains.insert(domain.into());
+    }
+
+    /// Declares one `domain:function` as CIM-routed.
+    pub fn route_function(&mut self, domain: impl Into<String>, function: impl Into<String>) {
+        self.functions.insert((domain.into(), function.into()));
+    }
+
+    /// True when `domain:function` routes through the CIM.
+    pub fn routes(&self, domain: &str, function: &str) -> bool {
+        self.domains.contains(domain)
+            || self
+                .functions
+                .contains(&(domain.to_string(), function.to_string()))
+    }
+}
 
 /// Everything the directives of one file declared.
 #[derive(Debug, Default)]
@@ -29,6 +63,9 @@ pub struct Directives {
     pub signatures: Option<SignatureTable>,
     /// Declared invariants.
     pub invariants: Vec<Invariant>,
+    /// Declared CIM routing; `None` when no `cache` directive appeared
+    /// (cacheability checking stays off).
+    pub cache_routing: Option<CacheRouting>,
 }
 
 /// Scans `src` for `%!` directives.
@@ -72,10 +109,30 @@ pub fn parse_directives(src: &str) -> Result<Directives> {
                 .declare_estimator(arg.trim().trim_end_matches('.'));
         } else if let Some(arg) = rest.strip_prefix("invariant ") {
             out.invariants.push(parse_invariant(arg.trim())?);
+        } else if let Some(arg) = rest.strip_prefix("cache ") {
+            let arg = arg.trim().trim_end_matches('.');
+            let routing = out.cache_routing.get_or_insert_with(CacheRouting::default);
+            if arg == "never" {
+                // The empty routing: opts into HA060 with nothing cached.
+            } else if let Some((domain, function)) = arg.split_once(':') {
+                let (domain, function) = (domain.trim(), function.trim());
+                if domain.is_empty() || function.is_empty() {
+                    return Err(bad(format!(
+                        "cache route `{arg}` must be `domain`, `domain:function`, or `never`"
+                    )));
+                }
+                routing.route_function(domain, function);
+            } else if arg.is_empty() {
+                return Err(bad(
+                    "expected `cache domain`, `cache domain:function`, or `cache never`".into(),
+                ));
+            } else {
+                routing.route_domain(arg);
+            }
         } else {
             return Err(bad(format!(
                 "unknown directive `{rest}`; expected `query`, `domain`, \
-                 `estimator`, or `invariant`"
+                 `estimator`, `invariant`, or `cache`"
             )));
         }
     }
@@ -116,5 +173,34 @@ mod tests {
         assert!(parse_directives("%! frobnicate yes\n").is_err());
         assert!(parse_directives("%! domain nocolon\n").is_err());
         assert!(parse_directives("%! domain d: f/x\n").is_err());
+    }
+
+    #[test]
+    fn cache_directives_build_the_routing() {
+        let d = parse_directives("%! cache d\n%! cache e:f\n").unwrap();
+        let routing = d.cache_routing.unwrap();
+        assert!(routing.routes("d", "anything"));
+        assert!(routing.routes("e", "f"));
+        assert!(!routing.routes("e", "g"));
+        assert!(!routing.routes("x", "y"));
+    }
+
+    #[test]
+    fn cache_never_declares_the_empty_routing() {
+        let d = parse_directives("%! cache never\n").unwrap();
+        let routing = d.cache_routing.unwrap();
+        assert!(!routing.routes("d", "f"));
+    }
+
+    #[test]
+    fn no_cache_directive_means_no_routing() {
+        let d = parse_directives("p(A) :- in(A, d:f()).\n").unwrap();
+        assert!(d.cache_routing.is_none());
+    }
+
+    #[test]
+    fn malformed_cache_directive_is_an_error() {
+        assert!(parse_directives("%! cache d:\n").is_err());
+        assert!(parse_directives("%! cache :f\n").is_err());
     }
 }

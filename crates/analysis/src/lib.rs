@@ -4,10 +4,10 @@
 //! optimizer assumes well-formed inputs — ground calls (§3), no free
 //! invariant variables (§4), binding-pattern-compatible orderings (§5) —
 //! and a production mediator should reject bad configurations at load time,
-//! not at query time. This crate runs five passes over a
+//! not at query time. This crate runs a series of passes over a
 //! [`Program`](hermes_lang::Program) (plus optional invariants, domain
-//! signatures, and a DCSM) and emits structured [`Diagnostic`]s with stable
-//! `HAxxx` codes:
+//! signatures, a DCSM, and CIM routing) and emits structured
+//! [`Diagnostic`]s with stable `HAxxx` codes:
 //!
 //! | Pass | Codes | Checks |
 //! |------|-------|--------|
@@ -16,6 +16,7 @@
 //! | 3 domain signatures | `HA020`–`HA022` | unknown domains/functions, arity mismatches |
 //! | 4 invariant lint | `HA030`–`HA034` | free condition variables, substitution cycles, unsatisfiable conditions, duplicates, direction mistakes |
 //! | 5 cost coverage | `HA040` | call patterns the DCSM can only cost from the prior |
+//! | 6 cacheability | `HA060` | programs the `cache-only` plan tier can never serve |
 //!
 //! ```
 //! use hermes_analysis::{Analyzer, DiagCode};
@@ -29,6 +30,7 @@
 
 mod adorn;
 mod analyzer;
+mod cacheable;
 mod coverage;
 mod diagnostic;
 mod directives;
@@ -38,7 +40,7 @@ mod sigs;
 
 pub use analyzer::{Analyzer, QueryForm, SignatureTable};
 pub use diagnostic::{AnalysisReport, DiagCode, Diagnostic, Locus, Severity};
-pub use directives::{parse_directives, Directives};
+pub use directives::{parse_directives, CacheRouting, Directives};
 
 use hermes_common::Result;
 use hermes_lang::{groundability, parse_program, BodyAtom, Program};
@@ -56,7 +58,14 @@ pub fn analyze_source(src: &str) -> Result<AnalysisReport> {
     if let Some(table) = directives.signatures {
         analyzer = analyzer.with_signatures(table);
     }
-    Ok(analyzer.analyze())
+    let report = match &directives.cache_routing {
+        Some(routing) => {
+            let routes = |domain: &str, function: &str| routing.routes(domain, function);
+            analyzer.with_cache_routing(&routes).analyze()
+        }
+        None => analyzer.analyze(),
+    };
+    Ok(report)
 }
 
 /// Explains why a *query* (a goal conjunction against `program`) admits no

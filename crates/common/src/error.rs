@@ -75,6 +75,15 @@ pub enum HermesError {
         /// Rendered error-severity diagnostics.
         diagnostics: Vec<String>,
     },
+    /// The server's admission gate refused the query outright: the gate
+    /// (or the requested tier's share of it) was full. Deterministic and
+    /// immediate — a shed query never queues and never hangs. The reason
+    /// is a stable machine-readable code such as `gate-full` or
+    /// `tier-budget-full`.
+    Shed {
+        /// Stable reason code for the shed decision.
+        reason: String,
+    },
     /// Runtime evaluation failure.
     Eval(String),
     /// Underlying I/O failure (flat-file domain, persistence).
@@ -124,6 +133,9 @@ impl fmt::Display for HermesError {
                     write!(f, "\n  {d}")?;
                 }
                 Ok(())
+            }
+            HermesError::Shed { reason } => {
+                write!(f, "query shed by admission control ({reason})")
             }
             HermesError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             HermesError::Io(msg) => write!(f, "io error: {msg}"),
@@ -199,6 +211,20 @@ mod tests {
         }
         .is_transient());
         assert!(!HermesError::Io("disk".into()).is_transient());
+        // A shed is a deterministic admission decision, not a flaky site:
+        // retrying immediately would just re-shed, so it is not transient.
+        assert!(!HermesError::Shed {
+            reason: "gate-full".into(),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn shed_display_carries_the_reason_code() {
+        let e = HermesError::Shed {
+            reason: "gate-full".into(),
+        };
+        assert_eq!(e.to_string(), "query shed by admission control (gate-full)");
     }
 
     #[test]

@@ -20,11 +20,13 @@
 use crate::breaker::{Admission, BreakerBank};
 use crate::flight::{FlightRole, InFlightRegistry};
 use crate::plan::{Plan, PlanStep, Route};
+use crate::tier::{PlanTier, TierReason};
 use crate::trace::{TraceEntry, TraceEvent};
 use hermes_cim::{CimPreview, CimResolution, CimView};
 use hermes_common::sync::Mutex;
 use hermes_common::{
-    GroundCall, HermesError, Result, Rng64, SimClock, SimDuration, SimInstant, Value,
+    CallPattern, GroundCall, HermesError, PatArg, Result, Rng64, SimClock, SimDuration, SimInstant,
+    Value,
 };
 use hermes_dcsm::DcsmView;
 use hermes_lang::{Relop, Subst, Term};
@@ -99,6 +101,18 @@ pub struct ExecConfig {
     /// Simulated mediator-side milliseconds to put one call of a
     /// dispatched group in flight.
     pub dispatch_overhead_ms: f64,
+    /// The plan tier this run starts at. `Full` — the default — is the
+    /// paper-exact executor; the cheaper tiers restrict which calls may
+    /// go over the wire (see [`crate::tier`]).
+    pub tier: PlanTier,
+    /// Optional per-query time budget on the virtual clock. Unlike a
+    /// deadline, burning through the budget does not abort: it steps the
+    /// active tier down one level (one-way) and re-arms. Pair it with a
+    /// larger `deadline` to guarantee the downgrade fires first.
+    pub budget: Option<SimDuration>,
+    /// Estimated `T_all` (DCSM, milliseconds) at or under which a remote
+    /// call still qualifies for the `CachedPlusCheapRemote` tier.
+    pub cheap_call_ms: f64,
 }
 
 impl Default for ExecConfig {
@@ -120,6 +134,9 @@ impl Default for ExecConfig {
             max_parallel_calls: 1,
             batch_calls: true,
             dispatch_overhead_ms: 0.05,
+            tier: PlanTier::Full,
+            budget: None,
+            cheap_call_ms: 250.0,
         }
     }
 }
@@ -192,6 +209,12 @@ builder_setters! {
     batch_calls: bool,
     /// See [`ExecConfig::dispatch_overhead_ms`].
     dispatch_overhead_ms: f64,
+    /// See [`ExecConfig::tier`].
+    tier: PlanTier,
+    /// See [`ExecConfig::budget`].
+    budget: Option<SimDuration>,
+    /// See [`ExecConfig::cheap_call_ms`].
+    cheap_call_ms: f64,
 }
 
 /// Execution counters.
@@ -248,6 +271,10 @@ pub struct ExecStats {
     /// each one is a source round trip this query never paid. (A follower
     /// whose leader failed falls back to its own call and saves nothing.)
     pub round_trips_saved: u64,
+    /// Mid-execution tier downgrades fired by budget pressure.
+    pub tier_downgrades: u64,
+    /// Remote calls skipped because the active tier forbade them.
+    pub tier_skipped_calls: u64,
 }
 
 impl ExecStats {
@@ -279,6 +306,8 @@ impl ExecStats {
         self.overlap_saved_us += other.overlap_saved_us;
         self.calls_coalesced += other.calls_coalesced;
         self.round_trips_saved += other.round_trips_saved;
+        self.tier_downgrades += other.tier_downgrades;
+        self.tier_skipped_calls += other.tier_skipped_calls;
     }
 }
 
@@ -298,6 +327,11 @@ pub enum IncompleteReason {
     },
     /// The query's deadline fired before the subgoal finished.
     DeadlineExceeded,
+    /// The active plan tier forbade the subgoal's remote call: the query
+    /// was selected into (or downgraded to) a cheaper tier, and only the
+    /// cache could serve this subgoal. Distinct from `DeadlineExceeded` —
+    /// a downgrade is a deliberate fail-soft decision, not a timeout.
+    Downgraded,
     /// An injected fault truncated the subgoal's answer set in flight.
     Truncated {
         /// The site whose answers were cut short.
@@ -315,6 +349,9 @@ impl fmt::Display for IncompleteReason {
                 write!(f, "breaker open for `{site}`")
             }
             IncompleteReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            IncompleteReason::Downgraded => {
+                write!(f, "downgraded to a cheaper plan tier")
+            }
             IncompleteReason::Truncated { site } => {
                 write!(f, "answers truncated by `{site}`")
             }
@@ -427,6 +464,11 @@ pub struct Executor<'w> {
     /// queries coalesce into one source round trip. `None` (the serial
     /// mediator) disables coalescing.
     flight: Option<&'w InFlightRegistry>,
+    /// The tier the run is currently serving at. Starts at
+    /// `config.tier`; budget pressure may step it down, never up.
+    tier: PlanTier,
+    /// Next budget checkpoint on the virtual clock; `None` disarms.
+    budget_at: Option<SimInstant>,
 }
 
 impl<'w> Executor<'w> {
@@ -453,6 +495,8 @@ impl<'w> Executor<'w> {
             groups: HashMap::new(),
             prefetch: HashMap::new(),
             flight: None,
+            tier: config.tier,
+            budget_at: None,
         }
     }
 
@@ -530,6 +574,8 @@ impl<'w> Executor<'w> {
             sink,
         };
         self.deadline_at = self.config.deadline.map(|d| out.start + d);
+        self.tier = self.config.tier;
+        self.budget_at = self.config.budget.map(|b| out.start + b);
         self.groups = if self.config.max_parallel_calls > 1 {
             crate::plan::independence_groups(&plan.steps)
                 .into_iter()
@@ -691,6 +737,12 @@ impl<'w> Executor<'w> {
         probe: Option<&Value>,
         target: &Term,
     ) -> Result<bool> {
+        // Budget check first: a budget is softer than a deadline, so with
+        // both configured (budget < deadline) the downgrade fires before
+        // the deadline ever can — degraded answers beat aborted ones.
+        if self.budget_at.is_some_and(|b| self.clock.now() > b) {
+            self.budget_downgrade();
+        }
         // Deadline check at the call boundary: the cheapest safe point to
         // abort, because no partial per-call state exists here.
         if self.deadline_at.is_some_and(|d| self.clock.now() > d) {
@@ -738,6 +790,8 @@ impl<'w> Executor<'w> {
                         probe,
                         target,
                     )
+                } else if !self.tier_allows_wire(ground) {
+                    self.tier_skip(steps, idx, theta, out, ground, probe, target)
                 } else {
                     let outcome = self.actual_call(ground)?;
                     self.note_truncation(out, idx, ground, &outcome);
@@ -756,6 +810,87 @@ impl<'w> Executor<'w> {
             Route::Cim => self.run_cim_call(steps, idx, theta, out, ground, probe, target),
         }?;
         Ok(result)
+    }
+
+    /// Budget checkpoint passed: step the active tier down one level
+    /// (one-way, never up) and re-arm the checkpoint — or disarm at the
+    /// `CacheOnly` floor, where nothing cheaper remains.
+    fn budget_downgrade(&mut self) {
+        let Some(next) = self.tier.downgraded() else {
+            self.budget_at = None;
+            return;
+        };
+        self.stats.tier_downgrades += 1;
+        self.note(TraceEvent::TierDowngraded {
+            from: self.tier,
+            to: next,
+            reason: TierReason::BudgetPressure,
+        });
+        self.tier = next;
+        self.budget_at = if next == PlanTier::CacheOnly {
+            None
+        } else {
+            self.config.budget.map(|b| self.clock.now() + b)
+        };
+    }
+
+    /// Whether the active tier lets `wire` go over the network. `Full`
+    /// allows everything; `CacheOnly` nothing; `CachedPlusCheapRemote`
+    /// asks the DCSM whether the fully-bound call pattern is estimated at
+    /// or under [`ExecConfig::cheap_call_ms`].
+    fn tier_allows_wire(&self, wire: &GroundCall) -> bool {
+        match self.tier {
+            PlanTier::Full => true,
+            PlanTier::CacheOnly => false,
+            PlanTier::CachedPlusCheapRemote => {
+                let pattern = CallPattern::new(
+                    wire.domain.clone(),
+                    wire.function.clone(),
+                    wire.args.iter().map(|v| PatArg::Const(v.clone())).collect(),
+                );
+                self.dcsm.cost(&pattern).t_all_ms() <= self.config.cheap_call_ms
+            }
+        }
+    }
+
+    /// The active tier forbade `ground`'s remote call: record the gap
+    /// (`IncompleteReason::Downgraded`), then fail soft — serve whatever
+    /// stale cached answers exist, else contribute nothing and move on.
+    #[allow(clippy::too_many_arguments)]
+    fn tier_skip(
+        &mut self,
+        steps: &[PlanStep],
+        idx: usize,
+        theta: &Subst,
+        out: &mut RunState,
+        ground: &GroundCall,
+        probe: Option<&Value>,
+        target: &Term,
+    ) -> Result<bool> {
+        self.stats.tier_skipped_calls += 1;
+        self.note(TraceEvent::TierSkipped {
+            call: ground.clone(),
+            tier: self.tier,
+        });
+        out.mark_gap(idx, IncompleteReason::Downgraded);
+        if let Some(answers) = self.cim.stale_answers(ground) {
+            self.note(TraceEvent::ServedStale {
+                call: ground.clone(),
+                answers: answers.len(),
+            });
+            return self.iterate(
+                steps,
+                idx,
+                theta,
+                out,
+                &answers,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                probe,
+                target,
+            );
+        }
+        Ok(true)
     }
 
     /// Deadline fired: account for it, then either unwind cleanly (answers
@@ -894,6 +1029,9 @@ impl<'w> Executor<'w> {
                 };
                 let parked = self.prefetched(idx, &exec_call);
                 let was_parked = parked.is_some();
+                if !was_parked && !self.tier_allows_wire(&exec_call) {
+                    return self.tier_skip(steps, idx, theta, out, ground, probe, target);
+                }
                 let outcome = if let Some(o) = parked {
                     o
                 } else {
@@ -1007,7 +1145,18 @@ impl<'w> Executor<'w> {
             }
         }
 
-        // Need the remainder: issue (or join) the actual call.
+        // Need the remainder: issue (or join) the actual call — unless
+        // the active tier forbids it, in which case the cached prefix is
+        // all this subgoal contributes (flagged `Downgraded`).
+        if !self.tier_allows_wire(ground) {
+            self.stats.tier_skipped_calls += 1;
+            self.note(TraceEvent::TierSkipped {
+                call: ground.clone(),
+                tier: self.tier,
+            });
+            out.mark_gap(idx, IncompleteReason::Downgraded);
+            return Ok(true);
+        }
         match self.actual_call(ground) {
             Ok(outcome) => {
                 self.note_truncation(out, idx, ground, &outcome);
@@ -1159,6 +1308,9 @@ impl<'w> Executor<'w> {
             };
             if self.prefetch.contains_key(&(idx, wire.clone())) {
                 continue; // still parked from an earlier group entry
+            }
+            if !self.tier_allows_wire(&wire) {
+                continue; // consumption records the Downgraded gap
             }
             pending.push((idx, wire));
         }
@@ -2155,5 +2307,89 @@ mod tests {
             out.provenance[0].gaps[0],
             IncompleteReason::SiteUnavailable { .. }
         ));
+    }
+
+    #[test]
+    fn cache_only_tier_never_touches_the_wire() {
+        let (net, cim, dcsm) = world();
+        let (plan, _) = call_plan(Route::Cim);
+        // Cold cache: the subgoal contributes nothing, flagged Downgraded.
+        let cfg = ExecConfig {
+            tier: PlanTier::CacheOnly,
+            ..ExecConfig::default()
+        };
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert!(out.answers.is_empty());
+        assert!(out.incomplete);
+        assert_eq!(out.stats.actual_calls, 0);
+        assert_eq!(out.stats.tier_skipped_calls, 1);
+        assert!(out.provenance[0]
+            .gaps
+            .contains(&IncompleteReason::Downgraded));
+
+        // Warm the cache at Full, then CacheOnly serves the same answers
+        // without a single network call.
+        let full = Executor::new(&net, &cim, &dcsm, SimClock::new(), ExecConfig::default())
+            .run(&plan, None)
+            .unwrap();
+        assert!(!full.answers.is_empty());
+        let warm = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(warm.answers, full.answers);
+        assert_eq!(warm.stats.actual_calls, 0);
+        assert!(!warm.incomplete);
+    }
+
+    #[test]
+    fn budget_pressure_downgrades_one_way_and_beats_the_deadline() {
+        let (net, cim, dcsm) = world();
+        let (plan1, a) = call_plan(Route::Direct);
+        // Two independent calls: the first burns the budget, the second
+        // hits the re-checked boundary and triggers the downgrade.
+        let plan = Plan {
+            steps: vec![
+                plan1.steps[0].clone(),
+                PlanStep::Call {
+                    target: Term::var("C"),
+                    call: CallTemplate::new("d1", "p_bf", vec![Term::Const(a)]),
+                    route: Route::Direct,
+                },
+            ],
+            answer_vars: vec![Arc::from("B"), Arc::from("C")],
+        };
+        let cfg = ExecConfig {
+            budget: Some(SimDuration::from_millis(1)),
+            // A deadline far beyond the budget: the downgrade must fire
+            // first, and the deadline must never be reached.
+            deadline: Some(SimDuration::from_secs(3600)),
+            cheap_call_ms: 0.0, // nothing qualifies as cheap
+            collect_trace: true,
+            ..ExecConfig::default()
+        };
+        let out = Executor::new(&net, &cim, &dcsm, SimClock::new(), cfg)
+            .run(&plan, None)
+            .unwrap();
+        assert_eq!(out.stats.actual_calls, 1, "second call must be skipped");
+        assert!(out.stats.tier_downgrades >= 1);
+        assert!(out.stats.tier_skipped_calls >= 1);
+        assert_eq!(out.stats.deadline_aborts, 0);
+        assert!(out.incomplete);
+        assert!(out.provenance[1]
+            .gaps
+            .contains(&IncompleteReason::Downgraded));
+        // Downgrades only ever step down.
+        for e in &out.trace {
+            if let TraceEvent::TierDowngraded { from, to, reason } = &e.event {
+                assert!(to < from);
+                assert_eq!(*reason, TierReason::BudgetPressure);
+            }
+        }
+        assert!(out
+            .trace
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::TierDowngraded { .. })));
     }
 }

@@ -43,6 +43,7 @@ pub mod mediator;
 pub mod plan;
 pub mod rewrite;
 pub mod server;
+pub mod tier;
 pub mod trace;
 
 pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
@@ -56,7 +57,9 @@ pub use flight::{FlightHandle, FlightLeader, FlightRole, InFlightRegistry};
 pub use mediator::{Mediator, MediatorConfig, Planned, QueryRequest, QueryResult};
 pub use plan::{independence_groups, Plan, PlanStep, Route};
 pub use rewrite::{
-    bind_query, enumerate_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
+    bind_query, cache_servable_plans, enumerate_plans, enumerate_plans_with_pushdowns,
+    PushdownRule, RewriteConfig,
 };
-pub use server::{ConcurrentMediator, ServerStats};
+pub use server::{ConcurrentMediator, GateConfig, ServerStats};
+pub use tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};
 pub use trace::{TraceEntry, TraceEvent};

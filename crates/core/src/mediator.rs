@@ -5,9 +5,13 @@ use crate::cost::{choose_plan, estimate_plan, CostConfig};
 use crate::cursor::InteractiveQuery;
 use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor, SubgoalProvenance};
 use crate::plan::{Plan, PlanStep};
-use crate::rewrite::{enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig};
+use crate::rewrite::{
+    cache_servable_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
+};
+use crate::tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};
+use crate::trace::{TraceEntry, TraceEvent};
 use hermes_analysis::{AnalysisReport, Analyzer, Diagnostic, QueryForm};
-use hermes_cim::{Cim, CimPolicy};
+use hermes_cim::{Cim, CimPolicy, RoutingDecision};
 use hermes_common::sync::Mutex;
 use hermes_common::{HermesError, Result, SimClock, SimDuration, Value};
 use hermes_dcsm::{CostVector, Dcsm};
@@ -33,6 +37,11 @@ pub struct MediatorConfig {
     /// site. Work the failed attempt completed survives in the answer
     /// cache, so the replanned run resumes rather than restarts.
     pub failover: bool,
+    /// Run the deterministic tier selector before every query (see
+    /// [`crate::tier`]). Off by default: the paper-exact path never
+    /// consults the selector unless the request itself carries a tier or
+    /// a budget.
+    pub adaptive_tiers: bool,
 }
 
 impl Default for MediatorConfig {
@@ -43,6 +52,7 @@ impl Default for MediatorConfig {
             exec: ExecConfig::default(),
             optimize_first_answer: false,
             failover: true,
+            adaptive_tiers: false,
         }
     }
 }
@@ -118,6 +128,8 @@ pub struct QueryRequest {
     pub(crate) bindings: Option<hermes_lang::Subst>,
     pub(crate) trace: Option<bool>,
     pub(crate) parallelism: Option<usize>,
+    pub(crate) budget: Option<SimDuration>,
+    pub(crate) tier: Option<PlanTier>,
 }
 
 impl QueryRequest {
@@ -130,6 +142,8 @@ impl QueryRequest {
             bindings: None,
             trace: None,
             parallelism: None,
+            budget: None,
+            tier: None,
         }
     }
 
@@ -166,6 +180,23 @@ impl QueryRequest {
     /// wide independence groups.
     pub fn parallelism(mut self, k: usize) -> Self {
         self.parallelism = Some(k.max(1));
+        self
+    }
+
+    /// Give the run a virtual-time budget. Unlike a deadline, exhausting
+    /// the budget never aborts: the executor steps the active plan tier
+    /// down one level (one-way) and keeps going, so a budgeted query
+    /// returns degraded answers instead of an error. Setting a budget
+    /// also engages the tier selector for this run.
+    pub fn budget(mut self, b: SimDuration) -> Self {
+        self.budget = Some(b);
+        self
+    }
+
+    /// Pin the plan tier for this run (the selector's explicit-override
+    /// rule — it beats every other selection rule).
+    pub fn tier(mut self, tier: PlanTier) -> Self {
+        self.tier = Some(tier);
         self
     }
 }
@@ -259,11 +290,15 @@ impl Mediator {
     fn analyze_program(&self, program: &Program, query_forms: &[QueryForm]) -> AnalysisReport {
         let cim = self.cim.lock();
         let dcsm = self.dcsm.lock();
+        let routes = |domain: &str, function: &str| {
+            self.policy.decide(domain, function) == RoutingDecision::UseCim
+        };
         Analyzer::new(program)
             .with_registry(self.network.registry())
             .with_invariant_store(cim.invariants())
             .with_dcsm(&dcsm)
             .with_query_forms(query_forms.iter().cloned())
+            .with_cache_routing(&routes)
             .analyze()
     }
 
@@ -394,8 +429,11 @@ impl Mediator {
             self.config.cost.max_parallel_calls = k;
             self.config.rewrite.favor_parallel = k > 1;
         }
+        if let Some(b) = req.budget {
+            self.config.exec.budget = Some(b);
+        }
         let result = (|| {
-            let planned = match &req.bindings {
+            let mut planned = match &req.bindings {
                 Some(params) => {
                     let query = parse_query(&req.src)?;
                     let bound = crate::rewrite::bind_query(&query, params);
@@ -403,10 +441,75 @@ impl Mediator {
                 }
                 None => self.plan(&req.src)?,
             };
-            self.execute(planned, req.limit)
+            // The serial mediator has no admission gate, so the selector
+            // sees an unbounded, unloaded one.
+            let decision = self.select_query_tier(&req, &mut planned, TierLoad::unbounded());
+            if let Some(d) = decision {
+                self.config.exec.tier = d.tier;
+            }
+            let selected_at = self.clock.now();
+            let mut result = self.execute(planned, req.limit)?;
+            if let Some(d) = decision {
+                if d.reason != TierReason::Default && self.config.exec.collect_trace {
+                    result.trace.insert(
+                        0,
+                        TraceEntry {
+                            at: selected_at,
+                            event: TraceEvent::TierSelected {
+                                tier: d.tier,
+                                reason: d.reason,
+                            },
+                        },
+                    );
+                }
+            }
+            Ok(result)
         })();
         self.config = saved;
         result
+    }
+
+    /// Runs the deterministic tier selector for this request, when
+    /// engaged — by [`MediatorConfig::adaptive_tiers`], an explicit
+    /// `QueryRequest::tier`, or a budget. Returns `None` on the default
+    /// path, which therefore stays bit-identical to the paper-exact
+    /// behavior. A `CacheOnly` decision also re-points `planned.chosen`
+    /// at the cheapest plan whose every call is CIM-routed, when one
+    /// exists: a Direct-routed call can never be cache-served.
+    fn select_query_tier(
+        &self,
+        req: &QueryRequest,
+        planned: &mut Planned,
+        load: TierLoad,
+    ) -> Option<TierDecision> {
+        let engaged =
+            self.config.adaptive_tiers || req.tier.is_some() || self.config.exec.budget.is_some();
+        if !engaged {
+            return None;
+        }
+        let plan_sites = self.plan_sites(planned.plan());
+        let open = self.breakers.lock().open_sites(self.clock.now());
+        let decision = select_tier(&TierInputs {
+            requested: req.tier,
+            budget: self.config.exec.budget,
+            estimate_ms: planned.estimate().t_all_ms.unwrap_or(0.0),
+            plan_site_breaker_open: open.iter().any(|s| plan_sites.contains(s.as_ref())),
+            load,
+        });
+        if decision.tier == PlanTier::CacheOnly {
+            let servable = cache_servable_plans(&planned.plans);
+            if !servable.is_empty() && !servable.contains(&planned.chosen) {
+                planned.chosen = servable
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        let ta = planned.estimates[a].t_all_ms.unwrap_or(f64::INFINITY);
+                        let tb = planned.estimates[b].t_all_ms.unwrap_or(f64::INFINITY);
+                        ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("servable is non-empty");
+            }
+        }
+        Some(decision)
     }
 
     /// Splits this mediator into a shared-state concurrent server: the
@@ -759,7 +862,9 @@ mod tests {
             QueryRequest::new("?- item(A, B).")
                 .deadline(SimDuration::from_secs(3600))
                 .trace(true)
-                .parallelism(4),
+                .parallelism(4)
+                .budget(SimDuration::from_secs(1800))
+                .tier(PlanTier::Full),
         )
         .unwrap();
         assert_eq!(m.config().exec.deadline, None);
@@ -767,6 +872,59 @@ mod tests {
         assert_eq!(m.config().exec.max_parallel_calls, 1);
         assert_eq!(m.config().cost.max_parallel_calls, 1);
         assert!(!m.config().rewrite.favor_parallel);
+        assert_eq!(m.config().exec.budget, None);
+        assert_eq!(m.config().exec.tier, PlanTier::Full);
+    }
+
+    #[test]
+    fn explicit_cache_only_tier_serves_warm_queries_without_the_wire() {
+        let mut m = mediator();
+        // Cold + cache-only: nothing to serve, flagged Downgraded.
+        let cold = m
+            .query(QueryRequest::new("?- item('p_1', B).").tier(PlanTier::CacheOnly))
+            .unwrap();
+        assert!(cold.rows.is_empty());
+        assert!(cold.incomplete);
+        assert_eq!(cold.stats.actual_calls, 0);
+        // Warm the cache at the default tier, then cache-only matches it.
+        let full = m.query("?- item('p_1', B).").unwrap();
+        let warm = m
+            .query(
+                QueryRequest::new("?- item('p_1', B).")
+                    .tier(PlanTier::CacheOnly)
+                    .trace(true),
+            )
+            .unwrap();
+        assert_eq!(warm.rows, full.rows);
+        assert_eq!(warm.stats.actual_calls, 0);
+        assert!(!warm.incomplete);
+        // The selection is visible in the trace with its reason code.
+        assert!(warm.trace.iter().any(|e| matches!(
+            e.event,
+            TraceEvent::TierSelected {
+                tier: PlanTier::CacheOnly,
+                reason: TierReason::ExplicitOverride,
+            }
+        )));
+    }
+
+    #[test]
+    fn adaptive_tiers_stay_full_when_nothing_is_wrong() {
+        let mut m = mediator();
+        m.config_mut().adaptive_tiers = true;
+        let adaptive = m
+            .query(QueryRequest::new("?- item(A, B).").trace(true))
+            .unwrap();
+        let mut plain = mediator();
+        let reference = plain.query("?- item(A, B).").unwrap();
+        // Healthy sites, no budget, no load: the selector's default rule
+        // picks Full and the answers match the paper-exact run.
+        assert_eq!(adaptive.rows, reference.rows);
+        assert!(!adaptive
+            .trace
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::TierSelected { .. })));
+        assert_eq!(adaptive.stats.tier_skipped_calls, 0);
     }
 
     #[test]

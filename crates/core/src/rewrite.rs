@@ -626,6 +626,27 @@ pub fn bind_query(query: &Query, bindings: &Subst) -> Query {
     )
 }
 
+/// Tier-restricted planning support: the indices of the plans whose
+/// every domain call is CIM-routed. Only those plans can possibly be
+/// served end-to-end by the `CacheOnly` tier — a Direct-routed call
+/// bypasses the cache entirely, so a plan containing one is guaranteed
+/// to come back with a `Downgraded` gap. Returns an empty list when no
+/// plan qualifies; the caller keeps the optimizer's choice and lets the
+/// executor fail soft per call.
+pub fn cache_servable_plans(plans: &[Plan]) -> Vec<usize> {
+    plans
+        .iter()
+        .enumerate()
+        .filter(|(_, plan)| {
+            plan.steps.iter().all(|step| match step {
+                PlanStep::Call { route, .. } => *route == Route::Cim,
+                _ => true,
+            })
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,11 @@ use crate::mediator::{
     check_mixed_definitions, project, MediatorConfig, Planned, QueryRequest, QueryResult,
 };
 use crate::plan::{Plan, PlanStep};
-use crate::rewrite::{bind_query, enumerate_plans_with_pushdowns, PushdownRule};
+use crate::rewrite::{
+    bind_query, cache_servable_plans, enumerate_plans_with_pushdowns, PushdownRule,
+};
+use crate::tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};
+use crate::trace::{TraceEntry, TraceEvent};
 use hermes_cim::{CimPolicy, ShardedCim};
 use hermes_common::sync::Mutex;
 use hermes_common::{HermesError, Result, SimClock, SimDuration, SimInstant};
@@ -42,7 +46,7 @@ use hermes_dcsm::ShardedDcsm;
 use hermes_lang::{parse_query, Program, Query};
 use hermes_net::Network;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The immutable planning inputs, fixed at construction and shared
@@ -75,6 +79,169 @@ pub struct ServerStats {
     pub cim_lock_contention: u64,
     /// Blocking DCSM shard-lock acquisitions.
     pub dcsm_lock_contention: u64,
+    /// Queries the admission gate let through (everything not shed, so
+    /// `admitted + shed == queries`).
+    pub admitted: u64,
+    /// Queries refused outright with [`HermesError::Shed`].
+    pub shed: u64,
+    /// Admitted queries that served degraded: started below the `Full`
+    /// tier, or downgraded mid-execution under budget pressure.
+    pub downgraded: u64,
+}
+
+/// Admission-gate limits. The default is unbounded on every axis — the
+/// gate admits everything and the server behaves exactly as before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GateConfig {
+    /// Total concurrently admitted queries; `usize::MAX` = unbounded.
+    pub capacity: usize,
+    /// Concurrency budget for queries starting at `CacheOnly`.
+    pub cache_only_slots: usize,
+    /// Concurrency budget for queries starting at `CachedPlusCheapRemote`.
+    pub cached_cheap_slots: usize,
+    /// Concurrency budget for queries starting at `Full`.
+    pub full_slots: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            capacity: usize::MAX,
+            cache_only_slots: usize::MAX,
+            cached_cheap_slots: usize::MAX,
+            full_slots: usize::MAX,
+        }
+    }
+}
+
+impl GateConfig {
+    /// A gate bounded only in total: `capacity` concurrent queries, no
+    /// per-tier budgets.
+    pub fn bounded(capacity: usize) -> Self {
+        GateConfig {
+            capacity,
+            ..GateConfig::default()
+        }
+    }
+}
+
+/// The bounded admission gate: lock-free counters over a [`GateConfig`].
+///
+/// Total admission is checked at the front door (before any parsing or
+/// planning — a shed query costs nothing and returns immediately);
+/// per-tier budgets are checked once the tier selector has decided where
+/// the query starts. A query whose tier budget is full falls to the next
+/// cheaper tier with room (a gate-forced downgrade) and is shed only when
+/// every tier down to `CacheOnly` is saturated.
+#[derive(Debug)]
+struct AdmissionGate {
+    capacity: AtomicUsize,
+    /// Indexed by tier: 0 = CacheOnly, 1 = CachedPlusCheapRemote, 2 = Full.
+    tier_slots: [AtomicUsize; 3],
+    in_flight: AtomicUsize,
+    tier_in_flight: [AtomicUsize; 3],
+}
+
+fn tier_index(tier: PlanTier) -> usize {
+    match tier {
+        PlanTier::CacheOnly => 0,
+        PlanTier::CachedPlusCheapRemote => 1,
+        PlanTier::Full => 2,
+    }
+}
+
+impl AdmissionGate {
+    fn unbounded() -> Self {
+        AdmissionGate {
+            capacity: AtomicUsize::new(usize::MAX),
+            tier_slots: [
+                AtomicUsize::new(usize::MAX),
+                AtomicUsize::new(usize::MAX),
+                AtomicUsize::new(usize::MAX),
+            ],
+            in_flight: AtomicUsize::new(0),
+            tier_in_flight: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+        }
+    }
+
+    fn set(&self, config: GateConfig) {
+        self.capacity.store(config.capacity, Ordering::Relaxed);
+        self.tier_slots[0].store(config.cache_only_slots, Ordering::Relaxed);
+        self.tier_slots[1].store(config.cached_cheap_slots, Ordering::Relaxed);
+        self.tier_slots[2].store(config.full_slots, Ordering::Relaxed);
+    }
+
+    /// True when any axis is finite — only then does the gate engage the
+    /// tier selector on the default path.
+    fn is_bounded(&self) -> bool {
+        self.capacity.load(Ordering::Relaxed) != usize::MAX
+            || self
+                .tier_slots
+                .iter()
+                .any(|s| s.load(Ordering::Relaxed) != usize::MAX)
+    }
+
+    /// The load the tier selector sees.
+    fn load(&self) -> TierLoad {
+        TierLoad {
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            capacity: self.capacity.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Front-door admission. `None` means shed (`gate-full`).
+    fn admit(&self) -> Option<GatePermit<'_>> {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= capacity {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(GatePermit { gate: self })
+    }
+
+    /// Claims a slot at `tier`, falling to cheaper tiers while the
+    /// requested one is saturated. `None` means every tier is full.
+    fn acquire_tier(&self, tier: PlanTier) -> Option<(PlanTier, TierPermit<'_>)> {
+        let mut t = tier;
+        loop {
+            let idx = tier_index(t);
+            let slots = self.tier_slots[idx].load(Ordering::Relaxed);
+            let prev = self.tier_in_flight[idx].fetch_add(1, Ordering::AcqRel);
+            if prev < slots {
+                return Some((t, TierPermit { gate: self, idx }));
+            }
+            self.tier_in_flight[idx].fetch_sub(1, Ordering::AcqRel);
+            t = t.downgraded()?;
+        }
+    }
+}
+
+/// RAII total-capacity slot.
+struct GatePermit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RAII per-tier slot.
+struct TierPermit<'g> {
+    gate: &'g AdmissionGate,
+    idx: usize,
+}
+
+impl Drop for TierPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.tier_in_flight[self.idx].fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A mediator that serves many clients at once: `query` takes `&self`.
@@ -102,6 +269,10 @@ pub struct ConcurrentMediator {
     /// microseconds since the epoch. Each query's clock starts here.
     epoch_us: AtomicU64,
     queries: AtomicU64,
+    gate: AdmissionGate,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    downgraded: AtomicU64,
 }
 
 impl ConcurrentMediator {
@@ -131,7 +302,19 @@ impl ConcurrentMediator {
             flight: Arc::new(InFlightRegistry::new()),
             epoch_us: AtomicU64::new(epoch.duration_since(SimInstant::EPOCH).as_micros()),
             queries: AtomicU64::new(0),
+            gate: AdmissionGate::unbounded(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            downgraded: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the admission gate. The default gate is unbounded (nothing
+    /// is shed, no tier budgets); a bounded gate additionally engages the
+    /// tier selector on every query so overload degrades service instead
+    /// of queueing it.
+    pub fn set_gate(&self, config: GateConfig) {
+        self.gate.set(config);
     }
 
     /// Runs a query. Accepts plain source text or a [`QueryRequest`],
@@ -141,6 +324,26 @@ impl ConcurrentMediator {
     /// [`Mediator::query`]: crate::mediator::Mediator::query
     pub fn query(&self, req: impl Into<QueryRequest>) -> Result<QueryResult> {
         let req = req.into();
+        let result = self.serve(&req);
+        if matches!(&result, Err(HermesError::Shed { .. })) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// The admission-gated serving path behind [`query`](Self::query).
+    ///
+    /// Order matters: total admission is checked before any parsing or
+    /// planning, so a shed query costs nothing and returns immediately;
+    /// tier selection runs after planning (it needs the cost estimate);
+    /// the per-tier slot is claimed last and held across execution.
+    fn serve(&self, req: &QueryRequest) -> Result<QueryResult> {
+        let _permit = self.gate.admit().ok_or_else(|| HermesError::Shed {
+            reason: "gate-full".into(),
+        })?;
         let mut config = self.core.config;
         if let Some(d) = req.deadline {
             config.exec.deadline = Some(d);
@@ -153,17 +356,105 @@ impl ConcurrentMediator {
             config.cost.max_parallel_calls = k;
             config.rewrite.favor_parallel = k > 1;
         }
-        let result = (|| {
-            let query = parse_query(&req.src)?;
-            let query = match &req.bindings {
-                Some(params) => bind_query(&query, params),
-                None => query,
-            };
-            let planned = self.plan_query(&query, &config)?;
-            self.execute(planned, req.limit, &config)
-        })();
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        result
+        if let Some(b) = req.budget {
+            config.exec.budget = Some(b);
+        }
+        let query = parse_query(&req.src)?;
+        let query = match &req.bindings {
+            Some(params) => bind_query(&query, params),
+            None => query,
+        };
+        let mut planned = self.plan_query(&query, &config)?;
+        let decision = self.select_query_tier(req, &mut planned, &config);
+        let tier_permit = match decision {
+            Some(d) => {
+                let (granted, permit) =
+                    self.gate
+                        .acquire_tier(d.tier)
+                        .ok_or_else(|| HermesError::Shed {
+                            reason: "tier-budget-full".into(),
+                        })?;
+                config.exec.tier = granted;
+                Some((
+                    granted,
+                    // A gate-forced fall to a cheaper tier is a load
+                    // decision, whatever the selector's original reason.
+                    if granted < d.tier {
+                        TierReason::HighLoad
+                    } else {
+                        d.reason
+                    },
+                    permit,
+                ))
+            }
+            None => None,
+        };
+        let selected_at = self.now();
+        let mut result = self.execute(planned, req.limit, &config)?;
+        match tier_permit {
+            Some((tier, reason, _permit)) => {
+                if reason != TierReason::Default && config.exec.collect_trace {
+                    result.trace.insert(
+                        0,
+                        TraceEntry {
+                            at: selected_at,
+                            event: TraceEvent::TierSelected { tier, reason },
+                        },
+                    );
+                }
+                if tier < PlanTier::Full || result.stats.tier_downgrades > 0 {
+                    self.downgraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                if result.stats.tier_downgrades > 0 {
+                    self.downgraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Mirrors the serial mediator's tier selection, with the gate's real
+    /// load as the load signal. Engaged only when tiering is asked for
+    /// (adaptive config, per-request tier or budget) or the gate is
+    /// bounded — the default path never consults the selector.
+    fn select_query_tier(
+        &self,
+        req: &QueryRequest,
+        planned: &mut Planned,
+        config: &MediatorConfig,
+    ) -> Option<TierDecision> {
+        let engaged = config.adaptive_tiers
+            || req.tier.is_some()
+            || config.exec.budget.is_some()
+            || self.gate.is_bounded();
+        if !engaged {
+            return None;
+        }
+        let plan_sites = self.plan_sites(planned.plan());
+        let open = self.breakers.lock().open_sites(self.now());
+        let decision = select_tier(&TierInputs {
+            requested: req.tier,
+            budget: config.exec.budget,
+            estimate_ms: planned.estimate().t_all_ms.unwrap_or(0.0),
+            plan_site_breaker_open: open.iter().any(|s| plan_sites.contains(s.as_ref())),
+            load: self.gate.load(),
+        });
+        if decision.tier == PlanTier::CacheOnly {
+            let servable = cache_servable_plans(&planned.plans);
+            if !servable.is_empty() && !servable.contains(&planned.chosen) {
+                planned.chosen = servable
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        let ta = planned.estimates[a].t_all_ms.unwrap_or(f64::INFINITY);
+                        let tb = planned.estimates[b].t_all_ms.unwrap_or(f64::INFINITY);
+                        ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("servable is non-empty");
+            }
+        }
+        Some(decision)
     }
 
     /// Plans a query against the immutable core and the current shared
@@ -332,6 +623,9 @@ impl ConcurrentMediator {
             source_calls: self.network.source_calls(),
             cim_lock_contention: self.cim.lock_contention(),
             dcsm_lock_contention: self.dcsm.lock_contention(),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            downgraded: self.downgraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -418,5 +712,78 @@ mod tests {
         let t0 = server.now();
         server.query("?- item('p_1', B).").unwrap();
         assert!(server.now() > t0);
+    }
+
+    #[test]
+    fn default_gate_never_sheds_and_counts_everyone_admitted() {
+        let server = mediator().to_concurrent(2);
+        for _ in 0..5 {
+            server.query("?- item('p_1', B).").unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.downgraded, 0);
+    }
+
+    #[test]
+    fn zero_capacity_gate_sheds_with_the_gate_full_reason() {
+        let server = mediator().to_concurrent(2);
+        server.set_gate(GateConfig::bounded(0));
+        let err = server.query("?- item('p_1', B).").unwrap_err();
+        match err {
+            HermesError::Shed { reason } => assert_eq!(reason, "gate-full"),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn bounded_gate_serves_the_same_answers_as_unbounded() {
+        let unbounded = mediator().to_concurrent(2);
+        let expected = sorted(&unbounded.query("?- item(A, B).").unwrap().rows);
+        let server = mediator().to_concurrent(2);
+        server.set_gate(GateConfig::bounded(8));
+        let got = server.query("?- item(A, B).").unwrap();
+        assert_eq!(sorted(&got.rows), expected);
+        let stats = server.stats();
+        assert_eq!(stats.admitted + stats.shed, stats.queries);
+    }
+
+    #[test]
+    fn explicit_cache_only_requests_count_as_downgraded() {
+        let server = mediator().to_concurrent(2);
+        // Warm the cache at full service first.
+        server.query("?- item('p_1', B).").unwrap();
+        let req = QueryRequest::new("?- item('p_1', B).").tier(PlanTier::CacheOnly);
+        let got = server.query(req).unwrap();
+        assert_eq!(got.stats.actual_calls, 0, "cache-only never hits the wire");
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.downgraded, 1);
+    }
+
+    #[test]
+    fn saturated_tier_budget_falls_down_rather_than_shedding() {
+        let server = mediator().to_concurrent(2);
+        // No Full slots at all: every query is gate-forced below Full.
+        server.set_gate(GateConfig {
+            capacity: 8,
+            cache_only_slots: usize::MAX,
+            cached_cheap_slots: usize::MAX,
+            full_slots: 0,
+        });
+        let got = server.query("?- item('p_1', B).").unwrap();
+        assert!(!got.rows.is_empty() || got.incomplete);
+        let stats = server.stats();
+        assert_eq!(stats.shed, 0);
+        assert_eq!(
+            stats.downgraded, 1,
+            "gate-forced tier fall counts as degraded"
+        );
     }
 }

@@ -137,6 +137,30 @@ pub enum TraceEvent {
         /// Answers shared from the leader's outcome.
         answers: usize,
     },
+    /// The tier selector picked a non-default plan tier for this query.
+    TierSelected {
+        /// The selected tier.
+        tier: crate::tier::PlanTier,
+        /// Which selector rule fired.
+        reason: crate::tier::TierReason,
+    },
+    /// Budget pressure stepped the tier down mid-execution (one-way).
+    TierDowngraded {
+        /// The tier the query was running at.
+        from: crate::tier::PlanTier,
+        /// The tier it dropped to.
+        to: crate::tier::PlanTier,
+        /// Why the downgrade fired.
+        reason: crate::tier::TierReason,
+    },
+    /// A remote call was skipped because the active tier forbids it
+    /// (cache-only, or estimated over the cheap-call threshold).
+    TierSkipped {
+        /// The call that never went out.
+        call: GroundCall,
+        /// The tier that forbade it.
+        tier: crate::tier::PlanTier,
+    },
 }
 
 /// A timestamped event.
@@ -221,6 +245,15 @@ impl fmt::Display for TraceEntry {
             }
             TraceEvent::Coalesced { call, answers } => {
                 write!(f, "JOIN {call} -> {answers} answers (coalesced in-flight)")
+            }
+            TraceEvent::TierSelected { tier, reason } => {
+                write!(f, "TIER serving at `{tier}` ({reason})")
+            }
+            TraceEvent::TierDowngraded { from, to, reason } => {
+                write!(f, "DGRD tier `{from}` -> `{to}` ({reason})")
+            }
+            TraceEvent::TierSkipped { call, tier } => {
+                write!(f, "TSKP {call} skipped (tier `{tier}`)")
             }
         }
     }

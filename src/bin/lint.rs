@@ -6,12 +6,13 @@
 //! hermes-lint --coverage program.hms       # include HA040 advisories
 //! ```
 //!
-//! Each file is parsed and run through the five analyzer passes (see
+//! Each file is parsed and run through the analyzer passes (see
 //! `hermes-analysis`). `%!` directives in the file opt into the
 //! context-dependent passes: `%! query p(b, f)` declares an exported
 //! adornment (enables reachability and feasibility checks), `%! domain
 //! d: f/2` declares signatures (enables signature checks), `%! invariant
-//! ...` lints an invariant the deployment will install.
+//! ...` lints an invariant the deployment will install, and `%! cache
+//! ...` declares CIM routing (enables the HA060 cacheability check).
 //!
 //! Exit status: `0` all files clean, `1` findings (errors, or any finding
 //! under `--strict`), `2` usage or I/O trouble.
@@ -104,7 +105,13 @@ fn lint_file(path: &Path, coverage: bool) -> Result<(usize, usize), String> {
     if coverage {
         analyzer = analyzer.with_dcsm(&empty_dcsm);
     }
-    let report = analyzer.analyze();
+    let report = match &directives.cache_routing {
+        Some(routing) => {
+            let routes = |domain: &str, function: &str| routing.routes(domain, function);
+            analyzer.with_cache_routing(&routes).analyze()
+        }
+        None => analyzer.analyze(),
+    };
 
     for d in &report.diagnostics {
         println!("{}: {d}", path.display());

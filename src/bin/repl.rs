@@ -22,6 +22,8 @@
 //! :parallel <k>          overlap up to k independent calls (1 = serial)
 //! :retry <n> [ms]        retries per call (0 = none) + backoff base
 //! :deadline <ms>|off     per-query virtual-clock deadline
+//! :budget <ms>|off       per-query budget (fail-soft tier downgrade)
+//! :tier auto|cache-only|cached-cheap|full   pin or release the plan tier
 //! :breaker <n> <ms>|off|status   circuit-breaker threshold/cooldown
 //! :serve <threads> <queries>     replay the last query concurrently
 //! :stats                 cache/statistics counters
@@ -133,6 +135,22 @@ struct ReplState {
     last_query: Option<String>,
     /// Counters from the most recent `:serve` run, surfaced by `:stats`.
     serve: Option<hermes::ServerStats>,
+    /// Pinned plan tier (`:tier`); `None` = auto (selector decides).
+    tier: Option<hermes::PlanTier>,
+    /// Per-query budget (`:budget`); downgrades tiers, never aborts.
+    budget: Option<hermes::SimDuration>,
+}
+
+/// Applies the session's `:tier` / `:budget` settings to a request.
+fn with_tier_options(state: &ReplState, req: hermes::QueryRequest) -> hermes::QueryRequest {
+    let req = match state.tier {
+        Some(t) => req.tier(t),
+        None => req,
+    };
+    match state.budget {
+        Some(b) => req.budget(b),
+        None => req,
+    }
 }
 
 fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> hermes::Result<Control> {
@@ -152,6 +170,8 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
              :trace on|off         show execution traces\n  \
              :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
              :deadline <ms>|off    per-query deadline on the virtual clock\n  \
+             :budget <ms>|off      per-query budget (downgrades tiers, never aborts)\n  \
+             :tier <t>             auto|cache-only|cached-cheap|full\n  \
              :breaker <n> <ms>     trip threshold + cooldown (off|status)\n  \
              :serve <t> <q>        replay the last query q times from t threads\n  \
              :stats                counters\n  \
@@ -196,6 +216,54 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
             "  coalescing (last :serve): {coalesced} calls coalesced, \
              {saved} round trips saved"
         );
+        let (admitted, shed, downgraded) = state
+            .serve
+            .map(|s| (s.admitted, s.shed, s.downgraded))
+            .unwrap_or((0, 0, 0));
+        println!(
+            "  admission (last :serve): {admitted} admitted, {shed} shed, \
+             {downgraded} downgraded"
+        );
+        println!(
+            "  tier: {}, budget: {}",
+            state.tier.map(|t| t.as_str()).unwrap_or("auto"),
+            state
+                .budget
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "off".into()),
+        );
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":tier") {
+        match rest.trim() {
+            "auto" => {
+                state.tier = None;
+                println!("  tier auto (the selector decides per query)");
+            }
+            name => match hermes::PlanTier::parse(name) {
+                Some(t) => {
+                    state.tier = Some(t);
+                    println!("  tier pinned to `{t}`");
+                }
+                None => println!("usage: :tier auto|cache-only|cached-cheap|full"),
+            },
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":budget") {
+        match rest.trim() {
+            "off" => {
+                state.budget = None;
+                println!("  budget off");
+            }
+            ms => match ms.parse::<f64>() {
+                Ok(ms) if ms > 0.0 => {
+                    state.budget = Some(hermes::SimDuration::from_millis_f64(ms));
+                    println!("  budget {ms:.0}ms (tier steps down under pressure; never aborts)");
+                }
+                _ => println!("usage: :budget <ms>|off"),
+            },
+        }
         return Ok(Control::Continue);
     }
     if let Some(rest) = line.strip_prefix(":serve") {
@@ -227,9 +295,10 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
             for t in 0..threads {
                 let (server, query) = (&server, &query);
                 let share = queries / threads + usize::from(t < queries % threads);
+                let req = with_tier_options(state, hermes::QueryRequest::new(query.as_str()));
                 s.spawn(move || {
                     for _ in 0..share {
-                        if let Err(e) = server.query(query.as_str()) {
+                        if let Err(e) = server.query(req.clone()) {
                             println!("error: {e}");
                             break;
                         }
@@ -419,13 +488,15 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
         let k: usize = k_text
             .parse()
             .map_err(|e| hermes::HermesError::Eval(format!("bad count `{k_text}`: {e}")))?;
-        let result = mediator.query(hermes::QueryRequest::new(query.trim()).limit(k))?;
+        let req = with_tier_options(state, hermes::QueryRequest::new(query.trim()).limit(k));
+        let result = mediator.query(req)?;
         state.last_query = Some(query.trim().to_string());
         print_result(&result);
         return Ok(Control::Continue);
     }
     // Anything else is a query.
-    let result = mediator.query(line)?;
+    let req = with_tier_options(state, hermes::QueryRequest::new(line));
+    let result = mediator.query(req)?;
     state.last_query = Some(line.to_string());
     if !result.trace.is_empty() {
         print!("{}", hermes::core::trace::render(&result.trace));

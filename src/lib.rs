@@ -56,8 +56,9 @@ pub use hermes_common::{
 };
 pub use hermes_core::{
     BreakerBank, BreakerConfig, BreakerState, ConcurrentMediator, ExecConfig, ExecConfigBuilder,
-    ExecStats, InFlightRegistry, IncompleteReason, InteractiveQuery, Mediator, MediatorConfig,
-    Plan, QueryRequest, QueryResult, ServerStats, SubgoalProvenance,
+    ExecStats, GateConfig, InFlightRegistry, IncompleteReason, InteractiveQuery, Mediator,
+    MediatorConfig, Plan, PlanTier, QueryRequest, QueryResult, ServerStats, SubgoalProvenance,
+    TierReason,
 };
 pub use hermes_dcsm::{Dcsm, DcsmConfig, ShardedDcsm};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};

@@ -89,6 +89,18 @@ fn invariant_fixture_trips_invariant_diagnostics() {
 }
 
 #[test]
+fn tier_fixture_trips_the_cache_starvation_diagnostic() {
+    let report = analyze_fixture("bad_tier.hms");
+    assert!(
+        report.has_code(DiagCode::CacheStarved),
+        "{}",
+        report.render()
+    );
+    // A warning, not an error: the program still runs at the Full tier.
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
 fn coverage_pass_flags_unprofiled_call_patterns() {
     // Pass 5 needs a DCSM; an empty one can only cost from the prior.
     let src = std::fs::read_to_string(repo_path("examples/programs/logistics.hms")).unwrap();
@@ -156,7 +168,9 @@ fn lint_binary_exit_status_reflects_findings() {
         .expect("hermes-lint runs");
     assert_eq!(dirty.status.code(), Some(1));
     let out = String::from_utf8_lossy(&dirty.stdout);
-    for code in ["HA001", "HA002", "HA005", "HA010", "HA020", "HA030"] {
+    for code in [
+        "HA001", "HA002", "HA005", "HA010", "HA020", "HA030", "HA060",
+    ] {
         assert!(out.contains(code), "missing {code} in:\n{out}");
     }
 

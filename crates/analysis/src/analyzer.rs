@@ -1,7 +1,7 @@
 //! The analyzer driver: inputs, builder, and pass orchestration.
 
 use crate::diagnostic::AnalysisReport;
-use crate::{adorn, cacheable, coverage, graph, invariants, sigs};
+use crate::{adorn, cacheable, coverage, graph, invariants, materialize, sigs};
 use hermes_cim::InvariantStore;
 use hermes_common::{HermesError, Result};
 use hermes_dcsm::Dcsm;
@@ -199,6 +199,8 @@ pub struct Analyzer<'a> {
     dcsm: Option<&'a Dcsm>,
     query_forms: Vec<QueryForm>,
     cache_routing: Option<CacheRoutes<'a>>,
+    volatility: Option<CacheRoutes<'a>>,
+    materialize: bool,
 }
 
 impl<'a> Analyzer<'a> {
@@ -211,6 +213,8 @@ impl<'a> Analyzer<'a> {
             dcsm: None,
             query_forms: Vec::new(),
             cache_routing: None,
+            volatility: None,
+            materialize: false,
         }
     }
 
@@ -262,7 +266,24 @@ impl<'a> Analyzer<'a> {
         self
     }
 
-    /// Runs every enabled pass and collects the findings.
+    /// Declares volatile sources: `volatile(domain, function)` answers
+    /// whether a source's answers change without notice (sharpens the
+    /// `HA071` materialization check).
+    pub fn with_volatility(mut self, volatile: CacheRoutes<'a>) -> Self {
+        self.volatility = Some(volatile);
+        self
+    }
+
+    /// Enables the materialization-safety pass (pass 7, `HA070`–`HA074`).
+    /// Opt-in: the pass emits an inventory of notes, which would be noise
+    /// in a plain correctness lint.
+    pub fn with_materialization(mut self) -> Self {
+        self.materialize = true;
+        self
+    }
+
+    /// Runs every enabled pass and collects the findings, sorted by
+    /// `(code, locus)` with duplicates collapsed.
     pub fn analyze(&self) -> AnalysisReport {
         let mut out = Vec::new();
         graph::run(self.program, &self.query_forms, &mut out);
@@ -277,7 +298,18 @@ impl<'a> Analyzer<'a> {
         if let Some(routes) = self.cache_routing {
             cacheable::run(self.program, &self.invariants, routes, &mut out);
         }
-        AnalysisReport { diagnostics: out }
+        if self.materialize {
+            let inputs = materialize::Inputs {
+                query_forms: &self.query_forms,
+                cache_routes: self.cache_routing,
+                volatile: self.volatility,
+                dcsm: self.dcsm,
+            };
+            materialize::run(self.program, &inputs, &mut out);
+        }
+        let mut report = AnalysisReport { diagnostics: out };
+        report.normalize();
+        report
     }
 }
 

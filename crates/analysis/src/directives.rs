@@ -12,21 +12,31 @@
 //! %! cache terraindb                   the domain's calls route through CIM
 //! %! cache terraindb:findrte           one function routes through CIM
 //! %! cache never                       nothing routes through CIM
+//! %! volatile feed                     the domain's answers change underfoot
+//! %! volatile feed:price               one function is volatile
 //! ```
 //!
 //! Declaring at least one `domain` (or `estimator`) directive opts the file
 //! into signature checking; files without any stay exempt so plain programs
 //! lint without a registry. Likewise, a `cache` directive opts the file
-//! into cacheability checking (`HA060`).
+//! into cacheability checking (`HA060`), and `volatile` feeds the
+//! materialization pass (`HA071`).
+//!
+//! Directive problems never abort the lint: an unknown directive name
+//! (`HA081`), malformed arguments (`HA080`), or a verbatim duplicate
+//! (`HA082`) each become a [`Diagnostic`] in [`Directives::diagnostics`]
+//! and the offending line is skipped. A silently ignored directive would
+//! silently disable the very checks it was meant to enable — hence the
+//! error severity on the first two.
 
 use crate::analyzer::{QueryForm, SignatureTable};
-use hermes_common::{HermesError, Result};
+use crate::diagnostic::{DiagCode, Diagnostic, Locus};
 use hermes_lang::{parse_invariant, Invariant};
 use std::collections::BTreeSet;
 
-/// Declared CIM routing, built from `%! cache` directives. `%! cache
-/// never` declares the empty routing (nothing cached); every other form
-/// adds a domain or a `domain:function` route.
+/// Declared CIM routing, built from `%! cache` directives (`%! cache
+/// never` declares the empty routing), and doubling as the route-set
+/// behind `%! volatile`.
 #[derive(Clone, Debug, Default)]
 pub struct CacheRouting {
     domains: BTreeSet<String>,
@@ -66,77 +76,158 @@ pub struct Directives {
     /// Declared CIM routing; `None` when no `cache` directive appeared
     /// (cacheability checking stays off).
     pub cache_routing: Option<CacheRouting>,
+    /// Declared volatile sources; `None` when no `volatile` directive
+    /// appeared.
+    pub volatility: Option<CacheRouting>,
+    /// Problems found while parsing the directives themselves
+    /// (`HA080`–`HA082`); merged into the analysis report.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
-/// Scans `src` for `%!` directives.
-pub fn parse_directives(src: &str) -> Result<Directives> {
+/// Scans `src` for `%!` directives. Directive-level problems are collected
+/// into [`Directives::diagnostics`], never returned as `Err`.
+pub fn parse_directives(src: &str) -> hermes_common::Result<Directives> {
     let mut out = Directives::default();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
     for (lineno, line) in src.lines().enumerate() {
         let Some(rest) = line.trim_start().strip_prefix("%!") else {
             continue;
         };
         let rest = rest.trim();
-        let bad = |msg: String| HermesError::Parse {
+        let locus = || Locus::Directive {
             line: lineno + 1,
-            col: 0,
-            msg: format!("directive: {msg}"),
+            text: rest.to_string(),
+        };
+        if !seen.insert(rest.to_string()) {
+            out.diagnostics.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateDirective,
+                    locus(),
+                    "directive repeats an earlier declaration verbatim",
+                )
+                .with_suggestion("drop one copy; declarations accumulate, nothing is shadowed"),
+            );
+            continue;
+        }
+        let mut malformed = |msg: String| {
+            out.diagnostics
+                .push(Diagnostic::new(DiagCode::MalformedDirective, locus(), msg));
         };
         if let Some(arg) = rest.strip_prefix("query ") {
-            out.query_forms.push(QueryForm::parse(arg)?);
+            match QueryForm::parse(arg) {
+                Ok(form) => out.query_forms.push(form),
+                Err(e) => malformed(e.to_string()),
+            }
         } else if let Some(arg) = rest.strip_prefix("domain ") {
-            let (name, funcs) = arg
-                .split_once(':')
-                .ok_or_else(|| bad("expected `domain name: f/2, g/1`".into()))?;
-            let table = out.signatures.get_or_insert_with(SignatureTable::new);
+            let Some((name, funcs)) = arg.split_once(':') else {
+                malformed("expected `domain name: f/2, g/1`".into());
+                continue;
+            };
             let name = name.trim();
+            let mut declared: Vec<(String, usize)> = Vec::new();
+            let mut ok = true;
             for f in funcs.split(',') {
                 let f = f.trim().trim_end_matches('.');
                 if f.is_empty() {
                     continue;
                 }
-                let (fname, arity) = f
-                    .split_once('/')
-                    .ok_or_else(|| bad(format!("function `{f}` must be `name/arity`")))?;
-                let arity: usize = arity
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad(format!("bad arity in `{f}`")))?;
-                table.declare(name, fname.trim(), arity);
+                let Some((fname, arity)) = f.split_once('/') else {
+                    malformed(format!("function `{f}` must be `name/arity`"));
+                    ok = false;
+                    break;
+                };
+                match arity.trim().parse::<usize>() {
+                    Ok(arity) => declared.push((fname.trim().to_string(), arity)),
+                    Err(_) => {
+                        malformed(format!("bad arity in `{f}`"));
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let table = out.signatures.get_or_insert_with(SignatureTable::new);
+                for (fname, arity) in declared {
+                    table.declare(name, fname, arity);
+                }
             }
         } else if let Some(arg) = rest.strip_prefix("estimator ") {
             out.signatures
                 .get_or_insert_with(SignatureTable::new)
                 .declare_estimator(arg.trim().trim_end_matches('.'));
         } else if let Some(arg) = rest.strip_prefix("invariant ") {
-            out.invariants.push(parse_invariant(arg.trim())?);
-        } else if let Some(arg) = rest.strip_prefix("cache ") {
-            let arg = arg.trim().trim_end_matches('.');
-            let routing = out.cache_routing.get_or_insert_with(CacheRouting::default);
-            if arg == "never" {
-                // The empty routing: opts into HA060 with nothing cached.
-            } else if let Some((domain, function)) = arg.split_once(':') {
-                let (domain, function) = (domain.trim(), function.trim());
-                if domain.is_empty() || function.is_empty() {
-                    return Err(bad(format!(
-                        "cache route `{arg}` must be `domain`, `domain:function`, or `never`"
-                    )));
-                }
-                routing.route_function(domain, function);
-            } else if arg.is_empty() {
-                return Err(bad(
-                    "expected `cache domain`, `cache domain:function`, or `cache never`".into(),
-                ));
-            } else {
-                routing.route_domain(arg);
+            match parse_invariant(arg.trim()) {
+                Ok(inv) => out.invariants.push(inv),
+                Err(e) => malformed(e.to_string()),
             }
+        } else if let Some(arg) = rest.strip_prefix("cache ") {
+            if let Err(msg) = route_directive(
+                arg,
+                "cache",
+                true,
+                out.cache_routing.get_or_insert_with(CacheRouting::default),
+            ) {
+                malformed(msg);
+            }
+        } else if let Some(arg) = rest.strip_prefix("volatile ") {
+            if let Err(msg) = route_directive(
+                arg,
+                "volatile",
+                false,
+                out.volatility.get_or_insert_with(CacheRouting::default),
+            ) {
+                malformed(msg);
+            }
+        } else if matches!(
+            rest,
+            "query" | "domain" | "estimator" | "invariant" | "cache" | "volatile"
+        ) {
+            malformed(format!("`{rest}` directive is missing its arguments"));
         } else {
-            return Err(bad(format!(
-                "unknown directive `{rest}`; expected `query`, `domain`, \
-                 `estimator`, `invariant`, or `cache`"
-            )));
+            out.diagnostics.push(
+                Diagnostic::new(
+                    DiagCode::UnknownDirective,
+                    locus(),
+                    format!(
+                        "unknown directive `{rest}`; expected `query`, `domain`, \
+                         `estimator`, `invariant`, `cache`, or `volatile`"
+                    ),
+                )
+                .with_suggestion("a typo here silently disables the checks it would enable"),
+            );
         }
     }
     Ok(out)
+}
+
+/// Parses the route-set argument shared by `cache` and `volatile`:
+/// `domain`, `domain:function`, or (for `cache` only) `never`.
+fn route_directive(
+    arg: &str,
+    kind: &str,
+    allow_never: bool,
+    routing: &mut CacheRouting,
+) -> Result<(), String> {
+    let arg = arg.trim().trim_end_matches('.');
+    let forms = if allow_never {
+        format!("`{kind} domain`, `{kind} domain:function`, or `{kind} never`")
+    } else {
+        format!("`{kind} domain` or `{kind} domain:function`")
+    };
+    if allow_never && arg == "never" {
+        // The empty routing: opts into the pass with nothing routed.
+    } else if let Some((domain, function)) = arg.split_once(':') {
+        let (domain, function) = (domain.trim(), function.trim());
+        if domain.is_empty() || function.is_empty() {
+            return Err(format!("{kind} route `{arg}` must be one of {forms}"));
+        }
+        routing.route_function(domain, function);
+    } else if arg.is_empty() {
+        return Err(format!("expected {forms}"));
+    } else {
+        routing.route_domain(arg);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -151,8 +242,10 @@ mod tests {
             %! domain terraindb: findrte/2, within/3\n\
             %! estimator terraindb\n\
             %! invariant X > 0 => d:f(X) = d:g(X).\n\
+            %! volatile feed:price\n\
             route(A, B) :- in(B, terraindb:findrte(A, 'x')).\n";
         let d = parse_directives(src).unwrap();
+        assert!(d.diagnostics.is_empty(), "{:?}", d.diagnostics);
         assert_eq!(d.query_forms.len(), 1);
         assert_eq!(d.query_forms[0].adornment(), "bf");
         let sigs = d.signatures.unwrap();
@@ -160,19 +253,66 @@ mod tests {
         assert_eq!(sigs.arity("terraindb", "within"), Some(3));
         assert!(sigs.has_native_estimator("terraindb"));
         assert_eq!(d.invariants.len(), 1);
+        let vol = d.volatility.unwrap();
+        assert!(vol.routes("feed", "price"));
+        assert!(!vol.routes("feed", "other"));
     }
 
     #[test]
     fn no_domain_directive_means_no_signature_table() {
         let d = parse_directives("%! query p(f)\np(A) :- in(A, d:f()).\n").unwrap();
         assert!(d.signatures.is_none());
+        assert!(d.volatility.is_none());
     }
 
     #[test]
-    fn unknown_directive_is_an_error() {
-        assert!(parse_directives("%! frobnicate yes\n").is_err());
-        assert!(parse_directives("%! domain nocolon\n").is_err());
-        assert!(parse_directives("%! domain d: f/x\n").is_err());
+    fn unknown_directive_is_a_diagnostic_not_a_failure() {
+        let d = parse_directives("%! frobnicate yes\n").unwrap();
+        assert_eq!(d.diagnostics.len(), 1);
+        assert_eq!(d.diagnostics[0].code, DiagCode::UnknownDirective);
+        match &d.diagnostics[0].locus {
+            Locus::Directive { line, text } => {
+                assert_eq!(*line, 1);
+                assert_eq!(text, "frobnicate yes");
+            }
+            other => panic!("wrong locus: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_domain_directives_are_diagnostics() {
+        let d = parse_directives("%! domain nocolon\n%! domain d: f/x\n").unwrap();
+        let codes: Vec<_> = d.diagnostics.iter().map(|x| x.code).collect();
+        assert_eq!(
+            codes,
+            vec![DiagCode::MalformedDirective, DiagCode::MalformedDirective]
+        );
+        // The half-parsed `domain d:` line must not leave partial signatures.
+        assert!(d.signatures.is_none(), "{:?}", d.signatures);
+    }
+
+    #[test]
+    fn malformed_query_and_invariant_are_diagnostics() {
+        let d = parse_directives("%! query route(b, x)\n%! invariant garbage\n").unwrap();
+        assert_eq!(d.diagnostics.len(), 2);
+        assert!(d
+            .diagnostics
+            .iter()
+            .all(|x| x.code == DiagCode::MalformedDirective));
+        assert!(d.query_forms.is_empty());
+        assert!(d.invariants.is_empty());
+    }
+
+    #[test]
+    fn duplicate_directive_is_warned_and_skipped() {
+        let d = parse_directives("%! query p(f)\n%! query p(f)\n%! query q(b)\n").unwrap();
+        assert_eq!(d.query_forms.len(), 2, "the duplicate is not re-added");
+        assert_eq!(d.diagnostics.len(), 1);
+        assert_eq!(d.diagnostics[0].code, DiagCode::DuplicateDirective);
+        assert_eq!(
+            d.diagnostics[0].severity,
+            crate::diagnostic::Severity::Warning
+        );
     }
 
     #[test]
@@ -196,11 +336,26 @@ mod tests {
     fn no_cache_directive_means_no_routing() {
         let d = parse_directives("p(A) :- in(A, d:f()).\n").unwrap();
         assert!(d.cache_routing.is_none());
+        assert!(d.diagnostics.is_empty());
     }
 
     #[test]
-    fn malformed_cache_directive_is_an_error() {
-        assert!(parse_directives("%! cache d:\n").is_err());
-        assert!(parse_directives("%! cache :f\n").is_err());
+    fn malformed_cache_directives_are_diagnostics() {
+        for src in ["%! cache d:\n", "%! cache :f\n", "%! cache \n"] {
+            let d = parse_directives(src).unwrap();
+            assert_eq!(d.diagnostics.len(), 1, "{src:?}");
+            assert_eq!(d.diagnostics[0].code, DiagCode::MalformedDirective);
+        }
+    }
+
+    #[test]
+    fn volatile_never_is_malformed() {
+        // `never` only makes sense for routing; a volatile set is additive.
+        let d = parse_directives("%! volatile never\n").unwrap();
+        assert!(d.diagnostics.is_empty());
+        // ...it reads as a domain named `never`, which is harmless but
+        // reported by nothing; the empty-arg form is the malformed one.
+        let d = parse_directives("%! volatile \n").unwrap();
+        assert_eq!(d.diagnostics.len(), 1);
     }
 }

@@ -1,0 +1,419 @@
+//! Canonical subplan fingerprints.
+//!
+//! A *subplan* is a rule body (or query conjunction) evaluated under an
+//! adornment: the set of variables bound before the body runs. Two
+//! subplans that differ only by variable names, by the order of subgoals
+//! that are independent of each other (§5's commutative reordering within
+//! a dataflow layer), or by the spelling of a symmetric comparison compute
+//! the same answer set — so a subplan result cache must give them the same
+//! key, and the materialization analyzer must recognize them as shared.
+//!
+//! This module normalizes a body to a canonical form and hashes it:
+//!
+//! 1. **Layering.** Atoms are grouped into dataflow layers by the same
+//!    groundability fixpoint the §3 validator uses: layer 0 holds every
+//!    atom runnable from the entry bindings, layer *k+1* everything newly
+//!    runnable once layer *k*'s bindings exist. Layer membership is a set
+//!    property, so any textual order of the same body yields the same
+//!    layers. Atoms that can never run land in a final "stuck" layer.
+//! 2. **Structural keys.** Each atom gets a name-blind rendering (variables
+//!    become `?b`/`?f` by entry-boundness), refined with a one-round
+//!    Weisfeiler–Leman signature of its variables (which other atoms
+//!    mention each variable, and where) so structurally identical atoms in
+//!    different dataflow contexts sort apart.
+//! 3. **Canonical naming.** Within each layer, atoms are placed greedily in
+//!    sorted key order; as each atom is placed, its still-unnamed variables
+//!    receive canonical names (`B0, B1, …` for bound-at-entry, `V0, V1, …`
+//!    for free) in argument order. Comparisons are direction-normalized
+//!    (`>` becomes `<` with swapped operands; `=`/`!=` operands sort).
+//! 4. **Hashing.** The canonical rendering is hashed with FNV-1a 64 — a
+//!    fixed, platform-independent function (the std hasher is seeded per
+//!    process and would not produce stable keys).
+//!
+//! Constants stay literal: `d:f('x')` and `d:f('y')` are *different*
+//! subplans — the right semantics for a result cache. Adornment is
+//! normalized only up to renaming: *which* positions are bound still
+//! distinguishes fingerprints, as §5 requires.
+
+use hermes_lang::{BodyAtom, PathTerm, Relop, Rule, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit: stable across platforms and processes, unlike
+/// `DefaultHasher`. Good enough for 64-bit cache keys; collisions are
+/// checked structurally by callers that keep the canonical form around.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A stable 64-bit subplan fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// The fixed-width hex form used in diagnostics and JSON output.
+    pub fn to_hex(self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+/// A fingerprint plus the evidence behind it: the canonical rendering (for
+/// collision checks and debugging) and the distinct domain calls the
+/// subplan makes (its invalidation scope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubplanKey {
+    /// The stable hash of `canonical`.
+    pub fingerprint: Fingerprint,
+    /// The canonical rendering: layers joined by ` | `, atoms within a
+    /// layer by ` & `, variables renamed to `B*`/`V*`.
+    pub canonical: String,
+    /// Sorted, distinct `(domain, function)` pairs the body calls — an
+    /// update to any of them dirties a materialized copy of this subplan.
+    pub calls: Vec<(Arc<str>, Arc<str>)>,
+}
+
+/// Fingerprints a body conjunction under `bound_at_entry` bindings.
+pub fn fingerprint_body(body: &[BodyAtom], bound_at_entry: &BTreeSet<Arc<str>>) -> SubplanKey {
+    let canonical = canonicalize(body, bound_at_entry);
+    let mut calls: Vec<(Arc<str>, Arc<str>)> = body
+        .iter()
+        .filter_map(|a| match a {
+            BodyAtom::In { call, .. } => Some((call.domain.clone(), call.function.clone())),
+            _ => None,
+        })
+        .collect();
+    calls.sort();
+    calls.dedup();
+    SubplanKey {
+        fingerprint: Fingerprint(fnv1a64(canonical.as_bytes())),
+        canonical,
+        calls,
+    }
+}
+
+/// Fingerprints a rule body under a head adornment: `bound[i]` says whether
+/// head position `i` is bound when the rule is invoked.
+pub fn fingerprint_rule(rule: &Rule, bound: &[bool]) -> SubplanKey {
+    let seed: BTreeSet<Arc<str>> = rule
+        .head
+        .args
+        .iter()
+        .zip(bound.iter())
+        .filter(|(_, b)| **b)
+        .filter_map(|(t, _)| t.as_var().cloned())
+        .collect();
+    fingerprint_body(&rule.body, &seed)
+}
+
+/// Assigns each atom a dataflow layer via the groundability fixpoint; the
+/// result is independent of the body's textual order.
+fn layers(body: &[BodyAtom], bound_at_entry: &BTreeSet<Arc<str>>) -> Vec<usize> {
+    let mut layer_of = vec![usize::MAX; body.len()];
+    let mut bound = bound_at_entry.clone();
+    let mut layer = 0usize;
+    loop {
+        let runnable: Vec<usize> = (0..body.len())
+            .filter(|&i| layer_of[i] == usize::MAX && body[i].can_run(&bound))
+            .collect();
+        if runnable.is_empty() {
+            break;
+        }
+        for &i in &runnable {
+            layer_of[i] = layer;
+        }
+        for &i in &runnable {
+            bound.extend(body[i].variables());
+        }
+        layer += 1;
+    }
+    // Anything still unplaced can never run; it forms one final layer so
+    // infeasible bodies still canonicalize deterministically.
+    for l in layer_of.iter_mut() {
+        if *l == usize::MAX {
+            *l = layer;
+        }
+    }
+    layer_of
+}
+
+/// The variables of an atom with stable position tags, in argument order
+/// (duplicates kept — repeated variables matter).
+fn var_occurrences(atom: &BodyAtom) -> Vec<(Arc<str>, String)> {
+    let mut out = Vec::new();
+    match atom {
+        BodyAtom::Pred(p) => {
+            for (i, t) in p.args.iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    out.push((v.clone(), format!("a{i}")));
+                }
+            }
+        }
+        BodyAtom::In { target, call } => {
+            if let Some(v) = target.as_var() {
+                out.push((v.clone(), "t".to_string()));
+            }
+            for (i, t) in call.args.iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    out.push((v.clone(), format!("a{i}")));
+                }
+            }
+        }
+        BodyAtom::Cond(c) => {
+            if let Some(v) = c.lhs.var_name() {
+                out.push((v.clone(), "l".to_string()));
+            }
+            if let Some(v) = c.rhs.var_name() {
+                out.push((v.clone(), "r".to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders an atom with `name` supplying each variable's spelling.
+/// Comparisons are direction-normalized so `>(A, B)` and `<(B, A)` (and
+/// the operand orders of `=`/`!=`) render identically.
+fn render_atom(atom: &BodyAtom, name: &dyn Fn(&Arc<str>) -> String) -> String {
+    let term = |t: &Term| match t {
+        Term::Var(v) => name(v),
+        Term::Const(c) => c.to_literal(),
+    };
+    let path = |pt: &PathTerm| format!("{}{}", term(&pt.base), pt.path);
+    match atom {
+        BodyAtom::Pred(p) => {
+            let args: Vec<String> = p.args.iter().map(term).collect();
+            format!("{}({})", p.name, args.join(","))
+        }
+        BodyAtom::In { target, call } => {
+            let args: Vec<String> = call.args.iter().map(term).collect();
+            format!(
+                "in({},{}:{}({}))",
+                term(target),
+                call.domain,
+                call.function,
+                args.join(",")
+            )
+        }
+        BodyAtom::Cond(c) => {
+            let (op, mut l, mut r) = match c.op {
+                Relop::Gt | Relop::Ge => (c.op.flipped(), path(&c.rhs), path(&c.lhs)),
+                op => (op, path(&c.lhs), path(&c.rhs)),
+            };
+            if matches!(op, Relop::Eq | Relop::Ne) && r < l {
+                std::mem::swap(&mut l, &mut r);
+            }
+            format!("{}({},{})", op.symbol(), l, r)
+        }
+    }
+}
+
+/// Builds the canonical rendering of a body under entry bindings.
+fn canonicalize(body: &[BodyAtom], bound_at_entry: &BTreeSet<Arc<str>>) -> String {
+    let layer_of = layers(body, bound_at_entry);
+    let blind = |v: &Arc<str>| -> String {
+        if bound_at_entry.contains(v) {
+            "?b".to_string()
+        } else {
+            "?f".to_string()
+        }
+    };
+
+    // Name-blind structural key per atom, contextualized with its layer.
+    let base_key: Vec<String> = body
+        .iter()
+        .enumerate()
+        .map(|(i, a)| format!("L{}|{}", layer_of[i], render_atom(a, &blind)))
+        .collect();
+
+    // One Weisfeiler–Leman round: each variable's signature is the sorted
+    // multiset of (structural key, position) over every atom mentioning it.
+    // Hashed, it refines atom keys so two atoms identical in isolation but
+    // feeding different consumers sort apart deterministically.
+    let mut var_sig: BTreeMap<Arc<str>, Vec<String>> = BTreeMap::new();
+    for (i, atom) in body.iter().enumerate() {
+        for (v, tag) in var_occurrences(atom) {
+            var_sig
+                .entry(v)
+                .or_default()
+                .push(format!("{}@{}", base_key[i], tag));
+        }
+    }
+    let var_hash: BTreeMap<Arc<str>, u64> = var_sig
+        .into_iter()
+        .map(|(v, mut sig)| {
+            sig.sort();
+            (v, fnv1a64(sig.join("\n").as_bytes()))
+        })
+        .collect();
+    let ext_key: Vec<String> = body
+        .iter()
+        .enumerate()
+        .map(|(i, atom)| {
+            let sigs: Vec<String> = var_occurrences(atom)
+                .iter()
+                .map(|(v, _)| format!("{:016x}", var_hash.get(v).copied().unwrap_or(0)))
+                .collect();
+            format!("{}#{}", base_key[i], sigs.join("."))
+        })
+        .collect();
+
+    // Greedy placement per layer with incremental canonical naming.
+    let mut names: BTreeMap<Arc<str>, String> = BTreeMap::new();
+    let mut bound_count = 0usize;
+    let mut free_count = 0usize;
+    let max_layer = layer_of.iter().copied().max().unwrap_or(0);
+    let mut rendered_layers: Vec<Vec<String>> = Vec::new();
+    for layer in 0..=max_layer {
+        let mut remaining: Vec<usize> = (0..body.len()).filter(|&i| layer_of[i] == layer).collect();
+        let mut placed_here = Vec::new();
+        while !remaining.is_empty() {
+            let current = |v: &Arc<str>| match names.get(v) {
+                Some(n) => n.clone(),
+                None => blind(v),
+            };
+            remaining.sort_by(|&a, &b| {
+                let ka = (render_atom(&body[a], &current), &ext_key[a]);
+                let kb = (render_atom(&body[b], &current), &ext_key[b]);
+                ka.cmp(&kb)
+            });
+            let i = remaining.remove(0);
+            for (v, _) in var_occurrences(&body[i]) {
+                names.entry(v.clone()).or_insert_with(|| {
+                    if bound_at_entry.contains(&v) {
+                        bound_count += 1;
+                        format!("B{}", bound_count - 1)
+                    } else {
+                        free_count += 1;
+                        format!("V{}", free_count - 1)
+                    }
+                });
+            }
+            placed_here.push(i);
+        }
+        let named = |v: &Arc<str>| names.get(v).cloned().unwrap_or_else(|| blind(v));
+        rendered_layers.push(
+            placed_here
+                .iter()
+                .map(|&i| render_atom(&body[i], &named))
+                .collect(),
+        );
+    }
+    rendered_layers
+        .iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| l.join(" & "))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_lang::parse_rule;
+
+    fn fp(rule_src: &str, adornment: &str) -> SubplanKey {
+        let rule = parse_rule(rule_src).unwrap();
+        let bound: Vec<bool> = adornment.chars().map(|c| c == 'b').collect();
+        fingerprint_rule(&rule, &bound)
+    }
+
+    #[test]
+    fn alpha_renaming_is_invisible() {
+        let a = fp("p(X, Y) :- in(Y, d:f(X)).", "bf");
+        let b = fp("p(Alpha, Omega) :- in(Omega, d:f(Alpha)).", "bf");
+        assert_eq!(a, b);
+        assert!(a.canonical.contains("B0"));
+    }
+
+    #[test]
+    fn independent_subgoal_order_is_invisible() {
+        let a = fp(
+            "p(A, X, Y) :- in(X, d:f(A)) & in(Y, e:g(A)) & in(Z, h:k(X, Y)).",
+            "bff",
+        );
+        let b = fp(
+            "p(A, X, Y) :- in(Y, e:g(A)) & in(X, d:f(A)) & in(Z, h:k(X, Y)).",
+            "bff",
+        );
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.canonical, b.canonical);
+    }
+
+    #[test]
+    fn adornment_distinguishes_fingerprints() {
+        let bf = fp("p(X, Y) :- in(Y, d:f(X)).", "bf");
+        let ff = fp("p(X, Y) :- in(Y, d:f(X)).", "ff");
+        assert_ne!(bf.fingerprint, ff.fingerprint);
+    }
+
+    #[test]
+    fn constants_distinguish_fingerprints() {
+        let x = fp("p(A) :- in(A, d:f('x')).", "f");
+        let y = fp("p(A) :- in(A, d:f('y')).", "f");
+        assert_ne!(x.fingerprint, y.fingerprint);
+    }
+
+    #[test]
+    fn symmetric_comparisons_normalize() {
+        let a = fp("p(A, B) :- in(A, d:f()) & in(B, d:g()) & =(A, B).", "ff");
+        let b = fp("p(A, B) :- in(A, d:f()) & in(B, d:g()) & =(B, A).", "ff");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let gt = fp("p(A, B) :- in(A, d:f()) & in(B, d:g()) & >(A, B).", "ff");
+        let lt = fp("p(A, B) :- in(A, d:f()) & in(B, d:g()) & <(B, A).", "ff");
+        assert_eq!(gt.fingerprint, lt.fingerprint);
+    }
+
+    #[test]
+    fn dataflow_context_breaks_structural_ties() {
+        // Both f-calls look identical in isolation, but only one feeds the
+        // g-call; swapping which one feeds it must not change the key, while
+        // consuming the other variable must.
+        let a = fp(
+            "p(U, V) :- in(U, d:f()) & in(V, d:f()) & in(W, e:g(U)).",
+            "ff",
+        );
+        let b = fp(
+            "p(U, V) :- in(V, d:f()) & in(U, d:f()) & in(W, e:g(V)).",
+            "ff",
+        );
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn calls_collect_sorted_and_distinct() {
+        let k = fp(
+            "p(A) :- in(A, z:last()) & in(B, a:first(A)) & in(C, a:first(B)).",
+            "f",
+        );
+        let calls: Vec<String> = k.calls.iter().map(|(d, f)| format!("{d}:{f}")).collect();
+        assert_eq!(calls, vec!["a:first", "z:last"]);
+    }
+
+    #[test]
+    fn fnv_is_the_reference_function() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn stuck_atoms_still_canonicalize() {
+        let k = fp("p(A) :- in(A, d:f(Missing)).", "f");
+        assert!(k.canonical.contains("d:f"));
+        assert_eq!(k.calls.len(), 1);
+    }
+}

@@ -151,6 +151,38 @@ pub(crate) fn run(program: &Program, query_forms: &[QueryForm], out: &mut Vec<Di
     }
 }
 
+/// The predicate identities sitting on a recursive SCC (size > 1, or a
+/// self-loop). Shared with the materialization pass (`HA072`), which must
+/// not snapshot a fixpoint.
+pub(crate) fn recursive_predicates(program: &Program) -> BTreeSet<PredKey> {
+    let defined: BTreeSet<PredKey> = program.defined_predicates();
+    let mut edges: BTreeMap<PredKey, BTreeSet<PredKey>> = BTreeMap::new();
+    for k in &defined {
+        edges.entry(k.clone()).or_default();
+    }
+    for rule in &program.rules {
+        for atom in &rule.body {
+            if let BodyAtom::Pred(p) = atom {
+                let k = p.key();
+                if defined.contains(&k) {
+                    edges.entry(rule.head.key()).or_default().insert(k);
+                }
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for scc in sccs(&edges) {
+        let recursive = scc.len() > 1
+            || edges
+                .get(&scc[0])
+                .is_some_and(|succ| succ.contains(&scc[0]));
+        if recursive {
+            out.extend(scc);
+        }
+    }
+    out
+}
+
 /// Tarjan's strongly-connected-components algorithm (iterative bookkeeping
 /// via recursion; mediator programs are small).
 fn sccs(edges: &BTreeMap<PredKey, BTreeSet<PredKey>>) -> Vec<Vec<PredKey>> {

@@ -1,0 +1,471 @@
+//! Machine-readable renderings of analysis reports.
+//!
+//! The JSON schema (`hermes-lint-report/v1`) is stable; CI and editors can
+//! match on it. One document covers a whole lint invocation:
+//!
+//! ```text
+//! {
+//!   "schema": "hermes-lint-report/v1",
+//!   "files": [
+//!     {
+//!       "path": "examples/programs/logistics.hms",
+//!       "error": null,                  // or the parse-failure text
+//!       "diagnostics": [
+//!         {
+//!           "code": "HA070",
+//!           "severity": "note",         // note | warning | error
+//!           "locus": {
+//!             "kind": "rule",           // program | rule | invariant |
+//!                                       // query_form | call_pattern |
+//!                                       // directive
+//!             "index": 0,               // rule/invariant index or
+//!                                       // directive line; absent otherwise
+//!             "text": "route(A, B)"     // rendered locus; absent for
+//!                                       // program
+//!           },
+//!           "message": "…",
+//!           "suggestion": "…",          // or null
+//!           "fingerprint": "0x…"        // or null; HA07x carry it
+//!         }
+//!       ]
+//!     }
+//!   ],
+//!   "summary": {
+//!     "files": 1, "errors": 0, "warnings": 0, "notes": 1, "unparseable": 0
+//!   }
+//! }
+//! ```
+//!
+//! [`report_from_json`] parses the same schema back (the round-trip is
+//! tested in CI), validating that each code exists and carries its fixed
+//! severity. The SARIF rendering targets the SARIF 2.1.0 subset GitHub
+//! code scanning ingests.
+
+use crate::diagnostic::{AnalysisReport, DiagCode, Diagnostic, Locus, Severity};
+use crate::fingerprint::Fingerprint;
+use crate::json::{parse, Json};
+
+/// The schema identifier emitted and required by this module.
+pub const JSON_SCHEMA: &str = "hermes-lint-report/v1";
+
+/// One linted file: its report, or the reason it could not be analyzed.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// The path as given on the command line.
+    pub path: String,
+    /// The findings (empty when clean or unparseable).
+    pub report: AnalysisReport,
+    /// A parse failure that prevented analysis, if any.
+    pub error: Option<String>,
+}
+
+fn opt_str(s: &Option<String>) -> Json {
+    match s {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+fn locus_to_json(locus: &Locus) -> Json {
+    match locus {
+        Locus::Program => Json::obj(vec![("kind", Json::Str("program".into()))]),
+        Locus::Rule { index, head } => Json::obj(vec![
+            ("kind", Json::Str("rule".into())),
+            ("index", Json::Num(*index as f64)),
+            ("text", Json::Str(head.clone())),
+        ]),
+        Locus::Invariant { index, text } => Json::obj(vec![
+            ("kind", Json::Str("invariant".into())),
+            ("index", Json::Num(*index as f64)),
+            ("text", Json::Str(text.clone())),
+        ]),
+        Locus::QueryForm { text } => Json::obj(vec![
+            ("kind", Json::Str("query_form".into())),
+            ("text", Json::Str(text.clone())),
+        ]),
+        Locus::CallPattern { text } => Json::obj(vec![
+            ("kind", Json::Str("call_pattern".into())),
+            ("text", Json::Str(text.clone())),
+        ]),
+        Locus::Directive { line, text } => Json::obj(vec![
+            ("kind", Json::Str("directive".into())),
+            ("index", Json::Num(*line as f64)),
+            ("text", Json::Str(text.clone())),
+        ]),
+    }
+}
+
+fn locus_from_json(v: &Json) -> Result<Locus, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("locus without kind")?;
+    let index = v.get("index").and_then(Json::as_num).map(|n| n as usize);
+    let text = v
+        .get("text")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_default();
+    match kind {
+        "program" => Ok(Locus::Program),
+        "rule" => Ok(Locus::Rule {
+            index: index.ok_or("rule locus without index")?,
+            head: text,
+        }),
+        "invariant" => Ok(Locus::Invariant {
+            index: index.ok_or("invariant locus without index")?,
+            text,
+        }),
+        "query_form" => Ok(Locus::QueryForm { text }),
+        "call_pattern" => Ok(Locus::CallPattern { text }),
+        "directive" => Ok(Locus::Directive {
+            line: index.ok_or("directive locus without line index")?,
+            text,
+        }),
+        other => Err(format!("unknown locus kind `{other}`")),
+    }
+}
+
+fn diagnostic_to_json(d: &Diagnostic) -> Json {
+    Json::obj(vec![
+        ("code", Json::Str(d.code.as_str().into())),
+        ("severity", Json::Str(d.severity.to_string())),
+        ("locus", locus_to_json(&d.locus)),
+        ("message", Json::Str(d.message.clone())),
+        ("suggestion", opt_str(&d.suggestion)),
+        (
+            "fingerprint",
+            match d.fingerprint {
+                Some(fp) => Json::Str(fp.to_hex()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn diagnostic_from_json(v: &Json) -> Result<Diagnostic, String> {
+    let code_str = v
+        .get("code")
+        .and_then(Json::as_str)
+        .ok_or("diagnostic without code")?;
+    let code = DiagCode::from_code(code_str)
+        .ok_or_else(|| format!("unknown diagnostic code `{code_str}`"))?;
+    let sev = v
+        .get("severity")
+        .and_then(Json::as_str)
+        .ok_or("diagnostic without severity")?;
+    if sev != code.severity().to_string() {
+        return Err(format!(
+            "severity `{sev}` disagrees with {code_str}'s fixed severity `{}`",
+            code.severity()
+        ));
+    }
+    let locus = locus_from_json(v.get("locus").ok_or("diagnostic without locus")?)?;
+    let message = v
+        .get("message")
+        .and_then(Json::as_str)
+        .ok_or("diagnostic without message")?
+        .to_string();
+    let mut d = Diagnostic::new(code, locus, message);
+    if let Some(s) = v.get("suggestion").and_then(Json::as_str) {
+        d = d.with_suggestion(s);
+    }
+    if let Some(fp) = v.get("fingerprint").and_then(Json::as_str) {
+        let hex = fp
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("fingerprint `{fp}` is not 0x-prefixed hex"))?;
+        let bits =
+            u64::from_str_radix(hex, 16).map_err(|_| format!("bad fingerprint hex `{fp}`"))?;
+        d = d.with_fingerprint(Fingerprint(bits));
+    }
+    Ok(d)
+}
+
+/// Renders a whole lint invocation as a `hermes-lint-report/v1` document.
+pub fn report_to_json(files: &[FileReport]) -> String {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    let mut unparseable = 0usize;
+    let file_values: Vec<Json> = files
+        .iter()
+        .map(|f| {
+            if f.error.is_some() {
+                unparseable += 1;
+            }
+            for d in &f.report.diagnostics {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                    Severity::Note => notes += 1,
+                }
+            }
+            Json::obj(vec![
+                ("path", Json::Str(f.path.clone())),
+                ("error", opt_str(&f.error)),
+                (
+                    "diagnostics",
+                    Json::Arr(
+                        f.report
+                            .diagnostics
+                            .iter()
+                            .map(diagnostic_to_json)
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(JSON_SCHEMA.into())),
+        ("files", Json::Arr(file_values)),
+        (
+            "summary",
+            Json::obj(vec![
+                ("files", Json::Num(files.len() as f64)),
+                ("errors", Json::Num(errors as f64)),
+                ("warnings", Json::Num(warnings as f64)),
+                ("notes", Json::Num(notes as f64)),
+                ("unparseable", Json::Num(unparseable as f64)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Parses a `hermes-lint-report/v1` document back into file reports,
+/// validating codes, severities, and loci along the way.
+pub fn report_from_json(src: &str) -> Result<Vec<FileReport>, String> {
+    let doc = parse(src)?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != JSON_SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected `{JSON_SCHEMA}`)"
+        ));
+    }
+    let mut out = Vec::new();
+    for file in doc
+        .get("files")
+        .and_then(Json::as_arr)
+        .ok_or("missing files array")?
+    {
+        let path = file
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or("file without path")?
+            .to_string();
+        let error = file.get("error").and_then(Json::as_str).map(str::to_string);
+        let mut report = AnalysisReport::default();
+        for d in file
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .ok_or("file without diagnostics array")?
+        {
+            report.diagnostics.push(diagnostic_from_json(d)?);
+        }
+        out.push(FileReport {
+            path,
+            report,
+            error,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders a lint invocation as SARIF 2.1.0 (the subset GitHub code
+/// scanning ingests). Rule metadata covers only the codes that actually
+/// fired; parse failures become tool-level `error` results.
+pub fn report_to_sarif(files: &[FileReport]) -> String {
+    let mut used: Vec<DiagCode> = files
+        .iter()
+        .flat_map(|f| f.report.diagnostics.iter().map(|d| d.code))
+        .collect();
+    used.sort();
+    used.dedup();
+    let rules: Vec<Json> = used
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("id", Json::Str(c.as_str().into())),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::Str(c.title().into()))]),
+                ),
+                (
+                    "fullDescription",
+                    Json::obj(vec![("text", Json::Str(c.explain().into()))]),
+                ),
+            ])
+        })
+        .collect();
+    let mut results: Vec<Json> = Vec::new();
+    for f in files {
+        if let Some(err) = &f.error {
+            results.push(Json::obj(vec![
+                ("level", Json::Str("error".into())),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::Str(format!("parse failure: {err}")))]),
+                ),
+                ("locations", Json::Arr(vec![sarif_location(&f.path, None)])),
+            ]));
+        }
+        for d in &f.report.diagnostics {
+            results.push(Json::obj(vec![
+                ("ruleId", Json::Str(d.code.as_str().into())),
+                ("level", Json::Str(d.severity.to_string())),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::Str(d.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Json::Arr(vec![sarif_location(&f.path, Some(&d.locus))]),
+                ),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        (
+            "$schema",
+            Json::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .into(),
+            ),
+        ),
+        ("version", Json::Str("2.1.0".into())),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj(vec![
+                (
+                    "tool",
+                    Json::obj(vec![(
+                        "driver",
+                        Json::obj(vec![
+                            ("name", Json::Str("hermes-lint".into())),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+    .render()
+}
+
+fn sarif_location(path: &str, locus: Option<&Locus>) -> Json {
+    let mut pairs = vec![(
+        "physicalLocation",
+        Json::obj(vec![(
+            "artifactLocation",
+            Json::obj(vec![("uri", Json::Str(path.into()))]),
+        )]),
+    )];
+    if let Some(locus) = locus {
+        pairs.push((
+            "logicalLocations",
+            Json::Arr(vec![Json::obj(vec![(
+                "fullyQualifiedName",
+                Json::Str(locus.to_string()),
+            )])]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+
+    fn sample() -> Vec<FileReport> {
+        let mut report = AnalysisReport::default();
+        report.diagnostics.push(
+            Diagnostic::new(
+                DiagCode::MaterializeSafe,
+                Locus::Rule {
+                    index: 2,
+                    head: "p(A, B)".into(),
+                },
+                "subplan safe",
+            )
+            .with_suggestion("canonical form: in(V0,d:f(B0))")
+            .with_fingerprint(Fingerprint(0xdead_beef_0123_4567)),
+        );
+        report.diagnostics.push(Diagnostic::new(
+            DiagCode::RecursiveCycle,
+            Locus::Program,
+            "cycle p/1 -> p/1",
+        ));
+        vec![
+            FileReport {
+                path: "a.hms".into(),
+                report,
+                error: None,
+            },
+            FileReport {
+                path: "broken.hms".into(),
+                report: AnalysisReport::default(),
+                error: Some("parse error: line 3".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let files = sample();
+        let text = report_to_json(&files);
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].path, "a.hms");
+        assert_eq!(back[0].report.diagnostics, files[0].report.diagnostics);
+        assert_eq!(back[1].error.as_deref(), Some("parse error: line 3"));
+        // ...and re-rendering is byte-identical (the CI snapshot relies on
+        // this).
+        assert_eq!(text, report_to_json(&back));
+    }
+
+    #[test]
+    fn json_summary_counts_by_severity() {
+        let text = report_to_json(&sample());
+        let doc = parse(&text).unwrap();
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("errors").and_then(Json::as_num), Some(1.0));
+        assert_eq!(summary.get("notes").and_then(Json::as_num), Some(1.0));
+        assert_eq!(summary.get("unparseable").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn wrong_schema_and_wrong_severity_are_rejected() {
+        assert!(report_from_json(r#"{"schema": "other/v9", "files": []}"#).is_err());
+        let forged = r#"{
+          "schema": "hermes-lint-report/v1",
+          "files": [{"path": "x", "error": null, "diagnostics": [
+            {"code": "HA001", "severity": "note",
+             "locus": {"kind": "program"}, "message": "m",
+             "suggestion": null, "fingerprint": null}
+          ]}]
+        }"#;
+        let err = report_from_json(forged).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn sarif_contains_rules_results_and_parse_failures() {
+        let text = report_to_sarif(&sample());
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        let results = runs[0].get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 3, "two findings plus one parse failure");
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), 2, "only codes that fired");
+        assert!(text.contains("note"), "severity mapping");
+    }
+}

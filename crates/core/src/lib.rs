@@ -58,7 +58,8 @@ pub use mediator::{Mediator, MediatorConfig, Planned, QueryRequest, QueryResult}
 pub use plan::{independence_groups, Plan, PlanStep, Route};
 pub use rewrite::{
     bind_query, cache_servable_plans, enumerate_plans, enumerate_plans_with_pushdowns,
-    PushdownRule, RewriteConfig,
+    fingerprint_body, fingerprint_rule, query_fingerprint, Fingerprint, PushdownRule,
+    RewriteConfig, SubplanKey,
 };
 pub use server::{ConcurrentMediator, GateConfig, ServerStats};
 pub use tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};

@@ -302,6 +302,29 @@ impl Mediator {
             .analyze()
     }
 
+    /// Runs the analyzer over the active program with the
+    /// materialization-safety pass (`HA070`–`HA074`) enabled: a note-level
+    /// inventory of which subplans are safe to materialize, priced against
+    /// the live DCSM, with the CIM routing policy doubling as the
+    /// volatility signal (a call the policy routes around the CIM has no
+    /// invalidation path, so its answers may go stale unnoticed). This is
+    /// what the REPL's `:materialize` command prints.
+    pub fn analyze_materialization(&self, query_forms: &[QueryForm]) -> AnalysisReport {
+        let cim = self.cim.lock();
+        let dcsm = self.dcsm.lock();
+        let routes = |domain: &str, function: &str| {
+            self.policy.decide(domain, function) == RoutingDecision::UseCim
+        };
+        Analyzer::new(&self.program)
+            .with_registry(self.network.registry())
+            .with_invariant_store(cim.invariants())
+            .with_dcsm(&dcsm)
+            .with_query_forms(query_forms.iter().cloned())
+            .with_cache_routing(&routes)
+            .with_materialization()
+            .analyze()
+    }
+
     /// Warning-severity findings from the most recent
     /// [`Mediator::register_program`] run.
     pub fn analysis_warnings(&self) -> &[Diagnostic] {

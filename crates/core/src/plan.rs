@@ -6,8 +6,9 @@
 //! chosen access-path rule (or a fact table). Flatness is what lets the
 //! executor pipeline answers and measure realistic time-to-first-answer.
 
+use hermes_analysis::{fingerprint_body, SubplanKey};
 use hermes_common::Value;
-use hermes_lang::{CallTemplate, Condition, Relop, Term};
+use hermes_lang::{BodyAtom, CallTemplate, Condition, PredAtom, Relop, Term};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
@@ -94,6 +95,35 @@ impl Plan {
     /// Number of call steps.
     pub fn call_count(&self) -> usize {
         self.steps.iter().filter(|s| s.is_call()).count()
+    }
+
+    /// The plan's steps as a body conjunction. Routing is erased — whether
+    /// a call goes through the CIM is an execution choice, not part of the
+    /// subplan's identity — and fact steps reappear as predicate atoms.
+    pub fn body_atoms(&self) -> Vec<BodyAtom> {
+        self.steps
+            .iter()
+            .map(|step| match step {
+                PlanStep::Call { target, call, .. } => BodyAtom::In {
+                    target: target.clone(),
+                    call: call.clone(),
+                },
+                PlanStep::Cond(c) => BodyAtom::Cond(c.clone()),
+                PlanStep::Facts { pred, args, .. } => {
+                    BodyAtom::Pred(PredAtom::new(pred.clone(), args.clone()))
+                }
+            })
+            .collect()
+    }
+
+    /// The plan's canonical subplan fingerprint (see
+    /// [`hermes_analysis::fingerprint`]): stable across variable renaming
+    /// and reordering of independent steps, so equivalent plans — and the
+    /// analyzer's `HA070` inventory — share one cache key. Flat plans are
+    /// fully bound at entry (the rewriter substitutes query constants), so
+    /// the entry-binding set is empty.
+    pub fn fingerprint(&self) -> SubplanKey {
+        fingerprint_body(&self.body_atoms(), &BTreeSet::new())
     }
 }
 

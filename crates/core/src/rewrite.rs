@@ -20,6 +20,7 @@
 //! reference \[33\]).
 
 use crate::plan::{Plan, PlanStep, Route};
+pub use hermes_analysis::{fingerprint_body, fingerprint_rule, Fingerprint, SubplanKey};
 use hermes_cim::{CimPolicy, RoutingDecision};
 use hermes_common::{HermesError, PathStep, Result, Value};
 use hermes_lang::{
@@ -584,6 +585,18 @@ impl Rewriter<'_> {
         }
         Some(out)
     }
+}
+
+/// The canonical subplan fingerprint of a query's goal conjunction (see
+/// [`hermes_analysis::fingerprint`]): the key under which a subplan result
+/// cache would file this query's answers. Stable across variable renaming,
+/// reordering of independent goals, and symmetric comparison spelling, so
+/// the rewriter, the analyzer's `HA070`-series inventory, and any future
+/// materialized-view store all speak the same 64-bit keys. Queries start
+/// with no bindings (parameter substitution happens in [`bind_query`]
+/// first), so the entry-binding seed is empty.
+pub fn query_fingerprint(query: &Query) -> SubplanKey {
+    fingerprint_body(&query.goals, &BTreeSet::new())
 }
 
 /// Substitutes query-level constants into a query before planning: any

@@ -394,6 +394,17 @@ impl Dcsm {
             lookup_work,
         }
     }
+
+    /// Estimated saving, in milliseconds, from materializing a subplan with
+    /// these call patterns once instead of executing it `occurrences` times
+    /// (the static analyzer's `HA073` sharing estimate). The per-execution
+    /// cost is the sequential sum of the patterns' `t_all` estimates — a
+    /// deliberate upper bound: sharing saves the most exactly when the
+    /// calls could not overlap anyway.
+    pub fn estimate_subplan_savings(&self, patterns: &[CallPattern], occurrences: usize) -> f64 {
+        let per_exec: f64 = patterns.iter().map(|p| self.cost(p).t_all_ms()).sum();
+        per_exec * occurrences.saturating_sub(1) as f64
+    }
 }
 
 /// Greedy list-scheduling makespan of a parallel dispatch group — the

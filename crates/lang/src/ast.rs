@@ -445,6 +445,52 @@ impl Rule {
         }
         s
     }
+
+    /// Rewrites every variable occurrence (head and body, including
+    /// condition bases and call arguments) through `f`, leaving constants
+    /// and attribute paths untouched. With a bijective `f` this is
+    /// alpha-renaming — the transformation subplan fingerprints must be
+    /// invariant under.
+    pub fn map_vars(&self, mut f: impl FnMut(&Arc<str>) -> Arc<str>) -> Rule {
+        let mut term = |t: &Term| match t {
+            Term::Var(v) => Term::Var(f(v)),
+            Term::Const(_) => t.clone(),
+        };
+        let head = PredAtom::new(
+            self.head.name.clone(),
+            self.head.args.iter().map(&mut term).collect(),
+        );
+        let body = self
+            .body
+            .iter()
+            .map(|atom| match atom {
+                BodyAtom::Pred(p) => BodyAtom::Pred(PredAtom::new(
+                    p.name.clone(),
+                    p.args.iter().map(&mut term).collect(),
+                )),
+                BodyAtom::In { target, call } => BodyAtom::In {
+                    target: term(target),
+                    call: CallTemplate::new(
+                        call.domain.clone(),
+                        call.function.clone(),
+                        call.args.iter().map(&mut term).collect(),
+                    ),
+                },
+                BodyAtom::Cond(c) => BodyAtom::Cond(Condition::new(
+                    c.op,
+                    PathTerm {
+                        base: term(&c.lhs.base),
+                        path: c.lhs.path.clone(),
+                    },
+                    PathTerm {
+                        base: term(&c.rhs.base),
+                        path: c.rhs.path.clone(),
+                    },
+                )),
+            })
+            .collect();
+        Rule::new(head, body)
+    }
 }
 
 impl fmt::Display for Rule {
@@ -779,5 +825,17 @@ mod tests {
         assert!(g.is_ground());
         let ng = CallTemplate::new("d", "f", vec![Term::var("X")]);
         assert!(!ng.is_ground());
+    }
+
+    #[test]
+    fn map_vars_renames_every_occurrence() {
+        let rule = crate::parse_rule("p(A, B) :- in(B, d:f(A)) & >(B.size, A).").unwrap();
+        let renamed = rule.map_vars(|v| Arc::from(format!("{v}_r").as_str()));
+        assert_eq!(
+            renamed.to_string(),
+            "p(A_r, B_r) :- in(B_r, d:f(A_r)) & >(B_r.size, A_r)."
+        );
+        // Constants and paths are untouched; the identity map round-trips.
+        assert_eq!(rule.map_vars(|v| v.clone()), rule);
     }
 }

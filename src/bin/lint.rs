@@ -1,9 +1,12 @@
 //! `hermes-lint` — whole-program static analysis for `.hms` rule files.
 //!
 //! ```sh
-//! hermes-lint examples/programs            # lint every .hms under a dir
-//! hermes-lint --strict program.hms         # warnings fail too
-//! hermes-lint --coverage program.hms       # include HA040 advisories
+//! hermes-lint examples/programs             # lint every .hms under a dir
+//! hermes-lint --strict program.hms          # warnings fail too
+//! hermes-lint --coverage program.hms        # include HA040 advisories
+//! hermes-lint --materialize program.hms     # HA070-series inventory
+//! hermes-lint --format json examples        # machine-readable report
+//! hermes-lint --explain HA071               # what a code means
 //! ```
 //!
 //! Each file is parsed and run through the analyzer passes (see
@@ -11,43 +14,109 @@
 //! context-dependent passes: `%! query p(b, f)` declares an exported
 //! adornment (enables reachability and feasibility checks), `%! domain
 //! d: f/2` declares signatures (enables signature checks), `%! invariant
-//! ...` lints an invariant the deployment will install, and `%! cache
-//! ...` declares CIM routing (enables the HA060 cacheability check).
-//!
-//! Exit status: `0` all files clean, `1` findings (errors, or any finding
-//! under `--strict`), `2` usage or I/O trouble.
+//! ...` lints an invariant the deployment will install, `%! cache ...`
+//! declares CIM routing (enables the HA060 cacheability check and
+//! sharpens HA071), and `%! volatile d[:f]` marks a source whose answers
+//! change without notice (HA071).
 
-use hermes::analysis::{parse_directives, Analyzer, Severity};
-use hermes::{parse_program, Dcsm};
+use hermes::analysis::{analyze_source_with, AnalyzeOptions, DiagCode, FileReport, Severity};
 use std::path::{Path, PathBuf};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     strict: bool,
-    coverage: bool,
+    format: Format,
+    passes: AnalyzeOptions,
     paths: Vec<PathBuf>,
 }
 
-const USAGE: &str = "usage: hermes-lint [--strict] [--coverage] <file.hms | dir>...";
+const EXIT_CLEAN: i32 = 0;
+const EXIT_WARNINGS: i32 = 1;
+const EXIT_ERRORS: i32 = 2;
+const EXIT_USAGE: i32 = 3;
+
+const HELP: &str = "\
+usage: hermes-lint [options] <file.hms | dir>...
+       hermes-lint --explain HAxxx
+
+options:
+  --strict           treat warnings as errors for the exit status
+  --coverage         include HA040 cost-coverage advisories
+  --materialize      include the HA070-series materialization-safety passes
+  --format <fmt>     output format: text (default), json, sarif
+  --explain <code>   print what a diagnostic code means and exit
+  -h, --help         this message
+
+exit status:
+  0  clean (notes never affect the exit status)
+  1  warning-severity findings, no errors
+  2  error-severity findings or unparseable files
+     (with --strict, warnings also exit 2)
+  3  usage or I/O trouble";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         strict: false,
-        coverage: false,
+        format: Format::Text,
+        passes: AnalyzeOptions::default(),
         paths: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--strict" => opts.strict = true,
-            "--coverage" => opts.coverage = true,
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--coverage" => opts.passes.coverage = true,
+            "--materialize" => opts.passes.materialize = true,
+            "--format" => {
+                let fmt = args.next().ok_or("--format needs an argument")?;
+                opts.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected text, json, or sarif)"
+                        ))
+                    }
+                };
+            }
+            "--explain" => {
+                let code = args.next().ok_or("--explain needs a code, e.g. HA071")?;
+                return match DiagCode::from_code(&code) {
+                    Some(c) => {
+                        println!(
+                            "{}: {} [{}]\n\n{}",
+                            c.as_str(),
+                            c.title(),
+                            c.severity(),
+                            c.explain()
+                        );
+                        std::process::exit(EXIT_CLEAN);
+                    }
+                    None => Err(format!(
+                        "unknown diagnostic code `{code}` (codes are HA001..HA082; \
+                         see the README table)"
+                    )),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(EXIT_CLEAN);
+            }
             flag if flag.starts_with('-') => {
-                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+                return Err(format!("unknown flag `{flag}`"));
             }
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
     if opts.paths.is_empty() {
-        return Err(USAGE.to_string());
+        return Err("no input files".into());
     }
     Ok(opts)
 }
@@ -85,92 +154,105 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Lints one file; returns (errors, warnings) counted, or a parse failure.
-fn lint_file(path: &Path, coverage: bool) -> Result<(usize, usize), String> {
+/// Lints one file into a [`FileReport`]; an I/O failure is fatal (exit 3),
+/// a parse failure is recorded in the report (exit 2).
+fn lint_file(path: &Path, passes: AnalyzeOptions) -> Result<FileReport, String> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let program =
-        parse_program(&src).map_err(|e| format!("{}: parse error: {e}", path.display()))?;
-    let directives = parse_directives(&src).map_err(|e| format!("{}: {e}", path.display()))?;
-
-    // An empty DCSM makes pass 5 list every call pattern the optimizer
-    // would have to cost from the prior — advisory, hence opt-in.
-    let empty_dcsm = Dcsm::new();
-    let mut analyzer = Analyzer::new(&program)
-        .with_query_forms(directives.query_forms)
-        .with_invariants(directives.invariants);
-    if let Some(table) = directives.signatures {
-        analyzer = analyzer.with_signatures(table);
-    }
-    if coverage {
-        analyzer = analyzer.with_dcsm(&empty_dcsm);
-    }
-    let report = match &directives.cache_routing {
-        Some(routing) => {
-            let routes = |domain: &str, function: &str| routing.routes(domain, function);
-            analyzer.with_cache_routing(&routes).analyze()
-        }
-        None => analyzer.analyze(),
+    let mut out = FileReport {
+        path: path.display().to_string(),
+        ..FileReport::default()
     };
-
-    for d in &report.diagnostics {
-        println!("{}: {d}", path.display());
+    match analyze_source_with(&src, passes) {
+        Ok(report) => out.report = report,
+        Err(e) => out.error = Some(format!("parse error: {e}")),
     }
-    let errors = report
-        .diagnostics
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    Ok((errors, report.diagnostics.len() - errors))
+    Ok(out)
 }
 
 fn main() {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
+            eprintln!("hermes-lint: {msg}\n{HELP}");
+            std::process::exit(EXIT_USAGE);
         }
     };
     let files = match collect_files(&opts.paths) {
         Ok(files) if files.is_empty() => {
-            eprintln!("no .hms files found");
-            std::process::exit(2);
+            eprintln!("hermes-lint: no .hms files found");
+            std::process::exit(EXIT_USAGE);
         }
         Ok(files) => files,
         Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
+            eprintln!("hermes-lint: {msg}");
+            std::process::exit(EXIT_USAGE);
         }
     };
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    let mut broken = 0usize;
+    let mut reports = Vec::with_capacity(files.len());
     for file in &files {
-        match lint_file(file, opts.coverage) {
-            Ok((e, w)) => {
-                errors += e;
-                warnings += w;
-            }
+        match lint_file(file, opts.passes) {
+            Ok(report) => reports.push(report),
             Err(msg) => {
-                println!("{msg}");
-                broken += 1;
+                eprintln!("hermes-lint: {msg}");
+                std::process::exit(EXIT_USAGE);
             }
         }
     }
 
-    println!(
-        "{} file(s) checked: {} error(s), {} warning(s){}",
-        files.len(),
-        errors,
-        warnings,
-        if broken > 0 {
-            format!(", {broken} unparseable")
-        } else {
-            String::new()
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    let mut broken = 0usize;
+    for f in &reports {
+        if f.error.is_some() {
+            broken += 1;
         }
-    );
-    let failed = errors > 0 || broken > 0 || (opts.strict && warnings > 0);
-    std::process::exit(if failed { 1 } else { 0 });
+        for d in &f.report.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Note => notes += 1,
+            }
+        }
+    }
+
+    match opts.format {
+        // JSON and SARIF modes emit only the document on stdout, so the
+        // output can be piped or snapshotted verbatim.
+        Format::Json => print!("{}", hermes::analysis::report_to_json(&reports)),
+        Format::Sarif => print!("{}", hermes::analysis::report_to_sarif(&reports)),
+        Format::Text => {
+            for f in &reports {
+                if let Some(err) = &f.error {
+                    println!("{}: {err}", f.path);
+                }
+                for d in &f.report.diagnostics {
+                    println!("{}: {d}", f.path);
+                }
+            }
+            println!(
+                "{} file(s) checked: {} error(s), {} warning(s), {} note(s){}",
+                reports.len(),
+                errors,
+                warnings,
+                notes,
+                if broken > 0 {
+                    format!(", {broken} unparseable")
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+
+    let code = if errors > 0 || broken > 0 || (opts.strict && warnings > 0) {
+        EXIT_ERRORS
+    } else if warnings > 0 {
+        EXIT_WARNINGS
+    } else {
+        EXIT_CLEAN
+    };
+    std::process::exit(code);
 }

@@ -18,6 +18,7 @@
 //! :explain ?- <...>.     show candidate plans and estimates
 //! :invariant <inv>.      add an invariant to CIM
 //! :check [p/bf ...]      static analysis of the loaded program
+//! :materialize [p/bf ...] materialization-safety inventory (HA070-series)
 //! :mode all|first        optimization objective
 //! :parallel <k>          overlap up to k independent calls (1 = serial)
 //! :retry <n> [ms]        retries per call (0 = none) + backoff base
@@ -165,6 +166,8 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
              :invariant <inv>.     add an invariant\n  \
              :check [p/bf ...]     static analysis (optionally against\n  \
                                    declared query adornments)\n  \
+             :materialize [p/bf ...]  which subplans are safe to cache\n  \
+                                   (HA070-series, priced by the DCSM)\n  \
              :mode all|first       optimization objective\n  \
              :parallel <k>         overlap up to k independent calls (1 = serial)\n  \
              :trace on|off         show execution traces\n  \
@@ -466,6 +469,27 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
                 "  ({} error(s), {} warning(s))",
                 report.errors().len(),
                 report.warnings().len()
+            );
+        }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":materialize") {
+        let mut forms = Vec::new();
+        for tok in rest.split_whitespace() {
+            forms.push(hermes::QueryForm::parse(tok)?);
+        }
+        let report = mediator.analyze_materialization(&forms);
+        if report.diagnostics.is_empty() {
+            println!("  no findings.");
+        } else {
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+            println!(
+                "  ({} error(s), {} warning(s), {} note(s))",
+                report.errors().len(),
+                report.warnings().len(),
+                report.notes().len()
             );
         }
         return Ok(Control::Continue);

@@ -48,7 +48,9 @@ pub use hermes_lang as lang;
 pub use hermes_net as net;
 
 pub use hermes_analysis::{
-    analyze_source, AnalysisReport, Analyzer, DiagCode, Diagnostic, QueryForm, Severity,
+    analyze_source, analyze_source_with, report_from_json, report_to_json, report_to_sarif,
+    AnalysisReport, AnalyzeOptions, Analyzer, DiagCode, Diagnostic, FileReport, Fingerprint,
+    QueryForm, Severity, SubplanKey,
 };
 pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision, ShardedCim};
 pub use hermes_common::{

@@ -3,19 +3,33 @@
 //! `hermes-lint` binary reports through its exit status, and the mediator
 //! refuses to register a program the analyzer rejects.
 
-use hermes::{analyze_source, DiagCode, HermesError, Mediator, Network};
+use hermes::{
+    analyze_source, analyze_source_with, AnalyzeOptions, DiagCode, HermesError, Mediator, Network,
+    Severity,
+};
 use std::path::{Path, PathBuf};
 use std::process::Command;
+
+const MATERIALIZE: AnalyzeOptions = AnalyzeOptions {
+    coverage: false,
+    materialize: true,
+};
 
 fn repo_path(rel: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
 }
 
-fn analyze_fixture(name: &str) -> hermes::AnalysisReport {
+fn fixture_src(name: &str) -> String {
     let path = repo_path(&format!("tests/fixtures/{name}"));
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    analyze_source(&src).expect("fixture parses")
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn analyze_fixture(name: &str) -> hermes::AnalysisReport {
+    analyze_source(&fixture_src(name)).expect("fixture parses")
+}
+
+fn analyze_fixture_materialized(name: &str) -> hermes::AnalysisReport {
+    analyze_source_with(&fixture_src(name), MATERIALIZE).expect("fixture parses")
 }
 
 #[test]
@@ -162,11 +176,12 @@ fn lint_binary_exit_status_reflects_findings() {
         String::from_utf8_lossy(&clean.stdout)
     );
 
+    // Errors exit 2.
     let dirty = Command::new(lint)
         .arg(repo_path("tests/fixtures"))
         .output()
         .expect("hermes-lint runs");
-    assert_eq!(dirty.status.code(), Some(1));
+    assert_eq!(dirty.status.code(), Some(2));
     let out = String::from_utf8_lossy(&dirty.stdout);
     for code in [
         "HA001", "HA002", "HA005", "HA010", "HA020", "HA030", "HA060",
@@ -174,17 +189,215 @@ fn lint_binary_exit_status_reflects_findings() {
         assert!(out.contains(code), "missing {code} in:\n{out}");
     }
 
-    // Warnings only fail under --strict.
+    // Warnings alone exit 1; --strict promotes them to the error class.
+    let warn = Command::new(lint)
+        .arg("--coverage")
+        .arg(repo_path("examples/programs/logistics.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(warn.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&warn.stdout).contains("HA040"));
     let strict = Command::new(lint)
         .args(["--coverage", "--strict"])
         .arg(repo_path("examples/programs/logistics.hms"))
         .output()
         .expect("hermes-lint runs");
-    assert_eq!(strict.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&strict.stdout).contains("HA040"));
+    assert_eq!(strict.status.code(), Some(2));
 
+    // Notes never affect the exit status.
+    let notes = Command::new(lint)
+        .arg("--materialize")
+        .arg(repo_path("tests/fixtures/materialize_safe.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(notes.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&notes.stdout).contains("HA070"));
+
+    // Usage trouble exits 3.
     let usage = Command::new(lint).output().expect("hermes-lint runs");
-    assert_eq!(usage.status.code(), Some(2));
+    assert_eq!(usage.status.code(), Some(3));
+    let missing = Command::new(lint)
+        .arg(repo_path("tests/fixtures/no_such_file.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(missing.status.code(), Some(3));
+}
+
+#[test]
+fn lint_binary_explains_codes() {
+    let lint = env!("CARGO_BIN_EXE_hermes-lint");
+    let explain = Command::new(lint)
+        .args(["--explain", "HA071"])
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(explain.status.code(), Some(0));
+    let out = String::from_utf8_lossy(&explain.stdout);
+    assert!(out.contains("HA071"), "{out}");
+    assert!(out.contains("volatile"), "{out}");
+
+    let unknown = Command::new(lint)
+        .args(["--explain", "HA999"])
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(unknown.status.code(), Some(3));
+}
+
+#[test]
+fn materialize_safe_fixture_is_inventoried() {
+    // Opt-in pass off: the fixture is clean.
+    let plain = analyze_fixture("materialize_safe.hms");
+    assert!(plain.is_clean(), "{}", plain.render());
+
+    let report = analyze_fixture_materialized("materialize_safe.hms");
+    let safe: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == DiagCode::MaterializeSafe)
+        .collect();
+    assert_eq!(safe.len(), 2, "{}", report.render());
+    // Alpha-equivalent bodies share one fingerprint...
+    assert_eq!(safe[0].fingerprint, safe[1].fingerprint);
+    // ...which surfaces as a sharing opportunity and invalidation scopes.
+    assert!(
+        report.has_code(DiagCode::SharedSubplan),
+        "{}",
+        report.render()
+    );
+    let scopes: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == DiagCode::InvalidationScope)
+        .collect();
+    assert_eq!(scopes.len(), 2, "{}", report.render());
+    // Notes only: the exit-relevant counts stay zero.
+    assert!(!report.has_errors());
+    assert!(report.warnings().is_empty());
+}
+
+#[test]
+fn materialize_volatile_fixture_blocks_the_feed_subplan() {
+    let plain = analyze_fixture("materialize_volatile.hms");
+    assert!(plain.is_clean(), "{}", plain.render());
+
+    let report = analyze_fixture_materialized("materialize_volatile.hms");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::MaterializeVolatile && d.message.contains("feed:quote_bf")),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::MaterializeSafe && d.message.contains("safe")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn materialize_recursive_fixture_demands_delta_maintenance() {
+    let report = analyze_fixture_materialized("materialize_recursive.hms");
+    let rec: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == DiagCode::MaterializeRecursive)
+        .collect();
+    assert_eq!(rec.len(), 2, "{}", report.render());
+    assert!(!report.has_code(DiagCode::MaterializeSafe));
+    // The default dependency pass still reports the recursion itself.
+    assert!(report.has_code(DiagCode::RecursiveCycle));
+}
+
+#[test]
+fn directive_edge_cases_are_diagnostics_not_silent_skips() {
+    let src = "\
+        %! frobnicate yes\n\
+        %! query p(f)\n\
+        %! query p(f)\n\
+        %! cache d:\n\
+        %! volatile \n\
+        p(A) :- in(A, d:f()).\n";
+    let report = analyze_source(src).expect("directive trouble never aborts the lint");
+    let codes: Vec<DiagCode> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes
+            .iter()
+            .filter(|c| **c == DiagCode::MalformedDirective)
+            .count(),
+        2,
+        "{}",
+        report.render()
+    );
+    assert!(codes.contains(&DiagCode::UnknownDirective));
+    assert!(codes.contains(&DiagCode::DuplicateDirective));
+    // Malformed/unknown are errors (they silently disable checks),
+    // verbatim duplicates only warn.
+    assert!(report.has_errors());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::DuplicateDirective && d.severity == Severity::Warning));
+}
+
+#[test]
+fn lint_binary_json_output_round_trips() {
+    let lint = env!("CARGO_BIN_EXE_hermes-lint");
+    let out = Command::new(lint)
+        .args(["--materialize", "--format", "json"])
+        .arg(repo_path("tests/fixtures/materialize_safe.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    let files = hermes::report_from_json(&text)
+        .unwrap_or_else(|e| panic!("emitted JSON must validate: {e}\n{text}"));
+    assert_eq!(files.len(), 1);
+    assert!(files[0].error.is_none());
+    assert!(files[0]
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::MaterializeSafe && d.fingerprint.is_some()));
+
+    // SARIF mode parses as JSON and names the fired rules.
+    let sarif = Command::new(lint)
+        .args(["--materialize", "--format", "sarif"])
+        .arg(repo_path("tests/fixtures/materialize_safe.hms"))
+        .output()
+        .expect("hermes-lint runs");
+    let doc = hermes::analysis::json::parse(&String::from_utf8_lossy(&sarif.stdout))
+        .expect("SARIF is valid JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "SARIF version"
+    );
+}
+
+#[test]
+fn lint_snapshot_of_examples_matches_committed_expectation() {
+    // CI runs the same comparison; regenerate with
+    //   cargo run --bin hermes-lint -- --materialize --format json \
+    //     examples/programs > tests/expectations/examples_lint.json
+    // from the repository root.
+    let lint = env!("CARGO_BIN_EXE_hermes-lint");
+    let out = Command::new(lint)
+        .current_dir(repo_path(""))
+        .args(["--materialize", "--format", "json", "examples/programs"])
+        .output()
+        .expect("hermes-lint runs");
+    assert_eq!(out.status.code(), Some(0));
+    let got = String::from_utf8(out.stdout).expect("utf-8");
+    let want = std::fs::read_to_string(repo_path("tests/expectations/examples_lint.json"))
+        .expect("committed snapshot exists");
+    assert_eq!(
+        got, want,
+        "lint snapshot drifted; regenerate tests/expectations/examples_lint.json"
+    );
 }
 
 #[test]

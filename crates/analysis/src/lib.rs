@@ -49,12 +49,14 @@ pub mod json;
 mod materialize;
 mod output;
 mod sigs;
+mod verdicts;
 
 pub use analyzer::{Analyzer, QueryForm, SignatureTable};
 pub use diagnostic::{AnalysisReport, DiagCode, Diagnostic, Locus, Severity};
 pub use directives::{parse_directives, CacheRouting, Directives};
 pub use fingerprint::{fingerprint_body, fingerprint_rule, Fingerprint, SubplanKey};
 pub use output::{report_from_json, report_to_json, report_to_sarif, FileReport, JSON_SCHEMA};
+pub use verdicts::{MaterializationVerdicts, RuleVerdict, SubplanVerdict};
 
 use hermes_common::Result;
 use hermes_lang::{groundability, parse_program, BodyAtom, Program};

@@ -147,7 +147,7 @@ pub(crate) fn run(program: &Program, inputs: &Inputs<'_>, out: &mut Vec<Diagnost
 
 /// The rule's entry bindings: the first declared query form matching the
 /// head picks which head positions arrive bound; without one, all-free.
-fn adornment_for(forms: &[QueryForm], rule: &Rule) -> Vec<bool> {
+pub(crate) fn adornment_for(forms: &[QueryForm], rule: &Rule) -> Vec<bool> {
     forms
         .iter()
         .find(|f| f.pred == rule.head.name && f.bound.len() == rule.head.args.len())
@@ -163,7 +163,7 @@ fn adornment_string(bound: &[bool]) -> String {
 /// atoms plus, transitively, those of the rules defining every IDB
 /// predicate it references. An update to any of them can change the
 /// subplan's answer set.
-fn transitive_calls(program: &Program, rule: &Rule) -> BTreeSet<Call> {
+pub(crate) fn transitive_calls(program: &Program, rule: &Rule) -> BTreeSet<Call> {
     let mut calls = BTreeSet::new();
     let mut seen: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
     let mut stack: Vec<&Rule> = vec![rule];
@@ -187,7 +187,7 @@ fn transitive_calls(program: &Program, rule: &Rule) -> BTreeSet<Call> {
 
 /// True when the rule's head or any predicate its body (transitively)
 /// references sits on a recursive SCC.
-fn touches_recursion(
+pub(crate) fn touches_recursion(
     program: &Program,
     rule: &Rule,
     recursive: &BTreeSet<(Arc<str>, usize)>,

@@ -254,6 +254,9 @@ fn bench_executor() {
     // Warm the cache.
     m.query("?- p('p_3', B).").unwrap();
     let network = m.network();
+    // Raw CIM handle: this micro-bench drives Executor directly, bypassing
+    // the mediator (and thus the caches() facade) on purpose.
+    #[allow(deprecated)]
     let cim = m.cim();
     let dcsm = m.dcsm();
     bench(

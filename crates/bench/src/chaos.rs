@@ -83,7 +83,7 @@ fn storm_world(seed: u64, drop_rate: f64, resilient: bool) -> Mediator {
         failure_threshold: if resilient { 3 } else { u32::MAX },
         cooldown: SimDuration::from_millis(2_500),
     });
-    m.cim().lock().set_serve_stale_on_outage(resilient);
+    m.caches().set_serve_stale(resilient);
     m
 }
 

@@ -143,14 +143,11 @@ pub fn run_cell(seed: u64, spec: QuerySpec, site: VideoSite, config: Config) -> 
             m.query(spec.warm_exact).expect("warm-up query");
         }
         Config::CacheEquality => {
-            m.cim().lock().add_invariant(mirror_invariant()).unwrap();
+            m.caches().add_invariant(mirror_invariant()).unwrap();
             m.query(spec.warm_mirror).expect("warm-up query");
         }
         Config::CachePartial => {
-            m.cim()
-                .lock()
-                .add_invariant(frame_range_invariant())
-                .unwrap();
+            m.caches().add_invariant(frame_range_invariant()).unwrap();
             m.query(spec.warm_narrow).expect("warm-up query");
         }
     }

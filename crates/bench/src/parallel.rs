@@ -62,7 +62,11 @@ fn four_site_world(seed: u64) -> Mediator {
         net.place(Arc::new(d), site);
     }
     let mut m = Mediator::from_source("", net).expect("empty program compiles");
-    m.set_policy(CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(CimPolicy::never())
+        .apply()
+        .unwrap();
     m
 }
 

@@ -79,7 +79,11 @@ fn build_world(seed: u64) -> Mediator {
         net,
     )
     .unwrap();
-    m.set_policy(CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(CimPolicy::never())
+        .apply()
+        .unwrap();
     m.config_mut().rewrite.max_plans = 8;
     m
 }

@@ -88,7 +88,7 @@ pub fn rope_world(seed: u64, video_site: VideoSite, policy: CimPolicy) -> Mediat
         net,
     )
     .expect("rope world program compiles");
-    mediator.set_policy(policy);
+    mediator.caches().policy().routing(policy).apply().unwrap();
     mediator
 }
 

@@ -373,6 +373,27 @@ impl AnswerCache {
         victims.len()
     }
 
+    /// Replaces the byte budget (`None` removes it), evicting immediately
+    /// if the new budget is already overflowed.
+    pub fn set_budget(&mut self, bytes: Option<usize>) {
+        self.budget_bytes = bytes;
+        self.enforce_budget();
+    }
+
+    /// Drops every entry for one `(domain, function)` — the precise
+    /// invalidation a single-source answer change calls for. Victims come
+    /// from the function's posting list, so the cost is proportional to
+    /// that function's entries.
+    pub fn invalidate_function(&mut self, domain: &str, function: &str) -> usize {
+        let victims: Vec<GroundCall> = by_function_get(&self.postings, domain, function)
+            .map(|list| list.iter().cloned().collect())
+            .unwrap_or_default();
+        for v in &victims {
+            self.remove_entry(v);
+        }
+        victims.len()
+    }
+
     /// Drops entries older than `max_age` relative to `now`.
     pub fn expire(&mut self, now: SimInstant, max_age: hermes_common::SimDuration) -> usize {
         let victims: Vec<GroundCall> = self

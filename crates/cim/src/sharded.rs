@@ -228,6 +228,16 @@ impl ShardedCim {
             .sum()
     }
 
+    /// Drops every cached entry for one `(domain, function)`. Only the
+    /// owning shard is visited.
+    pub fn invalidate_function(&self, domain: &str, function: &str) -> usize {
+        let shard = &self.shards[shard_index(domain, function, self.shards.len())];
+        shard
+            .lock()
+            .cache_mut()
+            .invalidate_function(domain, function)
+    }
+
     /// Drops entries older than `max_age` in every shard; returns entries
     /// removed.
     pub fn expire(&self, now: SimInstant, max_age: SimDuration) -> usize {
@@ -254,6 +264,15 @@ impl ShardedCim {
     pub fn for_each_shard(&self, mut f: impl FnMut(usize, &Cim)) {
         for (i, shard) in self.shards.iter().enumerate() {
             f(i, &shard.lock());
+        }
+    }
+
+    /// Runs `f` over each shard in index order with mutable access (one
+    /// shard locked at a time). For configuration that must reach every
+    /// shard, e.g. per-shard cache budgets.
+    pub fn for_each_shard_mut(&self, mut f: impl FnMut(usize, &mut Cim)) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            f(i, &mut shard.lock());
         }
     }
 }

@@ -56,6 +56,19 @@ impl Default for CostConfig {
     }
 }
 
+/// The DCSM call patterns of every call step of `plan`, in step order —
+/// the per-execution work a materialized subplan saves
+/// ([`CostSource::estimate_subplan_savings`]).
+pub(crate) fn plan_patterns(plan: &Plan) -> Vec<CallPattern> {
+    plan.steps
+        .iter()
+        .filter_map(|step| match step {
+            PlanStep::Call { call, .. } => Some(step_pattern(call)),
+            _ => None,
+        })
+        .collect()
+}
+
 /// The DCSM call pattern of a plan call step: constants stay constants,
 /// variables become `$b`.
 fn step_pattern(call: &CallTemplate) -> CallPattern {

@@ -19,6 +19,7 @@
 
 use crate::breaker::{Admission, BreakerBank};
 use crate::flight::{FlightRole, InFlightRegistry};
+use crate::matcache::{MatCache, MatLookup, MatRole, MatTicket};
 use crate::plan::{Plan, PlanStep, Route};
 use crate::tier::{PlanTier, TierReason};
 use crate::trace::{TraceEntry, TraceEvent};
@@ -113,6 +114,13 @@ pub struct ExecConfig {
     /// Estimated `T_all` (DCSM, milliseconds) at or under which a remote
     /// call still qualifies for the `CachedPlusCheapRemote` tier.
     pub cheap_call_ms: f64,
+    /// Consult the subplan materialization cache ([`crate::matcache`]):
+    /// serve repeated plans from their materialized answers, coalesce
+    /// concurrent identical plans into one computation, and store
+    /// complete results for later queries. Off by default — the
+    /// paper-exact serial path recomputes every plan. Requires a cache
+    /// attached via [`Executor::with_matcache`]; a no-op without one.
+    pub share_subplans: bool,
 }
 
 impl Default for ExecConfig {
@@ -137,6 +145,7 @@ impl Default for ExecConfig {
             tier: PlanTier::Full,
             budget: None,
             cheap_call_ms: 250.0,
+            share_subplans: false,
         }
     }
 }
@@ -215,6 +224,8 @@ builder_setters! {
     budget: Option<SimDuration>,
     /// See [`ExecConfig::cheap_call_ms`].
     cheap_call_ms: f64,
+    /// See [`ExecConfig::share_subplans`].
+    share_subplans: bool,
 }
 
 /// Execution counters.
@@ -275,6 +286,16 @@ pub struct ExecStats {
     pub tier_downgrades: u64,
     /// Remote calls skipped because the active tier forbade them.
     pub tier_skipped_calls: u64,
+    /// Runs served whole from a materialized subplan entry.
+    pub subplan_hits: u64,
+    /// Complete plan results admitted into the subplan cache.
+    pub subplans_materialized: u64,
+    /// Runs served by another query's in-flight subplan computation
+    /// (single-flight followers at the plan level).
+    pub subplans_coalesced: u64,
+    /// Complete plan results the subplan cache refused to admit
+    /// (admission price or byte budget).
+    pub subplan_rejections: u64,
 }
 
 impl ExecStats {
@@ -308,6 +329,10 @@ impl ExecStats {
         self.round_trips_saved += other.round_trips_saved;
         self.tier_downgrades += other.tier_downgrades;
         self.tier_skipped_calls += other.tier_skipped_calls;
+        self.subplan_hits += other.subplan_hits;
+        self.subplans_materialized += other.subplans_materialized;
+        self.subplans_coalesced += other.subplans_coalesced;
+        self.subplan_rejections += other.subplan_rejections;
     }
 }
 
@@ -464,6 +489,9 @@ pub struct Executor<'w> {
     /// queries coalesce into one source round trip. `None` (the serial
     /// mediator) disables coalescing.
     flight: Option<&'w InFlightRegistry>,
+    /// Shared subplan materialization cache. `None`, or
+    /// `share_subplans: false`, disables whole-plan caching.
+    matcache: Option<&'w MatCache>,
     /// The tier the run is currently serving at. Starts at
     /// `config.tier`; budget pressure may step it down, never up.
     tier: PlanTier,
@@ -495,6 +523,7 @@ impl<'w> Executor<'w> {
             groups: HashMap::new(),
             prefetch: HashMap::new(),
             flight: None,
+            matcache: None,
             tier: config.tier,
             budget_at: None,
         }
@@ -512,6 +541,14 @@ impl<'w> Executor<'w> {
     /// trip) or follow (block for the leader's published answers).
     pub fn with_flight(mut self, registry: &'w InFlightRegistry) -> Self {
         self.flight = Some(registry);
+        self
+    }
+
+    /// Attaches a shared subplan materialization cache: runs with
+    /// [`ExecConfig::share_subplans`] set serve repeated plans from their
+    /// materialized answers and store complete results for later queries.
+    pub fn with_matcache(mut self, cache: &'w MatCache) -> Self {
+        self.matcache = Some(cache);
         self
     }
 
@@ -585,9 +622,90 @@ impl<'w> Executor<'w> {
             HashMap::new()
         };
         self.prefetch.clear();
-        self.exec(&plan.steps, 0, &Subst::new(), &mut out)?;
+
+        // Subplan materialization (matcache). A ticket exists only when
+        // sharing is on, a cache is attached, and the installed verdicts
+        // classify every source the plan reads as safe (HA070/HA071).
+        let mat = if self.config.share_subplans {
+            self.matcache
+        } else {
+            None
+        };
+        let ticket = mat.and_then(|m| m.ticket(plan));
+        let mut flight_leader = None;
+        if let (Some(mat), Some(ticket)) = (mat, ticket.as_ref()) {
+            match mat.lookup(ticket) {
+                MatLookup::Hit(rows) => {
+                    self.stats.subplan_hits += 1;
+                    return Ok(self.serve_materialized(ticket, &rows, out));
+                }
+                MatLookup::Miss { invalidated } => {
+                    if let Some((domain, function)) = invalidated {
+                        self.note(TraceEvent::SubplanInvalidated {
+                            fingerprint: ticket.fingerprint(),
+                            domain: domain.to_string(),
+                            function: function.to_string(),
+                        });
+                    }
+                }
+            }
+            // Single-flight at the plan level — only for full, sink-less
+            // runs: a limited or streaming run may stop early, so its
+            // result is neither shareable nor storable.
+            if out.limit.is_none() && out.sink.is_none() {
+                while flight_leader.is_none() {
+                    match mat.join(ticket) {
+                        MatRole::Leader(leader) => flight_leader = Some(leader),
+                        MatRole::Follower(follower) => {
+                            if let Some(rows) = follower.wait() {
+                                self.stats.subplans_coalesced += 1;
+                                return Ok(self.serve_materialized(ticket, &rows, out));
+                            }
+                            // The leader abandoned (error, deadline,
+                            // downgrade). Another query may have stored
+                            // meanwhile; otherwise re-join, so one waiter
+                            // inherits leadership.
+                            if let MatLookup::Hit(rows) = mat.lookup(ticket) {
+                                self.stats.subplan_hits += 1;
+                                return Ok(self.serve_materialized(ticket, &rows, out));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let finished = self.exec(&plan.steps, 0, &Subst::new(), &mut out)?;
         let t_all = self.clock.now().duration_since(out.start);
         let incomplete = out.incomplete || out.provenance.iter().any(|p| !p.complete());
+        if let (Some(mat), Some(ticket), Some(leader)) =
+            (mat, ticket.as_ref(), flight_leader.take())
+        {
+            // Store + publish only complete results; a partial snapshot
+            // must never masquerade as the subplan's full answer set. An
+            // unpublishable flight abandons on drop, releasing followers
+            // to compute for themselves.
+            if finished && !incomplete {
+                let shared: Arc<[Subst]> = out.answers.as_slice().into();
+                let patterns = crate::cost::plan_patterns(plan);
+                let savings_ms = self.dcsm.estimate_subplan_savings(&patterns, 2);
+                match mat.store(ticket, shared.clone(), savings_ms) {
+                    crate::matcache::StoreOutcome::Stored(_) => {
+                        self.stats.subplans_materialized += 1;
+                        self.note(TraceEvent::SubplanMaterialized {
+                            fingerprint: ticket.fingerprint(),
+                            rows: shared.len(),
+                            savings_ms,
+                        });
+                    }
+                    crate::matcache::StoreOutcome::RejectedSavings
+                    | crate::matcache::StoreOutcome::RejectedSize => {
+                        self.stats.subplan_rejections += 1;
+                    }
+                }
+                leader.publish(&shared);
+            }
+        }
         Ok(ExecOutcome {
             answers: out.answers,
             t_first: out.t_first,
@@ -598,6 +716,50 @@ impl<'w> Executor<'w> {
             trace: std::mem::take(&mut self.trace),
             clock: self.clock.clone(),
         })
+    }
+
+    /// Serves a materialized answer set as the run's result: every row is
+    /// delivered through the normal answer path (limit, sink, trace), but
+    /// no source is called and no virtual time is charged — the subplan
+    /// cache is mediator-local memory.
+    fn serve_materialized(
+        &mut self,
+        ticket: &MatTicket,
+        rows: &Arc<[Subst]>,
+        mut out: RunState,
+    ) -> ExecOutcome {
+        self.note(TraceEvent::SubplanHit {
+            fingerprint: ticket.fingerprint(),
+            rows: rows.len(),
+        });
+        for theta in rows.iter() {
+            let elapsed = self.clock.now().duration_since(out.start);
+            if out.t_first.is_none() {
+                out.t_first = Some(elapsed);
+            }
+            out.answers.push(theta.clone());
+            self.note(TraceEvent::Answer {
+                ordinal: out.answers.len(),
+            });
+            if let Some(sink) = out.sink.as_mut() {
+                if !sink(theta, elapsed) {
+                    break;
+                }
+            }
+            if out.limit.is_some_and(|l| out.answers.len() >= l) {
+                break;
+            }
+        }
+        ExecOutcome {
+            answers: out.answers,
+            t_first: out.t_first,
+            t_all: self.clock.now().duration_since(out.start),
+            stats: self.stats,
+            incomplete: false,
+            provenance: out.provenance,
+            trace: std::mem::take(&mut self.trace),
+            clock: self.clock.clone(),
+        }
     }
 
     /// Recursive nested-loops step. Returns `false` when the consumer has

@@ -35,10 +35,12 @@
 //! ```
 
 pub mod breaker;
+pub mod caches;
 pub mod cost;
 pub mod cursor;
 pub mod exec;
 pub mod flight;
+pub mod matcache;
 pub mod mediator;
 pub mod plan;
 pub mod rewrite;
@@ -47,6 +49,7 @@ pub mod tier;
 pub mod trace;
 
 pub use breaker::{Admission, Breaker, BreakerBank, BreakerConfig, BreakerState};
+pub use caches::{CacheControl, CachePolicy, CacheSnapshot, CacheTier, InvalidationSweep};
 pub use cost::{choose_plan, estimate_plan, CostConfig};
 pub use cursor::{InteractiveQuery, InteractiveSummary};
 pub use exec::{
@@ -54,6 +57,7 @@ pub use exec::{
     SubgoalProvenance,
 };
 pub use flight::{FlightHandle, FlightLeader, FlightRole, InFlightRegistry};
+pub use matcache::{MatCache, MatCacheConfig, MatCacheStats, MatLookup, MatRole, MatTicket};
 pub use mediator::{Mediator, MediatorConfig, Planned, QueryRequest, QueryResult};
 pub use plan::{independence_groups, Plan, PlanStep, Route};
 pub use rewrite::{

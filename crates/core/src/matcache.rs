@@ -1,0 +1,767 @@
+//! The **matcache**: a runtime cache of materialized subplan results.
+//!
+//! The CIM caches *ground source calls*; everything above them — joins,
+//! selections, the whole flat plan — is recomputed for every query. This
+//! module caches whole-plan answer sets keyed by the canonical subplan
+//! fingerprints PR 7 introduced ([`Plan::fingerprint`](crate::Plan)), so a
+//! repeated query costs one lookup instead of a re-execution, and
+//! concurrent identical queries coalesce into a single computation.
+//!
+//! ## Safety gating (HA070/HA071)
+//!
+//! A snapshot of a subplan's answers is only sound when every source it
+//! reads has an invalidation signal. The cache therefore refuses to issue
+//! a [`MatTicket`] — the capability to look up, coalesce, or store — for
+//! any plan whose calls the installed
+//! [`MaterializationVerdicts`] classify as volatile, and for *all* plans
+//! until verdicts are installed at all. No ticket, no entry: HA071-volatile
+//! subplans can never produce a cache hit, by construction.
+//!
+//! ## Admission and demotion
+//!
+//! Entries are priced at store time with the analyzer's own HA073 measure
+//! (`Dcsm::estimate_subplan_savings`): an entry must promise at least
+//! [`MatCacheConfig::min_savings_ms`] of saved work to be admitted, and
+//! when the byte budget overflows the *lowest-savings* entries are demoted
+//! first — the same rule the DCSM uses to rank sharing opportunities.
+//!
+//! ## Invalidation (HA074)
+//!
+//! Each entry records the `(domain, function)` sources its plan reads
+//! ([`SubplanKey::calls`]). [`MatCache::invalidate_source`] drops exactly
+//! the entries that read the updated source — the runtime realization of
+//! the HA074 invalidation scope — and leaves a tombstone so the next query
+//! that re-materializes the subplan can report *why* it missed
+//! (`TraceEvent::SubplanInvalidated`).
+//!
+//! ## Single-flight coalescing
+//!
+//! Mirrors [`crate::flight`], lifted from ground calls to whole subplans:
+//! the first query to miss becomes the **leader** and computes the result;
+//! concurrent identical queries become **followers** and block until the
+//! leader publishes one shared `Arc<[Subst]>`. An abandoned flight (leader
+//! errored, hit its deadline, or was downgraded) releases followers to
+//! re-join, exactly like ground-call flights.
+//!
+//! ## Lock order and soundness
+//!
+//! The store lock and the flight-registry lock are never held together,
+//! never across plan execution, and never while a slot lock is held. A
+//! leader stores *before* publishing, so there is no window in which a
+//! follower resolves but a fresh query misses.
+
+use crate::plan::Plan;
+use hermes_analysis::{MaterializationVerdicts, SubplanKey, SubplanVerdict};
+use hermes_common::sync::Mutex;
+use hermes_lang::Subst;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+
+type Call = (Arc<str>, Arc<str>);
+
+/// Identity of a materialized subplan. The fingerprint alone is stable
+/// across variable renaming, but the stored answers are [`Subst`]s over
+/// *this* plan's variable names — so the key also pins the canonical form
+/// and the exact variable set, and an alpha-renamed twin takes a clean
+/// miss instead of answers it cannot read.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct MatKey {
+    fingerprint: u64,
+    canonical: String,
+    vars: String,
+}
+
+/// The capability to use the matcache for one plan: issued by
+/// [`MatCache::ticket`] only for plans the installed verdicts classify as
+/// safe to materialize.
+#[derive(Clone, Debug)]
+pub struct MatTicket {
+    key: MatKey,
+    sub: SubplanKey,
+}
+
+impl MatTicket {
+    /// The plan's canonical fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.sub.fingerprint.0
+    }
+}
+
+/// One materialized entry.
+#[derive(Debug)]
+struct Entry {
+    answers: Arc<[Subst]>,
+    calls: Vec<Call>,
+    bytes: usize,
+    savings_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    entries: HashMap<MatKey, Entry>,
+    /// HA074 reverse index: source call → keys whose plans read it.
+    by_call: BTreeMap<Call, BTreeSet<MatKey>>,
+    /// Keys evicted by [`MatCache::invalidate_source`], with the call
+    /// that dirtied them; consumed by the next lookup so the recomputing
+    /// query can trace the invalidation.
+    tombstones: HashMap<MatKey, Call>,
+    bytes: usize,
+    budget_bytes: usize,
+    min_savings_ms: f64,
+}
+
+impl Store {
+    fn remove(&mut self, key: &MatKey) -> Option<Entry> {
+        let entry = self.entries.remove(key)?;
+        self.bytes -= entry.bytes;
+        for call in &entry.calls {
+            if let Some(set) = self.by_call.get_mut(call) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_call.remove(call);
+                }
+            }
+        }
+        Some(entry)
+    }
+}
+
+/// Configuration for a [`MatCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct MatCacheConfig {
+    /// Byte budget for materialized answer sets; lowest-savings entries
+    /// are demoted first when it overflows.
+    pub budget_bytes: usize,
+    /// Admission floor: an entry must promise at least this much saved
+    /// work (DCSM estimate, milliseconds) to be stored.
+    pub min_savings_ms: f64,
+}
+
+impl Default for MatCacheConfig {
+    fn default() -> Self {
+        MatCacheConfig {
+            budget_bytes: 4 * 1024 * 1024,
+            min_savings_ms: 0.0,
+        }
+    }
+}
+
+/// Why a store was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Admitted; carries the entry's byte size.
+    Stored(usize),
+    /// The DCSM-estimated saving fell below the admission floor.
+    RejectedSavings,
+    /// The answer set alone exceeds the whole byte budget.
+    RejectedSize,
+}
+
+/// Counter snapshot (see [`MatCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatCacheStats {
+    /// Lookups served from a materialized entry.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Complete plan results admitted into the cache.
+    pub materialized: u64,
+    /// Queries served by another query's in-flight computation
+    /// (single-flight followers).
+    pub coalesced: u64,
+    /// Stores refused by the admission price or size check.
+    pub rejected: u64,
+    /// Entries demoted to make room under the byte budget.
+    pub demoted: u64,
+    /// Entries dropped by source invalidation.
+    pub invalidated: u64,
+    /// Plans refused a ticket because a source they read is volatile.
+    pub volatile_skips: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Live bytes.
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+struct MatSlot {
+    state: Mutex<SlotState>,
+    arrived: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Done(Arc<[Subst]>),
+    Abandoned,
+}
+
+impl MatSlot {
+    fn new() -> Self {
+        MatSlot {
+            state: Mutex::new(SlotState::Pending),
+            arrived: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, state: SlotState) {
+        *self.state.lock() = state;
+        self.arrived.notify_all();
+    }
+}
+
+/// A follower's handle on another query's in-flight subplan computation.
+#[derive(Debug)]
+pub struct MatFollower {
+    slot: Arc<MatSlot>,
+}
+
+impl MatFollower {
+    /// Blocks until the leader resolves. `Some` shares the leader's
+    /// answers (`Arc` bump); `None` means the leader abandoned and the
+    /// caller must compute (re-joining first, so one follower inherits
+    /// leadership).
+    pub fn wait(self) -> Option<Arc<[Subst]>> {
+        let mut state = self.slot.state.lock();
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self
+                        .slot
+                        .arrived
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                SlotState::Done(answers) => return Some(answers.clone()),
+                SlotState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// The leader's obligation to resolve its subplan flight. Dropping the
+/// token without publishing abandons the flight (covers error returns,
+/// deadline unwinds, and panics).
+#[derive(Debug)]
+pub struct MatLeader<'m> {
+    cache: &'m MatCache,
+    key: MatKey,
+    slot: Arc<MatSlot>,
+    resolved: bool,
+}
+
+impl MatLeader<'_> {
+    /// Publishes the computed answers to every follower and closes the
+    /// flight. Publication is independent of admission: followers share
+    /// the result even when the store was refused.
+    pub fn publish(mut self, answers: &Arc<[Subst]>) {
+        self.cache.remove_flight(&self.key);
+        self.slot.resolve(SlotState::Done(answers.clone()));
+        self.resolved = true;
+    }
+}
+
+impl Drop for MatLeader<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.cache.remove_flight(&self.key);
+            self.slot.resolve(SlotState::Abandoned);
+        }
+    }
+}
+
+/// The caller's role in a subplan flight (see [`MatCache::join`]).
+#[derive(Debug)]
+pub enum MatRole<'m> {
+    /// First query in: compute the plan, then publish or abandon.
+    Leader(MatLeader<'m>),
+    /// A leader is already computing: wait for its result.
+    Follower(MatFollower),
+}
+
+/// A lookup's result.
+#[derive(Debug)]
+pub enum MatLookup {
+    /// A materialized entry; share and serve.
+    Hit(Arc<[Subst]>),
+    /// No entry. `invalidated` names the source update that evicted a
+    /// previous materialization of this exact subplan, if one did.
+    Miss {
+        /// The `(domain, function)` whose invalidation caused this miss.
+        invalidated: Option<Call>,
+    },
+}
+
+/// The subplan materialization cache. Thread-safe; shared by every query
+/// of a [`crate::ConcurrentMediator`] and owned (behind `Arc`) by the
+/// serial [`crate::Mediator`].
+#[derive(Debug)]
+pub struct MatCache {
+    store: Mutex<Store>,
+    flights: Mutex<HashMap<MatKey, Arc<MatSlot>>>,
+    /// `(epoch, verdicts)`: which program/policy state the verdicts
+    /// describe. No verdicts → no tickets → the cache is inert.
+    verdicts: Mutex<Option<(u64, Arc<MaterializationVerdicts>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    materialized: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    demoted: AtomicU64,
+    invalidated: AtomicU64,
+    volatile_skips: AtomicU64,
+}
+
+impl Default for MatCache {
+    fn default() -> Self {
+        MatCache::new(MatCacheConfig::default())
+    }
+}
+
+impl MatCache {
+    /// An empty cache. Inert until verdicts are installed.
+    pub fn new(config: MatCacheConfig) -> Self {
+        MatCache {
+            store: Mutex::new(Store {
+                budget_bytes: config.budget_bytes,
+                min_savings_ms: config.min_savings_ms,
+                ..Store::default()
+            }),
+            flights: Mutex::new(HashMap::new()),
+            verdicts: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            materialized: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            demoted: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            volatile_skips: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs the safety verdicts for program/policy state `epoch` and
+    /// sweeps out any entry the new verdicts no longer classify as safe
+    /// (a policy change can turn a cached source volatile).
+    pub fn install_verdicts(&self, epoch: u64, verdicts: MaterializationVerdicts) {
+        let verdicts = Arc::new(verdicts);
+        let mut store = self.store.lock();
+        let stale: Vec<MatKey> = store
+            .entries
+            .iter()
+            .filter(|(_, e)| verdicts.verdict_for_calls(e.calls.iter()) != SubplanVerdict::Safe)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &stale {
+            store.remove(key);
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(store);
+        *self.verdicts.lock() = Some((epoch, verdicts));
+    }
+
+    /// The epoch of the installed verdicts, if any — the mediator's cue
+    /// to refresh after a program or policy change.
+    pub fn verdicts_epoch(&self) -> Option<u64> {
+        self.verdicts.lock().as_ref().map(|(e, _)| *e)
+    }
+
+    /// Issues the capability to use the cache for `plan`: `None` when no
+    /// verdicts are installed, when the plan makes no source calls, or
+    /// when any source it reads is volatile (the HA070/HA071 gate).
+    pub fn ticket(&self, plan: &Plan) -> Option<MatTicket> {
+        let verdicts = {
+            let guard = self.verdicts.lock();
+            guard.as_ref().map(|(_, v)| v.clone())?
+        };
+        let sub = plan.fingerprint();
+        if sub.calls.is_empty() {
+            return None;
+        }
+        if verdicts.verdict_for_calls(sub.calls.iter()) != SubplanVerdict::Safe {
+            self.volatile_skips.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut vars: BTreeSet<Arc<str>> = plan.answer_vars.iter().cloned().collect();
+        for atom in plan.body_atoms() {
+            vars.extend(atom.variables());
+        }
+        let vars: Vec<&str> = vars.iter().map(|v| v.as_ref()).collect();
+        let key = MatKey {
+            fingerprint: sub.fingerprint.0,
+            canonical: sub.canonical.clone(),
+            vars: vars.join(","),
+        };
+        Some(MatTicket { key, sub })
+    }
+
+    /// Looks the ticket's subplan up.
+    pub fn lookup(&self, ticket: &MatTicket) -> MatLookup {
+        let mut store = self.store.lock();
+        if let Some(entry) = store.entries.get(&ticket.key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return MatLookup::Hit(entry.answers.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let invalidated = store.tombstones.remove(&ticket.key);
+        MatLookup::Miss { invalidated }
+    }
+
+    /// Joins the flight for the ticket's subplan, becoming its leader or
+    /// a follower.
+    pub fn join(&self, ticket: &MatTicket) -> MatRole<'_> {
+        let mut flights = self.flights.lock();
+        if let Some(slot) = flights.get(&ticket.key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            MatRole::Follower(MatFollower { slot: slot.clone() })
+        } else {
+            let slot = Arc::new(MatSlot::new());
+            flights.insert(ticket.key.clone(), slot.clone());
+            MatRole::Leader(MatLeader {
+                cache: self,
+                key: ticket.key.clone(),
+                slot,
+                resolved: false,
+            })
+        }
+    }
+
+    /// Stores a complete plan result, pricing admission with the caller's
+    /// DCSM savings estimate and demoting lowest-savings entries while
+    /// the byte budget overflows.
+    pub fn store(
+        &self,
+        ticket: &MatTicket,
+        answers: Arc<[Subst]>,
+        savings_ms: f64,
+    ) -> StoreOutcome {
+        let bytes: usize = answers.iter().map(subst_bytes).sum();
+        let mut store = self.store.lock();
+        if savings_ms < store.min_savings_ms {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return StoreOutcome::RejectedSavings;
+        }
+        if bytes > store.budget_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return StoreOutcome::RejectedSize;
+        }
+        store.remove(&ticket.key);
+        store.tombstones.remove(&ticket.key);
+        for call in &ticket.sub.calls {
+            store
+                .by_call
+                .entry(call.clone())
+                .or_default()
+                .insert(ticket.key.clone());
+        }
+        store.bytes += bytes;
+        store.entries.insert(
+            ticket.key.clone(),
+            Entry {
+                answers,
+                calls: ticket.sub.calls.clone(),
+                bytes,
+                savings_ms,
+            },
+        );
+        // Demote cheapest-to-recompute entries first; never the incoming
+        // one (it already fits and is the freshest evidence of reuse).
+        while store.bytes > store.budget_bytes {
+            let victim = store
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != ticket.key)
+                .min_by(|a, b| a.1.savings_ms.total_cmp(&b.1.savings_ms))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    store.remove(&k);
+                    self.demoted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        self.materialized.fetch_add(1, Ordering::Relaxed);
+        StoreOutcome::Stored(bytes)
+    }
+
+    /// Drops exactly the entries whose plans read `domain:function` — the
+    /// HA074 invalidation scope, realized. Returns the number of entries
+    /// dropped; each leaves a tombstone so the recomputing query can
+    /// trace why it missed.
+    pub fn invalidate_source(&self, domain: &str, function: &str) -> usize {
+        let call: Call = (Arc::from(domain), Arc::from(function));
+        let mut store = self.store.lock();
+        let victims: Vec<MatKey> = store
+            .by_call
+            .get(&call)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        for key in &victims {
+            store.remove(key);
+            store.tombstones.insert(key.clone(), call.clone());
+        }
+        self.invalidated
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        victims.len()
+    }
+
+    /// Empties the cache (entries, index, tombstones); counters persist.
+    pub fn clear(&self) {
+        let mut store = self.store.lock();
+        store.entries.clear();
+        store.by_call.clear();
+        store.tombstones.clear();
+        store.bytes = 0;
+    }
+
+    /// Replaces the byte budget, demoting immediately if the new budget
+    /// is already overflowed.
+    pub fn set_budget(&self, bytes: usize) {
+        let mut store = self.store.lock();
+        store.budget_bytes = bytes;
+        while store.bytes > store.budget_bytes {
+            let victim = store
+                .entries
+                .iter()
+                .min_by(|a, b| a.1.savings_ms.total_cmp(&b.1.savings_ms))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    store.remove(&k);
+                    self.demoted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Replaces the admission floor (milliseconds of estimated saving).
+    pub fn set_min_savings(&self, ms: f64) {
+        self.store.lock().min_savings_ms = ms;
+    }
+
+    /// Counter snapshot plus live entry/byte counts.
+    pub fn stats(&self) -> MatCacheStats {
+        let (entries, bytes) = {
+            let store = self.store.lock();
+            (store.entries.len(), store.bytes)
+        };
+        MatCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            materialized: self.materialized.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            demoted: self.demoted.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            volatile_skips: self.volatile_skips.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    fn remove_flight(&self, key: &MatKey) {
+        self.flights.lock().remove(key);
+    }
+}
+
+/// Heap footprint of one substitution, for the byte budget.
+fn subst_bytes(theta: &Subst) -> usize {
+    theta
+        .iter()
+        .map(|(name, value)| name.len() + value.size_bytes())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Value;
+
+    fn verdict_program() -> (hermes_lang::Program, MaterializationVerdicts) {
+        let program = hermes_lang::parse_program(
+            "p(A, B) :- in(A, d:f('k')) & in(B, e:g(A)).\n\
+             v(A) :- in(A, feed:price('x')).",
+        )
+        .unwrap();
+        let vol = |d: &str, _f: &str| d == "feed";
+        let v = MaterializationVerdicts::compute(&program, &[], Some(&vol), None);
+        (program, v)
+    }
+
+    fn plan_for(src: &str, program: &hermes_lang::Program) -> Plan {
+        let query = hermes_lang::parse_query(src).unwrap();
+        let policy = hermes_cim::CimPolicy::cache_everything();
+        let plans =
+            crate::rewrite::enumerate_plans(program, &query, &policy, Default::default()).unwrap();
+        plans.into_iter().next().unwrap()
+    }
+
+    fn answers(n: i64) -> Arc<[Subst]> {
+        (0..n)
+            .map(|i| Subst::from_pairs([("A", Value::Int(i)), ("B", Value::Int(i * 10))]))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn no_verdicts_no_tickets() {
+        let (program, verdicts) = verdict_program();
+        let plan = plan_for("?- p(A, B).", &program);
+        let cache = MatCache::default();
+        assert!(cache.ticket(&plan).is_none(), "inert until verdicts land");
+        cache.install_verdicts(1, verdicts);
+        assert!(cache.ticket(&plan).is_some());
+        assert_eq!(cache.verdicts_epoch(), Some(1));
+    }
+
+    #[test]
+    fn volatile_subplans_are_refused_a_ticket() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::default();
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- v(A).", &program);
+        assert!(cache.ticket(&plan).is_none());
+        assert_eq!(cache.stats().volatile_skips, 1);
+    }
+
+    #[test]
+    fn store_then_hit_shares_the_allocation() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::default();
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        assert!(matches!(
+            cache.lookup(&ticket),
+            MatLookup::Miss { invalidated: None }
+        ));
+        let ans = answers(3);
+        assert!(matches!(
+            cache.store(&ticket, ans.clone(), 5.0),
+            StoreOutcome::Stored(_)
+        ));
+        match cache.lookup(&ticket) {
+            MatLookup::Hit(got) => assert!(Arc::ptr_eq(&got, &ans)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.materialized), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalidation_scope_is_per_source_and_leaves_a_tombstone() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::default();
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        cache.store(&ticket, answers(2), 5.0);
+        // An unrelated source evicts nothing.
+        assert_eq!(cache.invalidate_source("nowhere", "seen"), 0);
+        assert!(matches!(cache.lookup(&ticket), MatLookup::Hit(_)));
+        // A source the plan reads evicts exactly this entry.
+        assert_eq!(cache.invalidate_source("e", "g"), 1);
+        match cache.lookup(&ticket) {
+            MatLookup::Miss {
+                invalidated: Some((d, f)),
+            } => assert_eq!((d.as_ref(), f.as_ref()), ("e", "g")),
+            other => panic!("expected tombstoned miss, got {other:?}"),
+        }
+        // The tombstone is consumed.
+        assert!(matches!(
+            cache.lookup(&ticket),
+            MatLookup::Miss { invalidated: None }
+        ));
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn admission_floor_and_budget_demotion() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::new(MatCacheConfig {
+            budget_bytes: 120,
+            min_savings_ms: 1.0,
+        });
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        assert_eq!(
+            cache.store(&ticket, answers(2), 0.5),
+            StoreOutcome::RejectedSavings
+        );
+        assert_eq!(
+            cache.store(&ticket, answers(100), 50.0),
+            StoreOutcome::RejectedSize
+        );
+        assert!(matches!(
+            cache.store(&ticket, answers(2), 50.0),
+            StoreOutcome::Stored(_)
+        ));
+        // Shrinking the budget demotes the (only, cheapest) entry.
+        cache.set_budget(1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.demoted, 1);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn flight_leader_publishes_to_followers() {
+        let (program, verdicts) = verdict_program();
+        let cache = Arc::new(MatCache::default());
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        let MatRole::Leader(leader) = cache.join(&ticket) else {
+            panic!("first join leads");
+        };
+        let MatRole::Follower(follower) = cache.join(&ticket) else {
+            panic!("second join follows");
+        };
+        let ans = answers(4);
+        leader.publish(&ans);
+        let got = follower.wait().expect("published");
+        assert!(Arc::ptr_eq(&got, &ans));
+        // The flight is closed: the next join leads again.
+        assert!(matches!(cache.join(&ticket), MatRole::Leader(_)));
+        assert_eq!(cache.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn abandoned_flight_releases_followers() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::default();
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        let MatRole::Leader(leader) = cache.join(&ticket) else {
+            panic!("lead");
+        };
+        let MatRole::Follower(follower) = cache.join(&ticket) else {
+            panic!("follow");
+        };
+        drop(leader);
+        assert!(follower.wait().is_none());
+        assert!(matches!(cache.join(&ticket), MatRole::Leader(_)));
+    }
+
+    #[test]
+    fn policy_change_sweeps_newly_volatile_entries() {
+        let (program, verdicts) = verdict_program();
+        let cache = MatCache::default();
+        cache.install_verdicts(1, verdicts);
+        let plan = plan_for("?- p(A, B).", &program);
+        let ticket = cache.ticket(&plan).unwrap();
+        cache.store(&ticket, answers(2), 5.0);
+        assert_eq!(cache.stats().entries, 1);
+        // New policy: domain `e` is now volatile.
+        let vol = |d: &str, _f: &str| d == "feed" || d == "e";
+        let v2 = MaterializationVerdicts::compute(&program, &[], Some(&vol), None);
+        cache.install_verdicts(2, v2);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.ticket(&plan).is_none(), "now volatile: no ticket");
+    }
+}

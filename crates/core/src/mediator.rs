@@ -1,9 +1,11 @@
 //! The mediator facade: parse → rewrite → cost → choose → execute.
 
 use crate::breaker::BreakerBank;
+use crate::caches::CacheControl;
 use crate::cost::{choose_plan, estimate_plan, CostConfig};
 use crate::cursor::InteractiveQuery;
 use crate::exec::{ExecConfig, ExecOutcome, ExecStats, Executor, SubgoalProvenance};
+use crate::matcache::MatCache;
 use crate::plan::{Plan, PlanStep};
 use crate::rewrite::{
     cache_servable_plans, enumerate_plans_with_pushdowns, PushdownRule, RewriteConfig,
@@ -234,6 +236,13 @@ pub struct Mediator {
     /// Warning-severity findings from the last `register_program` (or
     /// `analyze`) run; queryable via [`Mediator::analysis_warnings`].
     analysis_warnings: Vec<Diagnostic>,
+    /// The subplan materialization cache. Inert until a query runs with
+    /// `ExecConfig::share_subplans` on.
+    matcache: Arc<MatCache>,
+    /// Monotone counter of program/policy states; the matcache's installed
+    /// verdicts are tagged with it, so a `register_program` or routing
+    /// change triggers a verdict refresh before the next sharing query.
+    cache_epoch: u64,
 }
 
 impl Mediator {
@@ -251,6 +260,8 @@ impl Mediator {
             clock: SimClock::new(),
             pushdowns: Vec::new(),
             analysis_warnings: Vec::new(),
+            matcache: Arc::new(MatCache::default()),
+            cache_epoch: 0,
         })
     }
 
@@ -274,6 +285,7 @@ impl Mediator {
         }
         self.analysis_warnings = report.warnings().into_iter().cloned().collect();
         self.program = program;
+        self.cache_epoch += 1;
         Ok(())
     }
 
@@ -332,8 +344,29 @@ impl Mediator {
     }
 
     /// Replaces the CIM routing policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `caches().policy().routing(..).apply()` — the unified \
+                cache-control facade keeps the subplan cache's safety \
+                verdicts in sync with routing changes"
+    )]
     pub fn set_policy(&mut self, policy: CimPolicy) {
         self.policy = policy;
+        self.cache_epoch += 1;
+    }
+
+    /// The unified cache-control facade over both cache tiers (the CIM's
+    /// ground-call answer cache and the subplan materialization cache):
+    /// stats, per-source invalidation, clearing, invariants, and the
+    /// policy builder. See [`CacheControl`].
+    pub fn caches(&mut self) -> CacheControl<'_> {
+        CacheControl::serial(
+            &self.cim,
+            &mut self.policy,
+            &mut self.config.exec,
+            &mut self.cache_epoch,
+            &self.matcache,
+        )
     }
 
     /// Registers a selection-pushdown rule (§5: "push selections to the
@@ -353,6 +386,12 @@ impl Mediator {
     }
 
     /// The shared CIM (cache + invariants). Add invariants through this.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `caches()` for stats/invariants/invalidation/budgets; \
+                raw CIM access bypasses the facade and the subplan cache's \
+                per-source invalidation scope"
+    )]
     pub fn cim(&self) -> Arc<Mutex<Cim>> {
         self.cim.clone()
     }
@@ -543,6 +582,12 @@ impl Mediator {
     /// [`query`](crate::server::ConcurrentMediator::query) takes `&self`,
     /// so any number of client threads can call it at once.
     pub fn to_concurrent(&self, shards: usize) -> crate::server::ConcurrentMediator {
+        // The concurrent server's planning core is immutable, so its
+        // safety verdicts are fixed here, once, from the program and
+        // routing policy it is born with.
+        if self.config.exec.share_subplans {
+            self.refresh_subplan_verdicts();
+        }
         crate::server::ConcurrentMediator::from_parts(
             self.program.clone(),
             self.policy.clone(),
@@ -552,8 +597,29 @@ impl Mediator {
             hermes_cim::ShardedCim::from_template(&self.cim.lock(), shards),
             hermes_dcsm::ShardedDcsm::from_dcsm(&self.dcsm.lock(), shards),
             self.breakers.clone(),
+            self.matcache.clone(),
             self.clock.now(),
         )
+    }
+
+    /// Recomputes and installs the matcache's HA070/HA074 safety verdicts
+    /// when the installed ones no longer describe the current
+    /// program/policy state. Cheap when current (one epoch compare); a
+    /// flat classification pass when stale.
+    fn refresh_subplan_verdicts(&self) {
+        if self.matcache.verdicts_epoch() == Some(self.cache_epoch) {
+            return;
+        }
+        let routes = |domain: &str, function: &str| {
+            self.policy.decide(domain, function) == RoutingDecision::UseCim
+        };
+        let verdicts = hermes_analysis::MaterializationVerdicts::compute(
+            &self.program,
+            &[],
+            None,
+            Some(&routes),
+        );
+        self.matcache.install_verdicts(self.cache_epoch, verdicts);
     }
 
     /// Executes an already-planned query. When [`MediatorConfig::failover`]
@@ -562,6 +628,9 @@ impl Mediator {
     /// is executed instead; answers the failed attempt already cached are
     /// reused, so replanning resumes rather than restarts.
     pub fn execute(&mut self, planned: Planned, limit: Option<usize>) -> Result<QueryResult> {
+        if self.config.exec.share_subplans {
+            self.refresh_subplan_verdicts();
+        }
         let mut idx = planned.chosen;
         let mut avoid: BTreeSet<String> = BTreeSet::new();
         let mut failovers = 0u32;
@@ -579,6 +648,9 @@ impl Mediator {
                 self.config.exec,
             )
             .with_breakers(&self.breakers);
+            if self.config.exec.share_subplans {
+                executor = executor.with_matcache(&self.matcache);
+            }
             let attempt = executor.run(&plan, limit);
             // The attempt's virtual time is real whether it succeeded or
             // not: a failover resumes *after* the retries the dead plan

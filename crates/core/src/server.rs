@@ -27,9 +27,11 @@
 //! *real* time while each reports its own simulated timeline.
 
 use crate::breaker::BreakerBank;
+use crate::caches::CacheControl;
 use crate::cost::choose_plan;
 use crate::exec::{ExecStats, Executor};
 use crate::flight::InFlightRegistry;
+use crate::matcache::MatCache;
 use crate::mediator::{
     check_mixed_definitions, project, MediatorConfig, Planned, QueryRequest, QueryResult,
 };
@@ -87,6 +89,12 @@ pub struct ServerStats {
     /// Admitted queries that served degraded: started below the `Full`
     /// tier, or downgraded mid-execution under budget pressure.
     pub downgraded: u64,
+    /// Queries served whole from a materialized subplan entry.
+    pub subplan_hits: u64,
+    /// Queries served by another query's in-flight subplan computation.
+    pub subplans_coalesced: u64,
+    /// Complete plan results admitted into the subplan cache.
+    pub subplans_materialized: u64,
 }
 
 /// Admission-gate limits. The default is unbounded on every axis — the
@@ -265,6 +273,11 @@ pub struct ConcurrentMediator {
     dcsm: Arc<ShardedDcsm>,
     breakers: Arc<Mutex<BreakerBank>>,
     flight: Arc<InFlightRegistry>,
+    /// The subplan materialization cache, shared with the serial mediator
+    /// this server was split from. Verdicts were installed at
+    /// `to_concurrent` time; the planning core is immutable, so they
+    /// never go stale here.
+    matcache: Arc<MatCache>,
     /// High-water mark of virtual time over finished queries, in
     /// microseconds since the epoch. Each query's clock starts here.
     epoch_us: AtomicU64,
@@ -286,6 +299,7 @@ impl ConcurrentMediator {
         cim: ShardedCim,
         dcsm: ShardedDcsm,
         breakers: Arc<Mutex<BreakerBank>>,
+        matcache: Arc<MatCache>,
         epoch: SimInstant,
     ) -> Self {
         ConcurrentMediator {
@@ -300,6 +314,7 @@ impl ConcurrentMediator {
             dcsm: Arc::new(dcsm),
             breakers,
             flight: Arc::new(InFlightRegistry::new()),
+            matcache,
             epoch_us: AtomicU64::new(epoch.duration_since(SimInstant::EPOCH).as_micros()),
             queries: AtomicU64::new(0),
             gate: AdmissionGate::unbounded(),
@@ -509,6 +524,9 @@ impl ConcurrentMediator {
             )
             .with_breakers(&self.breakers)
             .with_flight(&self.flight);
+            if config.exec.share_subplans {
+                executor = executor.with_matcache(&self.matcache);
+            }
             let attempt = executor.run(&plan, limit);
             clock.advance_to(executor.now());
             self.push_epoch(clock.now());
@@ -588,6 +606,16 @@ impl ConcurrentMediator {
         &self.cim
     }
 
+    /// The unified cache-control facade over both cache tiers — the
+    /// concurrent counterpart of
+    /// [`Mediator::caches`](crate::mediator::Mediator::caches). Takes
+    /// `&self`: stats, invalidation, clearing, and budget changes are safe
+    /// from any thread. Planning-core knobs (`routing`, `share_subplans`)
+    /// are refused here — they bind at `to_concurrent` time.
+    pub fn caches(&self) -> CacheControl<'_> {
+        CacheControl::shared(&self.cim, &self.matcache)
+    }
+
     /// The sharded statistics cache.
     pub fn dcsm(&self) -> &ShardedDcsm {
         &self.dcsm
@@ -615,6 +643,7 @@ impl ConcurrentMediator {
 
     /// Server-wide counters.
     pub fn stats(&self) -> ServerStats {
+        let mat = self.matcache.stats();
         ServerStats {
             queries: self.queries.load(Ordering::Relaxed),
             calls_coalesced: self.flight.calls_coalesced(),
@@ -626,6 +655,9 @@ impl ConcurrentMediator {
             admitted: self.admitted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             downgraded: self.downgraded.load(Ordering::Relaxed),
+            subplan_hits: mat.hits,
+            subplans_coalesced: mat.coalesced,
+            subplans_materialized: mat.materialized,
         }
     }
 }

@@ -161,6 +161,33 @@ pub enum TraceEvent {
         /// The tier that forbade it.
         tier: crate::tier::PlanTier,
     },
+    /// The whole plan was served from a materialized subplan entry — no
+    /// source was called.
+    SubplanHit {
+        /// The plan's canonical fingerprint.
+        fingerprint: u64,
+        /// Materialized answers served.
+        rows: usize,
+    },
+    /// A complete plan result was admitted into the subplan cache.
+    SubplanMaterialized {
+        /// The plan's canonical fingerprint.
+        fingerprint: u64,
+        /// Answers stored.
+        rows: usize,
+        /// DCSM-estimated saving per future reuse (milliseconds).
+        savings_ms: f64,
+    },
+    /// This plan's previous materialization was evicted by a source
+    /// update; the run recomputes.
+    SubplanInvalidated {
+        /// The plan's canonical fingerprint.
+        fingerprint: u64,
+        /// The updated source's domain.
+        domain: String,
+        /// The updated source's function.
+        function: String,
+    },
 }
 
 /// A timestamped event.
@@ -254,6 +281,32 @@ impl fmt::Display for TraceEntry {
             }
             TraceEvent::TierSkipped { call, tier } => {
                 write!(f, "TSKP {call} skipped (tier `{tier}`)")
+            }
+            TraceEvent::SubplanHit { fingerprint, rows } => {
+                write!(
+                    f,
+                    "MATH subplan {fingerprint:016x} -> {rows} rows (materialized)"
+                )
+            }
+            TraceEvent::SubplanMaterialized {
+                fingerprint,
+                rows,
+                savings_ms,
+            } => {
+                write!(
+                    f,
+                    "MATS subplan {fingerprint:016x} stored ({rows} rows, ~{savings_ms:.1} ms/reuse)"
+                )
+            }
+            TraceEvent::SubplanInvalidated {
+                fingerprint,
+                domain,
+                function,
+            } => {
+                write!(
+                    f,
+                    "MATI subplan {fingerprint:016x} invalidated by {domain}:{function}"
+                )
             }
         }
     }

@@ -20,6 +20,16 @@ use std::sync::MutexGuard;
 pub trait CostSource {
     /// Estimates the cost of a call pattern (§6.3 pattern relaxation).
     fn cost(&self, pattern: &CallPattern) -> EstimateOutcome;
+
+    /// Estimated saving, in milliseconds, from materializing a subplan
+    /// with these call patterns once instead of executing it
+    /// `occurrences` times — [`Dcsm::estimate_subplan_savings`] made
+    /// available through every shared-state view, so the runtime subplan
+    /// cache prices admission with the analyzer's own HA073 measure.
+    fn estimate_subplan_savings(&self, patterns: &[CallPattern], occurrences: usize) -> f64 {
+        let per_exec: f64 = patterns.iter().map(|p| self.cost(p).t_all_ms()).sum();
+        per_exec * occurrences.saturating_sub(1) as f64
+    }
 }
 
 /// Shared-state DCSM access for the executor: estimation plus observation

@@ -42,8 +42,7 @@ fn main() {
     // sound in general — but a *wider* range always contains a narrower
     // one, so a cached narrow range partially answers a wide query:
     mediator
-        .cim()
-        .lock()
+        .caches()
         .add_invariant(
             parse_invariant(
                 "F2 <= F1 & L1 <= L2 =>

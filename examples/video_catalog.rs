@@ -25,8 +25,7 @@ fn main() {
     // Frame-range monotonicity: a cached narrower scene partially answers
     // a wider one.
     mediator
-        .cim()
-        .lock()
+        .caches()
         .add_invariant(
             parse_invariant(
                 "F2 <= F1 & L1 <= L2 =>
@@ -77,8 +76,7 @@ fn main() {
         println!("  {}", row[0]); // the query's only free variable is S
     }
 
-    let cim = mediator.cim();
-    let stats = cim.lock().stats();
+    let stats = mediator.caches().stats().cim;
     println!(
         "\nCIM totals: {} exact, {} equality, {} partial hits; {} misses",
         stats.exact_hits, stats.equal_hits, stats.partial_hits, stats.misses

@@ -170,6 +170,7 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
                                    (HA070-series, priced by the DCSM)\n  \
              :mode all|first       optimization objective\n  \
              :parallel <k>         overlap up to k independent calls (1 = serial)\n  \
+             :share on|off         share materialized subplan results\n  \
              :trace on|off         show execution traces\n  \
              :retry <n> [ms]       retries per call (0 = none), backoff base\n  \
              :deadline <ms>|off    per-query deadline on the virtual clock\n  \
@@ -184,9 +185,8 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
         return Ok(Control::Continue);
     }
     if line == ":stats" {
-        let cim = mediator.cim();
-        let cim = cim.lock();
-        let s = cim.stats();
+        let snap = mediator.caches().stats();
+        let s = snap.cim;
         println!(
             "  CIM: {} exact, {} equality, {} partial hits; {} misses; \
              cache {} entries / {} bytes",
@@ -194,15 +194,26 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
             s.equal_hits,
             s.partial_hits,
             s.misses,
-            cim.cache().len(),
-            cim.cache().bytes()
+            snap.answer_entries,
+            snap.answer_bytes
         );
-        let cs = cim.cache_stats();
+        let cs = snap.answers;
         println!(
             "  answer bytes: {} shared (zero-copy), {} copied",
             cs.bytes_shared, cs.bytes_copied
         );
-        drop(cim);
+        let m = snap.subplans;
+        println!(
+            "  subplans: {} hits, {} coalesced, {} materialized \
+             ({} entries / {} bytes); {} invalidated, {} volatile skips",
+            m.hits,
+            m.coalesced,
+            m.materialized,
+            m.entries,
+            m.bytes,
+            m.invalidated,
+            m.volatile_skips
+        );
         let dcsm = mediator.dcsm();
         let dcsm = dcsm.lock();
         println!(
@@ -326,6 +337,17 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
             stats.cim_lock_contention + stats.dcsm_lock_contention,
         );
         state.serve = Some(stats);
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":share") {
+        match rest.trim() {
+            on @ ("on" | "off") => mediator
+                .caches()
+                .policy()
+                .share_subplans(on == "on")
+                .apply()?,
+            other => println!("unknown share setting `{other}` (use on|off)"),
+        }
         return Ok(Control::Continue);
     }
     if let Some(rest) = line.strip_prefix(":trace") {
@@ -496,7 +518,7 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
     }
     if let Some(inv) = line.strip_prefix(":invariant") {
         let parsed = parse_invariant(inv.trim())?;
-        mediator.cim().lock().add_invariant(parsed)?;
+        mediator.caches().add_invariant(parsed)?;
         println!("  invariant added.");
         return Ok(Control::Continue);
     }

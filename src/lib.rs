@@ -50,17 +50,18 @@ pub use hermes_net as net;
 pub use hermes_analysis::{
     analyze_source, analyze_source_with, report_from_json, report_to_json, report_to_sarif,
     AnalysisReport, AnalyzeOptions, Analyzer, DiagCode, Diagnostic, FileReport, Fingerprint,
-    QueryForm, Severity, SubplanKey,
+    MaterializationVerdicts, QueryForm, Severity, SubplanKey, SubplanVerdict,
 };
 pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision, ShardedCim};
 pub use hermes_common::{
     GroundCall, HermesError, Result, SimClock, SimDuration, SimInstant, Value,
 };
 pub use hermes_core::{
-    BreakerBank, BreakerConfig, BreakerState, ConcurrentMediator, ExecConfig, ExecConfigBuilder,
-    ExecStats, GateConfig, InFlightRegistry, IncompleteReason, InteractiveQuery, Mediator,
-    MediatorConfig, Plan, PlanTier, QueryRequest, QueryResult, ServerStats, SubgoalProvenance,
-    TierReason,
+    BreakerBank, BreakerConfig, BreakerState, CacheControl, CachePolicy, CacheSnapshot, CacheTier,
+    ConcurrentMediator, ExecConfig, ExecConfigBuilder, ExecStats, GateConfig, InFlightRegistry,
+    IncompleteReason, InteractiveQuery, InvalidationSweep, MatCache, MatCacheConfig, MatCacheStats,
+    Mediator, MediatorConfig, Plan, PlanTier, QueryRequest, QueryResult, ServerStats,
+    SubgoalProvenance, TierReason,
 };
 pub use hermes_dcsm::{Dcsm, DcsmConfig, ShardedDcsm};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};

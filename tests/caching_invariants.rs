@@ -15,7 +15,7 @@ fn video_mediator(seed: u64, policy: CimPolicy) -> Mediator {
         net,
     )
     .unwrap();
-    m.set_policy(policy);
+    m.caches().policy().routing(policy).apply().unwrap();
     m
 }
 
@@ -56,10 +56,7 @@ fn partial_invariant_gives_fast_first_answer_but_full_all_answers_time() {
     // speed, all answers near the no-cache time (the actual call still
     // runs, in parallel).
     let mut m = video_mediator(2, CimPolicy::cache_everything());
-    m.cim()
-        .lock()
-        .add_invariant(frame_range_invariant())
-        .unwrap();
+    m.caches().add_invariant(frame_range_invariant()).unwrap();
     // Warm with a narrow range.
     m.query("?- objs(10, 40, O).").unwrap();
     // Query a wider, uncached range.
@@ -85,10 +82,7 @@ fn partial_invariant_gives_fast_first_answer_but_full_all_answers_time() {
 #[test]
 fn partial_answers_complete_and_deduplicated() {
     let mut m = video_mediator(3, CimPolicy::cache_everything());
-    m.cim()
-        .lock()
-        .add_invariant(frame_range_invariant())
-        .unwrap();
+    m.caches().add_invariant(frame_range_invariant()).unwrap();
     // Reference: the same wide query without any cache.
     let mut reference = video_mediator(3, CimPolicy::never());
     let want = {
@@ -108,11 +102,8 @@ fn interactive_stop_within_partial_prefix_skips_actual_call() {
     // "In the interactive mode, the partial set of answers may prove to be
     // sufficient and the actual call may not need to be made at all."
     let m = {
-        let m = video_mediator(4, CimPolicy::cache_everything());
-        m.cim()
-            .lock()
-            .add_invariant(frame_range_invariant())
-            .unwrap();
+        let mut m = video_mediator(4, CimPolicy::cache_everything());
+        m.caches().add_invariant(frame_range_invariant()).unwrap();
         m
     };
     let mut warmup = m.query_interactive("?- objs(10, 40, O).").unwrap();
@@ -144,8 +135,7 @@ fn equality_invariant_spatial_range_shrinking() {
         net,
     )
     .unwrap();
-    m.cim()
-        .lock()
+    m.caches()
         .add_invariant(
             parse_invariant(
                 "Dist > 142 =>
@@ -171,14 +161,10 @@ fn equality_invariant_spatial_range_shrinking() {
 #[test]
 fn invariant_hits_counted_in_cim_stats() {
     let mut m = video_mediator(6, CimPolicy::cache_everything());
-    m.cim()
-        .lock()
-        .add_invariant(frame_range_invariant())
-        .unwrap();
+    m.caches().add_invariant(frame_range_invariant()).unwrap();
     m.query("?- objs(10, 40, O).").unwrap();
     m.query("?- objs(0, 600, O).").unwrap();
-    let cim = m.cim();
-    let stats = cim.lock().stats();
+    let stats = m.caches().stats().cim;
     assert_eq!(stats.partial_hits, 1);
     assert!(stats.stores >= 2);
 }
@@ -187,14 +173,13 @@ fn invariant_hits_counted_in_cim_stats() {
 fn cache_budget_evicts_but_stays_correct() {
     let mut m = video_mediator(7, CimPolicy::cache_everything());
     // Tiny cache: every new store evicts the previous entry.
-    *m.cim().lock() = hermes::Cim::with_cache_budget(64);
+    m.caches().policy().answer_budget(Some(64)).apply().unwrap();
     let a = m.query("?- objs(4, 47, O).").unwrap();
     let b = m.query("?- objs(100, 200, O).").unwrap();
     let a2 = m.query("?- objs(4, 47, O).").unwrap();
     assert_eq!(a.rows, a2.rows);
     assert!(!b.rows.is_empty());
-    let cim = m.cim();
-    let evictions = cim.lock().cache_stats().evictions;
+    let evictions = m.caches().stats().answers.evictions;
     assert!(evictions >= 1, "expected evictions, got {evictions}");
 }
 

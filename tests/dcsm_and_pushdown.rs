@@ -42,7 +42,11 @@ fn inventory_mediator(seed: u64, with_pushdown: bool, with_index: bool) -> Media
         net,
     )
     .unwrap();
-    m.set_policy(CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(CimPolicy::never())
+        .apply()
+        .unwrap();
     if with_pushdown {
         m.add_pushdown(PushdownRule::relational("relation"));
     }
@@ -196,7 +200,11 @@ fn dcsm_learns_posting_list_skew() {
         net,
     )
     .unwrap();
-    m.set_policy(CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(CimPolicy::never())
+        .apply()
+        .unwrap();
     for _ in 0..3 {
         m.query("?- headlines('election', H).").unwrap();
         m.query("?- headlines('taxes', H).").unwrap();

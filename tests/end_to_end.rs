@@ -210,7 +210,7 @@ fn statistics_improve_estimates_over_time() {
     m.query("?- scene_actors(4, 47, O, A).").unwrap();
     // Clear the answer cache so the second run re-executes, but keep the
     // statistics: the *estimate* should now be grounded in observation.
-    m.cim().lock().cache_mut().clear();
+    m.caches().clear(hermes::CacheTier::Answers);
     let warm = m.plan("?- scene_actors(4, 47, O, A).").unwrap();
     let warm_est = warm.estimate().t_all_ms.unwrap();
     let actual = m.query("?- scene_actors(4, 47, O, A).").unwrap();

@@ -43,7 +43,11 @@ fn asymmetric_mediator(seed: u64) -> Mediator {
     )
     .unwrap();
     // Keep runs comparable: no result caching, statistics only.
-    m.set_policy(CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(CimPolicy::never())
+        .apply()
+        .unwrap();
     m
 }
 

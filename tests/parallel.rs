@@ -28,7 +28,11 @@ fn four_site_world(seed: u64) -> Mediator {
         net.place(Arc::new(d), site);
     }
     let mut m = Mediator::from_source("", net).unwrap();
-    m.set_policy(hermes::CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(hermes::CimPolicy::never())
+        .apply()
+        .unwrap();
     m
 }
 
@@ -121,7 +125,11 @@ fn deadline_mid_group_cancels_undispatched_calls() {
         net.place(Arc::new(d), profiles::cornell());
     }
     let mut m = Mediator::from_source("", net).unwrap();
-    m.set_policy(hermes::CimPolicy::never());
+    m.caches()
+        .policy()
+        .routing(hermes::CimPolicy::never())
+        .apply()
+        .unwrap();
     let result = m
         .query(
             QueryRequest::new(FOUR_CALLS)
@@ -153,7 +161,11 @@ fn repeated_site_function_calls_batch_into_one_round_trip() {
         let d = SyntheticDomain::generate("d1", 5, &[RelationSpec::uniform("p", 4, 1.0)]);
         net.place(Arc::new(d), profiles::cornell());
         let mut m = Mediator::from_source("", net).unwrap();
-        m.set_policy(hermes::CimPolicy::never());
+        m.caches()
+            .policy()
+            .routing(hermes::CimPolicy::never())
+            .apply()
+            .unwrap();
         m
     };
     let serial = world(21).query(query).unwrap();

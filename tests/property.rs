@@ -517,7 +517,11 @@ fn every_plan_computes_the_same_answers() {
                 net,
             )
             .unwrap();
-            m.set_policy(CimPolicy::never());
+            m.caches()
+                .policy()
+                .routing(CimPolicy::never())
+                .apply()
+                .unwrap();
             m
         };
         let planner = build();

@@ -94,7 +94,11 @@ fn seven_domain_dossier_query_runs() {
 fn hundred_query_session_stays_consistent() {
     let mut m = big_world(3);
     // A tight cache budget forces continuous eviction.
-    *m.cim().lock() = hermes::Cim::with_cache_budget(1_024);
+    m.caches()
+        .policy()
+        .answer_budget(Some(1_024))
+        .apply()
+        .unwrap();
     let mut reference: Option<Vec<Vec<Value>>> = None;
     let t0 = m.now();
     for i in 0..100 {
@@ -113,11 +117,9 @@ fn hundred_query_session_stays_consistent() {
     // The virtual clock progressed substantially and the caches did real
     // work under pressure.
     assert!(m.now().duration_since(t0).as_secs_f64() > 10.0);
-    let cim = m.cim();
-    let cim = cim.lock();
-    assert!(cim.cache_stats().evictions > 0, "budget never binded");
-    assert!(cim.stats().exact_hits + cim.stats().misses >= 100);
-    drop(cim);
+    let snap = m.caches().stats();
+    assert!(snap.answers.evictions > 0, "budget never binded");
+    assert!(snap.cim.exact_hits + snap.cim.misses >= 100);
     let dcsm = m.dcsm();
     assert!(dcsm.lock().db().len() >= 10);
 }
@@ -292,6 +294,89 @@ fn single_flight_coalesces_identical_concurrent_calls() {
     assert!(flight.calls_coalesced() >= 1, "no call ever coalesced");
     assert_eq!(flight.round_trips_saved(), flight.calls_coalesced());
     assert_eq!(server.stats().queries as usize, K);
+}
+
+#[test]
+fn subplan_single_flight_materializes_once_and_shares_rows() {
+    use hermes::domains::SlowDomain;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    // K threads fire the *same whole query* at once. With subplan sharing
+    // on, the matcache's plan-level single flight elects one leader; every
+    // other thread blocks on the flight and is served the leader's
+    // materialized snapshot — one materialization total, and the follower
+    // rows share the leader's allocations instead of re-deriving them.
+    let synth = SyntheticDomain::generate("d1", 13, &[RelationSpec::uniform("p", 20, 3.0)]);
+    let slow = SlowDomain::new(Arc::new(synth), Duration::from_millis(150));
+    let mut net = Network::new(13);
+    net.place(Arc::new(slow), profiles::maryland());
+    let mut m = Mediator::from_source(
+        "item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).",
+        net,
+    )
+    .unwrap();
+    m.caches().policy().share_subplans(true).apply().unwrap();
+    let server = m.to_concurrent(4);
+
+    const K: usize = 6;
+    let query = "?- item(A, B).".to_string();
+    let barrier = Barrier::new(K);
+    let rows: Vec<Vec<Vec<Value>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let (server, barrier, query) = (&server, &barrier, &query);
+                s.spawn(move || {
+                    barrier.wait();
+                    server.query(query.as_str()).unwrap().rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(!rows[0].is_empty());
+    for r in &rows[1..] {
+        let (mut a, mut b) = (rows[0].clone(), r.clone());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "shared subplan answers diverged");
+    }
+    // Exactly one thread ran the plan; the rest were served the snapshot
+    // (coalesced onto the flight, or a cache hit if they arrived after
+    // the leader published).
+    let stats = server.stats();
+    assert_eq!(
+        stats.subplans_materialized, 1,
+        "materialized more than once"
+    );
+    assert_eq!(
+        stats.subplans_coalesced + stats.subplan_hits,
+        (K - 1) as u64,
+        "every non-leader should be served the shared snapshot"
+    );
+    assert!(stats.subplans_coalesced >= 1, "no thread ever coalesced");
+    // Served rows share the materialized allocations: any string answer in
+    // a follower's rows is the *same* Arc<str> as the leader's, not a copy.
+    let find_str = |rows: &[Vec<Value>]| -> Arc<str> {
+        let mut sorted = rows.to_vec();
+        sorted.sort();
+        sorted
+            .iter()
+            .flatten()
+            .find_map(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("no string answer to compare")
+    };
+    let first = find_str(&rows[0]);
+    for r in &rows[1..] {
+        assert!(
+            Arc::ptr_eq(&first, &find_str(r)),
+            "follower re-derived its rows instead of sharing the snapshot"
+        );
+    }
 }
 
 #[test]

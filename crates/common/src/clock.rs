@@ -181,40 +181,124 @@ impl fmt::Display for SimInstant {
     }
 }
 
-/// The virtual clock the executor advances as it "waits" for domain calls.
+/// A real-time anchor: maps a wall-clock origin onto the simulated
+/// timeline, so `now()` can be read off the host clock.
+#[derive(Clone, Copy, Debug)]
+struct WallAnchor {
+    /// The host instant that corresponds to `base` on the timeline.
+    origin: std::time::Instant,
+    /// Where on the (shared, e.g. server-wide) timeline the origin sits.
+    base: SimInstant,
+}
+
+/// The clock the executor reads as it "waits" for domain calls.
 ///
-/// Cloning the clock snapshots the current time; the executor owns the live
-/// clock. The clock is single-threaded by design — concurrency in the paper
-/// (issuing a real call in parallel with a partial cache hit) is modeled
-/// analytically by `max`-combining durations, not by threads.
+/// Two modes share one type, so the executor needs no generics:
+///
+/// * **Simulated** ([`SimClock::new`], the default): the executor advances
+///   the clock by each call's *simulated* cost. Runs are deterministic,
+///   independent of the host machine, and a 49-second call to the Italian
+///   site completes instantly. This is the paper-exact path.
+/// * **Wall-anchored** ([`SimClock::wall`] / [`SimClock::wall_from`]): the
+///   network serving stack's mode. `now()` reads real elapsed time from
+///   the host clock; [`advance`](Self::advance) and
+///   [`advance_to`](Self::advance_to) become no-ops because real time
+///   passes on its own (the simulated per-call charges would double-count
+///   it). Deadlines, budgets, and tier checkpoints are all computed as
+///   `now() + d` and compared against `now()`, so under a wall anchor
+///   they bind to real time with no executor changes.
+///
+/// Cloning the clock snapshots the current time (and shares the anchor);
+/// the executor owns the live clock. The clock is single-threaded by
+/// design — concurrency in the paper (issuing a real call in parallel with
+/// a partial cache hit) is modeled analytically by `max`-combining
+/// durations, not by threads.
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: SimInstant,
+    wall: Option<WallAnchor>,
 }
 
 impl SimClock {
-    /// A clock at the epoch.
+    /// A simulated clock at the epoch (the paper-exact mode).
     pub fn new() -> Self {
         SimClock {
             now: SimInstant::EPOCH,
+            wall: None,
         }
     }
 
-    /// Current simulated time.
-    pub fn now(&self) -> SimInstant {
-        self.now
+    /// A wall-anchored clock whose timeline starts at the epoch *now* (in
+    /// host time).
+    pub fn wall() -> Self {
+        SimClock::wall_from(SimInstant::EPOCH)
     }
 
-    /// Advances by `d` and returns the new now.
+    /// A wall-anchored clock whose timeline starts at `base` *now* (in
+    /// host time). A server seeds `base` from its virtual-time high-water
+    /// mark so per-query timelines stay monotone across queries.
+    pub fn wall_from(base: SimInstant) -> Self {
+        SimClock {
+            now: base,
+            wall: Some(WallAnchor {
+                origin: std::time::Instant::now(),
+                base,
+            }),
+        }
+    }
+
+    /// True when this clock reads real time.
+    pub fn is_wall(&self) -> bool {
+        self.wall.is_some()
+    }
+
+    /// Current time: the advanced simulated instant, or (wall mode) the
+    /// anchor base plus real elapsed time, whichever is later — the clock
+    /// never runs backwards across a mode's own reads.
+    pub fn now(&self) -> SimInstant {
+        match self.wall {
+            None => self.now,
+            Some(anchor) => {
+                let real = anchor.base
+                    + SimDuration::from_micros(
+                        anchor.origin.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                    );
+                real.max(self.now)
+            }
+        }
+    }
+
+    /// Advances by `d` and returns the new now. Under a wall anchor this
+    /// is a no-op (real time passes on its own; charging simulated costs
+    /// on top would double-count them).
     pub fn advance(&mut self, d: SimDuration) -> SimInstant {
-        self.now = self.now + d;
-        self.now
+        if self.wall.is_none() {
+            self.now = self.now + d;
+        }
+        self.now()
     }
 
     /// Advances to `t` if it is in the future; the clock never goes back.
+    /// No-op under a wall anchor.
     pub fn advance_to(&mut self, t: SimInstant) {
-        if t > self.now {
+        if self.wall.is_none() && t > self.now {
             self.now = t;
+        }
+    }
+
+    /// Waits out `d`: advances the simulated clock, or — under a wall
+    /// anchor — actually sleeps the host thread. The retry-backoff path
+    /// uses this so backoff binds to real time when serving over the
+    /// network and stays a pure virtual charge in simulation.
+    pub fn sleep(&mut self, d: SimDuration) -> SimInstant {
+        match self.wall {
+            None => self.advance(d),
+            Some(_) => {
+                if d > SimDuration::ZERO {
+                    std::thread::sleep(std::time::Duration::from_micros(d.as_micros()));
+                }
+                self.now()
+            }
         }
     }
 }
@@ -275,5 +359,57 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4u64).map(SimDuration::from_millis).sum();
         assert_eq!(total.as_millis(), 10);
+    }
+
+    #[test]
+    fn sim_clock_is_not_wall() {
+        assert!(!SimClock::new().is_wall());
+        assert!(!SimClock::default().is_wall());
+        assert!(SimClock::wall().is_wall());
+    }
+
+    #[test]
+    fn wall_clock_reads_real_elapsed_time() {
+        let clock = SimClock::wall();
+        let t0 = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let elapsed = clock.now().duration_since(t0);
+        assert!(elapsed >= SimDuration::from_millis(4), "read {elapsed}");
+    }
+
+    #[test]
+    fn wall_clock_ignores_virtual_advances() {
+        let mut clock = SimClock::wall();
+        let before = clock.now();
+        clock.advance(SimDuration::from_secs(3600));
+        clock.advance_to(before + SimDuration::from_secs(7200));
+        // An hour of simulated charge moves a wall clock by (at most) the
+        // real time those calls took.
+        assert!(clock.now().duration_since(before) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn wall_clock_starts_at_its_base() {
+        let base = SimInstant::EPOCH + SimDuration::from_millis(250);
+        let clock = SimClock::wall_from(base);
+        assert!(clock.now() >= base);
+        assert!(clock.now().duration_since(base) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn wall_clock_sleep_takes_real_time() {
+        let mut clock = SimClock::wall();
+        let t0 = std::time::Instant::now();
+        clock.sleep(SimDuration::from_millis(5));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sim_clock_sleep_is_a_virtual_advance() {
+        let mut clock = SimClock::new();
+        let t0 = std::time::Instant::now();
+        clock.sleep(SimDuration::from_secs(30));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+        assert_eq!(clock.now().as_micros(), 30_000_000);
     }
 }

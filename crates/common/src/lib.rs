@@ -18,11 +18,14 @@
 //! * [`Rng64`] — a small, seedable, dependency-free PRNG (SplitMix64 +
 //!   xoshiro256**) with the distribution helpers the network simulator and
 //!   workload generators need.
+//! * [`wire`] / [`frame`] — the persistence text codec and the
+//!   length-prefixed binary framing `hermes-serve` speaks over TCP.
 //! * [`HermesError`] — the error type shared across the workspace.
 
 pub mod call;
 pub mod clock;
 pub mod error;
+pub mod frame;
 pub mod path;
 pub mod rng;
 pub mod sync;
@@ -32,6 +35,7 @@ pub mod wire;
 pub use call::{shard_index, CallPattern, GroundCall, PatArg, PatternShape};
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{HermesError, Result};
+pub use frame::{DoneFrame, ErrorFrame, Frame, QueryFrame};
 pub use path::{AttrPath, PathStep};
 pub use rng::Rng64;
 pub use value::{Record, Value};

@@ -121,6 +121,11 @@ pub fn encode_call(c: &GroundCall, out: &mut String) {
     }
 }
 
+/// Maximum value-nesting depth the decoder will follow. The recursive
+/// descent otherwise turns `L1;L1;L1;…` from an untrusted cache file into
+/// a stack overflow — an abort, not a catchable error.
+pub const MAX_DEPTH: usize = 64;
+
 /// A cursor over encoded text.
 pub struct Decoder<'a> {
     rest: &'a str,
@@ -197,6 +202,13 @@ impl<'a> Decoder<'a> {
 
     /// Decodes one value.
     pub fn value(&mut self) -> Result<Value> {
+        self.value_at(0)
+    }
+
+    fn value_at(&mut self, depth: usize) -> Result<Value> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
         match self.tag()? {
             'N' => Ok(Value::Null),
             'B' => match self.tag()? {
@@ -225,7 +237,7 @@ impl<'a> Decoder<'a> {
                 let n = self.usize_until(';')?;
                 let mut items = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    items.push(self.value()?);
+                    items.push(self.value_at(depth + 1)?);
                 }
                 Ok(Value::List(items))
             }
@@ -234,7 +246,7 @@ impl<'a> Decoder<'a> {
                 let mut rec = Record::new();
                 for _ in 0..n {
                     let name = self.string()?;
-                    let v = self.value()?;
+                    let v = self.value_at(depth + 1)?;
                     rec.push(name, v);
                 }
                 Ok(Value::Record(rec))
@@ -275,6 +287,23 @@ pub fn value_from_str(text: &str) -> Result<Value> {
         return Err(HermesError::Io("trailing bytes after value".into()));
     }
     Ok(v)
+}
+
+/// Encodes a ground call to a fresh string.
+pub fn call_to_string(c: &GroundCall) -> String {
+    let mut s = String::new();
+    encode_call(c, &mut s);
+    s
+}
+
+/// Decodes a ground call from a complete string, rejecting trailing bytes.
+pub fn call_from_str(text: &str) -> Result<GroundCall> {
+    let mut d = Decoder::new(text);
+    let c = d.call()?;
+    if !d.is_done() {
+        return Err(HermesError::Io("trailing bytes after call".into()));
+    }
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -376,6 +405,31 @@ mod tests {
         }
         // Trailing garbage is rejected.
         assert!(value_from_str("I1;I2;").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing_the_stack() {
+        // Deeper than any real cache entry, shallower than the stack: the
+        // decoder must refuse, not abort the process.
+        let hostile = "L1;".repeat(100_000) + "N";
+        let err = value_from_str(&hostile).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Legitimate nesting up to the limit still decodes.
+        let mut ok = Value::Int(7);
+        for _ in 0..(MAX_DEPTH - 1) {
+            ok = Value::List(vec![ok]);
+        }
+        roundtrip(&ok);
+    }
+
+    #[test]
+    fn call_from_str_rejects_trailing_garbage() {
+        let c = GroundCall::new("video", "frames", vec![Value::Int(4)]);
+        let text = call_to_string(&c);
+        assert_eq!(call_from_str(&text).unwrap(), c);
+        assert!(call_from_str(&format!("{text}N")).is_err());
+        assert!(call_from_str("").is_err());
+        assert!(call_from_str("S5:video").is_err());
     }
 
     #[test]

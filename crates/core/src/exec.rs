@@ -1705,7 +1705,9 @@ impl<'w> Executor<'w> {
                     attempt += 1;
                     self.stats.retries += 1;
                     let backoff = self.retry_backoff(attempt);
-                    self.clock.advance(backoff);
+                    // `sleep`, not `advance`: on a wall-anchored clock the
+                    // backoff must actually wait real time out.
+                    self.clock.sleep(backoff);
                 }
                 Err(e) => return Err(e),
             }

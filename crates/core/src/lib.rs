@@ -44,6 +44,7 @@ pub mod matcache;
 pub mod mediator;
 pub mod plan;
 pub mod rewrite;
+pub mod serve;
 pub mod server;
 pub mod tier;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use rewrite::{
     fingerprint_body, fingerprint_rule, query_fingerprint, Fingerprint, PushdownRule,
     RewriteConfig, SubplanKey,
 };
+pub use serve::{NetServer, NetServerStats, RemoteResult, ServeConfig, WireClient};
 pub use server::{ConcurrentMediator, GateConfig, ServerStats};
 pub use tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};
 pub use trace::{TraceEntry, TraceEvent};

@@ -1,0 +1,800 @@
+//! The network serving core: a worker-pool TCP server over
+//! [`ConcurrentMediator`] speaking the [`hermes_common::frame`] binary
+//! protocol, plus the thin [`WireClient`] the REPL and load generator use.
+//!
+//! # Shape
+//!
+//! `NetServer::bind` spawns one *accept* thread and `workers` handler
+//! threads. The accept thread runs a non-blocking poll loop so it can
+//! notice shutdown promptly; accepted sockets flow to the handlers
+//! through a **bounded** queue. When the queue is full the connection
+//! is refused at the socket with a `shed`/`accept-queue-full` error
+//! frame — this is the socket-level face of the PR 6 admission gate:
+//! the gate sheds *queries* under concurrency pressure, the accept
+//! queue sheds *connections* before they ever cost a worker.
+//!
+//! Each handler owns one connection at a time and serves its frames
+//! request/response: `Query` → `Batch*` + `Done` (or `Error`),
+//! `Stats` → `StatsReply`, `Ping` → `Pong`, `Shutdown` → `Pong` then a
+//! graceful drain. Handlers poll for the stop flag between frames
+//! (bounded by `idle_poll`), so `shutdown`/a `Shutdown` frame drains
+//! in bounded time without cutting off an in-flight response.
+//!
+//! Queries run with the mediator in **wall-clock** mode (unless
+//! configured off): deadlines, budgets, and retry backoff bind to real
+//! elapsed time, which is what a network client means by "2 seconds".
+//! The serial simulated-clock path is untouched.
+
+use std::io::{ErrorKind, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hermes_common::frame::{DoneFrame, ErrorFrame, Frame, QueryFrame};
+use hermes_common::{HermesError, Record, Result, SimDuration, Value};
+
+use crate::mediator::{QueryRequest, QueryResult};
+use crate::server::ConcurrentMediator;
+use crate::tier::PlanTier;
+
+/// How a [`NetServer`] binds, pools, and sheds.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Handler threads; also the number of connections served at once.
+    pub workers: usize,
+    /// Accepted connections waiting for a free handler; one more
+    /// connection than this is refused with `shed`/`accept-queue-full`.
+    pub pending_conns: usize,
+    /// Rows per `Batch` frame in a streamed response.
+    pub batch_rows: usize,
+    /// Serve queries on the wall-anchored clock (real deadlines). Off
+    /// restores virtual time — useful for deterministic protocol tests.
+    pub wall_clock: bool,
+    /// How often idle handlers and the accept loop check the stop flag;
+    /// bounds shutdown latency, not request latency.
+    pub idle_poll: Duration,
+    /// How long a started frame may take to finish arriving before the
+    /// connection is dropped as stalled.
+    pub frame_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            pending_conns: 64,
+            batch_rows: 512,
+            wall_clock: true,
+            idle_poll: Duration::from_millis(50),
+            frame_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Socket-level counters, one step below [`crate::server::ServerStats`]:
+/// these count connections and frames, the gate counts queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetServerStats {
+    /// Connections handed to a worker.
+    pub accepted: u64,
+    /// Connections refused because the pending queue was full.
+    pub refused: u64,
+    /// Frames served (all kinds).
+    pub requests: u64,
+    /// Connections dropped for protocol errors (malformed frames).
+    pub bad_frames: u64,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    requests: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+struct Shared {
+    mediator: Arc<ConcurrentMediator>,
+    config: ServeConfig,
+    stop: AtomicBool,
+    counters: NetCounters,
+}
+
+/// A running server: an accept thread, a worker pool, and the shared
+/// stop flag. Dropping without calling [`NetServer::shutdown`] or
+/// [`NetServer::wait`] detaches the threads (they stop at the next
+/// stop-flag poll once the process asks).
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` and start serving `mediator` in the background.
+    /// `addr` may use port 0; the picked port is in [`NetServer::addr`].
+    pub fn bind(
+        mediator: Arc<ConcurrentMediator>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(addr).map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+        mediator.set_wall_clock(config.wall_clock);
+
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            mediator,
+            config,
+            stop: AtomicBool::new(false),
+            counters: NetCounters::default(),
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(shared.config.pending_conns);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers: handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Socket-level counters so far.
+    pub fn net_stats(&self) -> NetServerStats {
+        let c = &self.shared.counters;
+        NetServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            refused: c.refused.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The mediator being served.
+    pub fn mediator(&self) -> &Arc<ConcurrentMediator> {
+        &self.shared.mediator
+    }
+
+    /// True once a `Shutdown` frame (or [`NetServer::shutdown`]) has
+    /// asked the server to drain.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Block until the server drains — i.e. until a client sends a
+    /// `Shutdown` frame. Returns the final socket counters.
+    pub fn wait(mut self) -> NetServerStats {
+        self.join();
+        self.net_stats()
+    }
+
+    /// Ask the server to stop, drain in-flight responses, and join all
+    /// threads. Returns the final socket counters.
+    pub fn shutdown(mut self) -> NetServerStats {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.join();
+        self.net_stats()
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> HermesError {
+    HermesError::Io(e.to_string())
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return; // drops `tx`; workers drain the queue and exit
+        }
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => {
+                    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(stream)) => {
+                    shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream);
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.idle_poll);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(shared.config.idle_poll),
+        }
+    }
+}
+
+/// Tell a refused connection *why* before closing, so the client can
+/// count socket sheds instead of seeing a bare reset.
+fn refuse(stream: TcpStream) {
+    let frame = Frame::Error(ErrorFrame {
+        code: "shed".into(),
+        message: "accept-queue-full".into(),
+    });
+    let mut stream = stream;
+    let _ = stream.write_all(&frame.encode());
+    let _ = stream.shutdown(SockShutdown::Both);
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let conn = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            guard.recv()
+        };
+        match conn {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(_) => return, // accept loop gone and queue drained
+        }
+    }
+}
+
+/// Serve one connection request/response until EOF, a protocol error,
+/// or drain. Errors on the socket just close the connection — the
+/// server itself never dies from a bad peer.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match next_frame(shared, &stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(_) => {
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let done = matches!(frame, Frame::Shutdown);
+        if respond(shared, &stream, frame).is_err() {
+            return; // peer went away mid-response
+        }
+        if done {
+            shared.stop.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Wait for the next frame, polling the stop flag while the connection
+/// is idle. Once a frame's first byte arrives it must finish within
+/// `frame_timeout`. `Ok(None)` means clean EOF or drain.
+fn next_frame(shared: &Shared, stream: &TcpStream) -> Result<Option<Frame>> {
+    let mut probe = [0u8; 1];
+    loop {
+        stream
+            .set_read_timeout(Some(shared.config.idle_poll))
+            .map_err(io_err)?;
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None), // connection reset: not a protocol error
+        }
+    }
+    stream
+        .set_read_timeout(Some(shared.config.frame_timeout))
+        .map_err(io_err)?;
+    Frame::read_from(&mut &*stream)
+}
+
+fn respond(shared: &Shared, mut stream: &TcpStream, frame: Frame) -> std::io::Result<()> {
+    match frame {
+        Frame::Query(q) => match run_query(shared, &q) {
+            Ok((result, elapsed)) => stream_result(shared, &mut stream, &q, &result, elapsed),
+            Err(e) => stream.write_all(&Frame::Error(ErrorFrame::from_error(&e)).encode()),
+        },
+        Frame::Ping => stream.write_all(&Frame::Pong.encode()),
+        Frame::Stats => {
+            let reply = Frame::StatsReply(stats_value(shared));
+            stream.write_all(&reply.encode())
+        }
+        Frame::Shutdown => stream.write_all(&Frame::Pong.encode()),
+        // Response frames arriving at the server are a peer bug; answer
+        // with a structured error rather than hanging up silently.
+        other => {
+            let err = ErrorFrame {
+                code: "bad-frame".into(),
+                message: format!("server cannot serve a response frame ({other:?})"),
+            };
+            stream.write_all(&Frame::Error(err).encode())
+        }
+    }
+}
+
+fn run_query(shared: &Shared, q: &QueryFrame) -> Result<(QueryResult, Duration)> {
+    let mut req = QueryRequest::new(q.src.clone()).trace(q.trace);
+    if let Some(n) = q.limit {
+        req = req.limit(n as usize);
+    }
+    if let Some(us) = q.deadline_us {
+        req = req.deadline(SimDuration::from_micros(us));
+    }
+    if let Some(us) = q.budget_us {
+        req = req.budget(SimDuration::from_micros(us));
+    }
+    if let Some(name) = &q.tier {
+        let tier = PlanTier::parse(name)
+            .ok_or_else(|| HermesError::Eval(format!("[bad-frame] unknown plan tier {name:?}")))?;
+        req = req.tier(tier);
+    }
+    let start = Instant::now();
+    let result = shared.mediator.query(req)?;
+    Ok((result, start.elapsed()))
+}
+
+/// Stream `result` as `Batch*` + `Done`, batching `batch_rows` rows per
+/// frame so a large answer set never forces one giant allocation on
+/// either side of the wire.
+fn stream_result(
+    shared: &Shared,
+    stream: &mut &TcpStream,
+    q: &QueryFrame,
+    result: &QueryResult,
+    elapsed: Duration,
+) -> std::io::Result<()> {
+    let batch = shared.config.batch_rows.max(1);
+    for chunk in result.rows.chunks(batch) {
+        stream.write_all(&Frame::Batch(chunk.to_vec()).encode())?;
+    }
+    let trace = if q.trace && !result.trace.is_empty() {
+        crate::trace::render(&result.trace)
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let done = DoneFrame {
+        columns: result.columns.iter().map(|c| c.to_string()).collect(),
+        rows: result.rows.len() as u64,
+        incomplete: result.incomplete,
+        elapsed_us: elapsed.as_micros() as u64,
+        source_calls: result.stats.actual_calls,
+        cache_hits: result.stats.cim_exact + result.stats.cim_equal + result.stats.cim_partial,
+        tier_downgrades: result.stats.tier_downgrades,
+        trace,
+    };
+    stream.write_all(&Frame::Done(done).encode())
+}
+
+/// The admin-frame payload: server, cache, and socket counters as one
+/// nested record, so clients need no schema beyond field names.
+fn stats_value(shared: &Shared) -> Value {
+    let s = shared.mediator.stats();
+    let snap = shared.mediator.caches().stats();
+    let server = Record::from_fields(vec![
+        ("queries", Value::Int(s.queries as i64)),
+        ("admitted", Value::Int(s.admitted as i64)),
+        ("shed", Value::Int(s.shed as i64)),
+        ("downgraded", Value::Int(s.downgraded as i64)),
+        ("source_calls", Value::Int(s.source_calls as i64)),
+        ("calls_coalesced", Value::Int(s.calls_coalesced as i64)),
+        ("round_trips_saved", Value::Int(s.round_trips_saved as i64)),
+        ("subplan_hits", Value::Int(s.subplan_hits as i64)),
+    ]);
+    let cache_hits = snap.cim.exact_hits + snap.cim.equal_hits + snap.cim.partial_hits;
+    let caches = Record::from_fields(vec![
+        ("hits", Value::Int(cache_hits as i64)),
+        ("misses", Value::Int(snap.cim.misses as i64)),
+        ("answer_entries", Value::Int(snap.answer_entries as i64)),
+        ("answer_bytes", Value::Int(snap.answer_bytes as i64)),
+        (
+            "subplans_materialized",
+            Value::Int(snap.subplans.materialized as i64),
+        ),
+    ]);
+    let c = &shared.counters;
+    let net = Record::from_fields(vec![
+        (
+            "accepted",
+            Value::Int(c.accepted.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "refused",
+            Value::Int(c.refused.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "requests",
+            Value::Int(c.requests.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "bad_frames",
+            Value::Int(c.bad_frames.load(Ordering::Relaxed) as i64),
+        ),
+    ]);
+    Value::Record(Record::from_fields(vec![
+        ("server", Value::Record(server)),
+        ("caches", Value::Record(caches)),
+        ("net", Value::Record(net)),
+    ]))
+}
+
+/// A query answered over the wire: the rows plus the server's `Done`
+/// summary (wall elapsed time, call counts, optional rendered trace).
+#[derive(Clone, Debug)]
+pub struct RemoteResult {
+    /// All rows, reassembled from the batch frames.
+    pub rows: Vec<Vec<Value>>,
+    /// The terminating summary frame.
+    pub done: DoneFrame,
+}
+
+/// A blocking request/response client for the frame protocol. One
+/// outstanding request at a time; reconnect on error.
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connect (with `TCP_NODELAY` — the protocol is request/response,
+    /// Nagle would serialize it at ~25 round trips/s).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(WireClient { stream })
+    }
+
+    /// Keep trying to connect until `timeout` elapses — for racing a
+    /// server that is still binding (CI smoke tests, bench warmup).
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<WireClient> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match WireClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Run one query and reassemble the streamed response. A server-side
+    /// error (including `Shed`) comes back as the mapped [`HermesError`].
+    pub fn query(&mut self, q: QueryFrame) -> Result<RemoteResult> {
+        self.send(&Frame::Query(q))?;
+        let mut rows = Vec::new();
+        loop {
+            match self.recv()? {
+                Frame::Batch(mut batch) => rows.append(&mut batch),
+                Frame::Done(done) => return Ok(RemoteResult { rows, done }),
+                Frame::Error(e) => return Err(e.into_error()),
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Fetch the server's counters as the nested stats record.
+    pub fn stats(&mut self) -> Result<Value> {
+        self.send(&Frame::Stats)?;
+        match self.recv()? {
+            Frame::StatsReply(v) => Ok(v),
+            Frame::Error(e) => Err(e.into_error()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Round-trip a ping; returns the wall-clock RTT.
+    pub fn ping(&mut self) -> Result<Duration> {
+        let start = Instant::now();
+        self.send(&Frame::Ping)?;
+        match self.recv()? {
+            Frame::Pong => Ok(start.elapsed()),
+            Frame::Error(e) => Err(e.into_error()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to drain and exit. The `Pong` ack arrives before
+    /// the server stops accepting.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            Frame::Error(e) => Err(e.into_error()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        self.stream.write_all(&frame.encode()).map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<Frame> {
+        match Frame::read_from(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(HermesError::Io(
+                "server closed the connection mid-response".into(),
+            )),
+        }
+    }
+}
+
+fn unexpected(frame: &Frame) -> HermesError {
+    HermesError::Io(format!("unexpected frame from server: {frame:?}"))
+}
+
+// `Read` for `&TcpStream` lets `next_frame` borrow the stream without
+// splitting it; this shim is only here so `Frame::read_from(&mut
+// &*stream)` type-checks against `R: Read` in both call sites.
+#[allow(dead_code)]
+fn _assert_stream_reads(mut s: &TcpStream) {
+    let _ = std::io::Read::read(&mut s, &mut []);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mediator::Mediator;
+    use crate::server::GateConfig;
+    use hermes_domains::slow::SlowDomain;
+    use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
+    use hermes_net::{profiles, Network};
+    use std::io::Read;
+
+    fn mediator() -> Mediator {
+        let domain = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 8, 2.0)]);
+        let mut net = Network::new(1);
+        net.place(Arc::new(domain), profiles::cornell());
+        Mediator::from_source(
+            "
+            item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+            item(A, B) :- in(B, d1:p_bf(A)).
+            ",
+            net,
+        )
+        .unwrap()
+    }
+
+    fn slow_mediator(delay: Duration) -> Mediator {
+        let domain = SyntheticDomain::generate(
+            "d1",
+            42,
+            &[
+                RelationSpec::uniform("p", 8, 2.0),
+                RelationSpec::uniform("r", 8, 2.0),
+            ],
+        );
+        let mut net = Network::new(1);
+        net.place(
+            Arc::new(SlowDomain::new(Arc::new(domain), delay)),
+            profiles::cornell(),
+        );
+        Mediator::from_source(
+            "
+            item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+            item(A, B) :- in(B, d1:p_bf(A)).
+            chain(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & in(B, d1:r_bf(A)).
+            ",
+            net,
+        )
+        .unwrap()
+    }
+
+    fn serve(config: ServeConfig) -> (NetServer, String) {
+        let server = Arc::new(mediator().to_concurrent(2));
+        let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+        let addr = net.addr().to_string();
+        (net, addr)
+    }
+
+    #[test]
+    fn query_over_loopback_matches_direct_query() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut expected = mediator().query("?- item(A, B).").unwrap().rows;
+        expected.sort();
+
+        let mut client = WireClient::connect(&addr).unwrap();
+        let got = client.query(QueryFrame::new("?- item(A, B).")).unwrap();
+        let mut rows = got.rows.clone();
+        rows.sort();
+        assert_eq!(rows, expected);
+        assert_eq!(got.done.rows as usize, got.rows.len());
+        assert_eq!(got.done.columns, vec!["A".to_string(), "B".to_string()]);
+        assert!(!got.done.incomplete);
+        net.shutdown();
+    }
+
+    #[test]
+    fn batches_stream_in_configured_chunks() {
+        let config = ServeConfig {
+            batch_rows: 3,
+            ..ServeConfig::default()
+        };
+        let (net, addr) = serve(config);
+        let mut client = WireClient::connect(&addr).unwrap();
+        let got = client.query(QueryFrame::new("?- item(A, B).")).unwrap();
+        assert!(got.rows.len() > 3, "need multiple batches to test chunking");
+        net.shutdown();
+    }
+
+    #[test]
+    fn ping_stats_and_repeat_queries_share_one_connection() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut client = WireClient::connect(&addr).unwrap();
+        client.ping().unwrap();
+        let first = client.query(QueryFrame::new("?- item('p_1', B).")).unwrap();
+        let again = client.query(QueryFrame::new("?- item('p_1', B).")).unwrap();
+        assert_eq!(first.rows, again.rows);
+        assert_eq!(again.done.source_calls, 0, "second hit is cached");
+
+        let stats = client.stats().unwrap();
+        let Value::Record(rec) = &stats else {
+            panic!("stats reply is not a record: {stats:?}");
+        };
+        let Some(Value::Record(server)) = rec.get("server") else {
+            panic!("no server section: {stats:?}");
+        };
+        assert_eq!(server.get("queries"), Some(&Value::Int(2)));
+        let snap = net.net_stats();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.requests, 4, "ping + 2 queries + stats");
+        net.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_come_back_as_error_frames_not_hangups() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut client = WireClient::connect(&addr).unwrap();
+        let err = client
+            .query(QueryFrame::new("this is not a query"))
+            .unwrap_err();
+        assert!(!matches!(err, HermesError::Io(_)), "got {err:?}");
+        // The connection survives a failed query.
+        client.ping().unwrap();
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_tier_is_rejected_without_running_the_query() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut client = WireClient::connect(&addr).unwrap();
+        let mut q = QueryFrame::new("?- item(A, B).");
+        q.tier = Some("warp-speed".into());
+        let err = client.query(q).unwrap_err();
+        assert!(err.to_string().contains("bad-frame"), "got {err}");
+        assert_eq!(net.mediator().stats().queries, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn gate_sheds_surface_as_shed_errors_on_the_wire() {
+        let (net, addr) = serve(ServeConfig::default());
+        net.mediator().set_gate(GateConfig::bounded(0));
+        let mut client = WireClient::connect(&addr).unwrap();
+        let err = client.query(QueryFrame::new("?- item(A, B).")).unwrap_err();
+        assert!(matches!(err, HermesError::Shed { .. }), "got {err:?}");
+        net.shutdown();
+    }
+
+    #[test]
+    fn full_accept_queue_refuses_with_a_shed_frame() {
+        // One worker, zero pending slots: while the worker is stuck in a
+        // slow query, any new connection must be refused at the socket.
+        let server = Arc::new(slow_mediator(Duration::from_millis(400)).to_concurrent(2));
+        let config = ServeConfig {
+            workers: 1,
+            pending_conns: 0,
+            idle_poll: Duration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+        let addr = net.addr().to_string();
+
+        let busy_addr = addr.clone();
+        let busy = std::thread::spawn(move || {
+            let mut c = WireClient::connect(&busy_addr).unwrap();
+            c.query(QueryFrame::new("?- item('p_1', B).")).unwrap()
+        });
+        // Give the worker time to pick up the slow query.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let mut refused = WireClient::connect(&addr).unwrap();
+        let err = refused
+            .query(QueryFrame::new("?- item('p_1', B)."))
+            .unwrap_err();
+        assert!(matches!(err, HermesError::Shed { .. }), "got {err:?}");
+
+        busy.join().unwrap();
+        let stats = net.shutdown();
+        assert_eq!(stats.refused, 1);
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn shutdown_frame_drains_the_server() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut client = WireClient::connect(&addr).unwrap();
+        client.shutdown_server().unwrap();
+        let stats = net.wait();
+        assert_eq!(stats.requests, 1);
+        // The port is released: a fresh bind to the same address works.
+        let addr: SocketAddr = addr.parse().unwrap();
+        TcpListener::bind(addr).unwrap();
+    }
+
+    #[test]
+    fn wall_clock_deadline_binds_to_real_time_over_the_wire() {
+        let server = Arc::new(slow_mediator(Duration::from_millis(120)).to_concurrent(2));
+        let net = NetServer::bind(server, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = net.addr().to_string();
+
+        let mut client = WireClient::connect(&addr).unwrap();
+        // `chain` needs 1 + 8 sequential 120ms calls; a 150ms deadline
+        // binds after the first few.
+        let mut q = QueryFrame::new("?- chain(A, B).");
+        q.deadline_us = Some(150_000);
+        let start = Instant::now();
+        let out = client.query(q);
+        let elapsed = start.elapsed();
+        match out {
+            Err(HermesError::DeadlineExceeded { .. }) => {}
+            Ok(r) => assert!(r.done.incomplete, "fast path must flag partiality"),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "deadline did not bind to wall time: {elapsed:?}"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_close_the_connection_and_count_as_bad_frames() {
+        let (net, addr) = serve(ServeConfig::default());
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&[0xff; 64]).unwrap();
+        let mut buf = Vec::new();
+        let _ = raw.read_to_end(&mut buf); // server hangs up (EOF or reset)
+        drop(raw);
+        // The server is still alive for well-formed clients.
+        let mut client = WireClient::connect(&addr).unwrap();
+        client.ping().unwrap();
+        let stats = net.shutdown();
+        assert_eq!(stats.bad_frames, 1);
+    }
+}

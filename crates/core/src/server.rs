@@ -48,7 +48,7 @@ use hermes_dcsm::ShardedDcsm;
 use hermes_lang::{parse_query, Program, Query};
 use hermes_net::Network;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The immutable planning inputs, fixed at construction and shared
@@ -281,6 +281,10 @@ pub struct ConcurrentMediator {
     /// High-water mark of virtual time over finished queries, in
     /// microseconds since the epoch. Each query's clock starts here.
     epoch_us: AtomicU64,
+    /// Run queries on a wall-anchored clock instead of the simulator:
+    /// deadlines, budgets, and tier checkpoints bind to real elapsed
+    /// time. The network serving stack (`hermes-serve`) turns this on.
+    wall_clock: AtomicBool,
     queries: AtomicU64,
     gate: AdmissionGate,
     admitted: AtomicU64,
@@ -316,6 +320,7 @@ impl ConcurrentMediator {
             flight: Arc::new(InFlightRegistry::new()),
             matcache,
             epoch_us: AtomicU64::new(epoch.duration_since(SimInstant::EPOCH).as_micros()),
+            wall_clock: AtomicBool::new(false),
             queries: AtomicU64::new(0),
             gate: AdmissionGate::unbounded(),
             admitted: AtomicU64::new(0),
@@ -330,6 +335,20 @@ impl ConcurrentMediator {
     /// of queueing it.
     pub fn set_gate(&self, config: GateConfig) {
         self.gate.set(config);
+    }
+
+    /// Switches query execution onto a wall-anchored clock (see
+    /// [`SimClock::wall_from`]): per-query deadlines, budgets, and tier
+    /// checkpoints then bind to real elapsed time, which is what a server
+    /// answering remote clients over real-latency backends needs. Off by
+    /// default — the simulated clock keeps runs deterministic.
+    pub fn set_wall_clock(&self, on: bool) {
+        self.wall_clock.store(on, Ordering::Relaxed);
+    }
+
+    /// True when queries run on the wall clock.
+    pub fn wall_clock(&self) -> bool {
+        self.wall_clock.load(Ordering::Relaxed)
     }
 
     /// Runs a query. Accepts plain source text or a [`QueryRequest`],
@@ -508,10 +527,15 @@ impl ConcurrentMediator {
         let mut avoid: BTreeSet<String> = BTreeSet::new();
         let mut failovers = 0u32;
         let mut carried = ExecStats::default();
-        let mut clock = SimClock::new();
-        clock.advance(SimDuration::from_micros(
-            self.epoch_us.load(Ordering::Relaxed),
-        ));
+        let epoch =
+            SimInstant::EPOCH + SimDuration::from_micros(self.epoch_us.load(Ordering::Relaxed));
+        let mut clock = if self.wall_clock.load(Ordering::Relaxed) {
+            SimClock::wall_from(epoch)
+        } else {
+            let mut c = SimClock::new();
+            c.advance_to(epoch);
+            c
+        };
         loop {
             let plan = planned.plans[idx].clone();
             let estimate = planned.estimates[idx];

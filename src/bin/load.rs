@@ -1,0 +1,314 @@
+//! `hermes-load` — a loopback/network load generator for `hermes-serve`.
+//!
+//! Opens `--conns` connections and drives each with a pre-generated
+//! query mix against the synthetic serving world, then reports
+//! throughput and wall-clock latency percentiles:
+//!
+//! ```sh
+//! hermes-load                          # 8 conns × 2s of Zipf mix
+//! hermes-load --mix stampede           # every conn hammers one hot key
+//! hermes-load --conns 32 --duration-ms 5000 --deadline-ms 50
+//! hermes-load --shutdown               # drain the server when done
+//! hermes-load --test-mode --shutdown   # CI smoke: asserts + drain
+//! ```
+//!
+//! `--test-mode` shrinks the run and turns invariants into assertions:
+//! every connection must succeed, every issued query must come back as
+//! an answer, a shed, or a query error (never a transport error), and
+//! the server's own counters must agree (`admitted + shed == queries`).
+
+use hermes::common::Rng64;
+use hermes::{HermesError, QueryFrame, Value, WireClient};
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+usage: hermes-load [options]
+
+options:
+  --addr HOST:PORT   server address (default 127.0.0.1:7464)
+  --conns N          client connections, one thread each (default 8)
+  --duration-ms N    measured run length (default 2000)
+  --mix zipf|stampede
+                     query mix: Zipf-skewed over all forms and keys, or
+                     every connection issuing the same hot query
+  --deadline-ms N    per-query deadline sent to the server
+  --tier NAME        pin a plan tier (cache-only | cached-cheap | full)
+  --seed N           mix seed (default 7)
+  --shutdown         send a Shutdown frame after reporting
+  --test-mode        short run with CI assertions
+  -h, --help         this message
+";
+
+/// Keys per synthetic relation — must match `hermes-serve`'s world.
+const KEYS: usize = 64;
+
+#[derive(Clone)]
+struct Options {
+    addr: String,
+    conns: usize,
+    duration: Duration,
+    stampede: bool,
+    deadline_ms: Option<u64>,
+    tier: Option<String>,
+    seed: u64,
+    shutdown: bool,
+    test_mode: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7464".into(),
+            conns: 8,
+            duration: Duration::from_millis(2000),
+            stampede: false,
+            deadline_ms: None,
+            tier: None,
+            seed: 7,
+            shutdown: false,
+            test_mode: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = take("--addr")?,
+            "--conns" => opts.conns = num(&take("--conns")?)?,
+            "--duration-ms" => {
+                opts.duration = Duration::from_millis(num(&take("--duration-ms")?)? as u64)
+            }
+            "--mix" => {
+                opts.stampede = match take("--mix")?.as_str() {
+                    "zipf" => false,
+                    "stampede" => true,
+                    other => return Err(format!("unknown mix {other}")),
+                }
+            }
+            "--deadline-ms" => opts.deadline_ms = Some(num(&take("--deadline-ms")?)? as u64),
+            "--tier" => opts.tier = Some(take("--tier")?),
+            "--seed" => opts.seed = num(&take("--seed")?)? as u64,
+            "--shutdown" => opts.shutdown = true,
+            "--test-mode" => opts.test_mode = true,
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.test_mode {
+        opts.conns = opts.conns.min(4);
+        opts.duration = opts.duration.min(Duration::from_millis(500));
+    }
+    Ok(opts)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+/// The Zipf-skewed mix over the serving world's query forms, identical
+/// in shape to the `mediator_throughput` bench's workload.
+fn zipf_mix(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = Rng64::new(seed ^ 0x7F4A_7C15);
+    (0..count)
+        .map(|_| {
+            let f = rng.range_usize(0, 4);
+            let key = rng.zipf(KEYS, 1.1) % KEYS;
+            let rel = if f.is_multiple_of(2) { "r0" } else { "r1" };
+            format!("?- q{f}('{rel}_{key}', B).")
+        })
+        .collect()
+}
+
+/// Per-connection tallies, merged after the run.
+#[derive(Clone, Default)]
+struct Tally {
+    issued: u64,
+    answered: u64,
+    shed: u64,
+    query_errors: u64,
+    transport_errors: u64,
+    rows: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.issued += other.issued;
+        self.answered += other.answered;
+        self.shed += other.shed;
+        self.query_errors += other.query_errors;
+        self.transport_errors += other.transport_errors;
+        self.rows += other.rows;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+fn drive(opts: &Options, conn_id: usize) -> Result<Tally, String> {
+    let mut client = WireClient::connect_retry(&opts.addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let mix = if opts.stampede {
+        vec!["?- hot('h_1', B).".to_string()]
+    } else {
+        zipf_mix(opts.seed.wrapping_add(conn_id as u64), 4096)
+    };
+    let mut tally = Tally::default();
+    let deadline = Instant::now() + opts.duration;
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let mut q = QueryFrame::new(mix[i % mix.len()].clone());
+        i += 1;
+        if let Some(ms) = opts.deadline_ms {
+            q.deadline_us = Some(ms * 1000);
+        }
+        q.tier.clone_from(&opts.tier);
+        tally.issued += 1;
+        let start = Instant::now();
+        match client.query(q) {
+            Ok(result) => {
+                tally.answered += 1;
+                tally.rows += result.done.rows;
+                tally.latencies_us.push(start.elapsed().as_micros() as u64);
+            }
+            Err(HermesError::Shed { .. }) => {
+                tally.shed += 1;
+                // A gate shed keeps the connection; an accept-queue shed
+                // closes it. Reconnect either way to keep it simple.
+                client = WireClient::connect_retry(&opts.addr, Duration::from_secs(5))
+                    .map_err(|e| format!("reconnect {}: {e}", opts.addr))?;
+            }
+            Err(HermesError::Io(e)) => {
+                tally.transport_errors += 1;
+                client = WireClient::connect_retry(&opts.addr, Duration::from_secs(5))
+                    .map_err(|_| format!("reconnect after transport error: {e}"))?;
+            }
+            Err(_) => tally.query_errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64) * p).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+fn stat(stats: &Value, section: &str, field: &str) -> Option<i64> {
+    let Value::Record(rec) = stats else {
+        return None;
+    };
+    let Some(Value::Record(sec)) = rec.get(section) else {
+        return None;
+    };
+    match sec.get(field) {
+        Some(Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hermes-load: {e}");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let t0 = Instant::now();
+    let tallies: Vec<Result<Tally, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.conns)
+            .map(|c| {
+                let opts = opts.clone();
+                s.spawn(move || drive(&opts, c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut total = Tally::default();
+    let mut connect_failures = 0u64;
+    for t in tallies {
+        match t {
+            Ok(t) => total.merge(t),
+            Err(e) => {
+                connect_failures += 1;
+                eprintln!("hermes-load: {e}");
+            }
+        }
+    }
+
+    total.latencies_us.sort_unstable();
+    let qps = total.answered as f64 / wall.as_secs_f64();
+    println!(
+        "hermes-load: {} conns, {:.2}s, mix={}",
+        opts.conns,
+        wall.as_secs_f64(),
+        if opts.stampede { "stampede" } else { "zipf" }
+    );
+    println!(
+        "  issued {}  answered {}  shed {}  query-errors {}  transport-errors {}",
+        total.issued, total.answered, total.shed, total.query_errors, total.transport_errors
+    );
+    println!("  {qps:.0} qps  ({} rows)", total.rows);
+    println!(
+        "  latency p50 {} us  p95 {} us  p99 {} us  max {} us",
+        percentile(&total.latencies_us, 0.50),
+        percentile(&total.latencies_us, 0.95),
+        percentile(&total.latencies_us, 0.99),
+        total.latencies_us.last().copied().unwrap_or(0),
+    );
+
+    // Fetch the server's own counters for the gate invariant.
+    let server_stats =
+        WireClient::connect_retry(&opts.addr, Duration::from_secs(5)).and_then(|mut c| {
+            let stats = c.stats()?;
+            if opts.shutdown {
+                c.shutdown_server()?;
+            }
+            Ok(stats)
+        });
+    match &server_stats {
+        Ok(stats) => {
+            let queries = stat(stats, "server", "queries").unwrap_or(-1);
+            let admitted = stat(stats, "server", "admitted").unwrap_or(-1);
+            let shed = stat(stats, "server", "shed").unwrap_or(-1);
+            let refused = stat(stats, "net", "refused").unwrap_or(-1);
+            println!(
+                "  server: queries {queries}  admitted {admitted}  shed {shed}  socket-refused {refused}"
+            );
+            if opts.test_mode {
+                assert_eq!(
+                    admitted + shed,
+                    queries,
+                    "gate invariant broken: admitted + shed != queries"
+                );
+            }
+        }
+        Err(e) => eprintln!("hermes-load: stats fetch failed: {e}"),
+    }
+
+    if opts.test_mode {
+        assert_eq!(connect_failures, 0, "connections failed to establish");
+        assert_eq!(total.transport_errors, 0, "transport errors during the run");
+        assert_eq!(
+            total.answered + total.shed + total.query_errors,
+            total.issued,
+            "issued queries unaccounted for"
+        );
+        assert!(total.answered > 0, "no queries answered");
+        assert!(server_stats.is_ok(), "stats frame failed");
+        println!("hermes-load: test-mode assertions passed");
+    }
+}

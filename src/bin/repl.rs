@@ -27,10 +27,19 @@
 //! :tier auto|cache-only|cached-cheap|full   pin or release the plan tier
 //! :breaker <n> <ms>|off|status   circuit-breaker threshold/cooldown
 //! :serve <threads> <queries>     replay the last query concurrently
-//! :stats                 cache/statistics counters
+//! :connect <host:port>   become a thin client of a hermes-serve server
+//! :disconnect            back to the local mediator
+//! :ping                  round-trip time to the connected server
+//! :shutdown-server       drain the connected server
+//! :stats                 cache/statistics counters (remote when connected)
 //! :save <dir>  :load <dir>   persist / restore caches
 //! :help  :quit
 //! ```
+//!
+//! After `:connect`, queries, `:first`, and `:stats` ride the binary
+//! frame protocol to the server; `:tier`, `:budget`, `:deadline`, and
+//! `:trace` settings travel with each query frame. Everything else
+//! still drives the local in-process mediator.
 
 use hermes::domains::relational::{Column, ColumnType, RelationalDomain, Schema, Table};
 use hermes::domains::spatial::{uniform_points, SpatialDomain};
@@ -140,6 +149,8 @@ struct ReplState {
     tier: Option<hermes::PlanTier>,
     /// Per-query budget (`:budget`); downgrades tiers, never aborts.
     budget: Option<hermes::SimDuration>,
+    /// A `:connect`ed `hermes-serve` server; queries go over the wire.
+    remote: Option<hermes::WireClient>,
 }
 
 /// Applies the session's `:tier` / `:budget` settings to a request.
@@ -178,13 +189,67 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
              :tier <t>             auto|cache-only|cached-cheap|full\n  \
              :breaker <n> <ms>     trip threshold + cooldown (off|status)\n  \
              :serve <t> <q>        replay the last query q times from t threads\n  \
-             :stats                counters\n  \
+             :connect <host:port>  query a hermes-serve server instead\n  \
+             :disconnect           back to the local mediator\n  \
+             :ping                 round-trip time to the server\n  \
+             :shutdown-server      drain the connected server\n  \
+             :stats                counters (remote when connected)\n  \
              :save <dir> / :load <dir>\n  \
              :quit"
         );
         return Ok(Control::Continue);
     }
+    if let Some(rest) = line.strip_prefix(":connect") {
+        let addr = rest.trim();
+        if addr.is_empty() {
+            println!("usage: :connect <host:port>");
+            return Ok(Control::Continue);
+        }
+        match hermes::WireClient::connect(addr) {
+            Ok(client) => {
+                state.remote = Some(client);
+                println!("  connected to {addr} — queries now go over the wire");
+            }
+            Err(e) => println!("  connect {addr}: {e}"),
+        }
+        return Ok(Control::Continue);
+    }
+    if line == ":disconnect" {
+        if state.remote.take().is_some() {
+            println!("  disconnected — queries run on the local mediator again");
+        } else {
+            println!("  not connected");
+        }
+        return Ok(Control::Continue);
+    }
+    if line == ":ping" {
+        match state.remote.as_mut() {
+            Some(client) => match client.ping() {
+                Ok(rtt) => println!("  pong in {} us", rtt.as_micros()),
+                Err(e) => println!("  ping failed: {e}"),
+            },
+            None => println!("  not connected (use :connect <host:port>)"),
+        }
+        return Ok(Control::Continue);
+    }
+    if line == ":shutdown-server" {
+        match state.remote.take() {
+            Some(mut client) => match client.shutdown_server() {
+                Ok(()) => println!("  server draining; disconnected"),
+                Err(e) => println!("  shutdown failed: {e}"),
+            },
+            None => println!("  not connected (use :connect <host:port>)"),
+        }
+        return Ok(Control::Continue);
+    }
     if line == ":stats" {
+        if let Some(client) = state.remote.as_mut() {
+            match client.stats() {
+                Ok(stats) => print_remote_stats(&stats),
+                Err(e) => println!("  stats failed: {e}"),
+            }
+            return Ok(Control::Continue);
+        }
         let snap = mediator.caches().stats();
         let s = snap.cim;
         println!(
@@ -534,13 +599,22 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
         let k: usize = k_text
             .parse()
             .map_err(|e| hermes::HermesError::Eval(format!("bad count `{k_text}`: {e}")))?;
-        let req = with_tier_options(state, hermes::QueryRequest::new(query.trim()).limit(k));
+        let query = query.trim().to_string();
+        if state.remote.is_some() {
+            remote_query(mediator, state, &query, Some(k as u64))?;
+            return Ok(Control::Continue);
+        }
+        let req = with_tier_options(state, hermes::QueryRequest::new(query.as_str()).limit(k));
         let result = mediator.query(req)?;
-        state.last_query = Some(query.trim().to_string());
+        state.last_query = Some(query);
         print_result(&result);
         return Ok(Control::Continue);
     }
     // Anything else is a query.
+    if state.remote.is_some() {
+        remote_query(mediator, state, line, None)?;
+        return Ok(Control::Continue);
+    }
     let req = with_tier_options(state, hermes::QueryRequest::new(line));
     let result = mediator.query(req)?;
     state.last_query = Some(line.to_string());
@@ -549,6 +623,73 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
     }
     print_result(&result);
     Ok(Control::Continue)
+}
+
+/// Ships a query to the `:connect`ed server, carrying the session's
+/// `:tier`/`:budget`/`:deadline`/`:trace` settings in the frame.
+fn remote_query(
+    mediator: &Mediator,
+    state: &mut ReplState,
+    query: &str,
+    limit: Option<u64>,
+) -> hermes::Result<()> {
+    let mut q = hermes::QueryFrame::new(query);
+    q.limit = limit;
+    q.tier = state.tier.map(|t| t.as_str().to_string());
+    q.budget_us = state.budget.map(|b| b.as_micros());
+    q.deadline_us = mediator.config().exec.deadline.map(|d| d.as_micros());
+    q.trace = mediator.config().exec.collect_trace;
+    let Some(client) = state.remote.as_mut() else {
+        return Ok(());
+    };
+    let result = client.query(q)?;
+    state.last_query = Some(query.to_string());
+    for line in &result.done.trace {
+        println!("{line}");
+    }
+    let header: Vec<String> = result.done.columns.clone();
+    if !header.is_empty() {
+        println!("  {}", header.join(" | "));
+    }
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+    println!(
+        "  ({} answers; {} us wall; {} source calls, {} cache hits{}{})",
+        result.rows.len(),
+        result.done.elapsed_us,
+        result.done.source_calls,
+        result.done.cache_hits,
+        if result.done.tier_downgrades > 0 {
+            format!("; {} downgrade(s)", result.done.tier_downgrades)
+        } else {
+            String::new()
+        },
+        if result.done.incomplete {
+            "; INCOMPLETE"
+        } else {
+            ""
+        },
+    );
+    Ok(())
+}
+
+/// Pretty-prints the server's nested stats record, one section per line.
+fn print_remote_stats(stats: &Value) {
+    let Value::Record(rec) = stats else {
+        println!("  {stats}");
+        return;
+    };
+    for (name, section) in rec.iter() {
+        match section {
+            Value::Record(fields) => {
+                let cells: Vec<String> = fields.iter().map(|(k, v)| format!("{k} {v}")).collect();
+                println!("  {name}: {}", cells.join(", "));
+            }
+            other => println!("  {name}: {other}"),
+        }
+    }
 }
 
 fn print_result(result: &hermes::QueryResult) {

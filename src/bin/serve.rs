@@ -1,0 +1,228 @@
+//! `hermes-serve` — the HERMES mediator as a TCP server.
+//!
+//! Serves the binary frame protocol (`hermes_common::frame`) over a
+//! worker pool on a [`hermes::ConcurrentMediator`]. Without `--program`
+//! it builds the benchmark's synthetic world: two sources behind real
+//! per-call latency (`SlowDomain`), five query forms `q0`..`q3` and
+//! `hot` over Zipf-friendly keys — the same world `hermes-load`
+//! generates traffic for.
+//!
+//! ```sh
+//! hermes-serve                         # synthetic world on 127.0.0.1:7464
+//! hermes-serve --addr 0.0.0.0:9000 --workers 16
+//! hermes-serve --delay-ms 10 --gate 32 # slower sources, bounded gate
+//! hermes-serve --program rules.hms     # serve your own rule file
+//! ```
+//!
+//! Stop it with `hermes-load --shutdown`, the REPL's `:connect` +
+//! `:shutdown-server`, or plain Ctrl-C.
+
+use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes::domains::SlowDomain;
+use hermes::{profiles, GateConfig, Mediator, NetServer, Network, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HELP: &str = "\
+usage: hermes-serve [options]
+
+options:
+  --addr HOST:PORT   listen address (default 127.0.0.1:7464)
+  --workers N        handler threads = concurrent connections (default 8)
+  --pending N        accepted connections queued for a worker; the next
+                     one is refused with a shed frame (default 64)
+  --batch-rows N     rows per Batch frame (default 512)
+  --gate N           admission-gate capacity (default unbounded)
+  --delay-ms N       real latency per synthetic source call (default 3)
+  --shards N         CIM/DCSM shards (default 8)
+  --seed N           synthetic data seed (default 42)
+  --sim-clock        serve on virtual time instead of the wall clock
+  --program FILE     serve this rule file instead of the synthetic world
+  -h, --help         this message
+";
+
+/// Keys per synthetic relation — must match `hermes-load`'s key space.
+const KEYS: usize = 64;
+
+struct Options {
+    addr: String,
+    workers: usize,
+    pending: usize,
+    batch_rows: usize,
+    gate: Option<usize>,
+    delay: Duration,
+    shards: usize,
+    seed: u64,
+    wall_clock: bool,
+    program: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7464".into(),
+            workers: 8,
+            pending: 64,
+            batch_rows: 512,
+            gate: None,
+            delay: Duration::from_millis(3),
+            shards: 8,
+            seed: 42,
+            wall_clock: true,
+            program: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = take("--addr")?,
+            "--workers" => opts.workers = num(&take("--workers")?)?,
+            "--pending" => opts.pending = num(&take("--pending")?)?,
+            "--batch-rows" => opts.batch_rows = num(&take("--batch-rows")?)?,
+            "--gate" => opts.gate = Some(num(&take("--gate")?)?),
+            "--delay-ms" => opts.delay = Duration::from_millis(num(&take("--delay-ms")?)? as u64),
+            "--shards" => opts.shards = num(&take("--shards")?)?,
+            "--seed" => opts.seed = num(&take("--seed")?)? as u64,
+            "--sim-clock" => opts.wall_clock = false,
+            "--program" => opts.program = Some(take("--program")?),
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+/// The synthetic sources, shaped like the `mediator_throughput` bench:
+/// two sites, real latency per source call.
+fn synthetic_network(seed: u64, delay: Duration) -> Network {
+    let d0 = SyntheticDomain::generate(
+        "d0",
+        seed,
+        &[
+            RelationSpec::uniform("r0", KEYS, 2.0),
+            RelationSpec::uniform("r1", KEYS, 2.0),
+            RelationSpec::uniform("h", KEYS, 2.0),
+        ],
+    );
+    let d1 = SyntheticDomain::generate(
+        "d1",
+        seed + 1,
+        &[
+            RelationSpec::uniform("r0", KEYS, 2.0),
+            RelationSpec::uniform("r1", KEYS, 2.0),
+        ],
+    );
+    let mut net = Network::new(seed);
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(d0), delay)),
+        profiles::maryland(),
+    );
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(d1), delay)),
+        profiles::cornell(),
+    );
+    net
+}
+
+/// The default serving world: five query forms over the synthetic
+/// sources — the same forms `hermes-load` generates traffic for.
+fn synthetic_world(seed: u64, delay: Duration) -> Result<Mediator, hermes::HermesError> {
+    Mediator::from_source(
+        "
+        q0(A, B) :- in(B, d0:r0_bf(A)).
+        q1(A, B) :- in(B, d0:r1_bf(A)).
+        q2(A, B) :- in(B, d1:r0_bf(A)).
+        q3(A, B) :- in(B, d1:r1_bf(A)).
+        hot(A, B) :- in(B, d0:h_bf(A)).
+        ",
+        synthetic_network(seed, delay),
+    )
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hermes-serve: {e}");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let mediator = match &opts.program {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("hermes-serve: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            // A user program gets the synthetic network's sources too, so
+            // rules may reference d0/d1 — or ignore them entirely.
+            match Mediator::from_source(&src, synthetic_network(opts.seed, opts.delay)) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("hermes-serve: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => match synthetic_world(opts.seed, opts.delay) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("hermes-serve: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let server = Arc::new(mediator.to_concurrent(opts.shards));
+    if let Some(capacity) = opts.gate {
+        server.set_gate(GateConfig::bounded(capacity));
+    }
+
+    let config = ServeConfig {
+        workers: opts.workers,
+        pending_conns: opts.pending,
+        batch_rows: opts.batch_rows,
+        wall_clock: opts.wall_clock,
+        ..ServeConfig::default()
+    };
+    let net = match NetServer::bind(server, opts.addr.as_str(), config) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("hermes-serve: bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hermes-serve: listening on {} ({} workers, {} pending, {})",
+        net.addr(),
+        opts.workers,
+        opts.pending,
+        if opts.wall_clock {
+            "wall clock"
+        } else {
+            "sim clock"
+        },
+    );
+
+    let stats = net.wait();
+    println!(
+        "hermes-serve: drained — {} connections ({} refused), {} requests, {} bad frames",
+        stats.accepted, stats.refused, stats.requests, stats.bad_frames
+    );
+}

@@ -548,3 +548,157 @@ fn every_plan_computes_the_same_answers() {
         }
     });
 }
+
+// ---------- binary frame codec (hermes-serve's wire format) ----------
+
+fn query_frame(r: &mut Rng64) -> hermes::QueryFrame {
+    let mut q = hermes::QueryFrame::new(lower_string(r, 0, 24));
+    if r.chance(0.5) {
+        q.limit = Some(r.range_u64(0, 1 << 20));
+    }
+    if r.chance(0.5) {
+        q.deadline_us = Some(r.next_u64() >> 20);
+    }
+    if r.chance(0.5) {
+        q.budget_us = Some(r.next_u64() >> 20);
+    }
+    if r.chance(0.3) {
+        q.tier = Some(lower_string(r, 1, 12));
+    }
+    q.trace = r.chance(0.5);
+    q
+}
+
+fn any_frame(r: &mut Rng64) -> hermes::Frame {
+    use hermes::Frame;
+    match r.range_usize(0, 9) {
+        0 => Frame::Query(query_frame(r)),
+        1 => Frame::Stats,
+        2 => Frame::Ping,
+        3 => Frame::Shutdown,
+        4 => {
+            let rows = r.range_usize(0, 5);
+            Frame::Batch(
+                (0..rows)
+                    .map(|_| {
+                        let cols = r.range_usize(0, 4);
+                        (0..cols).map(|_| value(r)).collect()
+                    })
+                    .collect(),
+            )
+        }
+        5 => Frame::Done(hermes::DoneFrame {
+            columns: (0..r.range_usize(0, 4)).map(|_| var_name(r)).collect(),
+            rows: r.range_u64(0, 1 << 30),
+            incomplete: r.chance(0.3),
+            elapsed_us: r.next_u64() >> 16,
+            source_calls: r.range_u64(0, 1 << 20),
+            cache_hits: r.range_u64(0, 1 << 20),
+            tier_downgrades: r.range_u64(0, 4),
+            trace: (0..r.range_usize(0, 3))
+                .map(|_| lower_string(r, 0, 16))
+                .collect(),
+        }),
+        6 => Frame::Error(hermes::ErrorFrame {
+            code: lower_string(r, 1, 10),
+            message: lower_string(r, 0, 32),
+        }),
+        7 => Frame::StatsReply(value(r)),
+        _ => Frame::Pong,
+    }
+}
+
+#[test]
+fn frame_binary_value_codec_roundtrips_any_value() {
+    cases(
+        "frame_binary_value_codec_roundtrips_any_value",
+        CASES,
+        |r| {
+            let v = value(r);
+            let bytes = hermes::common::frame::value_to_bytes(&v);
+            let back = hermes::common::frame::value_from_bytes(&bytes).unwrap();
+            assert_eq!(back, v);
+        },
+    );
+}
+
+#[test]
+fn wire_call_string_codec_roundtrips_any_call() {
+    cases("wire_call_string_codec_roundtrips_any_call", CASES, |r| {
+        let c = ground_call(r);
+        let text = hermes::common::wire::call_to_string(&c);
+        let back = hermes::common::wire::call_from_str(&text).unwrap();
+        assert_eq!(back, c);
+    });
+}
+
+#[test]
+fn any_frame_roundtrips_through_the_stream_codec() {
+    cases(
+        "any_frame_roundtrips_through_the_stream_codec",
+        CASES,
+        |r| {
+            let frame = any_frame(r);
+            let bytes = frame.encode();
+            let mut cursor = std::io::Cursor::new(bytes);
+            let back = hermes::Frame::read_from(&mut cursor)
+                .expect("well-formed frame decodes")
+                .expect("not EOF");
+            assert_eq!(back, frame);
+            // Nothing left over: a second read sees clean EOF.
+            assert!(hermes::Frame::read_from(&mut cursor).unwrap().is_none());
+        },
+    );
+}
+
+/// Corrupting or truncating a valid frame must yield an error (or, for
+/// lucky corruptions, a different valid frame) — never a panic, hang,
+/// or giant allocation.
+#[test]
+fn mutated_frames_never_panic_the_decoder() {
+    cases("mutated_frames_never_panic_the_decoder", CASES, |r| {
+        let mut bytes = any_frame(r).encode();
+        match r.range_usize(0, 3) {
+            0 => {
+                // Flip a few random bytes (possibly in the length prefix).
+                for _ in 0..r.range_usize(1, 4) {
+                    let i = r.range_usize(0, bytes.len());
+                    bytes[i] ^= 1 << r.range_u64(0, 8);
+                }
+            }
+            1 => {
+                // Truncate mid-frame.
+                let keep = r.range_usize(0, bytes.len());
+                bytes.truncate(keep);
+            }
+            _ => {
+                // Pure noise.
+                let len = r.range_usize(1, 64);
+                bytes = (0..len).map(|_| r.next_u64() as u8).collect();
+            }
+        }
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let _ = hermes::Frame::read_from(&mut cursor); // must return, any Result
+    });
+}
+
+/// Byte soup into the bare value decoder: errors are fine, panics are not.
+#[test]
+fn random_bytes_never_panic_the_value_decoder() {
+    cases("random_bytes_never_panic_the_value_decoder", CASES, |r| {
+        let len = r.range_usize(0, 96);
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_u64() as u8).collect();
+        let _ = hermes::common::frame::value_from_bytes(&bytes);
+    });
+}
+
+/// Hostile nesting in the *text* codec: deep `L1;L1;…` input must error
+/// at the depth limit instead of overflowing the stack.
+#[test]
+fn deep_text_nesting_errors_cleanly() {
+    cases("deep_text_nesting_errors_cleanly", 8, |r| {
+        let depth = hermes::common::wire::MAX_DEPTH + r.range_usize(1, 1000);
+        let text = "L1;".repeat(depth) + "N";
+        assert!(hermes::common::wire::value_from_str(&text).is_err());
+    });
+}

@@ -1,0 +1,205 @@
+//! Wall-clock serving semantics: deadlines, budgets, and tier
+//! downgrades must bind to *real* elapsed time when a
+//! [`hermes::ConcurrentMediator`] serves in wall mode, with the same
+//! observable semantics (error types, provenance gaps, trace reason
+//! codes) as the paper-exact simulated-clock path.
+//!
+//! Sources sit behind [`SlowDomain`] so every real call costs real
+//! milliseconds — on the wall clock that is the *only* time that
+//! exists, exactly what a network client experiences.
+
+use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes::domains::SlowDomain;
+use hermes::net::profiles;
+use hermes::{
+    ConcurrentMediator, HermesError, IncompleteReason, Mediator, Network, QueryRequest, SimDuration,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A world where `?- chain(A, B).` needs 1 + 8 sequential source calls,
+/// each costing `delay` of real time.
+fn slow_world(delay: Duration) -> Mediator {
+    let domain = SyntheticDomain::generate(
+        "d1",
+        42,
+        &[
+            RelationSpec::uniform("p", 8, 2.0),
+            RelationSpec::uniform("r", 8, 2.0),
+        ],
+    );
+    let mut net = Network::new(1);
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(domain), delay)),
+        profiles::cornell(),
+    );
+    Mediator::from_source(
+        "
+        item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+        chain(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & in(B, d1:r_bf(A)).
+        ",
+        net,
+    )
+    .unwrap()
+}
+
+fn wall_server(delay: Duration) -> ConcurrentMediator {
+    let server = slow_world(delay).to_concurrent(2);
+    server.set_wall_clock(true);
+    server
+}
+
+#[test]
+fn wall_deadline_aborts_in_bounded_wall_time() {
+    let server = wall_server(Duration::from_millis(100));
+    // ~900ms of sequential source time against a 150ms deadline: the
+    // abort must come from the wall clock, in bounded real time.
+    let req = QueryRequest::new("?- chain(A, B).").deadline(SimDuration::from_millis(150));
+    let start = Instant::now();
+    let out = server.query(req);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline did not bind to wall time: took {elapsed:?}"
+    );
+    match out {
+        Err(HermesError::DeadlineExceeded { .. }) => {}
+        Ok(result) => {
+            assert!(result.incomplete, "past-deadline answers must be partial");
+            assert!(
+                result
+                    .provenance
+                    .iter()
+                    .any(|p| p.gaps.contains(&IncompleteReason::DeadlineExceeded)),
+                "partial result must carry DeadlineExceeded provenance: {:?}",
+                result.provenance
+            );
+            assert!(result.stats.deadline_aborts >= 1);
+        }
+        Err(e) => panic!("unexpected error: {e:?}"),
+    }
+}
+
+#[test]
+fn generous_wall_deadline_leaves_results_complete() {
+    let server = wall_server(Duration::from_millis(1));
+    let req = QueryRequest::new("?- chain(A, B).").deadline(SimDuration::from_secs(60));
+    let result = server.query(req).unwrap();
+    assert!(!result.incomplete);
+    assert_eq!(result.stats.deadline_aborts, 0);
+}
+
+/// Extract downgrade lines from a rendered trace, with the timestamp
+/// prefix stripped (virtual and wall timestamps legitimately differ;
+/// the transition and its reason code must not).
+fn downgrade_lines(trace: &[hermes::core::TraceEntry]) -> Vec<String> {
+    hermes::core::trace::render(trace)
+        .lines()
+        .filter(|l| l.contains("DGRD"))
+        .map(|l| {
+            l.split_once("] ")
+                .map(|(_, rest)| rest)
+                .unwrap_or(l)
+                .to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn budget_downgrade_reason_codes_match_the_sim_clock_path() {
+    // The same world twice: one server on virtual time, one on the wall.
+    let sim = slow_world(Duration::from_millis(40)).to_concurrent(2);
+    let wall = wall_server(Duration::from_millis(40));
+
+    // Pin the tier to `full` so the 1ms budget cannot fire the
+    // selection-time budget rule — it must run out *mid-execution*,
+    // exercising the fail-soft downgrade path on both clocks.
+    let req = || {
+        QueryRequest::new("?- chain(A, B).")
+            .budget(SimDuration::from_millis(1))
+            .tier(hermes::PlanTier::Full)
+            .trace(true)
+    };
+    let sim_out = sim.query(req()).unwrap();
+    let wall_out = wall.query(req()).unwrap();
+
+    let sim_dgrd = downgrade_lines(&sim_out.trace);
+    let wall_dgrd = downgrade_lines(&wall_out.trace);
+    assert!(
+        !sim_dgrd.is_empty() && !wall_dgrd.is_empty(),
+        "a 1ms budget against 40ms calls must downgrade on both clocks \
+         (sim: {sim_dgrd:?}, wall: {wall_dgrd:?})"
+    );
+    // The reason code is the contract: both clocks must report the same
+    // machine-readable cause, not merely "some" downgrade.
+    for lines in [&sim_dgrd, &wall_dgrd] {
+        for line in lines.iter() {
+            assert!(
+                line.contains("(budget-pressure)"),
+                "downgrade without the budget-pressure reason code: {line}"
+            );
+        }
+    }
+    // And the first transition is identical text on both clocks.
+    assert_eq!(sim_dgrd[0], wall_dgrd[0]);
+    assert!(sim_out.stats.tier_downgrades >= 1);
+    assert!(wall_out.stats.tier_downgrades >= 1);
+}
+
+#[test]
+fn wall_and_sim_clocks_agree_on_answers() {
+    let sim = slow_world(Duration::from_millis(1)).to_concurrent(2);
+    let wall = wall_server(Duration::from_millis(1));
+    let mut expect = sim.query("?- item(A, B).").unwrap().rows;
+    let mut got = wall.query("?- item(A, B).").unwrap().rows;
+    expect.sort();
+    got.sort();
+    assert_eq!(got, expect, "the clock must never change the answers");
+}
+
+#[test]
+fn sim_clock_path_stays_deterministic() {
+    // Two fresh sim-mode servers must report bit-identical virtual
+    // timings — the wall-clock feature may not leak into the default.
+    let a = slow_world(Duration::from_millis(1)).to_concurrent(2);
+    let b = slow_world(Duration::from_millis(1)).to_concurrent(2);
+    assert!(!a.wall_clock());
+    let ra = a.query("?- item(A, B).").unwrap();
+    let rb = b.query("?- item(A, B).").unwrap();
+    assert_eq!(ra.t_all, rb.t_all);
+    assert_eq!(ra.t_first, rb.t_first);
+    assert_eq!(ra.rows, rb.rows);
+}
+
+#[test]
+fn wall_retry_backoff_waits_real_time() {
+    // A world with an unavailable site: with retries configured, wall
+    // mode must *really* wait the backoff out (bounded here), while sim
+    // mode only advances virtual time. We just pin down that the wall
+    // query returns (no hang) and reports the failure.
+    let domain = SyntheticDomain::generate("d1", 42, &[RelationSpec::uniform("p", 4, 2.0)]);
+    let mut net = Network::new(1);
+    let mut site = profiles::cornell();
+    site.link.failure_rate = 1.0; // never reachable
+    net.place(Arc::new(domain), site);
+    let mut m = Mediator::from_source("item(A, B) :- in(B, d1:p_bf(A)).", net).unwrap();
+    m.config_mut().exec.retry_attempts = 2;
+    m.config_mut().exec.retry_backoff_ms = 50.0;
+    let server = m.to_concurrent(2);
+    server.set_wall_clock(true);
+    let start = Instant::now();
+    let out = server.query("?- item('p_1', B).");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(40),
+        "wall-mode backoff should really wait (took {elapsed:?})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "retry backoff must be bounded in wall mode"
+    );
+    // An Err (unavailable) is also acceptable; a success must have gaps.
+    if let Ok(result) = out {
+        assert!(result.incomplete, "unreachable site must leave gaps");
+    }
+}

@@ -31,7 +31,9 @@
 use hermes_common::frame::{value_from_bytes, value_to_bytes};
 use hermes_common::wire::{encode_value, value_from_str};
 use hermes_common::{QueryFrame, Record, Rng64, Value};
-use hermes_core::{ConcurrentMediator, GateConfig, Mediator, NetServer, ServeConfig, WireClient};
+use hermes_core::{
+    ConcurrentMediator, GateConfig, Mediator, NetServer, ServeConfig, ServeMode, WireClient,
+};
 use hermes_domains::synthetic::{RelationSpec, SyntheticDomain};
 use hermes_domains::SlowDomain;
 use hermes_net::{profiles, Network};
@@ -274,11 +276,14 @@ fn run_overload(duration: Duration) -> Overload {
     let workers = 2usize;
     let mediator = Arc::new(build_server(77));
     mediator.set_gate(GateConfig::bounded(2));
-    let config = ServeConfig {
-        workers,
-        pending_conns: 2,
-        ..ServeConfig::default()
-    };
+    // Pinned to the pool engine: this scenario measures the pool's
+    // accept-queue backpressure specifically (the reactor has no
+    // per-worker connection ceiling to overload this way).
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Pool)
+        .workers(workers)
+        .pending_conns(2)
+        .build();
     let net = NetServer::bind(Arc::clone(&mediator), "127.0.0.1:0", config)
         .expect("overload server binds");
     let addr = net.addr().to_string();

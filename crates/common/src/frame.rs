@@ -486,28 +486,34 @@ impl Frame {
 
     /// Reads one frame from `r`. Returns `Ok(None)` on clean EOF (the
     /// peer closed between frames); anything else malformed is an error.
+    ///
+    /// This is the blocking face of [`FrameDecoder`]: it reads exactly the
+    /// bytes the decoder asks for (never over-reading into the next
+    /// frame), so it composes with unbuffered streams.
     pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>> {
-        let mut len_raw = [0u8; 4];
-        match r.read(&mut len_raw) {
-            Ok(0) => return Ok(None),
-            Ok(n) => r.read_exact(&mut len_raw[n..])?,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
-                r.read_exact(&mut len_raw)?;
+        let mut decoder = FrameDecoder::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = decoder.next_frame()? {
+                return Ok(Some(frame));
             }
-            Err(e) => return Err(e.into()),
+            // Ask for exactly what the next frame still needs: the header
+            // remainder, then the body remainder.
+            let want = decoder.needed().min(chunk.len());
+            let mut got = 0;
+            while got < want {
+                match r.read(&mut chunk[got..want]) {
+                    Ok(0) if got == 0 && !decoder.mid_frame() => return Ok(None),
+                    Ok(0) => {
+                        return Err(HermesError::Io("connection closed mid-frame".to_string()))
+                    }
+                    Ok(n) => got += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            decoder.feed(&chunk[..got]);
         }
-        let len = u32::from_le_bytes(len_raw);
-        if len == 0 {
-            return Err(HermesError::Io("zero-length frame".into()));
-        }
-        if len > MAX_FRAME_LEN {
-            return Err(HermesError::Io(format!(
-                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
-            )));
-        }
-        let mut body = vec![0u8; len as usize];
-        r.read_exact(&mut body)?;
-        Ok(Some(Frame::decode_body(&body)?))
     }
 
     /// Decodes a frame body (kind byte + payload, no length prefix).
@@ -602,6 +608,104 @@ impl Frame {
             KIND_STATS_REPLY => Ok(Frame::StatsReply(value_from_bytes(payload)?)),
             other => Err(HermesError::Io(format!("unknown frame kind 0x{other:02x}"))),
         }
+    }
+}
+
+/// An incremental frame decoder: feed it arbitrary byte chunks as they
+/// arrive off a socket and pull complete frames out, with no blocking
+/// and no alignment requirements — a frame may arrive one byte at a
+/// time or many frames in one chunk.
+///
+/// Both serving paths share it: the epoll reactor feeds it from
+/// nonblocking reads, and [`Frame::read_from`] drives it with exact
+/// blocking reads. The length-prefix validation (zero-length frames,
+/// the [`MAX_FRAME_LEN`] cap) fails *as soon as the header is visible*,
+/// before any body byte is buffered, so a hostile length can never make
+/// the decoder allocate.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: the consumed prefix is dead weight.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when a frame has started arriving but is not yet complete —
+    /// the signal a read-deadline (slow-loris) check keys on.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// How many more bytes the decoder needs before [`next_frame`]
+    /// *could* yield (never 0): the rest of the 4-byte header, then the
+    /// rest of the announced body. Blocking callers use this to read
+    /// exactly one frame without over-reading.
+    ///
+    /// [`next_frame`]: FrameDecoder::next_frame
+    pub fn needed(&self) -> usize {
+        let have = self.buffered();
+        if have < 4 {
+            return 4 - have;
+        }
+        let len = self.peek_len() as usize;
+        // An invalid length errors on the next `next_frame` call; claim
+        // one byte so callers keep making progress toward that error.
+        (4 + len).saturating_sub(have).max(1)
+    }
+
+    fn peek_len(&self) -> u32 {
+        let b = &self.buf[self.pos..self.pos + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Decodes the next complete frame, if one is fully buffered.
+    /// `Ok(None)` means "feed me more bytes"; an error means the stream
+    /// is corrupt and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let len = self.peek_len();
+        if len == 0 {
+            return Err(HermesError::Io("zero-length frame".into()));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(HermesError::Io(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.buffered() < total {
+            return Ok(None);
+        }
+        let body_start = self.pos + 4;
+        let frame = Frame::decode_body(&self.buf[body_start..self.pos + total])?;
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(frame))
     }
 }
 
@@ -751,6 +855,148 @@ mod tests {
         assert!(Frame::decode_body(&[KIND_QUERY, TAG_NULL]).is_err());
         assert!(Frame::decode_body(&[KIND_BATCH, TAG_INT]).is_err());
         assert!(Frame::decode_body(&[]).is_err());
+    }
+
+    /// The frame corpus shared by the incremental-decoder properties:
+    /// every kind, including empty-payload and multi-batch shapes.
+    fn corpus() -> Vec<Frame> {
+        vec![
+            Frame::Query(QueryFrame {
+                src: "?- item(A, B).".into(),
+                limit: Some(5),
+                deadline_us: Some(250_000),
+                budget_us: Some(100_000),
+                tier: Some("full".into()),
+                trace: true,
+            }),
+            Frame::Query(QueryFrame::new("?- q(A).")),
+            Frame::Stats,
+            Frame::Ping,
+            Frame::Shutdown,
+            Frame::Pong,
+            Frame::Batch(vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Float(2.5), Value::Bool(true)],
+            ]),
+            Frame::Batch(Vec::new()),
+            Frame::Done(DoneFrame {
+                columns: vec!["A".into()],
+                rows: 3,
+                incomplete: true,
+                elapsed_us: 1234,
+                source_calls: 3,
+                cache_hits: 7,
+                tier_downgrades: 1,
+                trace: vec!["t+0.000ms call d:p_bf".into()],
+            }),
+            Frame::Error(ErrorFrame {
+                code: "shed".into(),
+                message: "pipeline-full".into(),
+            }),
+            Frame::StatsReply(Value::Record(Record::from_fields([
+                ("queries", Value::Int(12)),
+                ("shed", Value::Int(2)),
+            ]))),
+        ]
+    }
+
+    /// Feeds `bytes` to a fresh decoder in the chunks `splits` describes
+    /// and returns every frame decoded.
+    fn decode_chunked(bytes: &[u8], chunks: impl Iterator<Item = usize>) -> Vec<Frame> {
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        for n in chunks {
+            if pos == bytes.len() {
+                break;
+            }
+            let end = (pos + n).min(bytes.len());
+            decoder.feed(&bytes[pos..end]);
+            pos = end;
+            while let Some(f) = decoder.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(pos, bytes.len(), "whole stream consumed");
+        assert!(!decoder.mid_frame(), "no partial frame left over");
+        out
+    }
+
+    #[test]
+    fn incremental_decode_is_split_invariant() {
+        // Every corpus frame, split at every byte boundary: the decode
+        // must be identical to the whole-buffer decode.
+        for frame in corpus() {
+            let bytes = frame.encode();
+            for cut in 0..=bytes.len() {
+                let got = decode_chunked(&bytes, [cut, bytes.len() - cut].into_iter());
+                assert_eq!(got, vec![frame.clone()], "split at {cut}");
+            }
+            // And one byte at a time.
+            let got = decode_chunked(&bytes, std::iter::repeat_n(1, bytes.len()));
+            assert_eq!(got, vec![frame.clone()]);
+        }
+    }
+
+    #[test]
+    fn incremental_decode_handles_concatenated_streams() {
+        let frames = corpus();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend(f.encode());
+        }
+        // One giant chunk.
+        assert_eq!(
+            decode_chunked(&bytes, [bytes.len()].into_iter()),
+            frames,
+            "single chunk"
+        );
+        // Byte-by-byte.
+        assert_eq!(
+            decode_chunked(&bytes, std::iter::repeat_n(1, bytes.len())),
+            frames,
+            "byte-by-byte"
+        );
+        // Deterministic ragged chunking at every phase offset.
+        for phase in 0..7usize {
+            let sizes = (0..).map(|i| 1 + (i + phase) % 13);
+            assert_eq!(decode_chunked(&bytes, sizes), frames, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_fails_closed_on_bad_lengths() {
+        // Zero length: rejected the moment the header is visible.
+        let mut d = FrameDecoder::new();
+        d.feed(&[0, 0, 0, 0]);
+        assert!(d.next_frame().is_err());
+        // Oversized length: rejected before any body byte is buffered.
+        let mut d = FrameDecoder::new();
+        d.feed(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(d.next_frame().is_err());
+        // A corrupt body is an error, not a silent skip.
+        let mut d = FrameDecoder::new();
+        d.feed(&[1, 0, 0, 0, 0xEE]);
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_reports_progress_needs() {
+        let frame = Frame::Query(QueryFrame::new("?- q(A)."));
+        let bytes = frame.encode();
+        let mut d = FrameDecoder::new();
+        assert_eq!(d.needed(), 4, "empty decoder wants a header");
+        assert!(!d.mid_frame());
+        d.feed(&bytes[..1]);
+        assert_eq!(d.needed(), 3);
+        assert!(d.mid_frame(), "one header byte is a started frame");
+        d.feed(&bytes[1..4]);
+        assert_eq!(d.needed(), bytes.len() - 4, "header announces the body");
+        d.feed(&bytes[4..]);
+        assert_eq!(d.next_frame().unwrap(), Some(frame));
+        assert!(!d.mid_frame());
+        assert_eq!(d.buffered(), 0);
     }
 
     #[test]

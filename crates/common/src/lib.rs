@@ -35,7 +35,7 @@ pub mod wire;
 pub use call::{shard_index, CallPattern, GroundCall, PatArg, PatternShape};
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{HermesError, Result};
-pub use frame::{DoneFrame, ErrorFrame, Frame, QueryFrame};
+pub use frame::{DoneFrame, ErrorFrame, Frame, FrameDecoder, QueryFrame};
 pub use path::{AttrPath, PathStep};
 pub use rng::Rng64;
 pub use value::{Record, Value};

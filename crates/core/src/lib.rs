@@ -66,7 +66,9 @@ pub use rewrite::{
     fingerprint_body, fingerprint_rule, query_fingerprint, Fingerprint, PushdownRule,
     RewriteConfig, SubplanKey,
 };
-pub use serve::{NetServer, NetServerStats, RemoteResult, ServeConfig, WireClient};
+pub use serve::{
+    NetServer, NetServerStats, RemoteResult, ServeConfig, ServeConfigBuilder, ServeMode, WireClient,
+};
 pub use server::{ConcurrentMediator, GateConfig, ServerStats};
 pub use tier::{select_tier, PlanTier, TierDecision, TierInputs, TierLoad, TierReason};
 pub use trace::{TraceEntry, TraceEvent};

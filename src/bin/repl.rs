@@ -30,6 +30,7 @@
 //! :connect <host:port>   become a thin client of a hermes-serve server
 //! :disconnect            back to the local mediator
 //! :ping                  round-trip time to the connected server
+//! :pipeline <n> <query>  n pipelined copies of query on one socket
 //! :shutdown-server       drain the connected server
 //! :stats                 cache/statistics counters (remote when connected)
 //! :save <dir>  :load <dir>   persist / restore caches
@@ -192,6 +193,7 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
              :connect <host:port>  query a hermes-serve server instead\n  \
              :disconnect           back to the local mediator\n  \
              :ping                 round-trip time to the server\n  \
+             :pipeline <n> <q>     send n pipelined copies of q at once\n  \
              :shutdown-server      drain the connected server\n  \
              :stats                counters (remote when connected)\n  \
              :save <dir> / :load <dir>\n  \
@@ -230,6 +232,55 @@ fn dispatch(mediator: &mut Mediator, state: &mut ReplState, line: &str) -> herme
             },
             None => println!("  not connected (use :connect <host:port>)"),
         }
+        return Ok(Control::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":pipeline") {
+        let rest = rest.trim();
+        let (count, query) = match rest.split_once(char::is_whitespace) {
+            Some((n, q)) => match n.parse::<usize>() {
+                Ok(n) if n >= 1 && !q.trim().is_empty() => (n, q.trim().to_string()),
+                _ => {
+                    println!("usage: :pipeline <n> <query>");
+                    return Ok(Control::Continue);
+                }
+            },
+            None => {
+                println!("usage: :pipeline <n> <query>");
+                return Ok(Control::Continue);
+            }
+        };
+        let Some(client) = state.remote.as_mut() else {
+            println!("  not connected (use :connect <host:port>)");
+            return Ok(Control::Continue);
+        };
+        // All n queries ride one socket at once; the server answers in
+        // FIFO order, so total wall time shows the pipelining win over
+        // n sequential round trips.
+        let start = std::time::Instant::now();
+        let mut sent = 0usize;
+        for _ in 0..count {
+            if let Err(e) = client.send_query(hermes::QueryFrame::new(query.clone())) {
+                println!("  send failed after {sent}: {e}");
+                break;
+            }
+            sent += 1;
+        }
+        let (mut answered, mut rows, mut shed, mut errors) = (0u64, 0u64, 0u64, 0u64);
+        for _ in 0..sent {
+            match client.recv_result() {
+                Ok(result) => {
+                    answered += 1;
+                    rows += result.done.rows;
+                }
+                Err(hermes::HermesError::Shed { .. }) => shed += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        println!(
+            "  {sent} pipelined in {} us: {answered} answered ({rows} rows), \
+             {shed} shed, {errors} errors",
+            start.elapsed().as_micros()
+        );
         return Ok(Control::Continue);
     }
     if line == ":shutdown-server" {

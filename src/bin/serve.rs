@@ -1,7 +1,9 @@
 //! `hermes-serve` — the HERMES mediator as a TCP server.
 //!
-//! Serves the binary frame protocol (`hermes_common::frame`) over a
-//! worker pool on a [`hermes::ConcurrentMediator`]. Without `--program`
+//! Serves the binary frame protocol (`hermes_common::frame`) on a
+//! [`hermes::ConcurrentMediator`] — through the epoll reactor on Linux
+//! (`--mode reactor`, the `auto` default there) or the worker-pool
+//! engine (`--mode pool`, the fallback elsewhere). Without `--program`
 //! it builds the benchmark's synthetic world: two sources behind real
 //! per-call latency (`SlowDomain`), five query forms `q0`..`q3` and
 //! `hot` over Zipf-friendly keys — the same world `hermes-load`
@@ -19,7 +21,7 @@
 
 use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
 use hermes::domains::SlowDomain;
-use hermes::{profiles, GateConfig, Mediator, NetServer, Network, ServeConfig};
+use hermes::{profiles, GateConfig, Mediator, NetServer, Network, ServeConfig, ServeMode};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,9 +30,19 @@ usage: hermes-serve [options]
 
 options:
   --addr HOST:PORT   listen address (default 127.0.0.1:7464)
-  --workers N        handler threads = concurrent connections (default 8)
-  --pending N        accepted connections queued for a worker; the next
-                     one is refused with a shed frame (default 64)
+  --mode MODE        serving engine: auto | pool | reactor (default auto;
+                     auto picks the epoll reactor on Linux, pool elsewhere)
+  --workers N        query worker threads (default 8); in pool mode this
+                     is also the concurrent-connection ceiling
+  --pending N        pool mode: accepted connections queued for a worker;
+                     the next one is refused with a shed frame (default 64)
+  --max-conns N      reactor mode: open-connection ceiling (default 10000)
+  --pipeline N       reactor mode: queries in flight per connection before
+                     shed/pipeline-full (default 32)
+  --queue N          reactor mode: worker-queue bound before
+                     shed/worker-queue-full (default 1024)
+  --idle-timeout-ms N  reactor mode: evict connections idle this long
+                     (default: never)
   --batch-rows N     rows per Batch frame (default 512)
   --gate N           admission-gate capacity (default unbounded)
   --delay-ms N       real latency per synthetic source call (default 3)
@@ -46,8 +58,13 @@ const KEYS: usize = 64;
 
 struct Options {
     addr: String,
+    mode: ServeMode,
     workers: usize,
     pending: usize,
+    max_conns: usize,
+    pipeline: usize,
+    queue: usize,
+    idle_timeout: Option<Duration>,
     batch_rows: usize,
     gate: Option<usize>,
     delay: Duration,
@@ -61,8 +78,13 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             addr: "127.0.0.1:7464".into(),
+            mode: ServeMode::Auto,
             workers: 8,
             pending: 64,
+            max_conns: 10_000,
+            pipeline: 32,
+            queue: 1024,
+            idle_timeout: None,
             batch_rows: 512,
             gate: None,
             delay: Duration::from_millis(3),
@@ -81,8 +103,21 @@ fn parse_args() -> Result<Options, String> {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--addr" => opts.addr = take("--addr")?,
+            "--mode" => {
+                let name = take("--mode")?;
+                opts.mode = ServeMode::parse(&name)
+                    .ok_or_else(|| format!("unknown mode {name} (auto | pool | reactor)"))?;
+            }
             "--workers" => opts.workers = num(&take("--workers")?)?,
             "--pending" => opts.pending = num(&take("--pending")?)?,
+            "--max-conns" => opts.max_conns = num(&take("--max-conns")?)?,
+            "--pipeline" => opts.pipeline = num(&take("--pipeline")?)?,
+            "--queue" => opts.queue = num(&take("--queue")?)?,
+            "--idle-timeout-ms" => {
+                opts.idle_timeout = Some(Duration::from_millis(
+                    num(&take("--idle-timeout-ms")?)? as u64
+                ));
+            }
             "--batch-rows" => opts.batch_rows = num(&take("--batch-rows")?)?,
             "--gate" => opts.gate = Some(num(&take("--gate")?)?),
             "--delay-ms" => opts.delay = Duration::from_millis(num(&take("--delay-ms")?)? as u64),
@@ -194,13 +229,17 @@ fn main() {
         server.set_gate(GateConfig::bounded(capacity));
     }
 
-    let config = ServeConfig {
-        workers: opts.workers,
-        pending_conns: opts.pending,
-        batch_rows: opts.batch_rows,
-        wall_clock: opts.wall_clock,
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .mode(opts.mode)
+        .workers(opts.workers)
+        .pending_conns(opts.pending)
+        .max_conns(opts.max_conns)
+        .pipeline_depth(opts.pipeline)
+        .queue_depth(opts.queue)
+        .idle_timeout(opts.idle_timeout)
+        .batch_rows(opts.batch_rows)
+        .wall_clock(opts.wall_clock)
+        .build();
     let net = match NetServer::bind(server, opts.addr.as_str(), config) {
         Ok(n) => n,
         Err(e) => {
@@ -209,10 +248,10 @@ fn main() {
         }
     };
     println!(
-        "hermes-serve: listening on {} ({} workers, {} pending, {})",
+        "hermes-serve: listening on {} ({} mode, {} workers, {})",
         net.addr(),
+        net.mode().name(),
         opts.workers,
-        opts.pending,
         if opts.wall_clock {
             "wall clock"
         } else {
@@ -222,7 +261,13 @@ fn main() {
 
     let stats = net.wait();
     println!(
-        "hermes-serve: drained — {} connections ({} refused), {} requests, {} bad frames",
-        stats.accepted, stats.refused, stats.requests, stats.bad_frames
+        "hermes-serve: drained — {} connections ({} refused, {} evicted), {} requests, \
+         {} bad frames, {} pre-gate sheds",
+        stats.accepted,
+        stats.refused,
+        stats.evicted,
+        stats.requests,
+        stats.bad_frames,
+        stats.pre_gate_shed
     );
 }

@@ -54,15 +54,16 @@ pub use hermes_analysis::{
 };
 pub use hermes_cim::{Cim, CimPolicy, CimResolution, RoutingDecision, ShardedCim};
 pub use hermes_common::{
-    DoneFrame, ErrorFrame, Frame, GroundCall, HermesError, QueryFrame, Result, SimClock,
-    SimDuration, SimInstant, Value,
+    DoneFrame, ErrorFrame, Frame, FrameDecoder, GroundCall, HermesError, QueryFrame, Result,
+    SimClock, SimDuration, SimInstant, Value,
 };
 pub use hermes_core::{
     BreakerBank, BreakerConfig, BreakerState, CacheControl, CachePolicy, CacheSnapshot, CacheTier,
     ConcurrentMediator, ExecConfig, ExecConfigBuilder, ExecStats, GateConfig, InFlightRegistry,
     IncompleteReason, InteractiveQuery, InvalidationSweep, MatCache, MatCacheConfig, MatCacheStats,
     Mediator, MediatorConfig, NetServer, NetServerStats, Plan, PlanTier, QueryRequest, QueryResult,
-    RemoteResult, ServeConfig, ServerStats, SubgoalProvenance, TierReason, WireClient,
+    RemoteResult, ServeConfig, ServeConfigBuilder, ServeMode, ServerStats, SubgoalProvenance,
+    TierReason, WireClient,
 };
 pub use hermes_dcsm::{Dcsm, DcsmConfig, ShardedDcsm};
 pub use hermes_lang::{parse_invariant, parse_invariants, parse_program, parse_query};

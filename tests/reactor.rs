@@ -1,0 +1,343 @@
+//! Torture tests for the epoll reactor serving engine: connection
+//! scaling far past the worker count, partial-I/O robustness, deadline
+//! evictions, pipelining order, bounded-depth sheds, graceful drain,
+//! and serial-vs-reactor answer equivalence.
+//!
+//! Linux-only: on other platforms `ServeMode::Reactor` falls back to
+//! the worker pool, and these tests assert reactor-specific behavior.
+#![cfg(target_os = "linux")]
+
+use hermes::domains::synthetic::{RelationSpec, SyntheticDomain};
+use hermes::domains::SlowDomain;
+use hermes::net::profiles;
+use hermes::{
+    Frame, FrameDecoder, HermesError, Mediator, NetServer, Network, QueryFrame, ServeConfig,
+    ServeMode, Value, WireClient,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn world() -> Mediator {
+    let domain = SyntheticDomain::generate("d1", 9, &[RelationSpec::uniform("p", 16, 2.0)]);
+    let mut net = Network::new(9);
+    net.place(Arc::new(domain), profiles::maryland());
+    Mediator::from_source(
+        "
+        item(A, B) :- in(Ans, d1:p_ff()) & =(Ans.a, A) & =(Ans.b, B).
+        item(A, B) :- in(B, d1:p_bf(A)).
+        ",
+        net,
+    )
+    .unwrap()
+}
+
+fn slow_world(delay: Duration) -> Mediator {
+    let domain = SyntheticDomain::generate("d1", 9, &[RelationSpec::uniform("p", 16, 2.0)]);
+    let mut net = Network::new(9);
+    net.place(
+        Arc::new(SlowDomain::new(Arc::new(domain), delay)),
+        profiles::maryland(),
+    );
+    Mediator::from_source("item(A, B) :- in(B, d1:p_bf(A)).", net).unwrap()
+}
+
+fn reactor(config: ServeConfig) -> (NetServer, String) {
+    let server = Arc::new(world().to_concurrent(4));
+    let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+    assert_eq!(net.mode(), ServeMode::Reactor);
+    let addr = net.addr().to_string();
+    (net, addr)
+}
+
+#[test]
+fn concurrent_open_connections_far_exceed_workers() {
+    // 2 workers, 32 live connections: the pool engine would serve 2 and
+    // park the rest; the reactor must hold ALL of them open and answer
+    // on each. 16× over the worker count clears the ≥4× acceptance bar.
+    let workers = 2usize;
+    let conns = 32usize;
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .workers(workers)
+        .build();
+    let (net, addr) = reactor(config);
+
+    let mut clients: Vec<WireClient> = (0..conns)
+        .map(|_| WireClient::connect_retry(&addr, Duration::from_secs(5)).unwrap())
+        .collect();
+    // Every connection is open at once; prove each is live in turn.
+    for client in &mut clients {
+        client.ping().unwrap();
+    }
+    let mut expected = world().query("?- item(A, B).").unwrap().rows;
+    expected.sort();
+    for client in &mut clients {
+        let mut rows = client
+            .query(QueryFrame::new("?- item(A, B)."))
+            .unwrap()
+            .rows;
+        rows.sort();
+        assert_eq!(rows, expected);
+    }
+    let stats = net.shutdown();
+    assert_eq!(stats.accepted, conns as u64);
+    assert_eq!(stats.refused, 0);
+    assert_eq!(stats.bad_frames, 0);
+    assert!(conns >= 4 * workers);
+}
+
+#[test]
+fn one_byte_reads_and_writes_survive_the_state_machine() {
+    // The client dribbles its query one byte at a time and slurps the
+    // response one byte at a time: every partial-read re-entry of the
+    // decoder and every short-write path must compose to the same
+    // answer a well-behaved client gets.
+    let (net, addr) = reactor(
+        ServeConfig::builder()
+            .mode(ServeMode::Reactor)
+            .batch_rows(2)
+            .build(),
+    );
+    let mut expected = world().query("?- item(A, B).").unwrap().rows;
+    expected.sort();
+
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let query = Frame::Query(QueryFrame::new("?- item(A, B).")).encode();
+    for byte in &query {
+        raw.write_all(std::slice::from_ref(byte)).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_micros(300));
+    }
+
+    // Reassemble Batch* + Done from single-byte reads.
+    let mut decoder = FrameDecoder::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut one = [0u8; 1];
+    'outer: loop {
+        match raw.read(&mut one) {
+            Ok(0) => panic!("server hung up before Done"),
+            Ok(_) => decoder.feed(&one),
+            Err(e) => panic!("read failed: {e}"),
+        }
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            match frame {
+                Frame::Batch(mut batch) => rows.append(&mut batch),
+                Frame::Done(done) => {
+                    assert_eq!(done.rows as usize, rows.len());
+                    break 'outer;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    rows.sort();
+    assert_eq!(rows, expected);
+    let stats = net.shutdown();
+    assert_eq!(stats.bad_frames, 0);
+}
+
+#[test]
+fn slow_loris_connections_are_evicted_on_the_frame_deadline() {
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .frame_timeout(Duration::from_millis(150))
+        .idle_poll(Duration::from_millis(20))
+        .build();
+    let (net, addr) = reactor(config);
+
+    // Two header bytes, then silence: a classic slow loris.
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris.write_all(&[9, 0]).unwrap();
+
+    // The server must hang up within a few frame timeouts.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let start = Instant::now();
+    let hung_up = matches!(loris.read(&mut buf), Ok(0) | Err(_));
+    assert!(hung_up, "loris connection should be closed by the server");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "eviction took too long"
+    );
+
+    // A healthy client is unaffected before and after.
+    let mut client = WireClient::connect(&addr).unwrap();
+    client.ping().unwrap();
+    let stats = net.shutdown();
+    assert_eq!(stats.evicted, 1, "exactly the loris is evicted");
+}
+
+#[test]
+fn idle_timeout_reclaims_quiet_connections() {
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .idle_timeout(Some(Duration::from_millis(120)))
+        .idle_poll(Duration::from_millis(20))
+        .build();
+    let (net, addr) = reactor(config);
+
+    let mut idle = WireClient::connect(&addr).unwrap();
+    idle.ping().unwrap();
+    // Go quiet past the idle limit; the server reclaims the slot.
+    std::thread::sleep(Duration::from_millis(400));
+    let gone = idle.ping().is_err();
+    assert!(gone, "idle connection should have been evicted");
+    let stats = net.shutdown();
+    assert!(stats.evicted >= 1);
+}
+
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let (net, addr) = reactor(ServeConfig::builder().mode(ServeMode::Reactor).build());
+    let mut direct = world();
+    let keys: Vec<String> = (0..8).map(|k| format!("p_{k}")).collect();
+
+    let mut client = WireClient::connect(&addr).unwrap();
+    for key in &keys {
+        client
+            .send_query(QueryFrame::new(format!("?- item('{key}', B).")))
+            .unwrap();
+    }
+    // Distinct keys have distinct answer sets, so order mixups would
+    // show up as wrong rows, not just reordered rows.
+    for key in &keys {
+        let mut expected = direct.query(format!("?- item('{key}', B).")).unwrap().rows;
+        expected.sort();
+        let mut got = client.recv_result().unwrap().rows;
+        got.sort();
+        assert_eq!(got, expected, "response out of order for {key}");
+    }
+    net.shutdown();
+}
+
+#[test]
+fn pipeline_depth_sheds_with_a_typed_error_and_keeps_the_gate_invariant() {
+    // 1 worker on slow sources and a depth of 2: a burst of 6 pipelined
+    // queries must come back as exactly 6 FIFO responses, the overflow
+    // shed as `pipeline-full` without ever becoming a mediator query.
+    let server = Arc::new(slow_world(Duration::from_millis(150)).to_concurrent(2));
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .workers(1)
+        .pipeline_depth(2)
+        .build();
+    let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+    let addr = net.addr().to_string();
+
+    let mut client = WireClient::connect(&addr).unwrap();
+    let burst = 6usize;
+    for _ in 0..burst {
+        client
+            .send_query(QueryFrame::new("?- item('p_1', B)."))
+            .unwrap();
+    }
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..burst {
+        match client.recv_result() {
+            Ok(_) => answered += 1,
+            Err(HermesError::Shed { reason }) => {
+                assert_eq!(reason, "pipeline-full");
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert_eq!(answered + shed, burst as u64);
+    assert!(shed >= 1, "burst past the depth must shed");
+    assert!(answered >= 2, "the in-depth queries must be answered");
+
+    // Pre-gate sheds never reach the mediator: the gate invariant holds
+    // and the query count equals what was actually admitted downstream.
+    let m = net.mediator().stats();
+    assert_eq!(m.queries, answered);
+    assert_eq!(m.admitted + m.shed, m.queries);
+    let stats = net.shutdown();
+    assert_eq!(stats.pre_gate_shed, shed);
+}
+
+#[test]
+fn shutdown_drains_inflight_pipelined_responses() {
+    // Queries are mid-flight on slow sources when another client asks
+    // the server to shut down: every owed response must still arrive,
+    // in order, before the connection closes.
+    let server = Arc::new(slow_world(Duration::from_millis(100)).to_concurrent(2));
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .workers(4)
+        .build();
+    let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+    let addr = net.addr().to_string();
+
+    let mut busy = WireClient::connect(&addr).unwrap();
+    for k in 0..4 {
+        busy.send_query(QueryFrame::new(format!("?- item('p_{k}', B).")))
+            .unwrap();
+    }
+    let mut admin = WireClient::connect(&addr).unwrap();
+    admin.shutdown_server().unwrap();
+
+    while busy.in_flight() > 0 {
+        busy.recv_result().unwrap();
+    }
+    let stats = net.wait();
+    assert_eq!(stats.requests, 5, "4 queries + shutdown");
+}
+
+#[test]
+fn connection_ceiling_refuses_with_accept_queue_full() {
+    let config = ServeConfig::builder()
+        .mode(ServeMode::Reactor)
+        .max_conns(3)
+        .build();
+    let (net, addr) = reactor(config);
+
+    let mut held: Vec<WireClient> = (0..3)
+        .map(|_| WireClient::connect(&addr).unwrap())
+        .collect();
+    for c in &mut held {
+        c.ping().unwrap();
+    }
+    let mut overflow = WireClient::connect(&addr).unwrap();
+    let err = overflow.ping().unwrap_err();
+    let HermesError::Shed { reason } = err else {
+        panic!("expected a shed, got {err:?}");
+    };
+    assert_eq!(reason, "accept-queue-full");
+
+    // Closing one held connection frees a slot.
+    drop(held.pop());
+    std::thread::sleep(Duration::from_millis(200));
+    let mut retry = WireClient::connect_retry(&addr, Duration::from_secs(5)).unwrap();
+    retry.ping().unwrap();
+
+    let stats = net.shutdown();
+    assert_eq!(stats.refused, 1);
+}
+
+#[test]
+fn serial_and_reactor_answers_are_the_same_multiset() {
+    let (net, addr) = reactor(ServeConfig::builder().mode(ServeMode::Reactor).build());
+    let mut direct = world();
+    let mut client = WireClient::connect(&addr).unwrap();
+
+    let queries = [
+        "?- item(A, B).",
+        "?- item('p_1', B).",
+        "?- item('p_5', B).",
+        "?- item('p_13', B).",
+    ];
+    for q in queries {
+        let mut expected = direct.query(q).unwrap().rows;
+        expected.sort();
+        let mut got = client.query(QueryFrame::new(q)).unwrap().rows;
+        got.sort();
+        assert_eq!(got, expected, "answers diverge for {q}");
+    }
+    net.shutdown();
+}
